@@ -1,0 +1,133 @@
+//! Criterion benches for the simulator substrates: crossbar MVM scaling,
+//! detection campaign cost, re-mapping search throughput, and the
+//! threshold-training iteration overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use faultdet::detector::{DetectorConfig, OnlineFaultDetector};
+use ftt_core::config::{FlowConfig, MappingConfig, MappingScope, RemapConfig};
+use ftt_core::flow::FaultTolerantTrainer;
+use ftt_core::remap::{CostModel, RemapAlgorithm, RemapProblem};
+use nn::models::mlp_784_100_10;
+use nn::optimizer::LrSchedule;
+use nn::pruning::magnitude_prune;
+use nn::synth::SyntheticDataset;
+use rand::Rng;
+use rram::crossbar::{Crossbar, CrossbarBuilder};
+use rram::spatial::SpatialDistribution;
+use std::hint::black_box;
+
+fn programmed(size: usize, seed: u64) -> Crossbar {
+    let mut xbar = CrossbarBuilder::new(size, size)
+        .initial_faults(SpatialDistribution::Uniform, 0.1)
+        .seed(seed)
+        .build()
+        .expect("valid crossbar");
+    let mut rng = rram::rng::sim_rng(seed);
+    for r in 0..size {
+        for c in 0..size {
+            let _ = xbar.write_level(r, c, rng.gen_range(0..8)).expect("in range");
+        }
+    }
+    xbar
+}
+
+fn bench_mvm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crossbar_mvm");
+    for size in [64usize, 128, 256, 512] {
+        let xbar = programmed(size, 1);
+        let input = vec![0.5f32; size];
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| black_box(xbar.mvm(black_box(&input)).expect("mvm")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detection_campaign");
+    group.sample_size(10);
+    for size in [64usize, 128, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            b.iter_batched(
+                || programmed(size, 2),
+                |mut xbar| {
+                    let detector =
+                        OnlineFaultDetector::new(DetectorConfig::new(8).expect("size"));
+                    black_box(detector.run(&mut xbar).expect("campaign"));
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_remap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("remap_search");
+    group.sample_size(10);
+    let mut net = mlp_784_100_10(1);
+    let mapped = ftt_core::mapping::MappedNetwork::from_network(
+        &mut net,
+        MappingConfig::new(MappingScope::EntireNetwork)
+            .with_initial_fault_fraction(0.3)
+            .with_seed(5),
+    )
+    .expect("mapping");
+    let mask = magnitude_prune(&mut net, 0.5);
+    let problem =
+        RemapProblem::with_ground_truth(&mapped, &mask, CostModel::PaperDist).expect("problem");
+    for budget in [1000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(budget), &budget, |b, &budget| {
+            b.iter(|| {
+                black_box(problem.solve(
+                    &mapped,
+                    &RemapConfig {
+                        algorithm: RemapAlgorithm::SwapHillClimb,
+                        cost: CostModel::PaperDist,
+                        iterations: budget,
+                        seed: 3,
+                    },
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_training_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("training_iteration");
+    group.sample_size(10);
+    let data = SyntheticDataset::mnist_like(128, 32, 3);
+    for (label, flow) in [
+        ("original", FlowConfig::original().with_lr(LrSchedule::constant(0.1))),
+        ("threshold", FlowConfig::threshold_only().with_lr(LrSchedule::constant(0.1))),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    FaultTolerantTrainer::new(
+                        mlp_784_100_10(1),
+                        MappingConfig::new(MappingScope::EntireNetwork).with_seed(1),
+                        flow.clone(),
+                    )
+                    .expect("trainer")
+                },
+                |mut trainer| {
+                    trainer.train(&data, 10).expect("train");
+                    black_box(trainer.iteration());
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mvm,
+    bench_detection,
+    bench_remap,
+    bench_training_iteration
+);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! **Extension ablation** — adaptive (bisection) testing versus the paper's
+//! fixed-test-size sweep, as a function of fault density.
+//!
+//! The adaptive schedule pinpoints faults exactly in `O(faults · log n)`
+//! probes, so it dominates in the *incremental* regime (few new faults
+//! since the last campaign) and loses to coarse fixed-size tests when the
+//! array is already riddled with faults. This run charts the crossover.
+//!
+//! ```text
+//! cargo run --release -p ftt-bench --bin ablation_adaptive
+//! ```
+
+use faultdet::adaptive::AdaptiveDetector;
+use faultdet::detector::{DetectorConfig, OnlineFaultDetector};
+use faultdet::metrics::DetectionReport;
+use ftt_bench::{arg_or, write_csv};
+use rand::Rng;
+use rram::crossbar::{Crossbar, CrossbarBuilder};
+use rram::spatial::SpatialDistribution;
+
+fn build(size: usize, fraction: f64, seed: u64) -> Crossbar {
+    let mut xbar = CrossbarBuilder::new(size, size)
+        .initial_faults(SpatialDistribution::Uniform, fraction)
+        .seed(seed)
+        .build()
+        .expect("valid crossbar");
+    let mut rng = rram::rng::sim_rng(seed ^ 0xada);
+    for r in 0..size {
+        for c in 0..size {
+            let _ = xbar.write_level(r, c, rng.gen_range(0..8)).expect("in range");
+        }
+    }
+    xbar
+}
+
+fn main() {
+    let size = arg_or("--size", 256usize);
+    println!("# adaptive bisection vs fixed-size testing ({size}x{size})");
+    println!("fault_fraction, method, cycles, precision, recall");
+    let mut csv = String::from("fault_fraction,method,cycles,precision,recall\n");
+    for &fraction in &[0.0005f64, 0.001, 0.005, 0.01, 0.05, 0.1] {
+        // Adaptive.
+        let mut xbar = build(size, fraction, 9);
+        let truth = xbar.fault_map();
+        let outcome = AdaptiveDetector::new(DetectorConfig::new(size).expect("size"))
+            .run(&mut xbar)
+            .expect("campaign");
+        let report = DetectionReport::evaluate(&truth, &outcome.predicted);
+        println!(
+            "{fraction:.4}, adaptive, {}, {:.3}, {:.3}",
+            outcome.cycles,
+            report.precision(),
+            report.recall()
+        );
+        csv.push_str(&format!(
+            "{fraction:.4},adaptive,{},{:.4},{:.4}\n",
+            outcome.cycles,
+            report.precision(),
+            report.recall()
+        ));
+
+        // Fixed exhaustive (test size 1, exact like adaptive).
+        let mut xbar = build(size, fraction, 9);
+        let truth = xbar.fault_map();
+        let outcome = OnlineFaultDetector::new(DetectorConfig::new(1).expect("size"))
+            .run(&mut xbar)
+            .expect("campaign");
+        let report = DetectionReport::evaluate(&truth, &outcome.predicted);
+        let cycles = outcome.sa0_cycles + outcome.sa1_cycles;
+        println!(
+            "{fraction:.4}, fixed_exhaustive, {cycles}, {:.3}, {:.3}",
+            report.precision(),
+            report.recall()
+        );
+        csv.push_str(&format!(
+            "{fraction:.4},fixed_exhaustive,{cycles},{:.4},{:.4}\n",
+            report.precision(),
+            report.recall()
+        ));
+    }
+    write_csv("ablation_adaptive", &csv);
+}

@@ -1,0 +1,68 @@
+//! **Weight-coding ablation** — unipolar (the paper's logical granularity)
+//! versus differential-pair (`w ∝ g⁺ − g⁻`) coding.
+//!
+//! Differential coding is the physical scheme most RCS designs use. It
+//! doubles the cell count and — with one-sided programming — doubles the
+//! write wear per update, so under limited endurance it trades fault
+//! robustness against lifetime. This ablation quantifies both sides.
+//!
+//! ```text
+//! cargo run --release -p ftt-bench --bin ablation_coding
+//! ```
+
+use ftt_bench::{arg_or, write_csv};
+use ftt_core::config::{FlowConfig, MappingConfig, MappingScope, WeightCoding};
+use ftt_core::flow::FaultTolerantTrainer;
+use nn::models::mlp_784_100_10;
+use nn::optimizer::LrSchedule;
+use nn::synth::SyntheticDataset;
+use rram::endurance::EnduranceModel;
+
+fn main() {
+    let iterations = arg_or("--iterations", 3000u64);
+    let data = SyntheticDataset::mnist_like(512, 128, 21);
+    let schedule = LrSchedule::step_decay(0.1, 0.7, 1000);
+
+    println!("# weight coding ablation (784x100x10 MLP, {iterations} iterations)");
+    println!("coding, scenario, peak_accuracy, final_accuracy, write_pulses, faulty_at_end");
+    let mut csv =
+        String::from("coding,scenario,peak_accuracy,final_accuracy,write_pulses,faulty_at_end\n");
+    for (coding_name, coding) in
+        [("unipolar", WeightCoding::Unipolar), ("differential", WeightCoding::Differential)]
+    {
+        for (scenario, fraction, endurance) in [
+            ("clean", 0.0, EnduranceModel::unlimited()),
+            ("20%_faults", 0.2, EnduranceModel::unlimited()),
+            (
+                "wearing",
+                0.0,
+                EnduranceModel::new(iterations as f64, 0.3 * iterations as f64),
+            ),
+        ] {
+            let mapping = MappingConfig::new(MappingScope::EntireNetwork)
+                .with_coding(coding)
+                .with_initial_fault_fraction(fraction)
+                .with_initial_sa0_prob(0.8)
+                .with_endurance(endurance)
+                .with_seed(17);
+            let mut trainer = FaultTolerantTrainer::new(
+                mlp_784_100_10(3),
+                mapping,
+                FlowConfig::threshold_only().with_lr(schedule),
+            )
+            .expect("valid config");
+            trainer.train(&data, iterations).expect("training");
+            let peak = trainer.curve().peak_accuracy();
+            let final_acc = trainer.curve().final_accuracy();
+            let pulses = trainer.mapped().total_write_pulses();
+            let faulty = trainer.mapped().fraction_faulty();
+            println!(
+                "{coding_name}, {scenario}, {peak:.3}, {final_acc:.3}, {pulses}, {faulty:.3}"
+            );
+            csv.push_str(&format!(
+                "{coding_name},{scenario},{peak:.4},{final_acc:.4},{pulses},{faulty:.4}\n"
+            ));
+        }
+    }
+    write_csv("ablation_coding", &csv);
+}

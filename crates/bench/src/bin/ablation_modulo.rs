@@ -1,0 +1,62 @@
+//! **§4.2 ablation** — the modulo divisor of the comparison circuitry.
+//!
+//! The paper chooses 16 as "a trade-off between fault coverage and hardware
+//! overhead": a larger divisor needs more reference voltages and comparator
+//! bits but aliases fewer deficits to zero. This sweep quantifies that
+//! trade-off (hardware overhead grows with `log2(divisor)` comparator
+//! bits and `divisor` reference voltages).
+//!
+//! ```text
+//! cargo run --release -p ftt-bench --bin ablation_modulo
+//! ```
+
+use faultdet::detector::{DetectorConfig, OnlineFaultDetector};
+use faultdet::metrics::DetectionReport;
+use ftt_bench::{arg_or, write_csv};
+use rand::Rng;
+use rram::crossbar::CrossbarBuilder;
+use rram::spatial::SpatialDistribution;
+
+fn main() {
+    let size = arg_or("--size", 256usize);
+    let test_size = arg_or("--test-size", 64usize);
+    let seeds = arg_or("--seeds", 5u64);
+
+    println!("# modulo-divisor ablation ({size}x{size}, 10% uniform faults, test size {test_size})");
+    println!("divisor, reference_voltages, comparator_bits, precision, recall");
+    let mut csv = String::from("divisor,reference_voltages,comparator_bits,precision,recall\n");
+    for divisor in [2u32, 4, 8, 16, 32, 64] {
+        let mut precision = 0.0;
+        let mut recall = 0.0;
+        for seed in 0..seeds {
+            let mut xbar = CrossbarBuilder::new(size, size)
+                .initial_faults(SpatialDistribution::Uniform, 0.10)
+                .seed(seed * 17 + 1)
+                .build()
+                .expect("valid crossbar");
+            let mut rng = rram::rng::sim_rng(seed ^ 0xfeed);
+            for r in 0..size {
+                for c in 0..size {
+                    let _ = xbar.write_level(r, c, rng.gen_range(0..8)).expect("in range");
+                }
+            }
+            let truth = xbar.fault_map();
+            let outcome = OnlineFaultDetector::new(
+                DetectorConfig::new(test_size)
+                    .expect("test size")
+                    .with_modulo_divisor(divisor),
+            )
+            .run(&mut xbar)
+            .expect("campaign");
+            let report = DetectionReport::evaluate(&truth, &outcome.predicted);
+            precision += report.precision();
+            recall += report.recall();
+        }
+        precision /= seeds as f64;
+        recall /= seeds as f64;
+        let bits = divisor.trailing_zeros();
+        println!("{divisor}, {divisor}, {bits}, {precision:.3}, {recall:.3}");
+        csv.push_str(&format!("{divisor},{divisor},{bits},{precision:.4},{recall:.4}\n"));
+    }
+    write_csv("ablation_modulo", &csv);
+}

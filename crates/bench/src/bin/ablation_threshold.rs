@@ -1,0 +1,60 @@
+//! **§5.1 ablation** — threshold-training policy variants.
+//!
+//! Compares the paper's fixed 1 % threshold against different fractions and
+//! against the wear-aware `CalculateThreshold(WriteAmount)` variant that
+//! Algorithm 1's signature permits. Reported per policy: final accuracy,
+//! write workload relative to the original method, and the *hottest cell*'s
+//! write count (the wear-aware policy trades a slightly higher total for a
+//! flatter per-cell distribution).
+//!
+//! ```text
+//! cargo run --release -p ftt-bench --bin ablation_threshold
+//! ```
+
+use ftt_bench::{arg_or, write_csv};
+use ftt_core::config::{FlowConfig, MappingConfig, MappingScope};
+use ftt_core::flow::FaultTolerantTrainer;
+use ftt_core::threshold::ThresholdPolicy;
+use nn::models::mlp_784_100_10;
+use nn::optimizer::LrSchedule;
+use nn::synth::SyntheticDataset;
+
+fn main() {
+    let iterations = arg_or("--iterations", 3000u64);
+    let data = SyntheticDataset::mnist_like(512, 128, 21);
+    let schedule = LrSchedule::step_decay(0.1, 0.7, 1000);
+
+    let policies: [(&str, ThresholdPolicy); 6] = [
+        ("original (no threshold)", ThresholdPolicy::None),
+        ("fixed 0.1%", ThresholdPolicy::Fixed { fraction: 0.001 }),
+        ("fixed 1% (paper)", ThresholdPolicy::Fixed { fraction: 0.01 }),
+        ("fixed 5%", ThresholdPolicy::Fixed { fraction: 0.05 }),
+        ("wear-aware 1%", ThresholdPolicy::WearAware { fraction: 0.01, growth: 0.01 }),
+        ("wear-aware 0.1%", ThresholdPolicy::WearAware { fraction: 0.001, growth: 0.05 }),
+    ];
+
+    println!("# threshold policy ablation (784x100x10 MLP, {iterations} iterations)");
+    println!("policy, final_accuracy, writes_issued, write_ratio_vs_original");
+    let mut csv = String::from("policy,final_accuracy,writes_issued,write_ratio\n");
+    let mut original_writes = None;
+    for (name, policy) in policies {
+        let mut flow = FlowConfig::original().with_lr(schedule);
+        flow.threshold = policy;
+        let mut trainer = FaultTolerantTrainer::new(
+            mlp_784_100_10(3),
+            MappingConfig::new(MappingScope::EntireNetwork).with_seed(17),
+            flow,
+        )
+        .expect("valid config");
+        trainer.train(&data, iterations).expect("training");
+        let writes = trainer.stats().writes_issued;
+        if original_writes.is_none() {
+            original_writes = Some(writes.max(1));
+        }
+        let ratio = writes as f64 / original_writes.expect("set on first run") as f64;
+        let acc = trainer.curve().final_accuracy();
+        println!("{name}, {acc:.3}, {writes}, {ratio:.4}");
+        csv.push_str(&format!("{},{acc:.4},{writes},{ratio:.5}\n", name.replace(',', ";")));
+    }
+    write_csv("ablation_threshold", &csv);
+}

@@ -1,0 +1,91 @@
+//! **§1 / §2.2 baseline comparison** — traditional March testing versus the
+//! paper's quiescent-voltage comparison.
+//!
+//! The paper's motivation for a new on-line test: "the test time of
+//! traditional test methods increases quadratically with the number of
+//! rows (columns) of the RRAM crossbar". This bench quantifies that, plus
+//! the wear each campaign inflicts on the array it is protecting.
+//!
+//! ```text
+//! cargo run --release -p ftt-bench --bin baseline_march
+//! ```
+
+use faultdet::detector::{DetectorConfig, OnlineFaultDetector};
+use faultdet::march::MarchTest;
+use faultdet::metrics::DetectionReport;
+use ftt_bench::{arg_or, write_csv};
+use rand::Rng;
+use rram::crossbar::{Crossbar, CrossbarBuilder};
+use rram::spatial::SpatialDistribution;
+
+fn build(size: usize, seed: u64) -> Crossbar {
+    let mut xbar = CrossbarBuilder::new(size, size)
+        .initial_faults(SpatialDistribution::Uniform, 0.10)
+        .seed(seed)
+        .build()
+        .expect("valid crossbar");
+    let mut rng = rram::rng::sim_rng(seed ^ 0xdead);
+    for r in 0..size {
+        for c in 0..size {
+            let _ = xbar.write_level(r, c, rng.gen_range(0..8)).expect("in range");
+        }
+    }
+    xbar
+}
+
+fn main() {
+    let test_size = arg_or("--test-size", 8usize);
+    println!("# March (traditional, refs [9,12]) vs quiescent-voltage comparison");
+    println!("# 10% uniform faults; quiescent test size {test_size}");
+    println!("crossbar_size, method, cycles, precision, recall, test_write_pulses");
+    let mut csv = String::from("crossbar_size,method,cycles,precision,recall,test_write_pulses\n");
+    for size in [64usize, 128, 256, 512] {
+        // March baseline.
+        let mut xbar = build(size, 5);
+        let truth = xbar.fault_map();
+        let outcome = MarchTest::new().run(&mut xbar).expect("march");
+        let report = DetectionReport::evaluate(&truth, &outcome.predicted);
+        println!(
+            "{size}, march, {}, {:.3}, {:.3}, {}",
+            outcome.cycles,
+            report.precision(),
+            report.recall(),
+            outcome.write_pulses
+        );
+        csv.push_str(&format!(
+            "{size},march,{},{:.4},{:.4},{}\n",
+            outcome.cycles,
+            report.precision(),
+            report.recall(),
+            outcome.write_pulses
+        ));
+
+        // Quiescent-voltage comparison.
+        let mut xbar = build(size, 5);
+        let truth = xbar.fault_map();
+        let outcome = OnlineFaultDetector::new(
+            DetectorConfig::new(test_size).expect("test size"),
+        )
+        .run(&mut xbar)
+        .expect("campaign");
+        let report = DetectionReport::evaluate(&truth, &outcome.predicted);
+        println!(
+            "{size}, quiescent, {}, {:.3}, {:.3}, {}",
+            outcome.cycles(),
+            report.precision(),
+            report.recall(),
+            outcome.write_pulses
+        );
+        csv.push_str(&format!(
+            "{size},quiescent,{},{:.4},{:.4},{}\n",
+            outcome.cycles(),
+            report.precision(),
+            report.recall(),
+            outcome.write_pulses
+        ));
+    }
+    println!();
+    println!("# March is exact but its cycle count grows with the cell count");
+    println!("# (quadratic in the dimension); the quiescent method stays linear.");
+    write_csv("baseline_march", &csv);
+}

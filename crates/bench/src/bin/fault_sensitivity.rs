@@ -1,0 +1,93 @@
+//! **§6.4 sensitivity text** — conv layers versus FC layers under static
+//! hard faults.
+//!
+//! Paper claims: with more than 20 % faulty cells the *entire-CNN* mapping
+//! collapses to ~10 % accuracy (chance), while the *FC-only* mapping only
+//! degrades once the faulty fraction exceeds ~50 %.
+//!
+//! Here a VGG-11 is first trained in software, then deployed onto faulty
+//! arrays at each fault ratio and evaluated (no re-training — this isolates
+//! the layers' intrinsic fault sensitivity).
+//!
+//! ```text
+//! cargo run --release -p ftt-bench --bin fault_sensitivity
+//! ```
+
+use ftt_bench::{arg_or, write_csv};
+use ftt_core::config::{MappingConfig, MappingScope};
+use ftt_core::mapping::MappedNetwork;
+use nn::loss::softmax_cross_entropy;
+use nn::metrics::accuracy;
+use nn::models::vgg11_cifar;
+use nn::optimizer::{LrSchedule, Sgd};
+use nn::synth::SyntheticDataset;
+
+fn main() {
+    let divisor = arg_or("--divisor", 8usize);
+    let train_iters = arg_or("--train-iters", 1200usize);
+    let seeds = arg_or("--seeds", 3u64);
+    let data = SyntheticDataset::cifar_like(512, 128, 21);
+    let (tx, ty) = data.test_set();
+
+    // Software-train the reference network once.
+    let mut net = vgg11_cifar(divisor, 3);
+    let mut sgd = Sgd::new(LrSchedule::step_decay(0.05, 0.7, 400));
+    for (x, y) in data.train_batches(16).take(train_iters) {
+        let logits = net.forward_train(&x);
+        let (_, grad) = softmax_cross_entropy(&logits, &y);
+        net.backward(&grad);
+        sgd.step(&mut net);
+    }
+    let software_acc = accuracy(&net.forward(&tx), &ty);
+    println!("# software-trained VGG-11/{divisor} accuracy: {software_acc:.3}");
+    println!("fault_fraction, entire_cnn_accuracy, fc_only_accuracy");
+
+    let mut csv = String::from("fault_fraction,entire_cnn,fc_only\n");
+    for percent in [0u32, 5, 10, 15, 20, 30, 40, 50, 60, 70] {
+        let fraction = f64::from(percent) / 100.0;
+        let mut acc = [0.0f64; 2];
+        for (i, scope) in
+            [MappingScope::EntireNetwork, MappingScope::FcOnly].into_iter().enumerate()
+        {
+            for seed in 0..seeds {
+                let mut deployed = net.clone_weights_into(vgg11_cifar(divisor, 3));
+                let mapping = MappingConfig::new(scope.clone())
+                    .with_initial_fault_fraction(fraction)
+                    .with_initial_sa0_prob(0.8)
+                    .with_seed(7 + seed);
+                let mapped = MappedNetwork::from_network(&mut deployed, mapping)
+                    .expect("valid mapping");
+                mapped.load_effective_weights(&mut deployed);
+                acc[i] += accuracy(&deployed.forward(&tx), &ty);
+            }
+            acc[i] /= seeds as f64;
+        }
+        println!("{fraction:.2}, {:.3}, {:.3}", acc[0], acc[1]);
+        csv.push_str(&format!("{fraction:.2},{:.4},{:.4}\n", acc[0], acc[1]));
+    }
+    write_csv("fault_sensitivity", &csv);
+}
+
+/// Copies trained parameters into a freshly constructed network of the same
+/// topology (deployment clone).
+trait CloneWeights {
+    fn clone_weights_into(&mut self, fresh: nn::network::Network) -> nn::network::Network;
+}
+
+impl CloneWeights for nn::network::Network {
+    fn clone_weights_into(&mut self, mut fresh: nn::network::Network) -> nn::network::Network {
+        let indices = self.weight_layer_indices();
+        for idx in indices {
+            let (w, b) = {
+                let p = self.layer_params_mut(idx).expect("weight layer");
+                (p.weights.to_vec(), p.bias.map(|b| b.to_vec()))
+            };
+            let p = fresh.layer_params_mut(idx).expect("same topology");
+            p.weights.copy_from_slice(&w);
+            if let (Some(dst), Some(src)) = (p.bias, b) {
+                dst.copy_from_slice(&src);
+            }
+        }
+        fresh
+    }
+}

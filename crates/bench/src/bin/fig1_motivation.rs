@@ -1,0 +1,77 @@
+//! **Fig. 1 (motivation)** — training accuracy versus iterations for the
+//! plain on-line training method under different initial hard-fault
+//! conditions, with limited-endurance cells wearing out during the run.
+//!
+//! Paper setting: VGG-11 on Cifar-10; 10 % / 30 % initial faults; endurance
+//! ~ N(5×10⁶, 1.5×10⁶) with 5 M training iterations (so mean endurance ≈
+//! iteration count). Here both axes are proportionally scaled (see
+//! `DESIGN.md` §2): a width-scaled VGG-11 on the synthetic Cifar-10 task,
+//! with mean endurance equal to the scaled iteration budget.
+//!
+//! Expected shape: the fault-free run converges and stays; the faulty runs
+//! peak mid-training and then *decline* as wear-out faults accumulate, the
+//! 30 % case strictly below the 10 % case.
+//!
+//! ```text
+//! cargo run --release -p ftt-bench --bin fig1_motivation
+//! ```
+
+use ftt_bench::{arg_or, print_curves, run_flow};
+use ftt_core::config::{FlowConfig, MappingConfig, MappingScope};
+use nn::models::vgg11_cifar;
+use nn::optimizer::LrSchedule;
+use nn::synth::SyntheticDataset;
+use rram::endurance::EnduranceModel;
+
+fn main() {
+    let iterations = arg_or("--iterations", 5000u64);
+    let divisor = arg_or("--divisor", 8usize);
+    let data = SyntheticDataset::cifar_like(512, 128, 21);
+    let schedule = LrSchedule::step_decay(0.01, 0.7, iterations / 3);
+    // Paper ratio: mean endurance == iteration budget (5e6 vs 5M iters).
+    // Fault kinds are SA0-dominant, following the march-test defect
+    // characterization the paper cites ([5], Chen et al.).
+    let endurance = EnduranceModel::new(iterations as f64, 0.3 * iterations as f64)
+        .with_wearout_sa0_prob(0.8);
+
+    let flow = || FlowConfig::original().with_lr(schedule).with_eval_interval(iterations / 40);
+    let runs = vec![
+        run_flow(
+            "ideal case (no faults)",
+            vgg11_cifar(divisor, 3),
+            MappingConfig::new(MappingScope::EntireNetwork).with_seed(17),
+            flow(),
+            &data,
+            iterations,
+        ),
+        run_flow(
+            "10% initial faults + limited endurance",
+            vgg11_cifar(divisor, 3),
+            MappingConfig::new(MappingScope::EntireNetwork)
+                .with_initial_fault_fraction(0.10)
+                .with_initial_sa0_prob(0.8)
+                .with_endurance(endurance)
+                .with_seed(17),
+            flow(),
+            &data,
+            iterations,
+        ),
+        run_flow(
+            "30% initial faults + limited endurance",
+            vgg11_cifar(divisor, 3),
+            MappingConfig::new(MappingScope::EntireNetwork)
+                .with_initial_fault_fraction(0.30)
+                .with_initial_sa0_prob(0.8)
+                .with_endurance(endurance)
+                .with_seed(17),
+            flow(),
+            &data,
+            iterations,
+        ),
+    ];
+    print_curves(
+        &format!("Fig. 1: original on-line training under wear (VGG-11/{divisor}, {iterations} iterations)"),
+        &runs,
+        "fig1_motivation",
+    );
+}

@@ -1,0 +1,96 @@
+//! **Fig. 6** — trade-offs between test time, precision, and recall of the
+//! quiescent-voltage comparison method.
+//!
+//! For crossbar sizes 128²–1024² with 10 % defective cells, the test size
+//! `Tr = Tc` is swept and each campaign reports its test time
+//! `T = ⌈Cr/Tr⌉ + ⌈Cc/Tc⌉` (cycles), precision, and recall.
+//!
+//! ```text
+//! cargo run --release -p ftt-bench --bin fig6_detection_tradeoffs -- --dist uniform
+//! cargo run --release -p ftt-bench --bin fig6_detection_tradeoffs -- --dist gaussian
+//! ```
+//!
+//! Expected shape (paper): recall always above ~87 % and rising slowly with
+//! test time; precision rising steeply with test time; for a given
+//! precision the required test time grows linearly with crossbar size.
+
+use faultdet::detector::{DetectorConfig, OnlineFaultDetector};
+use faultdet::metrics::DetectionReport;
+use ftt_bench::{arg_or, arg_value, write_csv};
+use rand::Rng;
+use rram::crossbar::{Crossbar, CrossbarBuilder};
+use rram::spatial::SpatialDistribution;
+
+fn build(size: usize, dist: SpatialDistribution, seed: u64) -> Crossbar {
+    let mut xbar = CrossbarBuilder::new(size, size)
+        .initial_faults(dist, 0.10)
+        .seed(seed)
+        .build()
+        .expect("valid crossbar config");
+    let mut rng = rram::rng::sim_rng(seed ^ 0x5eed);
+    for r in 0..size {
+        for c in 0..size {
+            let _ = xbar.write_level(r, c, rng.gen_range(0..8)).expect("in range");
+        }
+    }
+    xbar
+}
+
+fn main() {
+    let dist_name = arg_value("--dist").unwrap_or_else(|| "uniform".into());
+    let dist = match dist_name.as_str() {
+        "uniform" => SpatialDistribution::Uniform,
+        "gaussian" => SpatialDistribution::default_clusters(),
+        other => {
+            eprintln!("unknown --dist {other} (use uniform|gaussian)");
+            std::process::exit(2);
+        }
+    };
+    let seeds = arg_or("--seeds", 3u64);
+
+    // `recall` scores kind-agnostically (a fault flagged with the wrong
+    // kind still counts); `recall_kind_aware` requires the detected kind to
+    // match and is the stricter floor corresponding to the paper's ~87 %.
+    println!("# Fig. 6 ({dist_name} fault distribution, 10% defective cells)");
+    println!("crossbar_size, test_size, test_cycles, precision, recall, recall_kind_aware");
+    let mut csv =
+        String::from("crossbar_size,test_size,test_cycles,precision,recall,recall_kind_aware\n");
+    for size in [128usize, 256, 512, 1024] {
+        // Sweep test sizes from whole-array down to fine granularity.
+        let mut test_sizes = vec![size, size / 2, size / 4, size / 8, size / 16];
+        test_sizes.extend([32, 16, 8, 4, 2].iter().filter(|&&t| t < size / 16));
+        for test_size in test_sizes {
+            let test_size = test_size.max(1);
+            let mut precision = 0.0;
+            let mut recall = 0.0;
+            let mut recall_kind = 0.0;
+            let mut cycles = 0u64;
+            for seed in 0..seeds {
+                let mut xbar = build(size, dist, seed * 31 + size as u64);
+                let truth = xbar.fault_map();
+                let outcome = OnlineFaultDetector::new(
+                    DetectorConfig::new(test_size).expect("non-zero test size"),
+                )
+                .run(&mut xbar)
+                .expect("campaign");
+                let report = DetectionReport::evaluate(&truth, &outcome.predicted);
+                let kind_report =
+                    DetectionReport::evaluate_kind_aware(&truth, &outcome.predicted);
+                precision += report.precision();
+                recall += report.recall();
+                recall_kind += kind_report.recall();
+                cycles = outcome.cycles();
+            }
+            precision /= seeds as f64;
+            recall /= seeds as f64;
+            recall_kind /= seeds as f64;
+            println!(
+                "{size}, {test_size}, {cycles}, {precision:.3}, {recall:.3}, {recall_kind:.3}"
+            );
+            csv.push_str(&format!(
+                "{size},{test_size},{cycles},{precision:.4},{recall:.4},{recall_kind:.4}\n"
+            ));
+        }
+    }
+    write_csv(&format!("fig6_{dist_name}"), &csv);
+}

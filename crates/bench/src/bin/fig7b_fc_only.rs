@@ -1,0 +1,86 @@
+//! **Fig. 7(b) (FC-only case)** — fault-tolerant on-line training with only
+//! the FC layers mapped onto an RCS that has already been trained many
+//! times: ~50 % of the cells carry hard faults before training starts, and
+//! the surviving cells' remaining endurance is depleted, so faults keep
+//! accumulating during the run.
+//!
+//! Paper result: the original method peaks at 63 %; threshold training has
+//! little additional effect; the entire fault-tolerant flow (detection +
+//! re-mapping) restores accuracy to 76 % (fault-free ideal: 85.2 %).
+//!
+//! ```text
+//! cargo run --release -p ftt-bench --bin fig7b_fc_only
+//! ```
+
+use ftt_bench::{arg_or, print_curves, run_flow};
+use ftt_core::config::{FlowConfig, MappingConfig, MappingScope};
+use nn::models::vgg11_cifar;
+use nn::optimizer::LrSchedule;
+use nn::synth::SyntheticDataset;
+use rram::endurance::EnduranceModel;
+use rram::spatial::SpatialDistribution;
+
+fn main() {
+    let iterations = arg_or("--iterations", 5000u64);
+    let divisor = arg_or("--divisor", 8usize);
+    let data = SyntheticDataset::cifar_like(512, 128, 21);
+    let schedule = LrSchedule::step_decay(0.01, 0.7, iterations / 3);
+    // Depleted remaining endurance: cells keep dying during this run.
+    let endurance = EnduranceModel::new(0.8 * iterations as f64, 0.3 * iterations as f64)
+        .with_wearout_sa0_prob(0.8);
+    let mapping = || {
+        MappingConfig::new(MappingScope::FcOnly)
+            .with_initial_fault_fraction(0.50)
+            .with_fault_distribution(SpatialDistribution::default_clusters())
+            .with_initial_sa0_prob(0.8)
+            .with_endurance(endurance)
+            .with_seed(17)
+    };
+    let eval = iterations / 40;
+
+    let runs = vec![
+        run_flow(
+            "ideal case (no faults)",
+            vgg11_cifar(divisor, 3),
+            MappingConfig::new(MappingScope::FcOnly).with_seed(17),
+            FlowConfig::original().with_lr(schedule).with_eval_interval(eval),
+            &data,
+            iterations,
+        ),
+        run_flow(
+            "original method",
+            vgg11_cifar(divisor, 3),
+            mapping(),
+            FlowConfig::original().with_lr(schedule).with_eval_interval(eval),
+            &data,
+            iterations,
+        ),
+        run_flow(
+            "fault-tolerant method with threshold training",
+            vgg11_cifar(divisor, 3),
+            mapping(),
+            FlowConfig::threshold_only().with_lr(schedule).with_eval_interval(eval),
+            &data,
+            iterations,
+        ),
+        run_flow(
+            "entire fault-tolerant method",
+            vgg11_cifar(divisor, 3),
+            mapping(),
+            FlowConfig::fault_tolerant()
+                .with_lr(schedule)
+                .with_eval_interval(eval)
+                .with_detection_interval(iterations / 6)
+                .with_detection_warmup(iterations / 2),
+            &data,
+            iterations,
+        ),
+    ];
+    print_curves(
+        &format!(
+            "Fig. 7(b): FC-only case (VGG-11/{divisor}, 50% initial faults, depleted endurance, {iterations} iterations)"
+        ),
+        &runs,
+        "fig7b_fc_only",
+    );
+}

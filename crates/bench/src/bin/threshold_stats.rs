@@ -1,0 +1,137 @@
+//! **§5.1 claims** — the three quantitative properties of threshold
+//! training:
+//!
+//! * `--what dw-dist`   — ~90 % of per-iteration `δw` fall below
+//!   `0.01 · max|δw|` (measured as the suppressed-write fraction).
+//! * `--what lifetime`  — write pulses drop to a few percent of the
+//!   original method's, extending mean cell lifetime ~15×.
+//! * `--what iterations`— iterations-to-accuracy grow only ~1.2×.
+//!
+//! Default runs all three on both benchmark networks.
+//!
+//! ```text
+//! cargo run --release -p ftt-bench --bin threshold_stats
+//! ```
+
+use ftt_bench::{arg_or, arg_value, write_csv};
+use ftt_core::config::{FlowConfig, MappingConfig, MappingScope};
+use ftt_core::flow::FaultTolerantTrainer;
+use nn::data::Dataset;
+use nn::models::{mlp_784_100_10, vgg11_cifar};
+use nn::network::Network;
+use nn::optimizer::LrSchedule;
+use nn::synth::SyntheticDataset;
+
+struct Bench {
+    name: &'static str,
+    net: Box<dyn Fn() -> Network>,
+    data: Dataset,
+    lr: LrSchedule,
+    iterations: u64,
+}
+
+fn benches(iterations: u64) -> Vec<Bench> {
+    vec![
+        Bench {
+            name: "mnist_784_100_10",
+            net: Box::new(|| mlp_784_100_10(3)),
+            data: SyntheticDataset::mnist_like(512, 128, 21),
+            lr: LrSchedule::step_decay(0.1, 0.7, 1000),
+            iterations,
+        },
+        Bench {
+            name: "vgg11_cifar",
+            net: Box::new(|| vgg11_cifar(8, 3)),
+            data: SyntheticDataset::cifar_like(512, 128, 21),
+            lr: LrSchedule::step_decay(0.01, 0.7, 1500),
+            iterations,
+        },
+    ]
+}
+
+fn run(bench: &Bench, flow: FlowConfig) -> FaultTolerantTrainer {
+    let mapping = MappingConfig::new(MappingScope::EntireNetwork).with_seed(17);
+    let mut trainer =
+        FaultTolerantTrainer::new((bench.net)(), mapping, flow).expect("valid config");
+    trainer.train(&bench.data, bench.iterations).expect("training run");
+    trainer
+}
+
+fn dw_distribution(benches: &[Bench], csv: &mut String) {
+    println!("# δw distribution: fraction of updates below 0.01·max|δw| (paper: ~90%)");
+    println!("network, suppressed_fraction");
+    for bench in benches {
+        let trainer = run(bench, FlowConfig::threshold_only().with_lr(bench.lr));
+        let frac = trainer.stats().skipped_fraction();
+        println!("{}, {frac:.3}", bench.name);
+        csv.push_str(&format!("dw_dist,{},{frac:.4}\n", bench.name));
+    }
+}
+
+fn lifetime(benches: &[Bench], csv: &mut String) {
+    println!();
+    println!("# write workload: threshold vs original (paper: writes drop to ~6%, lifetime ~15x)");
+    println!("network, original_writes, threshold_writes, write_ratio, lifetime_factor, energy_saved");
+    let energy_model = rram::energy::EnergyModel::typical();
+    for bench in benches {
+        let orig = run(bench, FlowConfig::original().with_lr(bench.lr));
+        let thr = run(bench, FlowConfig::threshold_only().with_lr(bench.lr));
+        let ow = orig.stats().writes_issued.max(1);
+        let tw = thr.stats().writes_issued.max(1);
+        let ratio = tw as f64 / ow as f64;
+        let orig_energy = orig.stats().energy(&energy_model).total_uj();
+        let thr_energy = thr.stats().energy(&energy_model).total_uj();
+        let saved = 1.0 - thr_energy / orig_energy;
+        println!(
+            "{}, {ow}, {tw}, {:.3}, {:.1}x, {:.0}%",
+            bench.name,
+            ratio,
+            1.0 / ratio,
+            100.0 * saved
+        );
+        csv.push_str(&format!("lifetime,{},{:.4},{:.2}\n", bench.name, ratio, 1.0 / ratio));
+    }
+}
+
+fn iterations_to_accuracy(benches: &[Bench], csv: &mut String) {
+    println!();
+    println!("# iterations to reach the original method's 90%-of-final accuracy (paper: ~1.2x)");
+    println!("network, target_accuracy, original_iters, threshold_iters, ratio");
+    for bench in benches {
+        let orig = run(bench, FlowConfig::original().with_lr(bench.lr));
+        let thr = run(bench, FlowConfig::threshold_only().with_lr(bench.lr));
+        let target = 0.9 * orig.curve().final_accuracy();
+        let first_reach = |t: &FaultTolerantTrainer| {
+            t.curve()
+                .points()
+                .iter()
+                .find(|p| p.test_accuracy >= target)
+                .map(|p| p.iteration)
+        };
+        match (first_reach(&orig), first_reach(&thr)) {
+            (Some(oi), Some(ti)) => {
+                let ratio = ti as f64 / oi as f64;
+                println!("{}, {target:.3}, {oi}, {ti}, {ratio:.2}x", bench.name);
+                csv.push_str(&format!("iterations,{},{oi},{ti},{ratio:.3}\n", bench.name));
+            }
+            _ => println!("{}, {target:.3}, (target not reached within budget)", bench.name),
+        }
+    }
+}
+
+fn main() {
+    let what = arg_value("--what").unwrap_or_else(|| "all".into());
+    let iterations = arg_or("--iterations", 3000u64);
+    let benches = benches(iterations);
+    let mut csv = String::from("experiment,network,value1,value2\n");
+    if what == "all" || what == "dw-dist" {
+        dw_distribution(&benches, &mut csv);
+    }
+    if what == "all" || what == "lifetime" {
+        lifetime(&benches, &mut csv);
+    }
+    if what == "all" || what == "iterations" {
+        iterations_to_accuracy(&benches, &mut csv);
+    }
+    write_csv("threshold_stats", &csv);
+}

@@ -1,0 +1,177 @@
+//! Shared utilities for the experiment harness.
+//!
+//! Every binary in `src/bin/` regenerates one figure or table of the paper
+//! (see `DESIGN.md` §4 for the experiment index and `EXPERIMENTS.md` for
+//! paper-vs-measured results). Binaries print the series to stdout and
+//! mirror them as CSV under `results/`.
+
+pub mod plot;
+
+use std::fs;
+use std::path::PathBuf;
+
+/// Writes an experiment's CSV mirror under `results/<name>.csv`, creating
+/// the directory if needed. Failures are reported but non-fatal (the
+/// stdout output is the primary artifact).
+pub fn write_csv(name: &str, contents: &str) {
+    let dir = PathBuf::from("results");
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.csv"));
+    match fs::write(&path, contents) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}
+
+/// Parses `--key value` style flags from the command line, returning the
+/// value for `key` if present.
+pub fn arg_value(key: &str) -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == key {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// Parses a `--key value` flag with a default.
+pub fn arg_or<T: std::str::FromStr>(key: &str, default: T) -> T {
+    arg_value(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+use ftt_core::config::{FlowConfig, MappingConfig};
+use ftt_core::flow::FaultTolerantTrainer;
+use ftt_core::report::{FlowStats, TrainingCurve};
+use nn::data::Dataset;
+use nn::network::Network;
+
+/// One completed training run for a curve plot.
+#[derive(Debug, Clone)]
+pub struct CurveRun {
+    /// Legend label (matches the paper's figure legends).
+    pub label: String,
+    /// The recorded accuracy-vs-iterations curve.
+    pub curve: TrainingCurve,
+    /// Aggregate flow statistics.
+    pub stats: FlowStats,
+    /// Fraction of mapped cells faulty at the end of the run.
+    pub final_faulty: f64,
+}
+
+/// Trains one configuration and captures its curve.
+///
+/// # Panics
+///
+/// Panics on configuration errors — the experiment binaries construct
+/// static configurations that must be valid.
+pub fn run_flow(
+    label: &str,
+    net: Network,
+    mapping: MappingConfig,
+    flow: FlowConfig,
+    data: &Dataset,
+    iterations: u64,
+) -> CurveRun {
+    let mut trainer =
+        FaultTolerantTrainer::new(net, mapping, flow).expect("valid flow configuration");
+    trainer.train(data, iterations).expect("training run");
+    CurveRun {
+        label: label.to_string(),
+        curve: trainer.curve().clone(),
+        stats: *trainer.stats(),
+        final_faulty: trainer.mapped().fraction_faulty(),
+    }
+}
+
+/// Prints a set of curves as aligned series (iteration, one accuracy column
+/// per run) and mirrors them to `results/<csv_name>.csv`.
+pub fn print_curves(title: &str, runs: &[CurveRun], csv_name: &str) {
+    println!("# {title}");
+    print!("iteration");
+    for run in runs {
+        print!(", {}", run.label);
+    }
+    println!();
+    let mut csv = String::from("iteration");
+    for run in runs {
+        csv.push(',');
+        csv.push_str(&run.label.replace(' ', "_"));
+    }
+    csv.push('\n');
+    // Runs share the eval grid (same eval_interval), so align by index.
+    let rows = runs.iter().map(|r| r.curve.points().len()).max().unwrap_or(0);
+    for i in 0..rows {
+        let iter = runs
+            .iter()
+            .filter_map(|r| r.curve.points().get(i))
+            .map(|p| p.iteration)
+            .next()
+            .unwrap_or(0);
+        print!("{iter}");
+        csv.push_str(&iter.to_string());
+        for run in runs {
+            match run.curve.points().get(i) {
+                Some(p) => {
+                    print!(", {:.3}", p.test_accuracy);
+                    csv.push_str(&format!(",{:.4}", p.test_accuracy));
+                }
+                None => {
+                    print!(", ");
+                    csv.push(',');
+                }
+            }
+        }
+        println!();
+        csv.push('\n');
+    }
+    // ASCII rendition of the figure.
+    let chart_series: Vec<plot::Series> = runs
+        .iter()
+        .map(|r| {
+            plot::Series::new(
+                r.label.clone(),
+                r.curve
+                    .points()
+                    .iter()
+                    .map(|p| (p.iteration as f64, p.test_accuracy))
+                    .collect(),
+            )
+        })
+        .collect();
+    println!();
+    println!("{}", plot::render(&chart_series, 72, 18));
+    println!();
+    println!("# summary");
+    println!("label, peak_accuracy, final_accuracy, final_faulty_fraction, writes_issued, writes_skipped");
+    for run in runs {
+        println!(
+            "{}, {:.3}, {:.3}, {:.3}, {}, {}",
+            run.label,
+            run.curve.peak_accuracy(),
+            run.curve.final_accuracy(),
+            run.final_faulty,
+            run.stats.writes_issued,
+            run.stats.writes_skipped
+        );
+    }
+    write_csv(csv_name, &csv);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_value_absent_is_none() {
+        assert_eq!(arg_value("--definitely-not-passed"), None);
+    }
+
+    #[test]
+    fn arg_or_uses_default() {
+        assert_eq!(arg_or("--definitely-not-passed", 42u32), 42);
+    }
+}

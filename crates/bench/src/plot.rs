@@ -1,0 +1,151 @@
+//! Minimal ASCII chart rendering for experiment output.
+//!
+//! The experiment binaries are the repository's "figures"; this renderer
+//! draws accuracy-vs-iteration curves (and generic series) directly in the
+//! terminal so a run's shape is visible without leaving the shell.
+
+/// One named series of `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Points in ascending-x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Self { label: label.into(), points }
+    }
+}
+
+/// Markers assigned to series, in order.
+const MARKERS: &[char] = &['o', '+', 'x', '*', '#', '@'];
+
+/// Renders series into a `width × height` ASCII chart with a y-axis scale
+/// and a legend line. Returns the chart as a string (no trailing newline).
+///
+/// Empty input renders an empty chart frame.
+///
+/// # Example
+///
+/// ```
+/// use ftt_bench::plot::{render, Series};
+///
+/// let s = Series::new("acc", vec![(0.0, 0.1), (1.0, 0.5), (2.0, 0.9)]);
+/// let chart = render(&[s], 40, 10);
+/// assert!(chart.contains("acc"));
+/// assert!(chart.contains('o'));
+/// ```
+pub fn render(series: &[Series], width: usize, height: usize) -> String {
+    let width = width.max(8);
+    let height = height.max(3);
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let (x_min, x_max) = bounds(all.iter().map(|p| p.0));
+    let (mut y_min, mut y_max) = bounds(all.iter().map(|p| p.1));
+    if (y_max - y_min).abs() < 1e-12 {
+        y_min -= 0.5;
+        y_max += 0.5;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let marker = MARKERS[si % MARKERS.len()];
+        for &(x, y) in &s.points {
+            let cx = scale(x, x_min, x_max, width - 1);
+            let cy = height - 1 - scale(y, y_min, y_max, height - 1);
+            grid[cy][cx] = marker;
+        }
+    }
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let y_label = if i == 0 {
+            format!("{y_max:7.3} ")
+        } else if i == height - 1 {
+            format!("{y_min:7.3} ")
+        } else {
+            " ".repeat(8)
+        };
+        out.push_str(&y_label);
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(8));
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "{:8} {:.0} .. {:.0}\n",
+        "x:", x_min, x_max
+    ));
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, s)| format!("{} {}", MARKERS[i % MARKERS.len()], s.label))
+        .collect();
+    out.push_str(&legend.join("   "));
+    out
+}
+
+fn bounds(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for v in values {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    if !min.is_finite() || !max.is_finite() {
+        (0.0, 1.0)
+    } else {
+        (min, max)
+    }
+}
+
+fn scale(v: f64, min: f64, max: f64, cells: usize) -> usize {
+    if max <= min {
+        return 0;
+    }
+    let t = ((v - min) / (max - min)).clamp(0.0, 1.0);
+    (t * cells as f64).round() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_series_markers_and_labels() {
+        let a = Series::new("ideal", vec![(0.0, 1.0), (10.0, 1.0)]);
+        let b = Series::new("faulty", vec![(0.0, 0.1), (10.0, 0.4)]);
+        let chart = render(&[a, b], 30, 8);
+        assert!(chart.contains('o'));
+        assert!(chart.contains('+'));
+        assert!(chart.contains("ideal"));
+        assert!(chart.contains("faulty"));
+    }
+
+    #[test]
+    fn high_values_render_above_low_values() {
+        let s = Series::new("s", vec![(0.0, 0.0), (1.0, 1.0)]);
+        let chart = render(&[s], 20, 10);
+        let lines: Vec<&str> = chart.lines().collect();
+        let top_row = lines.iter().position(|l| l.contains('o')).unwrap();
+        let bottom_row = lines.iter().rposition(|l| l.contains('o')).unwrap();
+        assert!(top_row < bottom_row, "two distinct heights");
+    }
+
+    #[test]
+    fn empty_input_renders_frame() {
+        let chart = render(&[], 20, 5);
+        assert!(chart.contains('|'));
+        assert!(chart.contains('+'));
+    }
+
+    #[test]
+    fn constant_series_does_not_panic() {
+        let s = Series::new("flat", vec![(0.0, 0.5), (5.0, 0.5)]);
+        let chart = render(&[s], 20, 5);
+        assert!(chart.contains('o'));
+    }
+}

@@ -1,0 +1,200 @@
+//! Miniature versions of the paper's experiments, asserting the orderings
+//! that `EXPERIMENTS.md` reports — a regression net over the full pipeline.
+
+use faultdet::adaptive::AdaptiveDetector;
+use faultdet::detector::{DetectorConfig, OnlineFaultDetector, TestMode};
+use faultdet::march::MarchTest;
+use faultdet::metrics::DetectionReport;
+use ftt_bench::{run_flow, CurveRun};
+use ftt_core::config::{FlowConfig, MappingConfig, MappingScope};
+use nn::init::init_rng;
+use nn::layers::{Dense, Relu};
+use nn::network::Network;
+use nn::optimizer::LrSchedule;
+use nn::synth::SyntheticDataset;
+use rand::Rng;
+use rram::crossbar::{Crossbar, CrossbarBuilder};
+use rram::endurance::EnduranceModel;
+use rram::spatial::SpatialDistribution;
+
+fn small_net(seed: u64) -> Network {
+    let mut rng = init_rng(seed);
+    let mut net = Network::new();
+    net.push(Dense::new(784, 24, &mut rng));
+    net.push(Relu::new());
+    net.push(Dense::new(24, 10, &mut rng));
+    net
+}
+
+fn programmed(n: usize, fraction: f64, seed: u64) -> Crossbar {
+    let mut xbar = CrossbarBuilder::new(n, n)
+        .initial_faults(SpatialDistribution::Uniform, fraction)
+        .seed(seed)
+        .build()
+        .unwrap();
+    let mut rng = rram::rng::sim_rng(seed + 1);
+    for r in 0..n {
+        for c in 0..n {
+            let _ = xbar.write_level(r, c, rng.gen_range(0..8)).unwrap();
+        }
+    }
+    xbar
+}
+
+/// Fig. 6 miniature: precision rises as the test size shrinks.
+#[test]
+fn fig6_precision_trend_holds() {
+    let mut precisions = Vec::new();
+    for test_size in [32usize, 8, 2] {
+        let mut total = 0.0;
+        for seed in 0..3u64 {
+            let mut xbar = programmed(64, 0.1, seed);
+            let truth = xbar.fault_map();
+            let outcome = OnlineFaultDetector::new(DetectorConfig::new(test_size).unwrap())
+                .run(&mut xbar)
+                .unwrap();
+            total += DetectionReport::evaluate(&truth, &outcome.predicted).precision();
+        }
+        precisions.push(total / 3.0);
+    }
+    assert!(precisions[0] < precisions[1] && precisions[1] < precisions[2], "{precisions:?}");
+}
+
+/// §6.3 miniature: selected-cell testing beats all-cells precision.
+#[test]
+fn selected_cells_beat_all_cells() {
+    let (mut a, mut b) = (programmed(64, 0.1, 4), programmed(64, 0.1, 4));
+    let truth = a.fault_map();
+    let all = OnlineFaultDetector::new(DetectorConfig::new(16).unwrap())
+        .run(&mut a)
+        .unwrap();
+    let sel = OnlineFaultDetector::new(
+        DetectorConfig::new(16).unwrap().with_mode(TestMode::default_selected()),
+    )
+    .run(&mut b)
+    .unwrap();
+    let ap = DetectionReport::evaluate(&truth, &all.predicted).precision();
+    let sp = DetectionReport::evaluate(&truth, &sel.predicted).precision();
+    assert!(sp > ap, "selected {sp} vs all {ap}");
+    assert!(sel.write_pulses < all.write_pulses);
+}
+
+/// §1 miniature: March is exact but orders of magnitude slower.
+#[test]
+fn march_is_exact_but_slow() {
+    let mut a = programmed(64, 0.1, 5);
+    let truth = a.fault_map();
+    let march = MarchTest::new().run(&mut a).unwrap();
+    assert_eq!(&march.predicted, &truth);
+    let mut b = programmed(64, 0.1, 5);
+    let quiescent = OnlineFaultDetector::new(DetectorConfig::new(8).unwrap())
+        .run(&mut b)
+        .unwrap();
+    assert!(march.cycles > 100 * quiescent.cycles());
+}
+
+/// Extension miniature: adaptive testing wins in the sparse regime.
+#[test]
+fn adaptive_wins_when_sparse() {
+    let mut a = programmed(128, 0.001, 6);
+    let adaptive = AdaptiveDetector::new(DetectorConfig::new(128).unwrap())
+        .run(&mut a)
+        .unwrap();
+    let mut b = programmed(128, 0.001, 6);
+    let fixed = OnlineFaultDetector::new(DetectorConfig::new(1).unwrap())
+        .run(&mut b)
+        .unwrap();
+    assert!(adaptive.cycles < fixed.sa0_cycles + fixed.sa1_cycles);
+    assert_eq!(&adaptive.predicted, &fixed.predicted);
+}
+
+/// Fig. 7 miniature: under wear, threshold and the full flow beat the
+/// original method, and the original method loses most of its cells.
+#[test]
+fn fig7_ordering_holds() {
+    let data = SyntheticDataset::mnist_like(240, 60, 5);
+    let iters = 700u64;
+    let mapping = || {
+        MappingConfig::new(MappingScope::EntireNetwork)
+            .with_initial_fault_fraction(0.1)
+            .with_endurance(EnduranceModel::new(iters as f64, 0.3 * iters as f64))
+            .with_seed(13)
+    };
+    let lr = LrSchedule::constant(0.1);
+    let runs: Vec<CurveRun> = vec![
+        run_flow(
+            "original",
+            small_net(1),
+            mapping(),
+            FlowConfig::original().with_lr(lr),
+            &data,
+            iters,
+        ),
+        run_flow(
+            "threshold",
+            small_net(1),
+            mapping(),
+            FlowConfig::threshold_only().with_lr(lr),
+            &data,
+            iters,
+        ),
+        run_flow(
+            "fault_tolerant",
+            small_net(1),
+            mapping(),
+            FlowConfig::fault_tolerant()
+                .with_lr(lr)
+                .with_detection_interval(200)
+                .with_detection_warmup(350),
+            &data,
+            iters,
+        ),
+    ];
+    let orig = &runs[0];
+    let thr = &runs[1];
+    let ft = &runs[2];
+    assert!(
+        orig.final_faulty > 3.0 * thr.final_faulty,
+        "original wears the chip: {} vs {}",
+        orig.final_faulty,
+        thr.final_faulty
+    );
+    assert!(
+        thr.curve.final_accuracy() > orig.curve.final_accuracy(),
+        "threshold {} vs original {}",
+        thr.curve.final_accuracy(),
+        orig.curve.final_accuracy()
+    );
+    assert!(
+        ft.curve.final_accuracy() > orig.curve.final_accuracy(),
+        "fault-tolerant {} vs original {}",
+        ft.curve.final_accuracy(),
+        orig.curve.final_accuracy()
+    );
+}
+
+/// §5.1 miniature: threshold training's write ratio implies a lifetime
+/// factor of at least 5x on the sparse task.
+#[test]
+fn threshold_lifetime_factor() {
+    let data = SyntheticDataset::mnist_like(240, 60, 5);
+    let mapping = MappingConfig::new(MappingScope::EntireNetwork).with_seed(2);
+    let orig = run_flow(
+        "original",
+        small_net(3),
+        mapping.clone(),
+        FlowConfig::original().with_lr(LrSchedule::constant(0.1)),
+        &data,
+        300,
+    );
+    let thr = run_flow(
+        "threshold",
+        small_net(3),
+        mapping,
+        FlowConfig::threshold_only().with_lr(LrSchedule::constant(0.1)),
+        &data,
+        300,
+    );
+    let ratio = thr.stats.writes_issued as f64 / orig.stats.writes_issued as f64;
+    assert!(ratio < 0.2, "write ratio {ratio}");
+}

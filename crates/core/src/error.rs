@@ -1,0 +1,72 @@
+//! Error type for the fault-tolerant training flow.
+
+use std::error::Error;
+use std::fmt;
+
+use nn::NnError;
+use rram::RramError;
+
+/// Errors produced while mapping, detecting, re-mapping, or training.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FttError {
+    /// An error bubbled up from the RRAM simulator.
+    Rram(RramError),
+    /// An error bubbled up from the neural network substrate.
+    Nn(NnError),
+    /// A flow or mapping configuration was invalid.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for FttError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FttError::Rram(e) => write!(f, "rram: {e}"),
+            FttError::Nn(e) => write!(f, "nn: {e}"),
+            FttError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for FttError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FttError::Rram(e) => Some(e),
+            FttError::Nn(e) => Some(e),
+            FttError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<RramError> for FttError {
+    fn from(e: RramError) -> Self {
+        FttError::Rram(e)
+    }
+}
+
+impl From<NnError> for FttError {
+    fn from(e: NnError) -> Self {
+        FttError::Nn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = FttError::from(RramError::InvalidConfig("x".into()));
+        assert!(e.to_string().contains("rram"));
+        assert!(Error::source(&e).is_some());
+        let e = FttError::InvalidConfig("bad scope".into());
+        assert!(e.to_string().contains("bad scope"));
+        assert!(Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FttError>();
+    }
+}

@@ -1,0 +1,400 @@
+//! The complete fault-tolerant on-line training flow (Fig. 2 of the paper).
+//!
+//! Every iteration runs forward propagation *through the simulated RRAM
+//! hardware* (effective weights include stuck cells, write variation, and
+//! clamping), back-propagates, and applies the weight updates through the
+//! threshold trainer. Every `detection_interval` iterations the flow runs
+//! the quiescent-voltage detection campaign, regenerates the pruning
+//! distribution, searches for a neuron re-ordering that minimizes
+//! `Dist(P, F)`, applies it (an isomorphism), parks the pruned zeros on the
+//! faulty cells, and reprograms the array.
+
+use faultdet::detector::OnlineFaultDetector;
+use nn::data::Dataset;
+use nn::loss::softmax_cross_entropy;
+use nn::metrics::accuracy;
+use nn::network::Network;
+use nn::pruning::{apply_mask, magnitude_prune_per_layer, PruneMask};
+
+use crate::config::{FlowConfig, MappingConfig};
+use crate::error::FttError;
+use crate::mapping::MappedNetwork;
+use crate::remap::plan_remap;
+use crate::report::{CurvePoint, FlowStats, TrainingCurve};
+use crate::threshold::ThresholdTrainer;
+
+/// Conductance tolerance below which a reprogramming write is skipped.
+const REPROGRAM_EPSILON: f64 = 1e-4;
+
+/// Orchestrates fault-tolerant on-line training of one network on one
+/// simulated RCS.
+#[derive(Debug)]
+pub struct FaultTolerantTrainer {
+    net: Network,
+    mapped: MappedNetwork,
+    flow: FlowConfig,
+    trainer: ThresholdTrainer,
+    iteration: u64,
+    curve: TrainingCurve,
+    stats: FlowStats,
+    active_mask: Option<PruneMask>,
+}
+
+impl FaultTolerantTrainer {
+    /// Maps the network onto simulated hardware and prepares the flow.
+    ///
+    /// # Errors
+    ///
+    /// Returns mapping/configuration errors; see
+    /// [`MappedNetwork::from_network`].
+    pub fn new(
+        mut net: Network,
+        mapping: MappingConfig,
+        flow: FlowConfig,
+    ) -> Result<Self, FttError> {
+        let mapped = MappedNetwork::from_network(&mut net, mapping)?;
+        let trainer = ThresholdTrainer::new(flow.threshold, &mapped);
+        Ok(Self {
+            net,
+            mapped,
+            flow,
+            trainer,
+            iteration: 0,
+            curve: TrainingCurve::new(),
+            stats: FlowStats::default(),
+            active_mask: None,
+        })
+    }
+
+    /// The training curve recorded so far.
+    pub fn curve(&self) -> &TrainingCurve {
+        &self.curve
+    }
+
+    /// Aggregate flow statistics.
+    pub fn stats(&self) -> &FlowStats {
+        &self.stats
+    }
+
+    /// The simulated hardware.
+    pub fn mapped(&self) -> &MappedNetwork {
+        &self.mapped
+    }
+
+    /// The iteration counter.
+    pub fn iteration(&self) -> u64 {
+        self.iteration
+    }
+
+    /// Re-programs the RCS for a *new application*: replaces the software
+    /// network with `fresh` (same topology) and writes its weights to the
+    /// crossbars. Hardware wear and faults persist — this is the scenario
+    /// of §1/§6.4 where repeated re-training exhausts cell endurance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FttError::InvalidConfig`] if the topology differs, or any
+    /// crossbar write error.
+    pub fn reprogram_network(&mut self, mut fresh: Network) -> Result<(), FttError> {
+        if fresh.weight_layer_indices() != self.net.weight_layer_indices() {
+            return Err(FttError::InvalidConfig(
+                "replacement network has a different topology".into(),
+            ));
+        }
+        for layer in self.mapped.layers() {
+            let fresh_shape = fresh
+                .layer_params_mut(layer.layer_index)
+                .map(|p| p.weight_shape);
+            if fresh_shape != Some((layer.rows, layer.cols)) {
+                return Err(FttError::InvalidConfig(format!(
+                    "weight layer {} shape mismatch",
+                    layer.weight_layer
+                )));
+            }
+        }
+        self.net = fresh;
+        self.mapped.reprogram_from(&mut self.net, 0.0)?;
+        self.active_mask = None;
+        Ok(())
+    }
+
+    /// Measures test accuracy through the current (faulty) hardware.
+    pub fn evaluate(&mut self, data: &Dataset) -> f64 {
+        self.mapped.load_effective_weights(&mut self.net);
+        let (tx, ty) = data.test_set();
+        let logits = self.net.forward(&tx);
+        accuracy(&logits, &ty)
+    }
+
+    /// Trains for `iterations` mini-batches, recording the accuracy curve.
+    /// Can be called repeatedly to continue training (e.g. to model
+    /// re-training the RCS for a subsequent application).
+    ///
+    /// # Errors
+    ///
+    /// Propagates hardware and configuration errors.
+    pub fn train(
+        &mut self,
+        data: &Dataset,
+        iterations: u64,
+    ) -> Result<&TrainingCurve, FttError> {
+        let mut data = data.clone();
+        data.set_shuffle_seed(self.flow.data_seed ^ self.iteration);
+        let mut batches = data.train_batches(self.flow.batch);
+        let eval_interval = self.flow.eval_interval.max(1);
+        for step in 0..iterations {
+            self.iteration += 1;
+
+            // Periodic detection + re-mapping phase (after warm-up).
+            if let Some(interval) = self.flow.detection_interval {
+                if interval > 0
+                    && self.iteration >= self.flow.detection_warmup
+                    && self.iteration.is_multiple_of(interval)
+                {
+                    self.detection_phase()?;
+                }
+            }
+
+            // Forward propagation on the RCS: sync the software view with
+            // the hardware's effective weights first.
+            self.mapped.load_effective_weights(&mut self.net);
+            let (x, y) = batches.next().expect("train_batches is infinite");
+            let logits = self.net.forward_train(&x);
+            let (_, grad) = softmax_cross_entropy(&logits, &y);
+            self.net.backward(&grad);
+
+            // Threshold-trained weight update through the hardware.
+            let lr = self.flow.lr.lr(self.iteration);
+            let wear_before = self.mapped.wear_faults();
+            let report = self.trainer.apply_with_mask(
+                &mut self.mapped,
+                &mut self.net,
+                lr,
+                self.active_mask.as_ref(),
+            )?;
+            self.stats.writes_issued += report.writes_issued;
+            self.stats.writes_skipped += report.writes_skipped;
+            self.stats.wear_faults_during_training +=
+                self.mapped.wear_faults() - wear_before;
+            // Analog MVM work this iteration: forward plus the two backward
+            // products (dX and dW) touch every mapped cell once each, per
+            // sample in the batch.
+            let cells_per_pass: u64 = self
+                .mapped
+                .layers()
+                .iter()
+                .map(|l| (l.rows * l.cols) as u64)
+                .sum();
+            self.stats.mvm_cell_ops += 3 * cells_per_pass * self.flow.batch as u64;
+
+            // Evaluation checkpoint.
+            if self.iteration.is_multiple_of(eval_interval) || step + 1 == iterations {
+                let acc = self.evaluate(&data);
+                self.curve.push(CurvePoint {
+                    iteration: self.iteration,
+                    test_accuracy: acc,
+                    faulty_fraction: self.mapped.fraction_faulty(),
+                    write_pulses: self.mapped.total_write_pulses(),
+                });
+            }
+        }
+        Ok(&self.curve)
+    }
+
+    /// The Fig. 2 periodic phase: on-line detection, pruning, re-mapping.
+    fn detection_phase(&mut self) -> Result<(), FttError> {
+        let detector = OnlineFaultDetector::new(self.flow.detector);
+        let detections = self.mapped.detect(&detector)?;
+        self.stats.detection_campaigns += 1;
+        for d in &detections {
+            self.stats.detection_cycles += d.cycles;
+            self.stats.detection_writes += d.write_pulses;
+        }
+
+        let Some(remap_cfg) = self.flow.remap else {
+            return Ok(());
+        };
+
+        // Generate the pruning distribution from the current *software*
+        // weights (the paper's "Generate Pruning" box works on the trained
+        // network, not on the fault-corrupted hardware view — otherwise
+        // magnitude pruning would trivially select the stuck-at-zero cells
+        // and the re-ordering search would have nothing left to align).
+        self.mapped.load_target_weights(&mut self.net);
+        let weight_layers = self.net.weight_layer_indices();
+        let fractions: Vec<f64> = weight_layers
+            .iter()
+            .map(|&li| match self.net.layer_kind(li) {
+                "dense" => self.flow.prune_fraction_dense,
+                _ => self.flow.prune_fraction_conv,
+            })
+            .collect();
+        let mut mask = magnitude_prune_per_layer(&mut self.net, &fractions);
+
+        // Search for a neuron re-ordering minimizing Dist(P, F).
+        let mut cfg = remap_cfg;
+        cfg.seed ^= self.iteration; // fresh search each phase
+        let plan = plan_remap(&self.mapped, &mask, &detections, &cfg)?;
+        self.stats.last_remap_initial_cost = plan.initial_cost;
+        self.stats.last_remap_final_cost = plan.final_cost;
+        if plan.final_cost < plan.initial_cost && !plan.is_identity() {
+            plan.apply(&mut self.net, &mut mask)?;
+            self.stats.remaps_applied += 1;
+        }
+
+        // Park the pruned zeros and reprogram the array with the permuted
+        // weights (writes only where the target moved).
+        apply_mask(&mut self.net, &mask);
+        let _ = self.mapped.reprogram_from(&mut self.net, REPROGRAM_EPSILON)?;
+        self.active_mask = Some(mask);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MappingScope;
+    use nn::init::init_rng;
+    use nn::optimizer::LrSchedule;
+    use nn::synth::SyntheticDataset;
+    use rram::endurance::EnduranceModel;
+
+    fn small_data() -> Dataset {
+        SyntheticDataset::mnist_like(240, 60, 5)
+    }
+
+    /// A small MLP for the sparse synthetic MNIST task.
+    fn small_net(seed: u64) -> Network {
+        let mut rng = init_rng(seed);
+        let mut net = Network::new();
+        net.push(nn::layers::Dense::new(784, 32, &mut rng));
+        net.push(nn::layers::Relu::new());
+        net.push(nn::layers::Dense::new(32, 10, &mut rng));
+        net
+    }
+
+    #[test]
+    fn fault_free_flow_learns() {
+        let data = small_data();
+        let net = small_net(1);
+        let mapping = MappingConfig::new(MappingScope::EntireNetwork).with_seed(1);
+        let flow = FlowConfig::original()
+            .with_lr(LrSchedule::constant(0.1))
+            .with_eval_interval(50);
+        let mut trainer = FaultTolerantTrainer::new(net, mapping, flow).unwrap();
+        let curve = trainer.train(&data, 800).unwrap();
+        assert!(
+            curve.final_accuracy() > 0.72,
+            "fault-free mapped training should learn: {}",
+            curve.final_accuracy()
+        );
+    }
+
+    #[test]
+    fn wear_during_training_hurts_original_method() {
+        // The paper's central degradation mechanism (Fig. 1): cells wear
+        // out *during* training, so the original method's final accuracy
+        // collapses while fault-free training holds.
+        let data = small_data();
+        let mapping_clean = MappingConfig::new(MappingScope::EntireNetwork).with_seed(2);
+        let mapping_wearing = MappingConfig::new(MappingScope::EntireNetwork)
+            .with_initial_fault_fraction(0.1)
+            .with_endurance(EnduranceModel::new(500.0, 150.0))
+            .with_seed(2);
+        let flow = FlowConfig::original().with_lr(LrSchedule::constant(0.1));
+        let mut clean =
+            FaultTolerantTrainer::new(small_net(2), mapping_clean, flow.clone()).unwrap();
+        let mut wearing =
+            FaultTolerantTrainer::new(small_net(2), mapping_wearing, flow).unwrap();
+        let clean_acc = clean.train(&data, 800).unwrap().final_accuracy();
+        let worn_acc = wearing.train(&data, 800).unwrap().final_accuracy();
+        assert!(
+            wearing.mapped().fraction_faulty() > 0.5,
+            "most cells should be dead by iteration 800"
+        );
+        assert!(
+            worn_acc < clean_acc - 0.15,
+            "wear must hurt: worn {worn_acc} vs clean {clean_acc}"
+        );
+    }
+
+    #[test]
+    fn threshold_reduces_writes() {
+        let data = small_data();
+        let mapping = MappingConfig::new(MappingScope::EntireNetwork).with_seed(3);
+        let mut orig = FaultTolerantTrainer::new(
+            small_net(3),
+            mapping.clone(),
+            FlowConfig::original().with_lr(LrSchedule::constant(0.1)),
+        )
+        .unwrap();
+        let mut thr = FaultTolerantTrainer::new(
+            small_net(3),
+            mapping,
+            FlowConfig::threshold_only().with_lr(LrSchedule::constant(0.1)),
+        )
+        .unwrap();
+        orig.train(&data, 100).unwrap();
+        thr.train(&data, 100).unwrap();
+        assert!(
+            thr.stats().writes_issued < orig.stats().writes_issued / 2,
+            "threshold {} vs original {}",
+            thr.stats().writes_issued,
+            orig.stats().writes_issued
+        );
+        assert!(thr.stats().skipped_fraction() > 0.5);
+    }
+
+    #[test]
+    fn detection_phase_runs_and_remaps() {
+        let data = small_data();
+        let mapping = MappingConfig::new(MappingScope::EntireNetwork)
+            .with_initial_fault_fraction(0.2)
+            .with_seed(4);
+        let flow = FlowConfig::fault_tolerant()
+            .with_lr(LrSchedule::constant(0.1))
+            .with_detection_interval(60);
+        let mut trainer = FaultTolerantTrainer::new(small_net(4), mapping, flow).unwrap();
+        trainer.train(&data, 200).unwrap();
+        assert!(trainer.stats().detection_campaigns >= 3);
+        assert!(trainer.stats().detection_cycles > 0);
+        assert!(
+            trainer.stats().last_remap_final_cost <= trainer.stats().last_remap_initial_cost
+        );
+    }
+
+    #[test]
+    fn endurance_wear_appears_in_stats() {
+        let data = small_data();
+        let mapping = MappingConfig::new(MappingScope::EntireNetwork)
+            .with_endurance(EnduranceModel::new(60.0, 10.0))
+            .with_seed(5);
+        let flow = FlowConfig::original().with_lr(LrSchedule::constant(0.1));
+        let mut trainer = FaultTolerantTrainer::new(small_net(5), mapping, flow).unwrap();
+        trainer.train(&data, 150).unwrap();
+        assert!(
+            trainer.stats().wear_faults_during_training > 0,
+            "60-write budgets must exhaust within 150 iterations"
+        );
+        assert!(trainer.mapped().fraction_faulty() > 0.0);
+        // The curve records the growing fault fraction.
+        let curve = trainer.curve();
+        let first = curve.points().first().unwrap().faulty_fraction;
+        let last = curve.points().last().unwrap().faulty_fraction;
+        assert!(last >= first);
+    }
+
+    #[test]
+    fn training_can_continue_across_calls() {
+        let data = small_data();
+        let mapping = MappingConfig::new(MappingScope::EntireNetwork).with_seed(6);
+        let flow = FlowConfig::original().with_lr(LrSchedule::constant(0.1));
+        let mut trainer = FaultTolerantTrainer::new(small_net(6), mapping, flow).unwrap();
+        trainer.train(&data, 50).unwrap();
+        assert_eq!(trainer.iteration(), 50);
+        trainer.train(&data, 50).unwrap();
+        assert_eq!(trainer.iteration(), 100);
+        assert!(trainer.curve().points().len() >= 2);
+    }
+}

@@ -1,0 +1,65 @@
+//! Fault-tolerant on-line training for RRAM-based neural computing systems.
+//!
+//! This crate implements the primary contribution of *Xia et al., "Fault-
+//! Tolerant Training with On-Line Fault Detection for RRAM-Based Neural
+//! Computing Systems" (DAC 2017)*: a training flow (Fig. 2 of the paper)
+//! that alternates between a fault-detection phase and a fault-tolerant
+//! training phase so that a network trained *through* faulty RRAM crossbars
+//! recovers the accuracy of fault-free training.
+//!
+//! The three techniques, and where they live:
+//!
+//! * **Threshold training** (§5.1, Algorithm 1) — [`threshold`]. Weight
+//!   updates below `0.01 · max|δw|` are suppressed, eliminating ~90 % of the
+//!   write operations and extending cell lifetime ~15× at a ~1.2× iteration
+//!   cost.
+//! * **On-line fault detection** — provided by the [`faultdet`] crate and
+//!   orchestrated per crossbar tile by [`mapping::MappedNetwork`].
+//! * **Fault-tolerant re-mapping** (§5.2) — [`remap`]. Neurons are
+//!   re-ordered (an isomorphism, so the network computes the same function)
+//!   to minimize `Dist(P, F)`: the number of unpruned weights that land on
+//!   faulty cells. The search is the paper's stochastic neuron-swap descent,
+//!   plus a genetic algorithm and baselines for comparison.
+//!
+//! [`flow::FaultTolerantTrainer`] ties everything together over the
+//! [`rram`] crossbar simulator and the [`nn`] training substrate.
+//!
+//! # Example
+//!
+//! Train the paper's 784×100×10 MLP through faulty crossbars with the full
+//! fault-tolerant flow:
+//!
+//! ```
+//! use ftt_core::config::{FlowConfig, MappingConfig, MappingScope};
+//! use ftt_core::flow::FaultTolerantTrainer;
+//! use nn::models::mlp_784_100_10;
+//! use nn::synth::SyntheticDataset;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let data = SyntheticDataset::mnist_like(128, 64, 1);
+//! let net = mlp_784_100_10(1);
+//! let mapping = MappingConfig::new(MappingScope::EntireNetwork)
+//!     .with_initial_fault_fraction(0.10)
+//!     .with_seed(7);
+//! let flow = FlowConfig::fault_tolerant();
+//! let mut trainer = FaultTolerantTrainer::new(net, mapping, flow)?;
+//! let curve = trainer.train(&data, 40)?;
+//! assert_eq!(curve.points().last().unwrap().iteration, 40);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod error;
+pub mod flow;
+pub mod mapping;
+pub mod remap;
+pub mod report;
+pub mod threshold;
+
+pub use config::{FlowConfig, MappingConfig, MappingScope};
+pub use flow::FaultTolerantTrainer;
+pub use mapping::MappedNetwork;

@@ -1,0 +1,783 @@
+//! Mapping a network's weight matrices onto simulated RRAM crossbars.
+//!
+//! Each mapped weight layer is tiled into crossbars of at most
+//! `tile_size × tile_size` cells (inputs on rows, output neurons on
+//! columns). One *logical cell per weight* stores the weight magnitude as a
+//! normalized conductance (`g = |w| / w_max`); the sign lives in the digital
+//! periphery. This is exactly the granularity the paper's re-mapping
+//! reasons at: a pruned zero weight corresponds to a minimum-conductance
+//! cell, which is why a zero can *reuse* an SA0 cell, and an SA1 fault pins
+//! the weight at full scale.
+//!
+//! The mapped network is the single point through which training touches
+//! hardware: effective (fault- and variation-corrupted) weights are read
+//! back into the software network before every forward pass, and every
+//! weight update is an analog write that consumes endurance.
+
+use faultdet::detector::{DetectionOutcome, OnlineFaultDetector};
+use nn::network::Network;
+use rram::crossbar::{Crossbar, CrossbarBuilder};
+use rram::cell::WriteOutcome;
+use rram::fault::{FaultKind, FaultMap};
+use rram::spatial::FaultInjection;
+
+use crate::config::{MappingConfig, MappingScope};
+use crate::error::FttError;
+
+/// One crossbar tile of a mapped layer.
+#[derive(Debug, Clone)]
+struct Tile {
+    row0: usize,
+    col0: usize,
+    xbar: Crossbar,
+}
+
+/// One weight layer placed on RRAM.
+#[derive(Debug, Clone)]
+pub struct MappedLayer {
+    /// Position among the network's weight layers (0-based).
+    pub weight_layer: usize,
+    /// Raw layer index inside the [`Network`].
+    pub layer_index: usize,
+    /// Logical weight-matrix rows (crossbar inputs).
+    pub rows: usize,
+    /// Logical weight-matrix columns (output neurons).
+    pub cols: usize,
+    /// Full-scale weight magnitude for this layer.
+    pub w_max: f64,
+    signs: Vec<i8>,
+    /// The *software* weight state (Algorithm 1's `Current_w`): what
+    /// training intends each cell to hold. Stuck cells silently refuse the
+    /// writes, so the effective (hardware) weights diverge from these.
+    targets: Vec<f32>,
+    tiles: Vec<Tile>,
+    /// Second (negative-polarity) tile grid under differential coding;
+    /// empty for unipolar coding.
+    neg_tiles: Vec<Tile>,
+}
+
+impl MappedLayer {
+    fn tile_of(&self, row: usize, col: usize, tile_size: usize) -> usize {
+        let tiles_per_row = self.cols.div_ceil(tile_size);
+        (row / tile_size) * tiles_per_row + col / tile_size
+    }
+
+    /// Whether this layer uses differential (two-cell) coding.
+    pub fn is_differential(&self) -> bool {
+        !self.neg_tiles.is_empty()
+    }
+
+    /// The effective weight currently realized by the hardware at the given
+    /// logical coordinates (includes faults and write variation).
+    fn effective(&self, row: usize, col: usize, tile_size: usize) -> f64 {
+        let ti = self.tile_of(row, col, tile_size);
+        let t = &self.tiles[ti];
+        let g = t
+            .xbar
+            .conductance(row - t.row0, col - t.col0)
+            .expect("tile coordinates are in range by construction");
+        if self.is_differential() {
+            let n = &self.neg_tiles[ti];
+            let g_neg = n
+                .xbar
+                .conductance(row - n.row0, col - n.col0)
+                .expect("tile coordinates are in range by construction");
+            (g - g_neg) * self.w_max
+        } else {
+            f64::from(self.signs[row * self.cols + col]) * g * self.w_max
+        }
+    }
+
+    /// Ground-truth fault map of this layer in logical coordinates. Under
+    /// differential coding a logical cell is faulty when *either* polarity
+    /// cell is stuck; SA1 (the severe kind — it pins full-scale current)
+    /// wins when the pair disagrees.
+    pub fn fault_map(&self, tile_size: usize) -> FaultMap {
+        let mut map = FaultMap::healthy(self.rows, self.cols);
+        for tile in self.tiles.iter().chain(&self.neg_tiles) {
+            let sub = tile.xbar.fault_map();
+            for (r, c, kind) in sub.iter_faulty() {
+                let (lr, lc) = (tile.row0 + r, tile.col0 + c);
+                let merged = match (map.get(lr, lc), kind) {
+                    (Some(FaultKind::StuckAt1), _) | (_, FaultKind::StuckAt1) => {
+                        FaultKind::StuckAt1
+                    }
+                    _ => FaultKind::StuckAt0,
+                };
+                map.set(lr, lc, Some(merged));
+            }
+        }
+        let _ = tile_size; // geometry is embedded in the tiles
+        map
+    }
+
+    /// Fraction of this layer's *physical* cells carrying hard faults.
+    pub fn fraction_faulty(&self) -> f64 {
+        let faulty: usize = self
+            .tiles
+            .iter()
+            .chain(&self.neg_tiles)
+            .map(|t| t.xbar.fault_map().count_faulty())
+            .sum();
+        let cells = self.rows * self.cols * if self.is_differential() { 2 } else { 1 };
+        faulty as f64 / cells as f64
+    }
+
+    /// The software (intended) weights, row-major.
+    pub fn targets(&self) -> &[f32] {
+        &self.targets
+    }
+}
+
+/// Result of running the on-line detector over one mapped layer.
+#[derive(Debug, Clone)]
+pub struct LayerDetection {
+    /// Position among the network's weight layers.
+    pub weight_layer: usize,
+    /// Predicted fault map in logical layer coordinates.
+    pub predicted: FaultMap,
+    /// Total test cycles over the layer's tiles (tiles test sequentially).
+    pub cycles: u64,
+    /// Write pulses the detection itself spent.
+    pub write_pulses: u64,
+}
+
+/// A network whose selected weight layers live on simulated RRAM crossbars.
+#[derive(Debug)]
+pub struct MappedNetwork {
+    config: MappingConfig,
+    layers: Vec<MappedLayer>,
+}
+
+impl MappedNetwork {
+    /// Places the network's weights onto crossbars per the mapping config
+    /// and programs the initial values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FttError::InvalidConfig`] for an empty or out-of-range
+    /// scope, or any crossbar construction failure.
+    pub fn from_network(net: &mut Network, config: MappingConfig) -> Result<Self, FttError> {
+        let weight_layers = net.weight_layer_indices();
+        let selected: Vec<usize> = match &config.scope {
+            MappingScope::EntireNetwork => (0..weight_layers.len()).collect(),
+            MappingScope::FcOnly => (0..weight_layers.len())
+                .filter(|&k| net.layer_kind(weight_layers[k]) == "dense")
+                .collect(),
+            MappingScope::WeightLayers(list) => {
+                for &k in list {
+                    if k >= weight_layers.len() {
+                        return Err(FttError::InvalidConfig(format!(
+                            "weight layer {k} out of range ({} layers)",
+                            weight_layers.len()
+                        )));
+                    }
+                }
+                list.clone()
+            }
+        };
+        if selected.is_empty() {
+            return Err(FttError::InvalidConfig("mapping scope selects no layers".into()));
+        }
+        if config.tile_size == 0 {
+            return Err(FttError::InvalidConfig("tile size must be non-zero".into()));
+        }
+
+        let mut layers = Vec::with_capacity(selected.len());
+        let mut tile_counter = 0u64;
+        for &k in &selected {
+            let layer_index = weight_layers[k];
+            let params = net
+                .layer_params_mut(layer_index)
+                .expect("weight layer has parameters");
+            let (rows, cols) = params.weight_shape;
+            let absmax = params
+                .weights
+                .iter()
+                .fold(0.0f32, |m, &w| m.max(w.abs()));
+            let w_max = (f64::from(absmax) * config.w_max_factor).max(1e-3);
+            let signs: Vec<i8> = params
+                .weights
+                .iter()
+                .map(|&w| if w < 0.0 { -1 } else { 1 })
+                .collect();
+            let weights: Vec<f32> = params.weights.to_vec();
+            let differential = config.coding == crate::config::WeightCoding::Differential;
+            // Normalized initial conductances, per polarity.
+            let pos_g: Vec<f64> = weights
+                .iter()
+                .map(|&w| (f64::from(w.max(0.0)) / w_max).min(1.0))
+                .collect();
+            let neg_g: Vec<f64> = weights
+                .iter()
+                .map(|&w| (f64::from((-w).max(0.0)) / w_max).min(1.0))
+                .collect();
+            let mag_g: Vec<f64> = weights
+                .iter()
+                .map(|&w| (f64::from(w.abs()) / w_max).min(1.0))
+                .collect();
+
+            let ts = config.tile_size;
+            let build_grid = |initial: &[f64],
+                                  tile_counter: &mut u64|
+             -> Result<Vec<Tile>, FttError> {
+                let mut tiles = Vec::new();
+                for tr in 0..rows.div_ceil(ts) {
+                    for tc in 0..cols.div_ceil(ts) {
+                        let row0 = tr * ts;
+                        let col0 = tc * ts;
+                        let t_rows = ts.min(rows - row0);
+                        let t_cols = ts.min(cols - col0);
+                        *tile_counter += 1;
+                        let mut builder = CrossbarBuilder::new(t_rows, t_cols)
+                            .levels(config.levels)
+                            .endurance(config.endurance)
+                            .variation(config.variation)
+                            .seed(
+                                config
+                                    .seed
+                                    .wrapping_mul(0x9E37_79B9)
+                                    .wrapping_add(*tile_counter),
+                            );
+                        if config.initial_fault_fraction > 0.0 {
+                            let injection = FaultInjection::new(
+                                config.fault_distribution,
+                                config.initial_fault_fraction,
+                            )?
+                            .with_sa0_prob(config.initial_sa0_prob)?;
+                            builder = builder.initial_fault_injection(injection);
+                        }
+                        let mut xbar = builder.build()?;
+                        // Program the initial weights (fabrication-time).
+                        for r in 0..t_rows {
+                            for c in 0..t_cols {
+                                let g = initial[(row0 + r) * cols + (col0 + c)];
+                                let _ = xbar.write_analog(r, c, g)?;
+                            }
+                        }
+                        tiles.push(Tile { row0, col0, xbar });
+                    }
+                }
+                Ok(tiles)
+            };
+            let (tiles, neg_tiles) = if differential {
+                let t = build_grid(&pos_g, &mut tile_counter)?;
+                let n = build_grid(&neg_g, &mut tile_counter)?;
+                (t, n)
+            } else {
+                (build_grid(&mag_g, &mut tile_counter)?, Vec::new())
+            };
+            layers.push(MappedLayer {
+                weight_layer: k,
+                layer_index,
+                rows,
+                cols,
+                w_max,
+                signs,
+                targets: weights,
+                tiles,
+                neg_tiles,
+            });
+        }
+        let mapped = Self { config, layers };
+        Ok(mapped)
+    }
+
+    /// The mapping configuration.
+    pub fn config(&self) -> &MappingConfig {
+        &self.config
+    }
+
+    /// The mapped layers, in weight-layer order.
+    pub fn layers(&self) -> &[MappedLayer] {
+        &self.layers
+    }
+
+    /// Positions (among the network's weight layers) that are mapped.
+    pub fn mapped_weight_layers(&self) -> Vec<usize> {
+        self.layers.iter().map(|l| l.weight_layer).collect()
+    }
+
+    /// Whether weight layer `k` is mapped, and at which internal position.
+    pub fn position_of(&self, weight_layer: usize) -> Option<usize> {
+        self.layers.iter().position(|l| l.weight_layer == weight_layer)
+    }
+
+    /// Copies the hardware's *effective* weights (faults, variation,
+    /// clamping included) into the software network — run before every
+    /// forward pass so training sees what the chip actually computes.
+    pub fn load_effective_weights(&self, net: &mut Network) {
+        let ts = self.config.tile_size;
+        for layer in &self.layers {
+            let params = net
+                .layer_params_mut(layer.layer_index)
+                .expect("mapped layer has parameters");
+            for r in 0..layer.rows {
+                for c in 0..layer.cols {
+                    params.weights[r * layer.cols + c] = layer.effective(r, c, ts) as f32;
+                }
+            }
+        }
+    }
+
+    /// Programs one weight with an unconditional training pulse (no
+    /// write-verify — the paper's original on-line training pulses the cell
+    /// even for a vanishing update, which is the wear threshold training
+    /// eliminates). The magnitude is clamped to the layer's full scale; the
+    /// sign is stored in the periphery. Returns the hardware write outcome
+    /// (stuck cells ignore the write; the write may wear the cell out).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position` or `idx` is out of range.
+    pub fn write_weight(
+        &mut self,
+        position: usize,
+        idx: usize,
+        value: f32,
+    ) -> Result<WriteOutcome, FttError> {
+        let ts = self.config.tile_size;
+        let layer = &mut self.layers[position];
+        let (row, col) = (idx / layer.cols, idx % layer.cols);
+        layer.targets[idx] = value;
+        if value != 0.0 {
+            layer.signs[idx] = if value < 0.0 { -1 } else { 1 };
+        }
+        let tile_idx = layer.tile_of(row, col, ts);
+        if layer.is_differential() {
+            // One-sided differential programming: two pulses per update.
+            let gp = (f64::from(value.max(0.0)) / layer.w_max).min(1.0);
+            let gn = (f64::from((-value).max(0.0)) / layer.w_max).min(1.0);
+            let tile = &mut layer.tiles[tile_idx];
+            let pos = tile.xbar.pulse_analog(row - tile.row0, col - tile.col0, gp)?;
+            let tile = &mut layer.neg_tiles[tile_idx];
+            let neg = tile.xbar.pulse_analog(row - tile.row0, col - tile.col0, gn)?;
+            // Report the more severe outcome (a new fault on either side).
+            Ok(match (pos, neg) {
+                (WriteOutcome::WoreOut(k), _) | (_, WriteOutcome::WoreOut(k)) => {
+                    WriteOutcome::WoreOut(k)
+                }
+                (WriteOutcome::Stuck(k), _) | (_, WriteOutcome::Stuck(k)) => {
+                    WriteOutcome::Stuck(k)
+                }
+                (p, _) => p,
+            })
+        } else {
+            let g = (f64::from(value.abs()) / layer.w_max).min(1.0);
+            let tile = &mut layer.tiles[tile_idx];
+            Ok(tile.xbar.pulse_analog(row - tile.row0, col - tile.col0, g)?)
+        }
+    }
+
+    /// Copies the *software* (intended) weights into the network — the view
+    /// the pruning and re-mapping phases reason about, independent of which
+    /// cells happen to be stuck.
+    pub fn load_target_weights(&self, net: &mut Network) {
+        for layer in &self.layers {
+            let params = net
+                .layer_params_mut(layer.layer_index)
+                .expect("mapped layer has parameters");
+            params.weights.copy_from_slice(&layer.targets);
+        }
+    }
+
+    /// Rewrites every mapped weight from the software network, skipping
+    /// cells already within `epsilon` of the target conductance — used to
+    /// reprogram the array after a re-mapping permutation. Returns the
+    /// number of write pulses issued.
+    pub fn reprogram_from(
+        &mut self,
+        net: &mut Network,
+        epsilon: f64,
+    ) -> Result<u64, FttError> {
+        let ts = self.config.tile_size;
+        let mut writes = 0u64;
+        for layer in &mut self.layers {
+            let params = net
+                .layer_params_mut(layer.layer_index)
+                .expect("mapped layer has parameters");
+            let differential = layer.is_differential();
+            for idx in 0..layer.rows * layer.cols {
+                let target = params.weights[idx];
+                layer.targets[idx] = target;
+                if target != 0.0 {
+                    layer.signs[idx] = if target < 0.0 { -1 } else { 1 };
+                }
+                let (row, col) = (idx / layer.cols, idx % layer.cols);
+                let tile_idx = layer.tile_of(row, col, ts);
+                let verify_write =
+                    |tile: &mut Tile, g: f64, writes: &mut u64| -> Result<(), FttError> {
+                        let current =
+                            tile.xbar.conductance(row - tile.row0, col - tile.col0)?;
+                        if (current - g).abs() > epsilon {
+                            let outcome =
+                                tile.xbar.write_analog(row - tile.row0, col - tile.col0, g)?;
+                            if outcome.changed() {
+                                *writes += 1;
+                            }
+                        }
+                        Ok(())
+                    };
+                if differential {
+                    let gp = (f64::from(target.max(0.0)) / layer.w_max).min(1.0);
+                    let gn = (f64::from((-target).max(0.0)) / layer.w_max).min(1.0);
+                    verify_write(&mut layer.tiles[tile_idx], gp, &mut writes)?;
+                    verify_write(&mut layer.neg_tiles[tile_idx], gn, &mut writes)?;
+                } else {
+                    let g = (f64::from(target.abs()) / layer.w_max).min(1.0);
+                    verify_write(&mut layer.tiles[tile_idx], g, &mut writes)?;
+                }
+            }
+        }
+        Ok(writes)
+    }
+
+    /// Runs the on-line fault detector over every tile of every mapped
+    /// layer and composes per-layer logical fault predictions.
+    pub fn detect(
+        &mut self,
+        detector: &OnlineFaultDetector,
+    ) -> Result<Vec<LayerDetection>, FttError> {
+        let mut results = Vec::with_capacity(self.layers.len());
+        for layer in &mut self.layers {
+            let mut predicted = FaultMap::healthy(layer.rows, layer.cols);
+            let mut cycles = 0u64;
+            let mut write_pulses = 0u64;
+            for tile in layer.tiles.iter_mut().chain(layer.neg_tiles.iter_mut()) {
+                let outcome: DetectionOutcome = detector.run(&mut tile.xbar)?;
+                cycles += outcome.cycles();
+                write_pulses += outcome.write_pulses;
+                for (r, c, kind) in outcome.predicted.iter_faulty() {
+                    // Differential pairs merge onto the logical cell; the
+                    // severe kind (SA1) wins on disagreement.
+                    let (lr, lc) = (tile.row0 + r, tile.col0 + c);
+                    let merged = match (predicted.get(lr, lc), kind) {
+                        (Some(FaultKind::StuckAt1), _)
+                        | (_, FaultKind::StuckAt1) => FaultKind::StuckAt1,
+                        _ => FaultKind::StuckAt0,
+                    };
+                    predicted.set(lr, lc, Some(merged));
+                }
+            }
+            results.push(LayerDetection {
+                weight_layer: layer.weight_layer,
+                predicted,
+                cycles,
+                write_pulses,
+            });
+        }
+        Ok(results)
+    }
+
+    /// Ground-truth fault maps per mapped layer (for oracle experiments and
+    /// precision/recall scoring).
+    pub fn ground_truth(&self) -> Vec<FaultMap> {
+        self.layers.iter().map(|l| l.fault_map(self.config.tile_size)).collect()
+    }
+
+    /// Total write pulses across all tiles (training + detection +
+    /// initial programming).
+    pub fn total_write_pulses(&self) -> u64 {
+        self.layers
+            .iter()
+            .flat_map(|l| l.tiles.iter().chain(&l.neg_tiles))
+            .map(|t| t.xbar.write_pulses())
+            .sum()
+    }
+
+    /// Fraction of all mapped cells that carry hard faults.
+    pub fn fraction_faulty(&self) -> f64 {
+        let mut faulty = 0usize;
+        let mut total = 0usize;
+        for layer in &self.layers {
+            for tile in layer.tiles.iter().chain(&layer.neg_tiles) {
+                faulty += tile.xbar.fault_map().count_faulty();
+                total += tile.xbar.rows() * tile.xbar.cols();
+            }
+        }
+        faulty as f64 / total.max(1) as f64
+    }
+
+    /// Number of cells that wore out (endurance faults) since construction.
+    pub fn wear_faults(&self) -> u64 {
+        self.layers
+            .iter()
+            .flat_map(|l| l.tiles.iter().chain(&l.neg_tiles))
+            .map(|t| t.xbar.wear_faults())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultdet::detector::DetectorConfig;
+    use nn::init::init_rng;
+    use nn::layers::{Dense, Relu};
+    use nn::models::vgg11_cifar;
+    use rram::endurance::EnduranceModel;
+
+    fn mlp() -> Network {
+        let mut rng = init_rng(5);
+        let mut net = Network::new();
+        net.push(Dense::new(6, 10, &mut rng));
+        net.push(Relu::new());
+        net.push(Dense::new(10, 4, &mut rng));
+        net
+    }
+
+    #[test]
+    fn clean_mapping_roundtrips_weights() {
+        let mut net = mlp();
+        let before: Vec<f32> = net.layer_params_mut(0).unwrap().weights.to_vec();
+        let mapped =
+            MappedNetwork::from_network(&mut net, MappingConfig::new(MappingScope::EntireNetwork))
+                .unwrap();
+        mapped.load_effective_weights(&mut net);
+        let after: Vec<f32> = net.layer_params_mut(0).unwrap().weights.to_vec();
+        for (b, a) in before.iter().zip(&after) {
+            assert!((b - a).abs() < 1e-6, "{b} vs {a}");
+        }
+    }
+
+    #[test]
+    fn fc_only_scope_skips_convs() {
+        let mut net = vgg11_cifar(64, 0);
+        let mapped =
+            MappedNetwork::from_network(&mut net, MappingConfig::new(MappingScope::FcOnly))
+                .unwrap();
+        assert_eq!(mapped.mapped_weight_layers(), vec![8, 9, 10]);
+        assert_eq!(mapped.position_of(8), Some(0));
+        assert_eq!(mapped.position_of(0), None);
+    }
+
+    #[test]
+    fn explicit_scope_is_validated() {
+        let mut net = mlp();
+        let bad = MappingConfig::new(MappingScope::WeightLayers(vec![0, 7]));
+        assert!(MappedNetwork::from_network(&mut net, bad).is_err());
+        let empty = MappingConfig::new(MappingScope::WeightLayers(vec![]));
+        assert!(MappedNetwork::from_network(&mut net, empty).is_err());
+    }
+
+    #[test]
+    fn faults_corrupt_effective_weights() {
+        let mut net = mlp();
+        let mapped = MappedNetwork::from_network(
+            &mut net,
+            MappingConfig::new(MappingScope::EntireNetwork)
+                .with_initial_fault_fraction(0.3)
+                .with_seed(11),
+        )
+        .unwrap();
+        assert!((mapped.fraction_faulty() - 0.3).abs() < 0.05);
+        let before: Vec<f32> = net.layer_params_mut(0).unwrap().weights.to_vec();
+        mapped.load_effective_weights(&mut net);
+        let after: Vec<f32> = net.layer_params_mut(0).unwrap().weights.to_vec();
+        let changed = before
+            .iter()
+            .zip(&after)
+            .filter(|(b, a)| (*b - *a).abs() > 1e-4)
+            .count();
+        assert!(changed > 0, "stuck cells must displace weights");
+        // SA1-stuck weights sit at ±w_max.
+        let w_max = mapped.layers()[0].w_max as f32;
+        let truth = &mapped.ground_truth()[0];
+        let mut saw_sa1 = false;
+        for (r, c, kind) in truth.iter_faulty() {
+            let idx = r * 10 + c;
+            match kind {
+                rram::FaultKind::StuckAt1 => {
+                    saw_sa1 = true;
+                    assert!((after[idx].abs() - w_max).abs() < 1e-4);
+                }
+                rram::FaultKind::StuckAt0 => {
+                    assert_eq!(after[idx], 0.0);
+                }
+            }
+        }
+        assert!(saw_sa1);
+    }
+
+    #[test]
+    fn write_weight_updates_hardware() {
+        let mut net = mlp();
+        let mut mapped =
+            MappedNetwork::from_network(&mut net, MappingConfig::new(MappingScope::EntireNetwork))
+                .unwrap();
+        let w_max = mapped.layers()[0].w_max as f32;
+        let target = -0.5 * w_max;
+        mapped.write_weight(0, 3, target).unwrap();
+        mapped.load_effective_weights(&mut net);
+        let read = net.layer_params_mut(0).unwrap().weights[3];
+        assert!((read - target).abs() < 1e-5, "{read} vs {target}");
+        // Magnitudes beyond full scale clamp.
+        mapped.write_weight(0, 3, 10.0 * w_max).unwrap();
+        mapped.load_effective_weights(&mut net);
+        let read = net.layer_params_mut(0).unwrap().weights[3];
+        assert!((read - w_max).abs() < 1e-5);
+    }
+
+    #[test]
+    fn tiling_covers_large_layers() {
+        let mut net = mlp();
+        let mut config = MappingConfig::new(MappingScope::EntireNetwork);
+        config.tile_size = 4; // force tiling of the 6x10 and 10x4 layers
+        let mapped = MappedNetwork::from_network(&mut net, config).unwrap();
+        // Effective read equals the written value across tile boundaries.
+        let before: Vec<f32> = net.layer_params_mut(0).unwrap().weights.to_vec();
+        mapped.load_effective_weights(&mut net);
+        let after: Vec<f32> = net.layer_params_mut(0).unwrap().weights.to_vec();
+        for (b, a) in before.iter().zip(&after) {
+            assert!((b - a).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn detection_runs_over_tiles() {
+        let mut net = mlp();
+        let mut config = MappingConfig::new(MappingScope::EntireNetwork)
+            .with_initial_fault_fraction(0.1)
+            .with_seed(3);
+        config.tile_size = 5;
+        let mut mapped = MappedNetwork::from_network(&mut net, config).unwrap();
+        let detector = OnlineFaultDetector::new(DetectorConfig::new(1).unwrap());
+        let detections = mapped.detect(&detector).unwrap();
+        assert_eq!(detections.len(), 2);
+        // Test size 1 is exact: predictions equal ground truth.
+        let truth = mapped.ground_truth();
+        for (det, truth) in detections.iter().zip(&truth) {
+            assert_eq!(&det.predicted, truth);
+            assert!(det.cycles > 0);
+        }
+    }
+
+    #[test]
+    fn endurance_wear_creates_faults_through_mapping() {
+        let mut net = mlp();
+        let mut mapped = MappedNetwork::from_network(
+            &mut net,
+            MappingConfig::new(MappingScope::EntireNetwork)
+                .with_endurance(EnduranceModel::new(5.0, 0.0))
+                .with_seed(1),
+        )
+        .unwrap();
+        // Repeatedly rewriting one weight exhausts its 5-write budget
+        // (1 write spent on initial programming).
+        let mut worn = false;
+        for i in 0..10 {
+            let v = if i % 2 == 0 { 0.01 } else { 0.02 };
+            if let WriteOutcome::WoreOut(_) = mapped.write_weight(0, 0, v).unwrap() {
+                worn = true;
+                break;
+            }
+        }
+        assert!(worn, "cell should wear out");
+        assert_eq!(mapped.wear_faults(), 1);
+    }
+
+    #[test]
+    fn differential_mapping_roundtrips_weights() {
+        use crate::config::WeightCoding;
+        let mut net = mlp();
+        let before: Vec<f32> = net.layer_params_mut(0).unwrap().weights.to_vec();
+        let mapped = MappedNetwork::from_network(
+            &mut net,
+            MappingConfig::new(MappingScope::EntireNetwork)
+                .with_coding(WeightCoding::Differential),
+        )
+        .unwrap();
+        assert!(mapped.layers()[0].is_differential());
+        mapped.load_effective_weights(&mut net);
+        let after: Vec<f32> = net.layer_params_mut(0).unwrap().weights.to_vec();
+        for (b, a) in before.iter().zip(&after) {
+            assert!((b - a).abs() < 1e-6, "{b} vs {a}");
+        }
+    }
+
+    #[test]
+    fn differential_write_costs_two_pulses() {
+        use crate::config::WeightCoding;
+        let mut net = mlp();
+        let mut uni =
+            MappedNetwork::from_network(&mut net, MappingConfig::new(MappingScope::EntireNetwork))
+                .unwrap();
+        let mut net2 = mlp();
+        let mut diff = MappedNetwork::from_network(
+            &mut net2,
+            MappingConfig::new(MappingScope::EntireNetwork)
+                .with_coding(WeightCoding::Differential),
+        )
+        .unwrap();
+        let uni_before = uni.total_write_pulses();
+        let diff_before = diff.total_write_pulses();
+        uni.write_weight(0, 0, 0.01).unwrap();
+        diff.write_weight(0, 0, 0.01).unwrap();
+        assert_eq!(uni.total_write_pulses() - uni_before, 1);
+        assert_eq!(
+            diff.total_write_pulses() - diff_before,
+            2,
+            "differential coding pulses both polarities"
+        );
+    }
+
+    #[test]
+    fn differential_fault_semantics() {
+        use crate::config::WeightCoding;
+        // With enough injected faults the merged logical map must be
+        // non-empty, and effective weights stay within full scale.
+        let mut net = mlp();
+        let mapped = MappedNetwork::from_network(
+            &mut net,
+            MappingConfig::new(MappingScope::EntireNetwork)
+                .with_coding(WeightCoding::Differential)
+                .with_initial_fault_fraction(0.3)
+                .with_seed(4),
+        )
+        .unwrap();
+        let truth = &mapped.ground_truth()[0];
+        assert!(truth.count_faulty() > 0);
+        mapped.load_effective_weights(&mut net);
+        let w_max = mapped.layers()[0].w_max as f32;
+        let effective: Vec<f32> = net.layer_params_mut(0).unwrap().weights.to_vec();
+        assert!(effective.iter().all(|w| w.abs() <= w_max + 1e-5));
+    }
+
+    #[test]
+    fn differential_detection_merges_pairs() {
+        use crate::config::WeightCoding;
+        use faultdet::detector::DetectorConfig;
+        let mut net = mlp();
+        let mut mapped = MappedNetwork::from_network(
+            &mut net,
+            MappingConfig::new(MappingScope::EntireNetwork)
+                .with_coding(WeightCoding::Differential)
+                .with_initial_fault_fraction(0.1)
+                .with_seed(8),
+        )
+        .unwrap();
+        let detector = OnlineFaultDetector::new(DetectorConfig::new(1).unwrap());
+        let detections = mapped.detect(&detector).unwrap();
+        let truth = mapped.ground_truth();
+        for (det, truth) in detections.iter().zip(&truth) {
+            // Test size 1 is exact per array; the merged logical map must
+            // match the merged ground truth.
+            assert_eq!(&det.predicted, truth);
+        }
+    }
+
+    #[test]
+    fn reprogram_skips_unchanged_cells() {
+        let mut net = mlp();
+        let mut mapped =
+            MappedNetwork::from_network(&mut net, MappingConfig::new(MappingScope::EntireNetwork))
+                .unwrap();
+        mapped.load_effective_weights(&mut net);
+        let writes = mapped.reprogram_from(&mut net, 1e-9).unwrap();
+        assert_eq!(writes, 0, "nothing changed, nothing written");
+        // Change one weight and reprogram: exactly one write.
+        net.layer_params_mut(0).unwrap().weights[7] = 0.123;
+        let writes = mapped.reprogram_from(&mut net, 1e-9).unwrap();
+        assert_eq!(writes, 1);
+    }
+}

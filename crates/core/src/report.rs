@@ -1,0 +1,168 @@
+//! Training curves and experiment records.
+
+/// One evaluation point on a training curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurvePoint {
+    /// Training iteration (mini-batch count).
+    pub iteration: u64,
+    /// Test-set accuracy measured through the (faulty) hardware.
+    pub test_accuracy: f64,
+    /// Fraction of mapped cells with hard faults at this point.
+    pub faulty_fraction: f64,
+    /// Cumulative hardware write pulses.
+    pub write_pulses: u64,
+}
+
+/// An accuracy-vs-iterations curve, the unit the paper's Figs. 1 and 7 plot.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrainingCurve {
+    points: Vec<CurvePoint>,
+}
+
+impl TrainingCurve {
+    /// Creates an empty curve.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, point: CurvePoint) {
+        self.points.push(point);
+    }
+
+    /// All recorded points, in iteration order.
+    pub fn points(&self) -> &[CurvePoint] {
+        &self.points
+    }
+
+    /// The highest accuracy seen (the "peak accuracy" the paper reports).
+    pub fn peak_accuracy(&self) -> f64 {
+        self.points.iter().map(|p| p.test_accuracy).fold(0.0, f64::max)
+    }
+
+    /// The accuracy at the last evaluation.
+    pub fn final_accuracy(&self) -> f64 {
+        self.points.last().map(|p| p.test_accuracy).unwrap_or(0.0)
+    }
+
+    /// Renders the curve as CSV
+    /// (`iteration,accuracy,faulty_fraction,write_pulses`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("iteration,accuracy,faulty_fraction,write_pulses\n");
+        for p in &self.points {
+            out.push_str(&format!(
+                "{},{:.4},{:.4},{}\n",
+                p.iteration, p.test_accuracy, p.faulty_fraction, p.write_pulses
+            ));
+        }
+        out
+    }
+}
+
+/// Aggregate statistics of a training run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FlowStats {
+    /// Hardware writes issued by threshold training.
+    pub writes_issued: u64,
+    /// Updates suppressed by the threshold.
+    pub writes_skipped: u64,
+    /// Cells that wore out during training writes.
+    pub wear_faults_during_training: u64,
+    /// Detection campaigns run.
+    pub detection_campaigns: u64,
+    /// Total detection test cycles.
+    pub detection_cycles: u64,
+    /// Write pulses spent by detection itself.
+    pub detection_writes: u64,
+    /// Re-mapping plans applied.
+    pub remaps_applied: u64,
+    /// `Dist(P, F)` before the most recent re-mapping search.
+    pub last_remap_initial_cost: u64,
+    /// `Dist(P, F)` after the most recent re-mapping search.
+    pub last_remap_final_cost: u64,
+    /// Cell-level analog multiply-accumulates performed on the mapped
+    /// crossbars (forward pass plus the two backward products).
+    pub mvm_cell_ops: u64,
+}
+
+impl FlowStats {
+    /// Fraction of candidate updates suppressed over the whole run.
+    pub fn skipped_fraction(&self) -> f64 {
+        let total = self.writes_issued + self.writes_skipped;
+        if total == 0 {
+            0.0
+        } else {
+            self.writes_skipped as f64 / total as f64
+        }
+    }
+
+    /// Estimates the run's RCS energy under the given model: analog MVM
+    /// work plus all programming pulses (training and detection).
+    pub fn energy(&self, model: &rram::energy::EnergyModel) -> rram::energy::EnergyEstimate {
+        model.estimate(rram::energy::OperationCounts {
+            mvm_cell_ops: self.mvm_cell_ops,
+            cell_reads: 0,
+            write_pulses: self.writes_issued + self.detection_writes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_summary_statistics() {
+        let mut curve = TrainingCurve::new();
+        assert_eq!(curve.peak_accuracy(), 0.0);
+        assert_eq!(curve.final_accuracy(), 0.0);
+        for (i, acc) in [(10u64, 0.3), (20, 0.8), (30, 0.6)] {
+            curve.push(CurvePoint {
+                iteration: i,
+                test_accuracy: acc,
+                faulty_fraction: 0.1,
+                write_pulses: i * 100,
+            });
+        }
+        assert_eq!(curve.peak_accuracy(), 0.8);
+        assert_eq!(curve.final_accuracy(), 0.6);
+        assert_eq!(curve.points().len(), 3);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut curve = TrainingCurve::new();
+        curve.push(CurvePoint {
+            iteration: 5,
+            test_accuracy: 0.5,
+            faulty_fraction: 0.25,
+            write_pulses: 42,
+        });
+        let csv = curve.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("iteration,"));
+        assert_eq!(lines[1], "5,0.5000,0.2500,42");
+    }
+
+    #[test]
+    fn stats_energy_estimate() {
+        let stats = FlowStats {
+            writes_issued: 10,
+            detection_writes: 5,
+            mvm_cell_ops: 1000,
+            ..Default::default()
+        };
+        let est = stats.energy(&rram::energy::EnergyModel::typical());
+        // 1000 * 0.1 + 15 * 100 = 1600 pJ.
+        assert!((est.total_pj() - 1600.0).abs() < 1e-9);
+        assert!(est.write_fraction() > 0.9);
+    }
+
+    #[test]
+    fn stats_skipped_fraction() {
+        let stats = FlowStats { writes_issued: 10, writes_skipped: 90, ..Default::default() };
+        assert!((stats.skipped_fraction() - 0.9).abs() < 1e-12);
+        assert_eq!(FlowStats::default().skipped_fraction(), 0.0);
+    }
+}

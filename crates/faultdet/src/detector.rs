@@ -1,0 +1,410 @@
+//! The complete quiescent-voltage-comparison detection campaign (Fig. 3).
+
+use rram::adc::Adc;
+use rram::crossbar::Crossbar;
+use rram::error::RramError;
+use rram::fault::{FaultKind, FaultMap};
+
+use crate::localize::FlagSet;
+use crate::reference::OffChipStore;
+use crate::schedule::groups;
+use crate::selected::CandidateMask;
+
+/// Which cells a campaign tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TestMode {
+    /// Test every cell (§4.1/4.2): simplest, longest, lowest precision.
+    AllCells,
+    /// Selected-cell testing (§4.3): test SA0 only where the stored level is
+    /// ≤ `sa0_max_level` and SA1 only where it is ≥ `sa1_min_level`.
+    SelectedCells {
+        /// Highest stored level still considered an SA0 candidate.
+        sa0_max_level: u16,
+        /// Lowest stored level still considered an SA1 candidate.
+        sa1_min_level: u16,
+    },
+}
+
+impl TestMode {
+    /// The default selected-cell thresholds for 8-level cells: the bottom
+    /// two levels can hide SA0, the top two can hide SA1.
+    pub fn default_selected() -> Self {
+        TestMode::SelectedCells { sa0_max_level: 1, sa1_min_level: 6 }
+    }
+}
+
+/// Configuration of one detection campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetectorConfig {
+    /// Rows (and columns — the paper sets `Tr = Tc`) driven per test cycle.
+    pub test_size: usize,
+    /// Test increment in levels (the paper's `δw`; must exceed the write
+    /// variation, §4.2).
+    pub delta_levels: u16,
+    /// Modulo divisor of the ADC comparison (16 in the paper).
+    pub modulo_divisor: u32,
+    /// All-cells or selected-cells testing.
+    pub mode: TestMode,
+}
+
+impl DetectorConfig {
+    /// Creates an all-cells configuration with the paper's defaults
+    /// (`δ = 1` level, mod-16 comparison).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RramError::InvalidConfig`] if `test_size` is zero.
+    pub fn new(test_size: usize) -> Result<Self, RramError> {
+        if test_size == 0 {
+            return Err(RramError::InvalidConfig("test size must be non-zero".into()));
+        }
+        Ok(Self {
+            test_size,
+            delta_levels: 1,
+            modulo_divisor: 16,
+            mode: TestMode::AllCells,
+        })
+    }
+
+    /// Switches to selected-cell testing with the default thresholds.
+    pub fn with_selected_cells(mut self) -> Self {
+        self.mode = TestMode::default_selected();
+        self
+    }
+
+    /// Sets the test mode explicitly.
+    pub fn with_mode(mut self, mode: TestMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the modulo divisor (must be a power of two ≥ 2; validated when
+    /// the campaign builds its ADC).
+    pub fn with_modulo_divisor(mut self, divisor: u32) -> Self {
+        self.modulo_divisor = divisor;
+        self
+    }
+
+    /// Sets the test increment in levels.
+    pub fn with_delta_levels(mut self, delta: u16) -> Self {
+        self.delta_levels = delta;
+        self
+    }
+}
+
+/// Result of one detection campaign.
+#[derive(Debug, Clone)]
+pub struct DetectionOutcome {
+    /// Predicted fault map (SA0 and SA1 merged; SA0 wins on overlap).
+    pub predicted: FaultMap,
+    /// Test cycles spent by the SA0 pass (row groups + column groups driven).
+    pub sa0_cycles: u64,
+    /// Test cycles spent by the SA1 pass.
+    pub sa1_cycles: u64,
+    /// Effective write pulses issued by the campaign (test writes plus
+    /// restore writes) — detection itself wears the array.
+    pub write_pulses: u64,
+    /// SA0 candidate count (equals the full array in all-cells mode).
+    pub sa0_candidates: usize,
+    /// SA1 candidate count.
+    pub sa1_candidates: usize,
+}
+
+impl DetectionOutcome {
+    /// The campaign's test time in cycles per the paper's §6.1 definition
+    /// `T = ⌈Cr/Tr⌉ + ⌈Cc/Tc⌉` (which both kind passes each realize in
+    /// all-cells mode); reported as the larger of the two passes.
+    pub fn cycles(&self) -> u64 {
+        self.sa0_cycles.max(self.sa1_cycles)
+    }
+}
+
+/// Runs quiescent-voltage-comparison campaigns against a crossbar.
+#[derive(Debug, Clone, Copy)]
+pub struct OnlineFaultDetector {
+    config: DetectorConfig,
+}
+
+impl OnlineFaultDetector {
+    /// Creates a detector with the given configuration.
+    pub fn new(config: DetectorConfig) -> Self {
+        Self { config }
+    }
+
+    /// The detector's configuration.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// Runs a full campaign: SA0 pass (`+δ`, compare, restore) followed by
+    /// the SA1 pass (`−δ`, compare, restore). The crossbar's training state
+    /// is recovered up to cells that wore out during the test itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an invalid modulo divisor or on crossbar access
+    /// failures (which would indicate a bug in the campaign itself).
+    pub fn run(&self, xbar: &mut Crossbar) -> Result<DetectionOutcome, RramError> {
+        let adc = Adc::new(xbar.levels(), self.config.modulo_divisor)?;
+        let store = OffChipStore::read_from(xbar);
+        let (sa0_candidates, sa1_candidates) = match self.config.mode {
+            TestMode::AllCells => (
+                CandidateMask::all(xbar.rows(), xbar.cols()),
+                CandidateMask::all(xbar.rows(), xbar.cols()),
+            ),
+            TestMode::SelectedCells { sa0_max_level, sa1_min_level } => (
+                CandidateMask::sa0_candidates(&store, sa0_max_level),
+                CandidateMask::sa1_candidates(&store, sa1_min_level),
+            ),
+        };
+        let pulses_before = xbar.write_pulses();
+
+        let delta = i32::from(self.config.delta_levels);
+        let (sa0_map, sa0_cycles) =
+            self.kind_pass(xbar, &store, &adc, &sa0_candidates, FaultKind::StuckAt0, delta)?;
+        let (sa1_map, sa1_cycles) =
+            self.kind_pass(xbar, &store, &adc, &sa1_candidates, FaultKind::StuckAt1, -delta)?;
+
+        // Merge the two passes. When both flag the same cell the controller
+        // disambiguates from the stored read: a stuck-at-0 cell always reads
+        // low, a stuck-at-1 cell always reads high.
+        let mut predicted = FaultMap::healthy(xbar.rows(), xbar.cols());
+        let mid = (xbar.levels() - 1) / 2;
+        for r in 0..xbar.rows() {
+            for c in 0..xbar.cols() {
+                let kind = match (sa0_map.get(r, c), sa1_map.get(r, c)) {
+                    (None, None) => None,
+                    (Some(k), None) | (None, Some(k)) => Some(k),
+                    (Some(_), Some(_)) => Some(if store.stored_level(r, c) <= mid {
+                        FaultKind::StuckAt0
+                    } else {
+                        FaultKind::StuckAt1
+                    }),
+                };
+                predicted.set(r, c, kind);
+            }
+        }
+        Ok(DetectionOutcome {
+            predicted,
+            sa0_cycles,
+            sa1_cycles,
+            write_pulses: xbar.write_pulses() - pulses_before,
+            sa0_candidates: sa0_candidates.count(),
+            sa1_candidates: sa1_candidates.count(),
+        })
+    }
+
+    /// One fault-kind pass: write `delta` to the candidates, run the
+    /// two-direction comparison, restore, and localize.
+    fn kind_pass(
+        &self,
+        xbar: &mut Crossbar,
+        store: &OffChipStore,
+        adc: &Adc,
+        candidates: &CandidateMask,
+        kind: FaultKind,
+        delta: i32,
+    ) -> Result<(FaultMap, u64), RramError> {
+        let (rows, cols) = (xbar.rows(), xbar.cols());
+        let t = self.config.test_size;
+
+        // Step 1 (Fig. 3): write the increment to every candidate cell, and
+        // record the per-cell delta for reference computation.
+        let mut deltas = vec![0i32; rows * cols];
+        for (r, c) in candidates.iter() {
+            let _ = xbar.nudge(r, c, delta)?;
+            deltas[r * cols + c] = delta;
+        }
+
+        // Steps 2-4: drive row groups, compare all candidate columns.
+        let mut flags = FlagSet::new();
+        let mut cycles = 0u64;
+        for (g, group) in groups(rows, t).into_iter().enumerate() {
+            if !candidates.any_in_rows(group.clone()) {
+                continue;
+            }
+            cycles += 1;
+            for col in 0..cols {
+                if !candidates.column_has_candidate(group.clone(), col) {
+                    continue;
+                }
+                let actual = adc.digitize_mod(xbar.column_group_sum(group.clone(), col)?);
+                let expected =
+                    adc.reduce(store.expected_column_group_sum(group.clone(), col, &deltas));
+                if actual != expected {
+                    flags.flag_row_test(g, col);
+                }
+            }
+        }
+
+        // Repeat in the column direction to derive row information.
+        for (g, group) in groups(cols, t).into_iter().enumerate() {
+            if !candidates.any_in_cols(group.clone()) {
+                continue;
+            }
+            cycles += 1;
+            for row in 0..rows {
+                if !candidates.row_has_candidate(row, group.clone()) {
+                    continue;
+                }
+                let actual = adc.digitize_mod(xbar.row_group_sum(row, group.clone())?);
+                let expected =
+                    adc.reduce(store.expected_row_group_sum(row, group.clone(), &deltas));
+                if actual != expected {
+                    flags.flag_col_test(g, row);
+                }
+            }
+        }
+
+        // Restore the training weights on the tested cells.
+        for (r, c) in candidates.iter() {
+            let target = store.stored_level(r, c);
+            if xbar.read_level(r, c)? != target {
+                let _ = xbar.write_level(r, c, target)?;
+            }
+        }
+
+        Ok((flags.predict(candidates, kind, t), cycles))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::DetectionReport;
+    use rram::crossbar::CrossbarBuilder;
+    use rram::spatial::SpatialDistribution;
+
+    fn faulty_xbar(n: usize, fraction: f64, seed: u64) -> Crossbar {
+        let mut xbar = CrossbarBuilder::new(n, n)
+            .initial_faults(SpatialDistribution::Uniform, fraction)
+            .seed(seed)
+            .build()
+            .unwrap();
+        // Program a realistic mixed-level state.
+        use rand::Rng;
+        let mut rng = rram::rng::sim_rng(seed + 1);
+        for r in 0..n {
+            for c in 0..n {
+                let _ = xbar.write_level(r, c, rng.gen_range(0..8)).unwrap();
+            }
+        }
+        xbar
+    }
+
+    #[test]
+    fn clean_array_produces_no_flags() {
+        let mut xbar = faulty_xbar(16, 0.0, 1);
+        let detector = OnlineFaultDetector::new(DetectorConfig::new(4).unwrap());
+        let outcome = detector.run(&mut xbar).unwrap();
+        assert_eq!(outcome.predicted.count_faulty(), 0);
+    }
+
+    #[test]
+    fn test_restores_training_state() {
+        let mut xbar = faulty_xbar(16, 0.05, 2);
+        let before = xbar.read_all_levels();
+        let detector = OnlineFaultDetector::new(DetectorConfig::new(4).unwrap());
+        let _ = detector.run(&mut xbar).unwrap();
+        assert_eq!(xbar.read_all_levels(), before, "weights must be recovered");
+    }
+
+    #[test]
+    fn detection_wears_the_array() {
+        let mut xbar = faulty_xbar(16, 0.0, 3);
+        let detector = OnlineFaultDetector::new(DetectorConfig::new(4).unwrap());
+        let outcome = detector.run(&mut xbar).unwrap();
+        assert!(outcome.write_pulses > 0, "test writes consume endurance");
+    }
+
+    #[test]
+    fn single_cell_test_size_gives_perfect_detection() {
+        // Groups of one cell leave no room for aliasing or cross products.
+        let mut xbar = faulty_xbar(12, 0.1, 4);
+        let truth = xbar.fault_map();
+        let detector = OnlineFaultDetector::new(DetectorConfig::new(1).unwrap());
+        let outcome = detector.run(&mut xbar).unwrap();
+        let report = DetectionReport::evaluate(&truth, &outcome.predicted);
+        assert_eq!(report.recall(), 1.0, "no escapes at test size 1");
+        assert_eq!(report.precision(), 1.0, "no false positives at test size 1");
+    }
+
+    #[test]
+    fn recall_stays_high_at_coarse_test_size() {
+        let mut xbar = faulty_xbar(64, 0.1, 5);
+        let truth = xbar.fault_map();
+        let detector = OnlineFaultDetector::new(DetectorConfig::new(32).unwrap());
+        let outcome = detector.run(&mut xbar).unwrap();
+        let report = DetectionReport::evaluate(&truth, &outcome.predicted);
+        assert!(report.recall() > 0.85, "recall {}", report.recall());
+        assert!(report.precision() < 1.0, "coarse groups must cost precision");
+    }
+
+    #[test]
+    fn selected_mode_improves_precision_at_similar_recall() {
+        let (mut a, mut b) = (faulty_xbar(64, 0.1, 6), faulty_xbar(64, 0.1, 6));
+        let truth = a.fault_map();
+        let all = OnlineFaultDetector::new(DetectorConfig::new(16).unwrap())
+            .run(&mut a)
+            .unwrap();
+        let sel = OnlineFaultDetector::new(
+            DetectorConfig::new(16).unwrap().with_selected_cells(),
+        )
+        .run(&mut b)
+        .unwrap();
+        let all_report = DetectionReport::evaluate(&truth, &all.predicted);
+        let sel_report = DetectionReport::evaluate(&truth, &sel.predicted);
+        assert!(
+            sel_report.precision() > all_report.precision(),
+            "selected {} vs all {}",
+            sel_report.precision(),
+            all_report.precision()
+        );
+        assert!(sel_report.recall() > 0.85);
+        assert!(sel.sa0_candidates < all.sa0_candidates);
+    }
+
+    #[test]
+    fn all_cells_cycles_match_paper_formula() {
+        let mut xbar = faulty_xbar(64, 0.1, 7);
+        let detector = OnlineFaultDetector::new(DetectorConfig::new(8).unwrap());
+        let outcome = detector.run(&mut xbar).unwrap();
+        // ⌈64/8⌉ + ⌈64/8⌉ = 16 cycles per kind pass.
+        assert_eq!(outcome.sa0_cycles, 16);
+        assert_eq!(outcome.sa1_cycles, 16);
+        assert_eq!(outcome.cycles(), 16);
+    }
+
+    #[test]
+    fn selected_mode_reduces_cycles() {
+        // All cells at mid level except a few candidates confined to the
+        // top-left corner: only those groups need driving.
+        let mut xbar = faulty_xbar(64, 0.0, 8);
+        for r in 0..64 {
+            for c in 0..64 {
+                let _ = xbar.write_level(r, c, 4);
+            }
+        }
+        xbar.write_level(0, 0, 0).unwrap();
+        xbar.write_level(1, 1, 7).unwrap();
+        let sel = OnlineFaultDetector::new(
+            DetectorConfig::new(8).unwrap().with_selected_cells(),
+        )
+        .run(&mut xbar)
+        .unwrap();
+        assert!(sel.cycles() < 16, "cycles {}", sel.cycles());
+    }
+
+    #[test]
+    fn zero_test_size_is_rejected() {
+        assert!(DetectorConfig::new(0).is_err());
+    }
+
+    #[test]
+    fn bad_modulo_divisor_fails_at_run() {
+        let mut xbar = faulty_xbar(8, 0.0, 9);
+        let detector =
+            OnlineFaultDetector::new(DetectorConfig::new(2).unwrap().with_modulo_divisor(12));
+        assert!(detector.run(&mut xbar).is_err());
+    }
+}

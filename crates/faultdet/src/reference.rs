@@ -1,0 +1,205 @@
+//! The off-chip value store and reference computation.
+//!
+//! The first step of the test procedure reads the whole crossbar and stores
+//! the levels off-chip. During the comparison steps the controller knows, for
+//! every cell, what level it *should* be at — the stored level plus the test
+//! increment, saturating at the level range boundaries — so it can select the
+//! correct reference voltage for any tested group of rows or columns.
+
+use rram::crossbar::Crossbar;
+
+/// Snapshot of crossbar levels taken at the start of a test campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OffChipStore {
+    rows: usize,
+    cols: usize,
+    levels: u16,
+    stored: Vec<u16>,
+}
+
+impl OffChipStore {
+    /// Reads the crossbar ("Read RRAM Values, Store Off-Chip" in Fig. 3).
+    pub fn read_from(xbar: &Crossbar) -> Self {
+        Self {
+            rows: xbar.rows(),
+            cols: xbar.cols(),
+            levels: xbar.levels(),
+            stored: xbar.read_all_levels(),
+        }
+    }
+
+    /// Number of snapshot rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of snapshot columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The stored (pre-test) level of a cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of bounds.
+    pub fn stored_level(&self, row: usize, col: usize) -> u16 {
+        assert!(row < self.rows && col < self.cols, "({row}, {col}) out of bounds");
+        self.stored[row * self.cols + col]
+    }
+
+    /// The level a cell is *expected* to read after a `delta`-level test
+    /// write, saturating at the range boundaries — `delta = 0` means the
+    /// cell was not written (not a test candidate).
+    pub fn expected_level(&self, row: usize, col: usize, delta: i32) -> u16 {
+        let stored = i64::from(self.stored_level(row, col));
+        (stored + i64::from(delta)).clamp(0, i64::from(self.levels - 1)) as u16
+    }
+
+    /// Expected digital level sum over a slice of rows on one column, given
+    /// the per-cell test deltas (`deltas[row * cols + col]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range or column is out of bounds.
+    pub fn expected_column_group_sum(
+        &self,
+        rows: std::ops::Range<usize>,
+        col: usize,
+        deltas: &[i32],
+    ) -> u64 {
+        assert!(rows.end <= self.rows && col < self.cols, "range out of bounds");
+        rows.map(|r| u64::from(self.expected_level(r, col, deltas[r * self.cols + col])))
+            .sum()
+    }
+
+    /// Expected digital level sum over a slice of columns on one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range or row is out of bounds.
+    pub fn expected_row_group_sum(
+        &self,
+        row: usize,
+        cols: std::ops::Range<usize>,
+        deltas: &[i32],
+    ) -> u64 {
+        assert!(cols.end <= self.cols && row < self.rows, "range out of bounds");
+        cols.map(|c| u64::from(self.expected_level(row, c, deltas[row * self.cols + c])))
+            .sum()
+    }
+
+    /// Restores every cell whose level differs from the snapshot back to the
+    /// stored value (the "recover the training weights" step). Returns the
+    /// number of restore writes issued.
+    ///
+    /// # Errors
+    ///
+    /// Propagates crossbar write errors (only possible on dimension
+    /// mismatch, which would be a bug).
+    pub fn restore(&self, xbar: &mut Crossbar) -> Result<u64, rram::RramError> {
+        let mut writes = 0u64;
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let target = self.stored[r * self.cols + c];
+                if xbar.read_level(r, c)? != target {
+                    let outcome = xbar.write_level(r, c, target)?;
+                    if outcome.changed() {
+                        writes += 1;
+                    }
+                }
+            }
+        }
+        Ok(writes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rram::crossbar::CrossbarBuilder;
+    use rram::fault::{FaultKind, FaultMap};
+
+    fn programmed_xbar() -> Crossbar {
+        let mut x = CrossbarBuilder::new(4, 4).seed(1).build().unwrap();
+        for r in 0..4 {
+            for c in 0..4 {
+                x.write_level(r, c, ((r * 2 + c) % 8) as u16).unwrap();
+            }
+        }
+        x
+    }
+
+    #[test]
+    fn snapshot_matches_crossbar() {
+        let x = programmed_xbar();
+        let store = OffChipStore::read_from(&x);
+        for r in 0..4 {
+            for c in 0..4 {
+                assert_eq!(store.stored_level(r, c), x.read_level(r, c).unwrap());
+            }
+        }
+        assert_eq!(store.rows(), 4);
+        assert_eq!(store.cols(), 4);
+    }
+
+    #[test]
+    fn expected_level_saturates() {
+        let mut x = programmed_xbar();
+        x.write_level(0, 0, 7).unwrap();
+        x.write_level(0, 1, 0).unwrap();
+        let store = OffChipStore::read_from(&x);
+        assert_eq!(store.expected_level(0, 0, 1), 7, "saturates at the top");
+        assert_eq!(store.expected_level(0, 1, -1), 0, "saturates at the bottom");
+        assert_eq!(store.expected_level(0, 0, 0), 7, "delta 0 = not written");
+    }
+
+    #[test]
+    fn group_sums_accumulate_expected_levels() {
+        let x = programmed_xbar();
+        let store = OffChipStore::read_from(&x);
+        let deltas = vec![1i32; 16];
+        let sum = store.expected_column_group_sum(0..4, 1, &deltas);
+        // Stored col 1: levels 1, 3, 5, 7; +1 saturating: 2, 4, 6, 7 = 19.
+        assert_eq!(sum, 19);
+        let sum = store.expected_row_group_sum(1, 0..4, &deltas);
+        // Stored row 1: 2, 3, 4, 5; +1: 3, 4, 5, 6 = 18.
+        assert_eq!(sum, 18);
+    }
+
+    #[test]
+    fn restore_returns_crossbar_to_snapshot() {
+        let mut x = programmed_xbar();
+        let store = OffChipStore::read_from(&x);
+        // Perturb.
+        x.nudge(0, 0, 1).unwrap();
+        x.nudge(2, 3, -1).unwrap();
+        let writes = store.restore(&mut x).unwrap();
+        assert_eq!(writes, 2);
+        assert_eq!(x.read_all_levels(), {
+            let mut expected = Vec::new();
+            for r in 0..4 {
+                for c in 0..4 {
+                    expected.push(store.stored_level(r, c));
+                }
+            }
+            expected
+        });
+        // A second restore is free.
+        assert_eq!(store.restore(&mut x).unwrap(), 0);
+    }
+
+    #[test]
+    fn restore_skips_stuck_cells() {
+        let mut x = programmed_xbar();
+        let store = OffChipStore::read_from(&x);
+        let mut map = FaultMap::healthy(4, 4);
+        map.set(1, 1, Some(FaultKind::StuckAt0));
+        x.apply_fault_map(&map);
+        // Stuck cell reads 0 but stored 3; restore attempts a write that the
+        // cell ignores; no effective write is counted.
+        let writes = store.restore(&mut x).unwrap();
+        assert_eq!(writes, 0);
+        assert_eq!(x.read_level(1, 1).unwrap(), 0);
+    }
+}

@@ -1,0 +1,64 @@
+//! Test-time accounting (§6.1 of the paper).
+//!
+//! One *test cycle* drives one group of rows (or columns) and reads all
+//! opposite-side ports concurrently. For a `Cr × Cc` crossbar with groups of
+//! `Tr` rows and `Tc` columns, a full all-cells pass costs
+//! `T = ⌈Cr/Tr⌉ + ⌈Cc/Tc⌉` cycles; selected-cell testing only drives groups
+//! that contain candidate cells, reducing this to `⌈Er/Tr⌉ + ⌈Ec/Tc⌉`.
+
+/// Splits `0..n` into contiguous groups of at most `size` indices.
+///
+/// # Panics
+///
+/// Panics if `size` is zero.
+pub fn groups(n: usize, size: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(size > 0, "group size must be non-zero");
+    (0..n.div_ceil(size))
+        .map(|g| g * size..((g + 1) * size).min(n))
+        .collect()
+}
+
+/// The paper's all-cells test-time formula `⌈Cr/Tr⌉ + ⌈Cc/Tc⌉`, in cycles.
+///
+/// # Panics
+///
+/// Panics if either group size is zero.
+pub fn full_test_cycles(rows: usize, cols: usize, tr: usize, tc: usize) -> u64 {
+    assert!(tr > 0 && tc > 0, "test sizes must be non-zero");
+    (rows.div_ceil(tr) + cols.div_ceil(tc)) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_cover_everything_without_overlap() {
+        let gs = groups(10, 3);
+        assert_eq!(gs, vec![0..3, 3..6, 6..9, 9..10]);
+        let total: usize = gs.iter().map(|g| g.len()).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn groups_exact_division() {
+        assert_eq!(groups(8, 4), vec![0..4, 4..8]);
+        assert_eq!(groups(4, 8), vec![0..4]);
+    }
+
+    #[test]
+    fn paper_formula() {
+        // The Fig. 4 example: a 10x10 crossbar with test size 5 needs
+        // 2 row cycles + 2 column cycles.
+        assert_eq!(full_test_cycles(10, 10, 5, 5), 4);
+        // A 1024x1024 crossbar at test size 2 costs 1024 cycles (the far
+        // right of the Fig. 6 x-axis).
+        assert_eq!(full_test_cycles(1024, 1024, 2, 2), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_group_size_panics() {
+        let _ = groups(4, 0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Error type for the neural network substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by network construction and execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// A tensor shape did not match what an operation required.
+    ShapeMismatch {
+        /// Human-readable description of the expectation.
+        expected: String,
+        /// The shape that was supplied.
+        actual: Vec<usize>,
+    },
+    /// A configuration value was invalid.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected}, got {actual:?}")
+            }
+            NnError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for NnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NnError::ShapeMismatch { expected: "[B, 784]".into(), actual: vec![2, 3] };
+        assert!(e.to_string().contains("[2, 3]"));
+        let e = NnError::InvalidConfig("kernel larger than input".into());
+        assert!(e.to_string().contains("kernel"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

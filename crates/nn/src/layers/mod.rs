@@ -1,0 +1,15 @@
+//! Concrete layer implementations.
+
+mod conv2d;
+mod dense;
+mod flatten;
+mod maxpool;
+mod relu;
+mod softmax;
+
+pub use conv2d::Conv2d;
+pub use dense::Dense;
+pub use flatten::Flatten;
+pub use maxpool::MaxPool2;
+pub use relu::Relu;
+pub use softmax::Softmax;

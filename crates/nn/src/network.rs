@@ -1,0 +1,192 @@
+//! Sequential network container.
+
+use std::fmt;
+
+use crate::layer::{Layer, LayerParams};
+use crate::tensor::Tensor;
+
+/// A sequential stack of layers.
+///
+/// # Example
+///
+/// ```
+/// use nn::network::Network;
+/// use nn::layers::{Dense, Relu};
+/// use nn::init::init_rng;
+/// use nn::tensor::Tensor;
+///
+/// let mut rng = init_rng(0);
+/// let mut net = Network::new();
+/// net.push(Dense::new(4, 8, &mut rng));
+/// net.push(Relu::new());
+/// net.push(Dense::new(8, 2, &mut rng));
+///
+/// let x = Tensor::zeros(vec![1, 4]);
+/// let y = net.forward(&x);
+/// assert_eq!(y.shape(), &[1, 2]);
+/// ```
+#[derive(Default)]
+pub struct Network {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl fmt::Debug for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kinds: Vec<&str> = self.layers.iter().map(|l| l.kind()).collect();
+        f.debug_struct("Network").field("layers", &kinds).finish()
+    }
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self { layers: Vec::new() }
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: impl Layer + 'static) {
+        self.layers.push(Box::new(layer));
+    }
+
+    /// Number of layers (including parameter-free ones).
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Inference-mode forward pass (no caches are retained).
+    pub fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.run_forward(input, false)
+    }
+
+    /// Training-mode forward pass: layers cache activations for `backward`.
+    pub fn forward_train(&mut self, input: &Tensor) -> Tensor {
+        self.run_forward(input, true)
+    }
+
+    fn run_forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train);
+        }
+        x
+    }
+
+    /// Back-propagates the loss gradient through all layers, filling each
+    /// parameterized layer's gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Network::forward_train`] did not precede this call.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// Iterates over `(layer_index, params)` for every parameterized layer.
+    pub fn param_layers_mut(&mut self) -> impl Iterator<Item = (usize, LayerParams<'_>)> {
+        self.layers
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, l)| l.params().map(|p| (i, p)))
+    }
+
+    /// The indices of layers that carry weights, in network order.
+    pub fn weight_layer_indices(&mut self) -> Vec<usize> {
+        self.layers
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, l)| l.params().map(|_| i))
+            .collect()
+    }
+
+    /// Parameters of one layer by its index, if it has any.
+    pub fn layer_params_mut(&mut self, index: usize) -> Option<LayerParams<'_>> {
+        self.layers.get_mut(index)?.params()
+    }
+
+    /// The kind tag of a layer by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    pub fn layer_kind(&self, index: usize) -> &'static str {
+        self.layers[index].kind()
+    }
+
+    /// Total number of trainable weights (excluding biases).
+    pub fn weight_count(&self) -> usize {
+        self.layers.iter().map(|l| l.weight_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::init_rng;
+    use crate::layers::{Dense, Relu};
+
+    fn mlp() -> Network {
+        let mut rng = init_rng(1);
+        let mut net = Network::new();
+        net.push(Dense::new(4, 6, &mut rng));
+        net.push(Relu::new());
+        net.push(Dense::new(6, 3, &mut rng));
+        net
+    }
+
+    #[test]
+    fn forward_produces_expected_shape() {
+        let mut net = mlp();
+        let x = Tensor::zeros(vec![5, 4]);
+        assert_eq!(net.forward(&x).shape(), &[5, 3]);
+        assert_eq!(net.len(), 3);
+        assert!(!net.is_empty());
+    }
+
+    #[test]
+    fn backward_fills_all_param_grads() {
+        let mut net = mlp();
+        let x = Tensor::from_vec(vec![2, 4], (0..8).map(|i| i as f32 * 0.1).collect());
+        let y = net.forward_train(&x);
+        let g = Tensor::from_vec(y.shape().to_vec(), vec![1.0; y.len()]);
+        let dx = net.backward(&g);
+        assert_eq!(dx.shape(), &[2, 4]);
+        let mut count = 0;
+        for (_, p) in net.param_layers_mut() {
+            assert!(p.weight_grad.iter().any(|&g| g != 0.0), "grads should be non-zero");
+            count += 1;
+        }
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn weight_layer_indices_skip_activations() {
+        let mut net = mlp();
+        assert_eq!(net.weight_layer_indices(), vec![0, 2]);
+        assert_eq!(net.layer_kind(1), "relu");
+        assert_eq!(net.weight_count(), 4 * 6 + 6 * 3);
+    }
+
+    #[test]
+    fn layer_params_mut_by_index() {
+        let mut net = mlp();
+        assert!(net.layer_params_mut(0).is_some());
+        assert!(net.layer_params_mut(1).is_none());
+        assert!(net.layer_params_mut(99).is_none());
+    }
+
+    #[test]
+    fn debug_lists_layer_kinds() {
+        let net = mlp();
+        let s = format!("{net:?}");
+        assert!(s.contains("dense") && s.contains("relu"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Stochastic gradient descent with the paper's learning-rate schedule.
+//!
+//! The paper trains with a learning rate that is "first set to a large value
+//! and gradually decreased during training"; [`LrSchedule::step_decay`]
+//! implements exactly that, and a constant schedule is provided for tests.
+
+use crate::network::Network;
+
+/// A learning-rate schedule mapping the iteration count to a rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// Fixed learning rate.
+    Constant(f32),
+    /// `initial · decay^(iter / every)` — stepwise exponential decay.
+    StepDecay {
+        /// Rate at iteration 0.
+        initial: f32,
+        /// Multiplicative factor applied every `every` iterations.
+        decay: f32,
+        /// Interval (iterations) between decays.
+        every: u64,
+    },
+}
+
+impl LrSchedule {
+    /// Creates a constant schedule.
+    pub fn constant(lr: f32) -> Self {
+        LrSchedule::Constant(lr)
+    }
+
+    /// Creates a step-decay schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero or any rate parameter is non-positive.
+    pub fn step_decay(initial: f32, decay: f32, every: u64) -> Self {
+        assert!(every > 0, "decay interval must be non-zero");
+        assert!(initial > 0.0 && decay > 0.0, "rates must be positive");
+        LrSchedule::StepDecay { initial, decay, every }
+    }
+
+    /// The learning rate at a given iteration.
+    pub fn lr(&self, iteration: u64) -> f32 {
+        match *self {
+            LrSchedule::Constant(lr) => lr,
+            LrSchedule::StepDecay { initial, decay, every } => {
+                initial * decay.powi((iteration / every) as i32)
+            }
+        }
+    }
+}
+
+/// Plain SGD: `w ← w − lr · dw` after every [`Sgd::step`].
+///
+/// The iteration counter advances once per `step`, driving the schedule.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    schedule: LrSchedule,
+    iteration: u64,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer with the given schedule.
+    pub fn new(schedule: LrSchedule) -> Self {
+        Self { schedule, iteration: 0 }
+    }
+
+    /// The current iteration count.
+    pub fn iteration(&self) -> u64 {
+        self.iteration
+    }
+
+    /// The learning rate that the *next* step will use.
+    pub fn current_lr(&self) -> f32 {
+        self.schedule.lr(self.iteration)
+    }
+
+    /// Applies one SGD update to every parameterized layer and advances the
+    /// iteration counter.
+    pub fn step(&mut self, net: &mut Network) {
+        let lr = self.current_lr();
+        for (_, params) in net.param_layers_mut() {
+            for (w, &g) in params.weights.iter_mut().zip(params.weight_grad) {
+                *w -= lr * g;
+            }
+            if let (Some(bias), Some(bias_grad)) = (params.bias, params.bias_grad) {
+                for (b, &g) in bias.iter_mut().zip(bias_grad) {
+                    *b -= lr * g;
+                }
+            }
+        }
+        self.iteration += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::init_rng;
+    use crate::layers::Dense;
+    use crate::loss::softmax_cross_entropy;
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn constant_schedule_is_constant() {
+        let s = LrSchedule::constant(0.1);
+        assert_eq!(s.lr(0), 0.1);
+        assert_eq!(s.lr(1_000_000), 0.1);
+    }
+
+    #[test]
+    fn step_decay_halves_on_schedule() {
+        let s = LrSchedule::step_decay(1.0, 0.5, 10);
+        assert_eq!(s.lr(0), 1.0);
+        assert_eq!(s.lr(9), 1.0);
+        assert_eq!(s.lr(10), 0.5);
+        assert_eq!(s.lr(25), 0.25);
+    }
+
+    #[test]
+    fn sgd_reduces_loss_on_a_separable_problem() {
+        let mut rng = init_rng(42);
+        let mut net = Network::new();
+        net.push(Dense::new(2, 2, &mut rng));
+        let x = Tensor::from_vec(vec![4, 2], vec![1., 0., 1., 0.1, 0., 1., 0.1, 1.]);
+        let y = vec![0usize, 0, 1, 1];
+        let mut sgd = Sgd::new(LrSchedule::constant(0.5));
+        let (initial, _) = {
+            let logits = net.forward(&x);
+            softmax_cross_entropy(&logits, &y)
+        };
+        for _ in 0..100 {
+            let logits = net.forward_train(&x);
+            let (_, grad) = softmax_cross_entropy(&logits, &y);
+            net.backward(&grad);
+            sgd.step(&mut net);
+        }
+        let logits = net.forward(&x);
+        let (final_loss, _) = softmax_cross_entropy(&logits, &y);
+        assert!(final_loss < initial * 0.2, "{final_loss} vs {initial}");
+        assert_eq!(sgd.iteration(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_decay_interval_panics() {
+        let _ = LrSchedule::step_decay(1.0, 0.5, 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Peripheral ADC model and the modulo-comparison arithmetic of §4.2.
+//!
+//! The test method reuses the ADCs on the crossbar output ports: the analog
+//! quiescent voltage of a column (the sum of the driven cells' conductances)
+//! is digitized at *level granularity* — each cell contributes an integer
+//! number of level steps — and the comparison against the off-chip reference
+//! is done **mod 2ⁿ** by simply truncating the dividend to its last `n` bits,
+//! so only `2ⁿ` reference voltages and a few NAND gates are needed.
+
+use crate::error::RramError;
+
+/// Level-granularity ADC with mod-2ⁿ output truncation.
+///
+/// # Example
+///
+/// ```
+/// use rram::adc::Adc;
+///
+/// # fn main() -> Result<(), rram::RramError> {
+/// let adc = Adc::new(8, 16)?; // 8-level cells, mod-16 comparison
+/// // Three cells at levels 5, 7, 6 → digital sum 18 → 18 mod 16 = 2.
+/// let analog = (5.0 + 7.0 + 6.0) / 7.0;
+/// assert_eq!(adc.digitize(analog), 18);
+/// assert_eq!(adc.digitize_mod(analog), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Adc {
+    levels: u16,
+    divisor: u32,
+}
+
+impl Adc {
+    /// Creates an ADC for `levels`-level cells comparing modulo `divisor`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RramError::InvalidConfig`] unless `levels >= 2` and
+    /// `divisor` is a power of two ≥ 2 (the truncation trick requires it).
+    pub fn new(levels: u16, divisor: u32) -> Result<Self, RramError> {
+        if levels < 2 {
+            return Err(RramError::InvalidConfig(format!(
+                "adc needs >= 2 levels, got {levels}"
+            )));
+        }
+        if divisor < 2 || !divisor.is_power_of_two() {
+            return Err(RramError::InvalidConfig(format!(
+                "modulo divisor must be a power of two >= 2, got {divisor}"
+            )));
+        }
+        Ok(Self { levels, divisor })
+    }
+
+    /// The paper's configuration: 8-level cells, mod-16 comparison.
+    pub fn paper_default() -> Self {
+        Self { levels: 8, divisor: 16 }
+    }
+
+    /// The modulo divisor (number of distinct reference voltages).
+    pub fn divisor(&self) -> u32 {
+        self.divisor
+    }
+
+    /// Number of cell levels the ADC resolves.
+    pub fn levels(&self) -> u16 {
+        self.levels
+    }
+
+    /// Digitizes an analog conductance sum to an integer number of level
+    /// steps (rounding to the nearest step, which is what absorbs write
+    /// variation smaller than half a step).
+    pub fn digitize(&self, analog_sum: f64) -> u64 {
+        let steps = analog_sum * f64::from(self.levels - 1);
+        steps.round().max(0.0) as u64
+    }
+
+    /// Digitizes and truncates to the last `log2(divisor)` bits — the
+    /// hardware's mod-2ⁿ operation.
+    pub fn digitize_mod(&self, analog_sum: f64) -> u64 {
+        self.digitize(analog_sum) & u64::from(self.divisor - 1)
+    }
+
+    /// Reduces an exact (reference) level sum modulo the divisor.
+    pub fn reduce(&self, level_sum: u64) -> u64 {
+        level_sum & u64::from(self.divisor - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_configs() {
+        assert!(Adc::new(1, 16).is_err());
+        assert!(Adc::new(8, 0).is_err());
+        assert!(Adc::new(8, 1).is_err());
+        assert!(Adc::new(8, 12).is_err(), "non power of two divisor");
+    }
+
+    #[test]
+    fn paper_default_is_8_levels_mod_16() {
+        let adc = Adc::paper_default();
+        assert_eq!(adc.levels(), 8);
+        assert_eq!(adc.divisor(), 16);
+    }
+
+    #[test]
+    fn digitize_rounds_to_level_steps() {
+        let adc = Adc::new(8, 16).unwrap();
+        assert_eq!(adc.digitize(0.0), 0);
+        assert_eq!(adc.digitize(1.0), 7);
+        assert_eq!(adc.digitize(3.0), 21);
+        // Half-step noise rounds back to the true value.
+        let one_step = 1.0 / 7.0;
+        assert_eq!(adc.digitize(2.0 * one_step + 0.4 * one_step), 2);
+    }
+
+    #[test]
+    fn modulo_is_bit_truncation() {
+        let adc = Adc::new(8, 16).unwrap();
+        for sum in [0u64, 1, 15, 16, 17, 31, 32, 100] {
+            assert_eq!(adc.reduce(sum), sum % 16);
+        }
+        let analog = 20.0 / 7.0; // 20 level steps
+        assert_eq!(adc.digitize_mod(analog), 4);
+    }
+
+    #[test]
+    fn negative_analog_clamps_to_zero() {
+        let adc = Adc::new(8, 16).unwrap();
+        assert_eq!(adc.digitize(-0.3), 0);
+    }
+
+    #[test]
+    fn divisor_sweep_respects_power_of_two() {
+        for d in [2u32, 4, 8, 16, 32, 64] {
+            let adc = Adc::new(8, d).unwrap();
+            assert_eq!(adc.reduce(d as u64), 0);
+            assert_eq!(adc.reduce(d as u64 + 3), (d as u64 + 3) % d as u64);
+        }
+    }
+}

@@ -1,0 +1,775 @@
+//! The RRAM crossbar array.
+//!
+//! A crossbar stores a matrix on the conductances of its cells and computes
+//! analog matrix–vector products: driving voltages on the rows produces
+//! column currents `i_out[k] = Σ_j g[j][k] · v_in[j]` (and symmetrically in
+//! the transposed direction, which the paper's test method exploits to
+//! derive row information).
+//!
+//! The simulator tracks, per cell: programmed level, analog conductance
+//! (with write variation), hard-fault state, and remaining write endurance.
+//! Every effective write consumes endurance; an exhausted cell becomes a
+//! stuck-at fault — this is the mechanism that degrades on-line training in
+//! the paper's motivational experiment (Fig. 1).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::cell::{RramCell, WriteOutcome};
+use crate::endurance::EnduranceModel;
+use crate::error::RramError;
+use crate::fault::{FaultKind, FaultMap, FaultState};
+use crate::rng::sim_rng;
+use crate::spatial::{FaultInjection, SpatialDistribution};
+use crate::stats::WearReport;
+use crate::variation::WriteVariation;
+
+/// Default number of programmable conductance levels (Xu et al., DAC'13).
+pub const DEFAULT_LEVELS: u16 = 8;
+
+/// Builder for [`Crossbar`] arrays.
+///
+/// # Example
+///
+/// ```
+/// use rram::crossbar::CrossbarBuilder;
+/// use rram::endurance::EnduranceModel;
+/// use rram::variation::WriteVariation;
+/// use rram::spatial::SpatialDistribution;
+///
+/// # fn main() -> Result<(), rram::RramError> {
+/// let xbar = CrossbarBuilder::new(128, 128)
+///     .levels(8)
+///     .endurance(EnduranceModel::high_endurance())
+///     .variation(WriteVariation::typical())
+///     .initial_faults(SpatialDistribution::Uniform, 0.10)
+///     .seed(7)
+///     .build()?;
+/// assert_eq!(xbar.rows(), 128);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CrossbarBuilder {
+    rows: usize,
+    cols: usize,
+    levels: u16,
+    endurance: EnduranceModel,
+    variation: WriteVariation,
+    injection: Option<FaultInjection>,
+    seed: u64,
+}
+
+impl CrossbarBuilder {
+    /// Starts building a `rows × cols` crossbar.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            levels: DEFAULT_LEVELS,
+            endurance: EnduranceModel::unlimited(),
+            variation: WriteVariation::none(),
+            injection: None,
+            seed: 0,
+        }
+    }
+
+    /// Sets the number of programmable levels (default 8).
+    pub fn levels(mut self, levels: u16) -> Self {
+        self.levels = levels;
+        self
+    }
+
+    /// Sets the per-cell endurance model (default: unlimited).
+    pub fn endurance(mut self, model: EnduranceModel) -> Self {
+        self.endurance = model;
+        self
+    }
+
+    /// Sets the write-variation model (default: none).
+    pub fn variation(mut self, variation: WriteVariation) -> Self {
+        self.variation = variation;
+        self
+    }
+
+    /// Injects fabrication faults at build time: `fraction` of the cells
+    /// become stuck (50/50 SA0/SA1), placed per `distribution`.
+    pub fn initial_faults(mut self, distribution: SpatialDistribution, fraction: f64) -> Self {
+        // Validation happens in `build` so the builder stays infallible.
+        self.injection = FaultInjection::new(distribution, fraction).ok();
+        if self.injection.is_none() {
+            // Remember the invalid request so build() can report it.
+            self.injection = Some(FaultInjection {
+                distribution,
+                fraction,
+                sa0_prob: 0.5,
+            });
+        }
+        self
+    }
+
+    /// Injects fabrication faults with full control over the campaign.
+    pub fn initial_fault_injection(mut self, injection: FaultInjection) -> Self {
+        self.injection = Some(injection);
+        self
+    }
+
+    /// Seeds the crossbar's RNG (endurance sampling, variation, wear-out).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the crossbar.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RramError::InvalidConfig`] for zero-sized arrays, fewer than
+    /// two levels, or an out-of-range fault fraction.
+    pub fn build(self) -> Result<Crossbar, RramError> {
+        if self.rows == 0 || self.cols == 0 {
+            return Err(RramError::InvalidConfig(format!(
+                "crossbar dimensions must be non-zero (got {}x{})",
+                self.rows, self.cols
+            )));
+        }
+        if self.levels < 2 {
+            return Err(RramError::InvalidConfig(format!(
+                "need at least 2 levels (got {})",
+                self.levels
+            )));
+        }
+        if let Some(inj) = &self.injection {
+            if !(0.0..=1.0).contains(&inj.fraction) {
+                return Err(RramError::InvalidConfig(format!(
+                    "fault fraction {} outside [0, 1]",
+                    inj.fraction
+                )));
+            }
+        }
+        let mut rng = sim_rng(self.seed);
+        let cells: Vec<RramCell> = (0..self.rows * self.cols)
+            .map(|_| RramCell::new(self.levels, self.endurance.sample(&mut rng)))
+            .collect();
+        let mut xbar = Crossbar {
+            rows: self.rows,
+            cols: self.cols,
+            levels: self.levels,
+            cells,
+            endurance: self.endurance,
+            variation: self.variation,
+            rng,
+            write_pulses: 0,
+            wear_faults: 0,
+        };
+        if let Some(inj) = self.injection {
+            let map = inj.generate(self.rows, self.cols, &mut xbar.rng);
+            xbar.apply_fault_map(&map);
+        }
+        Ok(xbar)
+    }
+}
+
+/// A simulated RRAM crossbar array.
+#[derive(Debug, Clone)]
+pub struct Crossbar {
+    rows: usize,
+    cols: usize,
+    levels: u16,
+    cells: Vec<RramCell>,
+    endurance: EnduranceModel,
+    variation: WriteVariation,
+    rng: StdRng,
+    write_pulses: u64,
+    wear_faults: u64,
+}
+
+impl Crossbar {
+    /// Number of rows (word lines).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (bit lines).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of programmable levels per cell.
+    pub fn levels(&self) -> u16 {
+        self.levels
+    }
+
+    /// Total write pulses issued to the array so far.
+    pub fn write_pulses(&self) -> u64 {
+        self.write_pulses
+    }
+
+    /// Number of cells that wore out (developed endurance faults) so far.
+    pub fn wear_faults(&self) -> u64 {
+        self.wear_faults
+    }
+
+    #[inline]
+    fn idx(&self, row: usize, col: usize) -> Result<usize, RramError> {
+        if row >= self.rows || col >= self.cols {
+            return Err(RramError::OutOfBounds {
+                row,
+                col,
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        Ok(row * self.cols + col)
+    }
+
+    /// Immutable access to a cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RramError::OutOfBounds`] for invalid coordinates.
+    pub fn cell(&self, row: usize, col: usize) -> Result<&RramCell, RramError> {
+        let i = self.idx(row, col)?;
+        Ok(&self.cells[i])
+    }
+
+    /// The ideal programmed level at `(row, col)` (stuck cells read pinned).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RramError::OutOfBounds`] for invalid coordinates.
+    pub fn read_level(&self, row: usize, col: usize) -> Result<u16, RramError> {
+        Ok(self.cells[self.idx(row, col)?].level())
+    }
+
+    /// The analog conductance in `[0, 1]` at `(row, col)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RramError::OutOfBounds`] for invalid coordinates.
+    pub fn conductance(&self, row: usize, col: usize) -> Result<f64, RramError> {
+        Ok(self.cells[self.idx(row, col)?].conductance())
+    }
+
+    /// Reads all levels row-major — the "read RRAM values, store off-chip"
+    /// step at the start of the paper's test procedure.
+    pub fn read_all_levels(&self) -> Vec<u16> {
+        self.cells.iter().map(|c| c.level()).collect()
+    }
+
+    /// Reads all analog conductances row-major.
+    pub fn read_all_conductances(&self) -> Vec<f64> {
+        self.cells.iter().map(|c| c.conductance()).collect()
+    }
+
+    /// Programs the cell at `(row, col)` to `target` level.
+    ///
+    /// Consumes endurance when a pulse is issued; a cell whose budget is
+    /// exhausted becomes stuck (SA0 with the endurance model's wear-out
+    /// probability, SA1 otherwise) and the outcome reports the new fault.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RramError::OutOfBounds`] for invalid coordinates or
+    /// [`RramError::LevelOutOfRange`] for an unrepresentable level.
+    pub fn write_level(
+        &mut self,
+        row: usize,
+        col: usize,
+        target: u16,
+    ) -> Result<WriteOutcome, RramError> {
+        if target >= self.levels {
+            return Err(RramError::LevelOutOfRange { level: target, levels: self.levels });
+        }
+        let i = self.idx(row, col)?;
+        let noise = self.sample_noise();
+        let outcome = self.cells[i].write_level(target, noise);
+        self.finish_write(i, outcome)
+    }
+
+    /// Programs an arbitrary analog conductance in `[0, 1]` — the write
+    /// primitive on-line *training* uses (test writes use the level-grid
+    /// [`Crossbar::nudge`]; see §4.2 of the paper).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RramError::OutOfBounds`] for invalid coordinates.
+    pub fn write_analog(
+        &mut self,
+        row: usize,
+        col: usize,
+        target: f64,
+    ) -> Result<WriteOutcome, RramError> {
+        let i = self.idx(row, col)?;
+        let noise = self.sample_noise();
+        let outcome = self.cells[i].write_analog(target, noise);
+        self.finish_write(i, outcome)
+    }
+
+    /// Program-and-verify: re-pulses the cell until its analog conductance
+    /// lands within `tolerance` of the target or `max_pulses` are spent.
+    /// Returns the outcome of the last pulse and the number of pulses used.
+    ///
+    /// This is how production RRAM suppresses write variation — at the cost
+    /// of extra endurance per write. A fresh pulse is issued even when the
+    /// cell is already in tolerance (the scheme verifies *after* writing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RramError::OutOfBounds`] for invalid coordinates or
+    /// [`RramError::InvalidConfig`] for a non-positive tolerance or zero
+    /// pulse budget.
+    pub fn write_verified(
+        &mut self,
+        row: usize,
+        col: usize,
+        target: f64,
+        tolerance: f64,
+        max_pulses: u32,
+    ) -> Result<(WriteOutcome, u32), RramError> {
+        if !tolerance.is_finite() || tolerance <= 0.0 {
+            return Err(RramError::InvalidConfig(format!(
+                "tolerance must be positive, got {tolerance}"
+            )));
+        }
+        if max_pulses == 0 {
+            return Err(RramError::InvalidConfig("need at least one pulse".into()));
+        }
+        let target = target.clamp(0.0, 1.0);
+        let mut pulses = 0u32;
+        let mut outcome = WriteOutcome::NoChange;
+        while pulses < max_pulses {
+            outcome = self.pulse_analog(row, col, target)?;
+            pulses += 1;
+            if !outcome.changed() {
+                break; // stuck or exhausted: further pulses are futile
+            }
+            if (self.conductance(row, col)? - target).abs() <= tolerance {
+                break;
+            }
+        }
+        Ok((outcome, pulses))
+    }
+
+    /// Unconditional programming pulse (no write-verify): consumes
+    /// endurance even when the value does not change. Training updates use
+    /// this; see [`rram::cell::RramCell::pulse_analog`](crate::cell::RramCell::pulse_analog).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RramError::OutOfBounds`] for invalid coordinates.
+    pub fn pulse_analog(
+        &mut self,
+        row: usize,
+        col: usize,
+        target: f64,
+    ) -> Result<WriteOutcome, RramError> {
+        let i = self.idx(row, col)?;
+        let noise = self.sample_noise();
+        let outcome = self.cells[i].pulse_analog(target, noise);
+        self.finish_write(i, outcome)
+    }
+
+    /// Adjusts the cell level by `delta` (the paper's "Write ±δw").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RramError::OutOfBounds`] for invalid coordinates.
+    pub fn nudge(
+        &mut self,
+        row: usize,
+        col: usize,
+        delta: i32,
+    ) -> Result<WriteOutcome, RramError> {
+        let i = self.idx(row, col)?;
+        let noise = self.sample_noise();
+        let outcome = self.cells[i].nudge(delta, noise);
+        self.finish_write(i, outcome)
+    }
+
+    /// Draws a zero-mean write-variation noise sample. Centred on 0.5 so the
+    /// clamp inside [`WriteVariation::perturb`] almost never bites, then
+    /// recentred to zero.
+    fn sample_noise(&mut self) -> f64 {
+        if self.variation.is_none() {
+            0.0
+        } else {
+            self.variation.perturb(0.5, &mut self.rng) - 0.5
+        }
+    }
+
+    fn finish_write(
+        &mut self,
+        i: usize,
+        outcome: WriteOutcome,
+    ) -> Result<WriteOutcome, RramError> {
+        debug_assert!(
+            outcome != WriteOutcome::Exhausted,
+            "crossbar sticks cells at the write that exhausts them"
+        );
+        if outcome.changed() {
+            self.write_pulses += 1;
+            if self.cells[i].is_worn_out() && !self.cells[i].state().is_faulty() {
+                let kind = if self.rng.gen_bool(self.endurance.wearout_sa0_prob()) {
+                    FaultKind::StuckAt0
+                } else {
+                    FaultKind::StuckAt1
+                };
+                self.cells[i].wear_out(kind);
+                self.wear_faults += 1;
+                return Ok(WriteOutcome::WoreOut(kind));
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Analog matrix–vector product driving the **rows**: returns one value
+    /// per column, `out[k] = Σ_j g[j][k] · input[j]`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rram::crossbar::CrossbarBuilder;
+    ///
+    /// # fn main() -> Result<(), rram::RramError> {
+    /// let mut xbar = CrossbarBuilder::new(2, 2).build()?;
+    /// xbar.write_level(0, 0, 7)?; // g = 1.0
+    /// xbar.write_level(1, 1, 7)?;
+    /// let out = xbar.mvm(&[2.0, 3.0])?; // identity conductance matrix
+    /// assert_eq!(out, vec![2.0, 3.0]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RramError::DimensionMismatch`] if `input.len() != rows`.
+    pub fn mvm(&self, input: &[f32]) -> Result<Vec<f32>, RramError> {
+        if input.len() != self.rows {
+            return Err(RramError::DimensionMismatch {
+                expected: self.rows,
+                actual: input.len(),
+            });
+        }
+        let mut out = vec![0.0f32; self.cols];
+        for (r, &v) in input.iter().enumerate() {
+            if v == 0.0 {
+                continue;
+            }
+            let row_cells = &self.cells[r * self.cols..(r + 1) * self.cols];
+            for (o, cell) in out.iter_mut().zip(row_cells) {
+                *o += cell.conductance() as f32 * v;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Analog matrix–vector product driving the **columns** (the crossbar's
+    /// second direction, used by the test method): returns one value per
+    /// row, `out[j] = Σ_k g[j][k] · input[k]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RramError::DimensionMismatch`] if `input.len() != cols`.
+    pub fn mvm_transpose(&self, input: &[f32]) -> Result<Vec<f32>, RramError> {
+        if input.len() != self.cols {
+            return Err(RramError::DimensionMismatch {
+                expected: self.cols,
+                actual: input.len(),
+            });
+        }
+        let mut out = vec![0.0f32; self.rows];
+        for (r, o) in out.iter_mut().enumerate() {
+            let row_cells = &self.cells[r * self.cols..(r + 1) * self.cols];
+            let mut acc = 0.0f32;
+            for (cell, &v) in row_cells.iter().zip(input) {
+                acc += cell.conductance() as f32 * v;
+            }
+            *o = acc;
+        }
+        Ok(out)
+    }
+
+    /// Quiescent column read for the test method: the analog sum of the
+    /// conductances of the cells in `rows` (an inclusive-start, exclusive-end
+    /// slice of driven word lines) on column `col`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RramError::OutOfBounds`] if the range or column is invalid.
+    pub fn column_group_sum(
+        &self,
+        rows: std::ops::Range<usize>,
+        col: usize,
+    ) -> Result<f64, RramError> {
+        if rows.end > self.rows || col >= self.cols {
+            return Err(RramError::OutOfBounds {
+                row: rows.end.saturating_sub(1),
+                col,
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        Ok(rows.map(|r| self.cells[r * self.cols + col].conductance()).sum())
+    }
+
+    /// Quiescent row read: the analog sum over a slice of driven bit lines
+    /// on row `row`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RramError::OutOfBounds`] if the range or row is invalid.
+    pub fn row_group_sum(
+        &self,
+        row: usize,
+        cols: std::ops::Range<usize>,
+    ) -> Result<f64, RramError> {
+        if cols.end > self.cols || row >= self.rows {
+            return Err(RramError::OutOfBounds {
+                row,
+                col: cols.end.saturating_sub(1),
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        Ok(cols.map(|c| self.cells[row * self.cols + c].conductance()).sum())
+    }
+
+    /// Pins cells to hard faults per the given map (fabrication injection).
+    pub fn apply_fault_map(&mut self, map: &FaultMap) {
+        for (r, c, kind) in map.iter_faulty() {
+            if r < self.rows && c < self.cols {
+                self.cells[r * self.cols + c].force_fault(kind);
+            }
+        }
+    }
+
+    /// Ground-truth fault map of the current array state.
+    pub fn fault_map(&self) -> FaultMap {
+        let mut map = FaultMap::healthy(self.rows, self.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if let FaultState::Stuck(kind) = self.cells[r * self.cols + c].state() {
+                    map.set(r, c, Some(kind));
+                }
+            }
+        }
+        map
+    }
+
+    /// Aggregate wear statistics.
+    pub fn wear_report(&self) -> WearReport {
+        WearReport::from_cells(self.rows, self.cols, &self.cells, self.write_pulses)
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Crossbar {
+        CrossbarBuilder::new(4, 4).seed(1).build().unwrap()
+    }
+
+    #[test]
+    fn builder_validates() {
+        assert!(CrossbarBuilder::new(0, 4).build().is_err());
+        assert!(CrossbarBuilder::new(4, 0).build().is_err());
+        assert!(CrossbarBuilder::new(4, 4).levels(1).build().is_err());
+        assert!(CrossbarBuilder::new(4, 4)
+            .initial_faults(SpatialDistribution::Uniform, 2.0)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn fresh_crossbar_reads_zero() {
+        let x = small();
+        assert_eq!(x.read_all_levels(), vec![0; 16]);
+        assert_eq!(x.mvm(&[1.0; 4]).unwrap(), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn mvm_matches_dense_math() {
+        let mut x = small();
+        // Program an identifiable pattern: level = (r + c) % 8.
+        for r in 0..4 {
+            for c in 0..4 {
+                x.write_level(r, c, ((r + c) % 8) as u16).unwrap();
+            }
+        }
+        let input = [1.0, 0.5, -0.25, 2.0];
+        let out = x.mvm(&input).unwrap();
+        #[allow(clippy::needless_range_loop)]
+        for c in 0..4 {
+            let expect: f32 = (0..4)
+                .map(|r| (((r + c) % 8) as f32 / 7.0) * input[r])
+                .sum();
+            assert!((out[c] - expect).abs() < 1e-5, "col {c}: {} vs {expect}", out[c]);
+        }
+        // Transposed direction agrees with the transposed math.
+        let tin = [1.0, -1.0, 0.5, 0.0];
+        let tout = x.mvm_transpose(&tin).unwrap();
+        #[allow(clippy::needless_range_loop)]
+        for r in 0..4 {
+            let expect: f32 = (0..4)
+                .map(|c| (((r + c) % 8) as f32 / 7.0) * tin[c])
+                .sum();
+            assert!((tout[r] - expect).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn mvm_rejects_wrong_length() {
+        let x = small();
+        assert!(matches!(
+            x.mvm(&[1.0; 3]),
+            Err(RramError::DimensionMismatch { expected: 4, actual: 3 })
+        ));
+        assert!(x.mvm_transpose(&[1.0; 5]).is_err());
+    }
+
+    #[test]
+    fn stuck_cells_dominate_reads() {
+        let mut x = small();
+        let mut map = FaultMap::healthy(4, 4);
+        map.set(0, 0, Some(FaultKind::StuckAt1));
+        map.set(1, 1, Some(FaultKind::StuckAt0));
+        x.apply_fault_map(&map);
+        assert_eq!(x.read_level(0, 0).unwrap(), 7);
+        assert_eq!(x.conductance(0, 0).unwrap(), 1.0);
+        assert_eq!(x.read_level(1, 1).unwrap(), 0);
+        // Writes to stuck cells have no effect.
+        assert!(matches!(
+            x.write_level(0, 0, 3).unwrap(),
+            WriteOutcome::Stuck(FaultKind::StuckAt1)
+        ));
+        assert_eq!(x.fault_map().count_faulty(), 2);
+    }
+
+    #[test]
+    fn endurance_wearout_creates_faults() {
+        let mut x = CrossbarBuilder::new(2, 2)
+            .endurance(EnduranceModel::new(3.0, 0.0))
+            .seed(9)
+            .build()
+            .unwrap();
+        // Toggle one cell until it wears out (budget = 3 writes).
+        let mut worn = None;
+        for i in 0..10 {
+            let out = x.write_level(0, 0, (i % 2 + 1) as u16).unwrap();
+            if let WriteOutcome::WoreOut(kind) = out {
+                worn = Some((i, kind));
+                break;
+            }
+        }
+        let (i, _) = worn.expect("cell should wear out");
+        assert_eq!(i, 2, "third write exhausts a 3-write budget");
+        assert_eq!(x.wear_faults(), 1);
+        assert_eq!(x.fault_map().count_faulty(), 1);
+        // Further writes report Stuck.
+        assert!(matches!(
+            x.write_level(0, 0, 5).unwrap(),
+            WriteOutcome::Stuck(_)
+        ));
+    }
+
+    #[test]
+    fn group_sums_match_manual_sums() {
+        let mut x = small();
+        for r in 0..4 {
+            for c in 0..4 {
+                x.write_level(r, c, (r as u16 + 1).min(7)).unwrap();
+            }
+        }
+        let s = x.column_group_sum(0..2, 1).unwrap();
+        let expect = (1.0 + 2.0) / 7.0;
+        assert!((s - expect).abs() < 1e-9);
+        let s = x.row_group_sum(2, 1..4).unwrap();
+        let expect = 3.0 * 3.0 / 7.0;
+        assert!((s - expect).abs() < 1e-9);
+        assert!(x.column_group_sum(0..5, 0).is_err());
+        assert!(x.row_group_sum(4, 0..1).is_err());
+    }
+
+    #[test]
+    fn write_pulse_accounting() {
+        let mut x = small();
+        assert_eq!(x.write_pulses(), 0);
+        x.write_level(0, 0, 3).unwrap();
+        x.write_level(0, 0, 3).unwrap(); // no change, no pulse
+        x.nudge(0, 0, 1).unwrap();
+        x.nudge(0, 0, 0).unwrap(); // no-op
+        assert_eq!(x.write_pulses(), 2);
+    }
+
+    #[test]
+    fn initial_fault_injection_via_builder() {
+        let x = CrossbarBuilder::new(32, 32)
+            .initial_faults(SpatialDistribution::Uniform, 0.25)
+            .seed(3)
+            .build()
+            .unwrap();
+        let frac = x.fault_map().fraction_faulty();
+        assert!((frac - 0.25).abs() < 0.01, "fraction was {frac}");
+    }
+
+    #[test]
+    fn write_verified_converges_under_variation() {
+        let mut x = CrossbarBuilder::new(2, 2)
+            .variation(WriteVariation::new(0.05))
+            .seed(8)
+            .build()
+            .unwrap();
+        let (outcome, pulses) = x.write_verified(0, 0, 0.5, 0.01, 50).unwrap();
+        assert!(outcome.changed());
+        assert!((x.conductance(0, 0).unwrap() - 0.5).abs() <= 0.01);
+        assert!(pulses >= 1);
+        // With σ = 0.05 and tolerance 0.01 the loop usually needs retries.
+        let mut total = 0u32;
+        for i in 0..20 {
+            let target = 0.1 + 0.04 * f64::from(i);
+            let (_, p) = x.write_verified(0, 1, target, 0.01, 50).unwrap();
+            total += p;
+        }
+        assert!(total > 20, "verify loops should re-pulse sometimes: {total}");
+    }
+
+    #[test]
+    fn write_verified_gives_up_on_stuck_cells() {
+        let mut x = CrossbarBuilder::new(2, 2).seed(9).build().unwrap();
+        let mut map = FaultMap::healthy(2, 2);
+        map.set(0, 0, Some(FaultKind::StuckAt0));
+        x.apply_fault_map(&map);
+        let (outcome, pulses) = x.write_verified(0, 0, 0.7, 0.01, 50).unwrap();
+        assert!(matches!(outcome, WriteOutcome::Stuck(FaultKind::StuckAt0)));
+        assert_eq!(pulses, 1, "one probe is enough to see the cell is stuck");
+    }
+
+    #[test]
+    fn write_verified_validates_arguments() {
+        let mut x = CrossbarBuilder::new(2, 2).seed(1).build().unwrap();
+        assert!(x.write_verified(0, 0, 0.5, 0.0, 10).is_err());
+        assert!(x.write_verified(0, 0, 0.5, 0.01, 0).is_err());
+        assert!(x.write_verified(5, 0, 0.5, 0.01, 10).is_err());
+    }
+
+    #[test]
+    fn variation_perturbs_analog_reads() {
+        let mut x = CrossbarBuilder::new(2, 2)
+            .variation(WriteVariation::new(0.05))
+            .seed(21)
+            .build()
+            .unwrap();
+        let mut any_off = false;
+        for i in 0..20 {
+            x.write_level(0, 0, (i % 7 + 1) as u16).unwrap();
+            let ideal = f64::from(x.read_level(0, 0).unwrap()) / 7.0;
+            if (x.conductance(0, 0).unwrap() - ideal).abs() > 1e-6 {
+                any_off = true;
+            }
+        }
+        assert!(any_off, "variation should displace analog conductance");
+    }
+}

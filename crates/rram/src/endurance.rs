@@ -1,0 +1,196 @@
+//! Write-endurance models.
+//!
+//! Following the paper's §6.2.1, per-cell endurance (the number of write
+//! operations a cell survives before it develops a hard fault) is drawn from
+//! a Gaussian distribution:
+//!
+//! * **Low-endurance technology**: mean 5×10⁶ writes, σ = 1.5×10⁶.
+//! * **High-endurance technology**: mean 10⁸ writes, σ = 3×10⁷.
+//!
+//! Because simulating millions of real training iterations is impractical,
+//! the model supports *proportional scaling* ([`EnduranceModel::scaled`]):
+//! scaling endurance and iteration counts by the same factor preserves the
+//! statistics that matter (expected writes-per-cell relative to the cell's
+//! budget). `DESIGN.md` §2 documents this substitution.
+
+use rand::Rng;
+
+use crate::rng::Normal;
+
+/// Gaussian per-cell write-endurance model.
+///
+/// # Example
+///
+/// ```
+/// use rram::endurance::EnduranceModel;
+/// use rram::rng::sim_rng;
+///
+/// let model = EnduranceModel::low_endurance().scaled(1e-3);
+/// let mut rng = sim_rng(1);
+/// let budget = model.sample(&mut rng);
+/// assert!(budget >= 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnduranceModel {
+    mean: f64,
+    std: f64,
+    wearout_sa0_prob: f64,
+}
+
+impl EnduranceModel {
+    /// Creates a model with the given mean and standard deviation (writes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean <= 0`, `std < 0`, or either is non-finite.
+    pub fn new(mean: f64, std: f64) -> Self {
+        assert!(mean.is_finite() && std.is_finite(), "parameters must be finite");
+        assert!(mean > 0.0, "mean endurance must be positive");
+        assert!(std >= 0.0, "endurance std must be non-negative");
+        Self { mean, std, wearout_sa0_prob: 0.5 }
+    }
+
+    /// The paper's low-endurance technology: N(5×10⁶, (1.5×10⁶)²).
+    pub fn low_endurance() -> Self {
+        Self::new(5.0e6, 1.5e6)
+    }
+
+    /// The paper's high-endurance technology: N(10⁸, (3×10⁷)²).
+    pub fn high_endurance() -> Self {
+        Self::new(1.0e8, 3.0e7)
+    }
+
+    /// The intermediate technology discussed in §6.4: N(10⁷, 3×10⁶).
+    pub fn medium_endurance() -> Self {
+        Self::new(1.0e7, 3.0e6)
+    }
+
+    /// An effectively unlimited endurance (for fault-free baselines).
+    pub fn unlimited() -> Self {
+        Self::new(1.0e18, 0.0)
+    }
+
+    /// Returns a copy with mean and std multiplied by `factor`.
+    ///
+    /// Use together with an equally scaled iteration budget to keep
+    /// experiments tractable; see `DESIGN.md` §2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not a positive finite number.
+    pub fn scaled(self, factor: f64) -> Self {
+        assert!(factor.is_finite() && factor > 0.0, "scale factor must be positive");
+        Self {
+            mean: self.mean * factor,
+            std: self.std * factor,
+            wearout_sa0_prob: self.wearout_sa0_prob,
+        }
+    }
+
+    /// Sets the probability that a worn-out cell becomes SA0 (vs SA1).
+    ///
+    /// Filamentary RRAM wears out into either a permanently formed filament
+    /// (stuck at low resistance, SA1) or a cell that can no longer form one
+    /// (SA0); the literature reports both, so the split is configurable and
+    /// defaults to 0.5.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prob` is outside `[0, 1]`.
+    pub fn with_wearout_sa0_prob(mut self, prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "probability must be in [0, 1]");
+        self.wearout_sa0_prob = prob;
+        self
+    }
+
+    /// Mean endurance in writes.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Standard deviation of endurance in writes.
+    pub fn std(&self) -> f64 {
+        self.std
+    }
+
+    /// Probability that a worn-out cell becomes SA0.
+    pub fn wearout_sa0_prob(&self) -> f64 {
+        self.wearout_sa0_prob
+    }
+
+    /// Draws a per-cell write budget (at least 1 write).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let raw = Normal::new(self.mean, self.std).sample(rng);
+        raw.max(1.0).round() as u64
+    }
+}
+
+impl Default for EnduranceModel {
+    /// Defaults to the paper's low-endurance technology.
+    fn default() -> Self {
+        Self::low_endurance()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::sim_rng;
+
+    #[test]
+    fn presets_match_paper_parameters() {
+        let low = EnduranceModel::low_endurance();
+        assert_eq!(low.mean(), 5.0e6);
+        assert_eq!(low.std(), 1.5e6);
+        let high = EnduranceModel::high_endurance();
+        assert_eq!(high.mean(), 1.0e8);
+        assert_eq!(high.std(), 3.0e7);
+        let med = EnduranceModel::medium_endurance();
+        assert_eq!(med.mean(), 1.0e7);
+    }
+
+    #[test]
+    fn scaling_scales_both_moments() {
+        let m = EnduranceModel::low_endurance().scaled(1e-3);
+        assert_eq!(m.mean(), 5.0e3);
+        assert_eq!(m.std(), 1.5e3);
+    }
+
+    #[test]
+    fn samples_cluster_around_mean() {
+        let model = EnduranceModel::new(1000.0, 100.0);
+        let mut rng = sim_rng(77);
+        let n = 5000;
+        let mean =
+            (0..n).map(|_| model.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 1000.0).abs() < 10.0, "mean was {mean}");
+    }
+
+    #[test]
+    fn sample_is_at_least_one() {
+        // A tight distribution near zero must still produce valid budgets.
+        let model = EnduranceModel::new(1.0, 100.0);
+        let mut rng = sim_rng(3);
+        for _ in 0..1000 {
+            assert!(model.sample(&mut rng) >= 1);
+        }
+    }
+
+    #[test]
+    fn unlimited_is_effectively_infinite() {
+        let mut rng = sim_rng(1);
+        assert!(EnduranceModel::unlimited().sample(&mut rng) > 1_000_000_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_mean_panics() {
+        let _ = EnduranceModel::new(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_wearout_prob_panics() {
+        let _ = EnduranceModel::low_endurance().with_wearout_sa0_prob(1.5);
+    }
+}

@@ -1,0 +1,138 @@
+//! Energy accounting for RCS operations.
+//!
+//! Energy efficiency is the motivation for RRAM-based neural computing in
+//! the first place (§1 of the paper): the crossbar performs an entire
+//! matrix–vector product in one analog step, eliminating von Neumann data
+//! movement. This module provides a simple per-operation energy model so
+//! experiments can report the energy cost of training, testing, and
+//! re-programming alongside accuracy — in particular the energy the
+//! threshold-training method saves by eliminating ~94 % of write pulses.
+//!
+//! Default constants follow the ranges commonly used in the RCS literature
+//! (e.g. MNSIM, PRIME): ~1 pJ per cell per analog MAC is pessimistic for
+//! the array itself but accounts for DAC/ADC periphery; SET/RESET pulses
+//! cost orders of magnitude more than reads.
+
+/// Per-operation energy constants, in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Energy per cell per analog multiply-accumulate in an MVM.
+    pub mvm_pj_per_cell: f64,
+    /// Energy per single-cell read.
+    pub read_pj: f64,
+    /// Energy per programming (SET/RESET) pulse.
+    pub write_pj: f64,
+}
+
+impl EnergyModel {
+    /// Literature-typical constants: 0.1 pJ per MAC cell, 1 pJ per read,
+    /// 100 pJ per write pulse.
+    pub fn typical() -> Self {
+        Self { mvm_pj_per_cell: 0.1, read_pj: 1.0, write_pj: 100.0 }
+    }
+
+    /// Estimates the energy of an operation mix.
+    pub fn estimate(&self, ops: OperationCounts) -> EnergyEstimate {
+        EnergyEstimate {
+            mvm_pj: ops.mvm_cell_ops as f64 * self.mvm_pj_per_cell,
+            read_pj: ops.cell_reads as f64 * self.read_pj,
+            write_pj: ops.write_pulses as f64 * self.write_pj,
+        }
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::typical()
+    }
+}
+
+/// Operation counts accumulated by an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OperationCounts {
+    /// Cell-level multiply-accumulates performed by analog MVMs.
+    pub mvm_cell_ops: u64,
+    /// Single-cell reads (snapshots, verify reads).
+    pub cell_reads: u64,
+    /// Programming pulses.
+    pub write_pulses: u64,
+}
+
+/// Energy breakdown of an operation mix, in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyEstimate {
+    /// Energy spent on analog matrix–vector products.
+    pub mvm_pj: f64,
+    /// Energy spent on cell reads.
+    pub read_pj: f64,
+    /// Energy spent on programming pulses.
+    pub write_pj: f64,
+}
+
+impl EnergyEstimate {
+    /// Total energy in picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.mvm_pj + self.read_pj + self.write_pj
+    }
+
+    /// Total energy in microjoules (for readable experiment output).
+    pub fn total_uj(&self) -> f64 {
+        self.total_pj() / 1.0e6
+    }
+
+    /// The fraction of total energy spent on writes — the quantity
+    /// threshold training attacks.
+    pub fn write_fraction(&self) -> f64 {
+        let total = self.total_pj();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.write_pj / total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimate_accumulates_components() {
+        let model = EnergyModel::typical();
+        let est = model.estimate(OperationCounts {
+            mvm_cell_ops: 1000,
+            cell_reads: 100,
+            write_pulses: 10,
+        });
+        assert!((est.mvm_pj - 100.0).abs() < 1e-9);
+        assert!((est.read_pj - 100.0).abs() < 1e-9);
+        assert!((est.write_pj - 1000.0).abs() < 1e-9);
+        assert!((est.total_pj() - 1200.0).abs() < 1e-9);
+        assert!((est.total_uj() - 1.2e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn write_fraction_dominates_under_unconditional_training() {
+        // One training iteration of an n-cell layer: one MVM over all
+        // cells, one write pulse per cell (original method).
+        let model = EnergyModel::typical();
+        let n = 10_000u64;
+        let est = model.estimate(OperationCounts {
+            mvm_cell_ops: 3 * n, // forward + two backward products
+            cell_reads: 0,
+            write_pulses: n,
+        });
+        assert!(
+            est.write_fraction() > 0.9,
+            "writes dominate: {}",
+            est.write_fraction()
+        );
+    }
+
+    #[test]
+    fn zero_ops_zero_energy() {
+        let est = EnergyModel::default().estimate(OperationCounts::default());
+        assert_eq!(est.total_pj(), 0.0);
+        assert_eq!(est.write_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Error type shared by all fallible operations in this crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by RRAM simulator operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RramError {
+    /// An input vector length did not match the crossbar dimension it drives.
+    DimensionMismatch {
+        /// What the operation expected (rows or columns of the array).
+        expected: usize,
+        /// What the caller supplied.
+        actual: usize,
+    },
+    /// A cell coordinate was outside the array bounds.
+    OutOfBounds {
+        /// Requested row.
+        row: usize,
+        /// Requested column.
+        col: usize,
+        /// Array rows.
+        rows: usize,
+        /// Array columns.
+        cols: usize,
+    },
+    /// A conductance level was outside the representable range.
+    LevelOutOfRange {
+        /// The offending level.
+        level: u16,
+        /// Number of levels the cell supports.
+        levels: u16,
+    },
+    /// A configuration value was invalid (zero-sized array, fraction outside
+    /// `[0, 1]`, fewer than two levels, ...).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for RramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RramError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            RramError::OutOfBounds { row, col, rows, cols } => {
+                write!(f, "cell ({row}, {col}) out of bounds for {rows}x{cols} array")
+            }
+            RramError::LevelOutOfRange { level, levels } => {
+                write!(f, "level {level} out of range for {levels}-level cell")
+            }
+            RramError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for RramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = RramError::DimensionMismatch { expected: 8, actual: 4 };
+        assert_eq!(e.to_string(), "dimension mismatch: expected 8, got 4");
+        let e = RramError::OutOfBounds { row: 9, col: 1, rows: 4, cols: 4 };
+        assert!(e.to_string().contains("(9, 1)"));
+        let e = RramError::LevelOutOfRange { level: 9, levels: 8 };
+        assert!(e.to_string().contains("9"));
+        let e = RramError::InvalidConfig("bad".into());
+        assert!(e.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RramError>();
+    }
+}

@@ -1,0 +1,233 @@
+//! Weight ↔ conductance codecs.
+//!
+//! RCS designs store a weight matrix on cell conductances. Two schemes are
+//! provided:
+//!
+//! * [`UnipolarCodec`] — one cell per weight, encoding the magnitude of a
+//!   non-negative weight. This is the *logical* granularity the paper's
+//!   re-mapping reasons at (a pruned zero weight ↔ a minimum-conductance
+//!   cell, which is what lets a zero "reuse" an SA0 cell).
+//! * [`DifferentialCodec`] — the common physical scheme with a positive and
+//!   a negative crossbar (`w ∝ g⁺ − g⁻`), supporting signed weights.
+
+use crate::error::RramError;
+
+/// Quantizes a normalized value in `[0, 1]` to the nearest of `L` levels.
+///
+/// # Example
+///
+/// ```
+/// use rram::quantize::LevelQuantizer;
+///
+/// # fn main() -> Result<(), rram::RramError> {
+/// let q = LevelQuantizer::new(8)?;
+/// assert_eq!(q.quantize(0.0), 0);
+/// assert_eq!(q.quantize(1.0), 7);
+/// assert_eq!(q.quantize(0.5), 4); // 3.5 rounds half-up to 4
+/// assert!((q.dequantize(4) - 4.0 / 7.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelQuantizer {
+    levels: u16,
+}
+
+impl LevelQuantizer {
+    /// Creates a quantizer with `levels` levels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RramError::InvalidConfig`] if `levels < 2`.
+    pub fn new(levels: u16) -> Result<Self, RramError> {
+        if levels < 2 {
+            return Err(RramError::InvalidConfig(format!(
+                "quantizer needs >= 2 levels, got {levels}"
+            )));
+        }
+        Ok(Self { levels })
+    }
+
+    /// Number of levels.
+    pub fn levels(&self) -> u16 {
+        self.levels
+    }
+
+    /// Nearest level for a normalized value (values are clamped to `[0, 1]`).
+    pub fn quantize(&self, normalized: f64) -> u16 {
+        let clamped = normalized.clamp(0.0, 1.0);
+        (clamped * f64::from(self.levels - 1)).round() as u16
+    }
+
+    /// Normalized value of a level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= levels`.
+    pub fn dequantize(&self, level: u16) -> f64 {
+        assert!(level < self.levels, "level {level} out of range");
+        f64::from(level) / f64::from(self.levels - 1)
+    }
+
+    /// The quantization step size (distance between adjacent levels).
+    pub fn step(&self) -> f64 {
+        1.0 / f64::from(self.levels - 1)
+    }
+}
+
+/// One-cell-per-weight codec for non-negative weights in `[0, w_max]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnipolarCodec {
+    w_max: f64,
+    quantizer: LevelQuantizer,
+}
+
+impl UnipolarCodec {
+    /// Creates a codec for weights in `[0, w_max]` on `levels`-level cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RramError::InvalidConfig`] if `w_max <= 0` or `levels < 2`.
+    pub fn new(w_max: f64, levels: u16) -> Result<Self, RramError> {
+        if !(w_max.is_finite() && w_max > 0.0) {
+            return Err(RramError::InvalidConfig(format!(
+                "w_max must be positive, got {w_max}"
+            )));
+        }
+        Ok(Self { w_max, quantizer: LevelQuantizer::new(levels)? })
+    }
+
+    /// The full-scale weight.
+    pub fn w_max(&self) -> f64 {
+        self.w_max
+    }
+
+    /// Encodes a weight to a level (clamping to the representable range).
+    pub fn encode(&self, weight: f64) -> u16 {
+        self.quantizer.quantize(weight / self.w_max)
+    }
+
+    /// Decodes a conductance (normalized `[0, 1]`) back to a weight.
+    pub fn decode(&self, conductance: f64) -> f64 {
+        conductance * self.w_max
+    }
+
+    /// Decodes a level back to a weight.
+    pub fn decode_level(&self, level: u16) -> f64 {
+        self.quantizer.dequantize(level) * self.w_max
+    }
+}
+
+/// Differential-pair codec: a signed weight `w ∈ [-w_max, w_max]` is stored
+/// as conductances on a positive and a negative array with `w ∝ g⁺ − g⁻`.
+///
+/// Encoding is one-sided (the inactive polarity is driven to level 0), which
+/// maximizes the representable range and means a *pruned zero weight maps
+/// both cells to the minimum conductance* — the property the re-mapping step
+/// exploits for SA0 faults in either array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DifferentialCodec {
+    w_max: f64,
+    quantizer: LevelQuantizer,
+}
+
+impl DifferentialCodec {
+    /// Creates a codec for weights in `[-w_max, w_max]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RramError::InvalidConfig`] if `w_max <= 0` or `levels < 2`.
+    pub fn new(w_max: f64, levels: u16) -> Result<Self, RramError> {
+        if !(w_max.is_finite() && w_max > 0.0) {
+            return Err(RramError::InvalidConfig(format!(
+                "w_max must be positive, got {w_max}"
+            )));
+        }
+        Ok(Self { w_max, quantizer: LevelQuantizer::new(levels)? })
+    }
+
+    /// The full-scale weight magnitude.
+    pub fn w_max(&self) -> f64 {
+        self.w_max
+    }
+
+    /// Encodes a signed weight as `(positive_level, negative_level)`.
+    pub fn encode(&self, weight: f64) -> (u16, u16) {
+        if weight >= 0.0 {
+            (self.quantizer.quantize(weight / self.w_max), 0)
+        } else {
+            (0, self.quantizer.quantize(-weight / self.w_max))
+        }
+    }
+
+    /// Decodes a pair of normalized conductances back to a signed weight.
+    pub fn decode(&self, g_pos: f64, g_neg: f64) -> f64 {
+        (g_pos - g_neg) * self.w_max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantizer_roundtrips_levels() {
+        let q = LevelQuantizer::new(8).unwrap();
+        for level in 0..8u16 {
+            assert_eq!(q.quantize(q.dequantize(level)), level);
+        }
+        assert!((q.step() - 1.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantizer_clamps() {
+        let q = LevelQuantizer::new(8).unwrap();
+        assert_eq!(q.quantize(-0.5), 0);
+        assert_eq!(q.quantize(1.5), 7);
+    }
+
+    #[test]
+    fn unipolar_roundtrip_error_bounded_by_half_step() {
+        let codec = UnipolarCodec::new(2.0, 8).unwrap();
+        let half_step_weight = 0.5 * (1.0 / 7.0) * 2.0;
+        for i in 0..=20 {
+            let w = 2.0 * f64::from(i) / 20.0;
+            let decoded = codec.decode_level(codec.encode(w));
+            assert!(
+                (decoded - w).abs() <= half_step_weight + 1e-12,
+                "w={w} decoded={decoded}"
+            );
+        }
+    }
+
+    #[test]
+    fn differential_encodes_sign_one_sided() {
+        let codec = DifferentialCodec::new(1.0, 8).unwrap();
+        let (p, n) = codec.encode(0.5);
+        assert!(p > 0 && n == 0);
+        let (p, n) = codec.encode(-0.5);
+        assert!(p == 0 && n > 0);
+        let (p, n) = codec.encode(0.0);
+        assert_eq!((p, n), (0, 0));
+    }
+
+    #[test]
+    fn differential_roundtrip() {
+        let codec = DifferentialCodec::new(1.0, 8).unwrap();
+        let q = LevelQuantizer::new(8).unwrap();
+        for i in -10..=10 {
+            let w = f64::from(i) / 10.0;
+            let (p, n) = codec.encode(w);
+            let decoded = codec.decode(q.dequantize(p), q.dequantize(n));
+            assert!((decoded - w).abs() <= 0.5 * q.step() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn codecs_reject_bad_w_max() {
+        assert!(UnipolarCodec::new(0.0, 8).is_err());
+        assert!(UnipolarCodec::new(-1.0, 8).is_err());
+        assert!(DifferentialCodec::new(f64::NAN, 8).is_err());
+        assert!(LevelQuantizer::new(1).is_err());
+    }
+}

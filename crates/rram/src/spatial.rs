@@ -1,0 +1,246 @@
+//! Spatial distributions for fabrication-fault injection.
+//!
+//! The paper (§6.2.1) notes there is no consensus on the spatial distribution
+//! of RRAM defects and evaluates both a **uniform** distribution and a
+//! **Gaussian** distribution with several fault centers (after Stapper's
+//! classic clustered-defect yield models). Both are provided here.
+
+use rand::Rng;
+
+use crate::error::RramError;
+use crate::fault::{FaultKind, FaultMap};
+use crate::rng::Normal;
+
+/// How fabrication faults are placed across the array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SpatialDistribution {
+    /// Every cell is equally likely to be defective.
+    Uniform,
+    /// Defects cluster around `centers` randomly placed fault centers, with
+    /// a Gaussian radial spread of `sigma_frac` × (array dimension).
+    GaussianClusters {
+        /// Number of fault centers.
+        centers: usize,
+        /// Cluster spread as a fraction of each array dimension.
+        sigma_frac: f64,
+    },
+}
+
+impl SpatialDistribution {
+    /// The paper's default clustered distribution: 4 centers, σ = 10 % of the
+    /// array dimension.
+    pub fn default_clusters() -> Self {
+        SpatialDistribution::GaussianClusters { centers: 4, sigma_frac: 0.1 }
+    }
+}
+
+/// Configuration for one fault-injection campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultInjection {
+    /// Spatial placement of the defects.
+    pub distribution: SpatialDistribution,
+    /// Fraction of cells to make faulty, in `[0, 1]`.
+    pub fraction: f64,
+    /// Probability that an injected fault is SA0 (otherwise SA1).
+    pub sa0_prob: f64,
+}
+
+impl FaultInjection {
+    /// Creates an injection campaign with a 50/50 SA0/SA1 split.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RramError::InvalidConfig`] if `fraction` is outside `[0, 1]`.
+    pub fn new(distribution: SpatialDistribution, fraction: f64) -> Result<Self, RramError> {
+        if !(0.0..=1.0).contains(&fraction) {
+            return Err(RramError::InvalidConfig(format!(
+                "fault fraction {fraction} outside [0, 1]"
+            )));
+        }
+        Ok(Self { distribution, fraction, sa0_prob: 0.5 })
+    }
+
+    /// Sets the SA0 share of injected faults.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RramError::InvalidConfig`] if `prob` is outside `[0, 1]`.
+    pub fn with_sa0_prob(mut self, prob: f64) -> Result<Self, RramError> {
+        if !(0.0..=1.0).contains(&prob) {
+            return Err(RramError::InvalidConfig(format!("sa0 prob {prob} outside [0, 1]")));
+        }
+        self.sa0_prob = prob;
+        Ok(self)
+    }
+
+    /// Generates a fault map for a `rows × cols` array.
+    ///
+    /// Exactly `round(fraction × rows × cols)` cells are marked faulty.
+    pub fn generate<R: Rng + ?Sized>(&self, rows: usize, cols: usize, rng: &mut R) -> FaultMap {
+        let mut map = FaultMap::healthy(rows, cols);
+        let total = rows * cols;
+        let target = (self.fraction * total as f64).round() as usize;
+        let target = target.min(total);
+        if target == 0 {
+            return map;
+        }
+        match self.distribution {
+            SpatialDistribution::Uniform => {
+                // Partial Fisher-Yates over cell indices: exact count, no bias.
+                let mut indices: Vec<usize> = (0..total).collect();
+                for i in 0..target {
+                    let j = rng.gen_range(i..total);
+                    indices.swap(i, j);
+                }
+                for &idx in &indices[..target] {
+                    let kind = self.draw_kind(rng);
+                    map.set(idx / cols, idx % cols, Some(kind));
+                }
+            }
+            SpatialDistribution::GaussianClusters { centers, sigma_frac } => {
+                let centers = centers.max(1);
+                let center_pts: Vec<(f64, f64)> = (0..centers)
+                    .map(|_| {
+                        (
+                            rng.gen_range(0.0..rows as f64),
+                            rng.gen_range(0.0..cols as f64),
+                        )
+                    })
+                    .collect();
+                let row_dist_sigma = sigma_frac * rows as f64;
+                let col_dist_sigma = sigma_frac * cols as f64;
+                let mut placed = 0usize;
+                // Rejection sample around the centers until `target` distinct
+                // cells are faulty. Bounded by a generous attempt budget to
+                // guarantee termination, then fall back to uniform filling.
+                let mut attempts = 0usize;
+                let max_attempts = target * 200;
+                while placed < target && attempts < max_attempts {
+                    attempts += 1;
+                    let (cr, cc) = center_pts[rng.gen_range(0..centers)];
+                    let r = Normal::new(cr, row_dist_sigma).sample(rng).round();
+                    let c = Normal::new(cc, col_dist_sigma).sample(rng).round();
+                    if r < 0.0 || c < 0.0 || r >= rows as f64 || c >= cols as f64 {
+                        continue;
+                    }
+                    let (r, c) = (r as usize, c as usize);
+                    if map.get(r, c).is_none() {
+                        let kind = self.draw_kind(rng);
+                        map.set(r, c, Some(kind));
+                        placed += 1;
+                    }
+                }
+                // Fallback: fill the remainder uniformly (dense clusters can
+                // saturate the neighbourhoods of all centers).
+                while placed < target {
+                    let r = rng.gen_range(0..rows);
+                    let c = rng.gen_range(0..cols);
+                    if map.get(r, c).is_none() {
+                        let kind = self.draw_kind(rng);
+                        map.set(r, c, Some(kind));
+                        placed += 1;
+                    }
+                }
+            }
+        }
+        map
+    }
+
+    fn draw_kind<R: Rng + ?Sized>(&self, rng: &mut R) -> FaultKind {
+        if rng.gen_bool(self.sa0_prob) {
+            FaultKind::StuckAt0
+        } else {
+            FaultKind::StuckAt1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::sim_rng;
+
+    #[test]
+    fn uniform_injects_exact_count() {
+        let mut rng = sim_rng(1);
+        let inj = FaultInjection::new(SpatialDistribution::Uniform, 0.1).unwrap();
+        let map = inj.generate(64, 64, &mut rng);
+        assert_eq!(map.count_faulty(), (0.1f64 * 64.0 * 64.0).round() as usize);
+    }
+
+    #[test]
+    fn clusters_inject_exact_count() {
+        let mut rng = sim_rng(2);
+        let inj =
+            FaultInjection::new(SpatialDistribution::default_clusters(), 0.1).unwrap();
+        let map = inj.generate(128, 128, &mut rng);
+        assert_eq!(map.count_faulty(), (0.1f64 * 128.0 * 128.0).round() as usize);
+    }
+
+    #[test]
+    fn clusters_are_actually_clustered() {
+        // Mean pairwise distance between faults should be clearly smaller for
+        // the clustered distribution than for uniform.
+        fn mean_pair_dist(map: &FaultMap) -> f64 {
+            let pts: Vec<(f64, f64)> =
+                map.iter_faulty().map(|(r, c, _)| (r as f64, c as f64)).collect();
+            let mut total = 0.0;
+            let mut n = 0usize;
+            for i in 0..pts.len() {
+                for j in (i + 1)..pts.len() {
+                    total += ((pts[i].0 - pts[j].0).powi(2)
+                        + (pts[i].1 - pts[j].1).powi(2))
+                    .sqrt();
+                    n += 1;
+                }
+            }
+            total / n as f64
+        }
+        let mut rng = sim_rng(3);
+        let uni = FaultInjection::new(SpatialDistribution::Uniform, 0.05)
+            .unwrap()
+            .generate(64, 64, &mut rng);
+        let clu = FaultInjection::new(
+            SpatialDistribution::GaussianClusters { centers: 1, sigma_frac: 0.05 },
+            0.05,
+        )
+        .unwrap()
+        .generate(64, 64, &mut rng);
+        assert!(
+            mean_pair_dist(&clu) < 0.7 * mean_pair_dist(&uni),
+            "clustered faults should be closer together"
+        );
+    }
+
+    #[test]
+    fn sa0_prob_controls_kind_mix() {
+        let mut rng = sim_rng(4);
+        let inj = FaultInjection::new(SpatialDistribution::Uniform, 0.5)
+            .unwrap()
+            .with_sa0_prob(1.0)
+            .unwrap();
+        let map = inj.generate(32, 32, &mut rng);
+        assert_eq!(map.count_kind(FaultKind::StuckAt0), map.count_faulty());
+        assert_eq!(map.count_kind(FaultKind::StuckAt1), 0);
+    }
+
+    #[test]
+    fn zero_fraction_is_healthy() {
+        let mut rng = sim_rng(5);
+        let inj = FaultInjection::new(SpatialDistribution::Uniform, 0.0).unwrap();
+        assert_eq!(inj.generate(16, 16, &mut rng).count_faulty(), 0);
+    }
+
+    #[test]
+    fn full_fraction_faults_everything() {
+        let mut rng = sim_rng(6);
+        let inj = FaultInjection::new(SpatialDistribution::default_clusters(), 1.0).unwrap();
+        assert_eq!(inj.generate(8, 8, &mut rng).count_faulty(), 64);
+    }
+
+    #[test]
+    fn invalid_fraction_is_rejected() {
+        assert!(FaultInjection::new(SpatialDistribution::Uniform, 1.5).is_err());
+        assert!(FaultInjection::new(SpatialDistribution::Uniform, -0.1).is_err());
+    }
+}

@@ -1,0 +1,132 @@
+//! Wear and fault statistics for a crossbar array.
+
+use crate::cell::RramCell;
+use crate::fault::FaultKind;
+
+/// Aggregate wear report for a crossbar, produced by
+/// [`Crossbar::wear_report`](crate::crossbar::Crossbar::wear_report).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WearReport {
+    /// Array rows.
+    pub rows: usize,
+    /// Array columns.
+    pub cols: usize,
+    /// Total write pulses issued to the array.
+    pub total_write_pulses: u64,
+    /// Number of SA0-stuck cells.
+    pub sa0_cells: usize,
+    /// Number of SA1-stuck cells.
+    pub sa1_cells: usize,
+    /// Mean writes per cell over the whole array.
+    pub mean_writes_per_cell: f64,
+    /// Maximum writes on any single cell.
+    pub max_writes_on_cell: u64,
+    /// Mean remaining endurance over still-healthy cells (`None` if no
+    /// healthy cell is left).
+    pub mean_endurance_left: Option<f64>,
+}
+
+impl WearReport {
+    pub(crate) fn from_cells(
+        rows: usize,
+        cols: usize,
+        cells: &[RramCell],
+        total_write_pulses: u64,
+    ) -> Self {
+        let mut sa0 = 0usize;
+        let mut sa1 = 0usize;
+        let mut writes_sum = 0u64;
+        let mut writes_max = 0u64;
+        let mut healthy_left_sum = 0u128;
+        let mut healthy_count = 0usize;
+        for cell in cells {
+            writes_sum += cell.writes();
+            writes_max = writes_max.max(cell.writes());
+            match cell.state().kind() {
+                Some(FaultKind::StuckAt0) => sa0 += 1,
+                Some(FaultKind::StuckAt1) => sa1 += 1,
+                None => {
+                    healthy_left_sum += u128::from(cell.endurance_left());
+                    healthy_count += 1;
+                }
+            }
+        }
+        WearReport {
+            rows,
+            cols,
+            total_write_pulses,
+            sa0_cells: sa0,
+            sa1_cells: sa1,
+            mean_writes_per_cell: writes_sum as f64 / cells.len() as f64,
+            max_writes_on_cell: writes_max,
+            mean_endurance_left: if healthy_count > 0 {
+                Some(healthy_left_sum as f64 / healthy_count as f64)
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Total number of faulty cells.
+    pub fn faulty_cells(&self) -> usize {
+        self.sa0_cells + self.sa1_cells
+    }
+
+    /// Fraction of cells carrying a hard fault.
+    pub fn fraction_faulty(&self) -> f64 {
+        self.faulty_cells() as f64 / (self.rows * self.cols) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crossbar::CrossbarBuilder;
+    use crate::endurance::EnduranceModel;
+    use crate::fault::FaultMap;
+
+    #[test]
+    fn fresh_array_report_is_clean() {
+        let x = CrossbarBuilder::new(4, 4).seed(1).build().unwrap();
+        let r = x.wear_report();
+        assert_eq!(r.total_write_pulses, 0);
+        assert_eq!(r.faulty_cells(), 0);
+        assert_eq!(r.fraction_faulty(), 0.0);
+        assert_eq!(r.mean_writes_per_cell, 0.0);
+        assert!(r.mean_endurance_left.is_some());
+    }
+
+    #[test]
+    fn report_counts_faults_and_writes() {
+        let mut x = CrossbarBuilder::new(2, 2).seed(1).build().unwrap();
+        let mut map = FaultMap::healthy(2, 2);
+        map.set(0, 0, Some(FaultKind::StuckAt0));
+        map.set(0, 1, Some(FaultKind::StuckAt1));
+        x.apply_fault_map(&map);
+        x.write_level(1, 0, 3).unwrap();
+        x.write_level(1, 0, 5).unwrap();
+        x.write_level(1, 1, 1).unwrap();
+        let r = x.wear_report();
+        assert_eq!(r.sa0_cells, 1);
+        assert_eq!(r.sa1_cells, 1);
+        assert_eq!(r.faulty_cells(), 2);
+        assert_eq!(r.fraction_faulty(), 0.5);
+        assert_eq!(r.total_write_pulses, 3);
+        assert_eq!(r.max_writes_on_cell, 2);
+        assert!((r.mean_writes_per_cell - 3.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_endurance_left_tracks_consumption() {
+        let mut x = CrossbarBuilder::new(1, 2)
+            .endurance(EnduranceModel::new(10.0, 0.0))
+            .seed(1)
+            .build()
+            .unwrap();
+        let before = x.wear_report().mean_endurance_left.unwrap();
+        assert_eq!(before, 10.0);
+        x.write_level(0, 0, 1).unwrap();
+        let after = x.wear_report().mean_endurance_left.unwrap();
+        assert_eq!(after, 9.5);
+    }
+}

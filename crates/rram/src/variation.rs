@@ -1,0 +1,130 @@
+//! Soft-fault (write variation) models.
+//!
+//! Soft faults leave a cell tunable but displace its programmed conductance
+//! from the target value. The paper tolerates them with on-line training and
+//! sets the test increment "larger than the variance" so the detector is not
+//! confused by them; this module provides the Gaussian perturbation applied
+//! on every write so both effects can be studied.
+
+use rand::Rng;
+
+use crate::rng::Normal;
+
+/// Additive Gaussian perturbation applied to the normalized conductance
+/// (range `[0, 1]`) on every write operation.
+///
+/// # Example
+///
+/// ```
+/// use rram::variation::WriteVariation;
+/// use rram::rng::sim_rng;
+///
+/// let var = WriteVariation::new(0.02);
+/// let mut rng = sim_rng(11);
+/// let g = var.perturb(0.5, &mut rng);
+/// assert!((0.0..=1.0).contains(&g));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WriteVariation {
+    sigma: f64,
+}
+
+impl WriteVariation {
+    /// Creates a variation model with the given standard deviation of the
+    /// normalized conductance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or non-finite.
+    pub fn new(sigma: f64) -> Self {
+        assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be non-negative");
+        Self { sigma }
+    }
+
+    /// No variation: writes land exactly on the target conductance.
+    pub fn none() -> Self {
+        Self { sigma: 0.0 }
+    }
+
+    /// A typical multi-level-cell variation: σ = 0.02 of the full range,
+    /// well under one 8-level step (1/7 ≈ 0.143), matching the paper's
+    /// requirement that the test increment exceed the write variance.
+    pub fn typical() -> Self {
+        Self { sigma: 0.02 }
+    }
+
+    /// The standard deviation of the perturbation.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Returns `true` when the model adds no noise.
+    pub fn is_none(&self) -> bool {
+        self.sigma == 0.0
+    }
+
+    /// Perturbs a target normalized conductance, clamping to `[0, 1]`.
+    pub fn perturb<R: Rng + ?Sized>(&self, target: f64, rng: &mut R) -> f64 {
+        if self.sigma == 0.0 {
+            return target.clamp(0.0, 1.0);
+        }
+        let noisy = Normal::new(target, self.sigma).sample(rng);
+        noisy.clamp(0.0, 1.0)
+    }
+}
+
+impl Default for WriteVariation {
+    /// Defaults to [`WriteVariation::typical`].
+    fn default() -> Self {
+        Self::typical()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::sim_rng;
+
+    #[test]
+    fn none_is_exact() {
+        let mut rng = sim_rng(0);
+        let v = WriteVariation::none();
+        assert!(v.is_none());
+        assert_eq!(v.perturb(0.3, &mut rng), 0.3);
+    }
+
+    #[test]
+    fn perturb_clamps_to_unit_interval() {
+        let mut rng = sim_rng(0);
+        let v = WriteVariation::new(10.0);
+        for _ in 0..100 {
+            let g = v.perturb(0.5, &mut rng);
+            assert!((0.0..=1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn typical_noise_is_small() {
+        let mut rng = sim_rng(4);
+        let v = WriteVariation::typical();
+        let mean_abs_err: f64 = (0..2000)
+            .map(|_| (v.perturb(0.5, &mut rng) - 0.5).abs())
+            .sum::<f64>()
+            / 2000.0;
+        // E|N(0, 0.02)| = 0.02 * sqrt(2/pi) ≈ 0.016
+        assert!(mean_abs_err < 0.03, "mean abs err {mean_abs_err}");
+        assert!(mean_abs_err > 0.005, "mean abs err {mean_abs_err}");
+    }
+
+    #[test]
+    fn none_vs_default() {
+        assert_eq!(WriteVariation::default(), WriteVariation::typical());
+        assert!(!WriteVariation::default().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_sigma_panics() {
+        let _ = WriteVariation::new(-0.1);
+    }
+}

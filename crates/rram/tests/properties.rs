@@ -1,0 +1,174 @@
+//! Property-based tests for the RRAM substrate invariants.
+
+use proptest::prelude::*;
+use rram::adc::Adc;
+use rram::cell::{RramCell, WriteOutcome};
+use rram::crossbar::CrossbarBuilder;
+use rram::endurance::EnduranceModel;
+use rram::fault::FaultKind;
+use rram::quantize::{DifferentialCodec, LevelQuantizer, UnipolarCodec};
+use rram::rng::sim_rng;
+use rram::spatial::{FaultInjection, SpatialDistribution};
+use rram::variation::WriteVariation;
+
+proptest! {
+    /// A healthy cell's conductance always stays in [0, 1], for any write
+    /// sequence and any variation noise.
+    #[test]
+    fn cell_conductance_stays_normalized(
+        writes in proptest::collection::vec((0u16..8, -0.2f64..0.2), 1..50)
+    ) {
+        let mut cell = RramCell::new(8, u64::MAX);
+        for (target, noise) in writes {
+            let _ = cell.write_level(target, noise);
+            prop_assert!((0.0..=1.0).contains(&cell.conductance()));
+            prop_assert_eq!(cell.level(), target.min(7));
+        }
+    }
+
+    /// Wear accounting: the number of effective writes never exceeds the
+    /// initial endurance budget before the cell becomes stuck.
+    #[test]
+    fn cell_never_overspends_endurance(
+        budget in 1u64..20,
+        deltas in proptest::collection::vec(-3i32..=3, 1..100)
+    ) {
+        let mut cell = RramCell::new(8, budget);
+        for d in deltas {
+            let out = cell.nudge(d, 0.0);
+            if matches!(out, WriteOutcome::Stuck(_)) {
+                break;
+            }
+        }
+        prop_assert!(cell.writes() <= budget);
+        if cell.writes() == budget {
+            prop_assert!(cell.is_worn_out());
+        }
+    }
+
+    /// Stuck cells are immutable: no write sequence changes what they read.
+    #[test]
+    fn stuck_cells_are_immutable(
+        kind in prop_oneof![Just(FaultKind::StuckAt0), Just(FaultKind::StuckAt1)],
+        writes in proptest::collection::vec(0u16..8, 1..30)
+    ) {
+        let mut cell = RramCell::new(8, u64::MAX);
+        cell.force_fault(kind);
+        let level_before = cell.level();
+        let g_before = cell.conductance();
+        for target in writes {
+            prop_assert_eq!(cell.write_level(target, 0.0), WriteOutcome::Stuck(kind));
+        }
+        prop_assert_eq!(cell.level(), level_before);
+        prop_assert_eq!(cell.conductance(), g_before);
+    }
+
+    /// MVM is linear: mvm(a·x + b·y) == a·mvm(x) + b·mvm(y).
+    #[test]
+    fn mvm_is_linear(
+        seed in 0u64..1000,
+        a in -2.0f32..2.0,
+        b in -2.0f32..2.0,
+    ) {
+        let mut xbar = CrossbarBuilder::new(8, 8).seed(seed).build().unwrap();
+        let mut rng = sim_rng(seed);
+        for r in 0..8 {
+            for c in 0..8 {
+                use rand::Rng;
+                xbar.write_level(r, c, rng.gen_range(0..8)).unwrap();
+            }
+        }
+        let x: Vec<f32> = (0..8).map(|i| (i as f32 - 4.0) / 3.0).collect();
+        let y: Vec<f32> = (0..8).map(|i| ((i * 3 % 7) as f32) / 7.0).collect();
+        let combined: Vec<f32> =
+            x.iter().zip(&y).map(|(xi, yi)| a * xi + b * yi).collect();
+        let lhs = xbar.mvm(&combined).unwrap();
+        let mx = xbar.mvm(&x).unwrap();
+        let my = xbar.mvm(&y).unwrap();
+        for k in 0..8 {
+            let rhs = a * mx[k] + b * my[k];
+            prop_assert!((lhs[k] - rhs).abs() < 1e-4, "col {}: {} vs {}", k, lhs[k], rhs);
+        }
+    }
+
+    /// Fault injection produces exactly the requested number of faults for
+    /// both spatial distributions, and only within bounds.
+    #[test]
+    fn injection_count_is_exact(
+        seed in 0u64..500,
+        rows in 4usize..64,
+        cols in 4usize..64,
+        fraction in 0.0f64..0.5,
+        clustered in any::<bool>(),
+    ) {
+        let dist = if clustered {
+            SpatialDistribution::GaussianClusters { centers: 3, sigma_frac: 0.15 }
+        } else {
+            SpatialDistribution::Uniform
+        };
+        let inj = FaultInjection::new(dist, fraction).unwrap();
+        let mut rng = sim_rng(seed);
+        let map = inj.generate(rows, cols, &mut rng);
+        let expected = (fraction * (rows * cols) as f64).round() as usize;
+        prop_assert_eq!(map.count_faulty(), expected.min(rows * cols));
+        for (r, c, _) in map.iter_faulty() {
+            prop_assert!(r < rows && c < cols);
+        }
+    }
+
+    /// The ADC's modulo reduction agrees with integer modulo for all
+    /// power-of-two divisors.
+    #[test]
+    fn adc_reduce_matches_modulo(sum in 0u64..100_000, pow in 1u32..7) {
+        let divisor = 2u32.pow(pow);
+        let adc = Adc::new(8, divisor).unwrap();
+        prop_assert_eq!(adc.reduce(sum), sum % u64::from(divisor));
+    }
+
+    /// Unipolar codec roundtrip error is bounded by half a quantization step.
+    #[test]
+    fn unipolar_roundtrip_bounded(w_max in 0.1f64..10.0, w_frac in 0.0f64..1.0) {
+        let codec = UnipolarCodec::new(w_max, 8).unwrap();
+        let w = w_frac * w_max;
+        let decoded = codec.decode_level(codec.encode(w));
+        let half_step = 0.5 * w_max / 7.0;
+        prop_assert!((decoded - w).abs() <= half_step + 1e-9);
+    }
+
+    /// Differential codec roundtrip error is bounded by half a step.
+    #[test]
+    fn differential_roundtrip_bounded(w_max in 0.1f64..10.0, w_frac in -1.0f64..1.0) {
+        let codec = DifferentialCodec::new(w_max, 8).unwrap();
+        let q = LevelQuantizer::new(8).unwrap();
+        let w = w_frac * w_max;
+        let (p, n) = codec.encode(w);
+        let decoded = codec.decode(q.dequantize(p), q.dequantize(n));
+        let half_step = 0.5 * w_max / 7.0;
+        prop_assert!((decoded - w).abs() <= half_step + 1e-9);
+    }
+
+    /// Endurance samples are always at least one write.
+    #[test]
+    fn endurance_samples_positive(seed in 0u64..200, mean in 1.0f64..100.0, std in 0.0f64..500.0) {
+        let model = EnduranceModel::new(mean, std);
+        let mut rng = sim_rng(seed);
+        for _ in 0..20 {
+            prop_assert!(model.sample(&mut rng) >= 1);
+        }
+    }
+
+    /// Write variation never pushes a conductance outside [0, 1].
+    #[test]
+    fn variation_stays_in_unit_interval(
+        sigma in 0.0f64..1.0,
+        target in 0.0f64..1.0,
+        seed in 0u64..100,
+    ) {
+        let v = WriteVariation::new(sigma);
+        let mut rng = sim_rng(seed);
+        for _ in 0..10 {
+            let g = v.perturb(target, &mut rng);
+            prop_assert!((0.0..=1.0).contains(&g));
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! The paper's MNIST benchmark end-to-end: a 784×100×10 network trained
+//! through heavily faulted crossbars (the §6.4 FC-only scenario, where the
+//! RCS has already been trained many times and ~50 % of the cells are
+//! stuck), comparing the original method against the fault-tolerant flow.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example fault_tolerant_mnist
+//! ```
+
+use ftt_core::config::{FlowConfig, MappingConfig, MappingScope};
+use ftt_core::flow::FaultTolerantTrainer;
+use nn::models::mlp_784_100_10;
+use nn::optimizer::LrSchedule;
+use nn::synth::SyntheticDataset;
+use rram::endurance::EnduranceModel;
+use rram::spatial::SpatialDistribution;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = SyntheticDataset::mnist_like(512, 128, 21);
+    let iterations = 3000;
+
+    // ~50% of the cells already stuck from previous training campaigns,
+    // survivors with depleted remaining endurance (the Fig. 7(b) scenario).
+    let worn_hardware = MappingConfig::new(MappingScope::EntireNetwork)
+        .with_initial_fault_fraction(0.5)
+        .with_fault_distribution(SpatialDistribution::default_clusters())
+        .with_initial_sa0_prob(0.8)
+        .with_endurance(
+            EnduranceModel::new(0.8 * iterations as f64, 0.3 * iterations as f64)
+                .with_wearout_sa0_prob(0.8),
+        )
+        .with_seed(17);
+    let fresh_hardware = MappingConfig::new(MappingScope::EntireNetwork).with_seed(17);
+
+    let schedule = LrSchedule::step_decay(0.1, 0.7, 1000);
+    println!("training the 784x100x10 MLP for {iterations} iterations...");
+    println!();
+    println!("case, peak accuracy, final accuracy, remap Dist before -> after");
+
+    // Ideal: fault-free hardware, plain training.
+    let mut ideal = FaultTolerantTrainer::new(
+        mlp_784_100_10(3),
+        fresh_hardware,
+        FlowConfig::original().with_lr(schedule),
+    )?;
+    ideal.train(&data, iterations)?;
+    println!(
+        "ideal (no faults), {:.1}%, {:.1}%, -",
+        100.0 * ideal.curve().peak_accuracy(),
+        100.0 * ideal.curve().final_accuracy()
+    );
+
+    // Original method on worn hardware.
+    let mut original = FaultTolerantTrainer::new(
+        mlp_784_100_10(3),
+        worn_hardware.clone(),
+        FlowConfig::original().with_lr(schedule),
+    )?;
+    original.train(&data, iterations)?;
+    println!(
+        "original with 50% faults, {:.1}%, {:.1}%, -",
+        100.0 * original.curve().peak_accuracy(),
+        100.0 * original.curve().final_accuracy()
+    );
+
+    // The full fault-tolerant flow on the same worn hardware.
+    let mut ft = FaultTolerantTrainer::new(
+        mlp_784_100_10(3),
+        worn_hardware,
+        FlowConfig::fault_tolerant()
+            .with_lr(schedule)
+            .with_detection_interval(500)
+            .with_detection_warmup(1500),
+    )?;
+    ft.train(&data, iterations)?;
+    println!(
+        "fault-tolerant flow with 50% faults, {:.1}%, {:.1}%, {} -> {}",
+        100.0 * ft.curve().peak_accuracy(),
+        100.0 * ft.curve().final_accuracy(),
+        ft.stats().last_remap_initial_cost,
+        ft.stats().last_remap_final_cost
+    );
+
+    println!();
+    println!(
+        "detection campaigns: {}, total test cycles: {}",
+        ft.stats().detection_campaigns,
+        ft.stats().detection_cycles
+    );
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! On-line fault detection walkthrough (§4 of the paper).
+//!
+//! Injects 10 % stuck-at faults into a 128×128 crossbar and sweeps the test
+//! size of the quiescent-voltage comparison, printing the test-time /
+//! precision / recall trade-off (the Fig. 6 phenomenon), then demonstrates
+//! the selected-cell improvement (§4.3).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example online_detection
+//! ```
+
+use faultdet::detector::{DetectorConfig, OnlineFaultDetector};
+use faultdet::metrics::DetectionReport;
+use rand::Rng;
+use rram::crossbar::{Crossbar, CrossbarBuilder};
+use rram::spatial::SpatialDistribution;
+
+fn make_crossbar(seed: u64) -> Result<Crossbar, rram::RramError> {
+    let mut xbar = CrossbarBuilder::new(128, 128)
+        .initial_faults(SpatialDistribution::default_clusters(), 0.10)
+        .seed(seed)
+        .build()?;
+    // Program a realistic spread of trained levels.
+    let mut rng = rram::rng::sim_rng(seed + 999);
+    for r in 0..128 {
+        for c in 0..128 {
+            let _ = xbar.write_level(r, c, rng.gen_range(0..8))?;
+        }
+    }
+    Ok(xbar)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== test-size sweep on a 128x128 crossbar, 10% clustered faults ==");
+    println!("test_size, cycles, precision, recall");
+    for test_size in [64, 32, 16, 8, 4, 2, 1] {
+        let mut xbar = make_crossbar(3)?;
+        let truth = xbar.fault_map();
+        let detector = OnlineFaultDetector::new(DetectorConfig::new(test_size)?);
+        let outcome = detector.run(&mut xbar)?;
+        let report = DetectionReport::evaluate(&truth, &outcome.predicted);
+        println!(
+            "{test_size}, {}, {:.3}, {:.3}",
+            outcome.cycles(),
+            report.precision(),
+            report.recall()
+        );
+    }
+
+    println!();
+    println!("== all-cells vs selected-cells at test size 16 ==");
+    for (label, config) in [
+        ("all cells", DetectorConfig::new(16)?),
+        ("selected cells", DetectorConfig::new(16)?.with_selected_cells()),
+    ] {
+        let mut xbar = make_crossbar(3)?;
+        let truth = xbar.fault_map();
+        let outcome = OnlineFaultDetector::new(config).run(&mut xbar)?;
+        let report = DetectionReport::evaluate(&truth, &outcome.predicted);
+        println!(
+            "{label}: cycles {}, precision {:.3}, recall {:.3}, test writes {}",
+            outcome.cycles(),
+            report.precision(),
+            report.recall(),
+            outcome.write_pulses
+        );
+    }
+
+    println!();
+    println!("== modulo-divisor ablation at test size 32 (coarser = more escapes) ==");
+    println!("divisor, recall");
+    for divisor in [2u32, 4, 8, 16, 32] {
+        let mut xbar = make_crossbar(5)?;
+        let truth = xbar.fault_map();
+        let outcome = OnlineFaultDetector::new(
+            DetectorConfig::new(32)?.with_modulo_divisor(divisor),
+        )
+        .run(&mut xbar)?;
+        let report = DetectionReport::evaluate(&truth, &outcome.predicted);
+        println!("{divisor}, {:.3}", report.recall());
+    }
+    Ok(())
+}

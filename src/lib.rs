@@ -1,0 +1,20 @@
+//! Meta-crate re-exporting the `rram-ftt` workspace.
+//!
+//! This is a Rust reproduction of *"Fault-Tolerant Training with On-Line
+//! Fault Detection for RRAM-Based Neural Computing Systems"* (Xia et al.,
+//! DAC 2017). See `README.md` for the architecture overview, `DESIGN.md`
+//! for the system inventory, and `EXPERIMENTS.md` for paper-vs-measured
+//! results for every figure.
+//!
+//! The workspace consists of:
+//!
+//! * [`rram`] — the RRAM device / crossbar simulator substrate.
+//! * [`nn`] — the from-scratch neural network training substrate.
+//! * [`faultdet`] — on-line fault detection via quiescent-voltage comparison.
+//! * [`ftt_core`] — the paper's contribution: threshold training, re-mapping,
+//!   and the alternating detection/training flow.
+
+pub use faultdet;
+pub use ftt_core;
+pub use nn;
+pub use rram;

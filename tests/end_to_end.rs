@@ -1,0 +1,208 @@
+//! Cross-crate integration tests: the full paper pipeline end-to-end.
+
+use ftt_core::config::{FlowConfig, MappingConfig, MappingScope};
+use ftt_core::flow::FaultTolerantTrainer;
+use nn::init::init_rng;
+use nn::layers::{Dense, Relu};
+use nn::network::Network;
+use nn::optimizer::LrSchedule;
+use nn::synth::SyntheticDataset;
+use rram::endurance::EnduranceModel;
+use rram::spatial::SpatialDistribution;
+
+fn small_net(seed: u64) -> Network {
+    let mut rng = init_rng(seed);
+    let mut net = Network::new();
+    net.push(Dense::new(784, 32, &mut rng));
+    net.push(Relu::new());
+    net.push(Dense::new(32, 10, &mut rng));
+    net
+}
+
+/// The Fig. 7 ordering: under wear, threshold training and the entire
+/// fault-tolerant flow must clearly beat the original method.
+#[test]
+fn fault_tolerant_flow_beats_original_under_wear() {
+    let data = SyntheticDataset::mnist_like(240, 60, 5);
+    let mapping = || {
+        MappingConfig::new(MappingScope::EntireNetwork)
+            .with_initial_fault_fraction(0.10)
+            .with_endurance(EnduranceModel::new(800.0, 240.0))
+            .with_seed(11)
+    };
+    let lr = LrSchedule::constant(0.1);
+    let iters = 800;
+
+    let mut orig = FaultTolerantTrainer::new(
+        small_net(1),
+        mapping(),
+        FlowConfig::original().with_lr(lr),
+    )
+    .expect("config");
+    orig.train(&data, iters).expect("train");
+
+    let mut thr = FaultTolerantTrainer::new(
+        small_net(1),
+        mapping(),
+        FlowConfig::threshold_only().with_lr(lr),
+    )
+    .expect("config");
+    thr.train(&data, iters).expect("train");
+
+    let mut ft = FaultTolerantTrainer::new(
+        small_net(1),
+        mapping(),
+        FlowConfig::fault_tolerant()
+            .with_lr(lr)
+            .with_detection_interval(200)
+            .with_detection_warmup(400),
+    )
+    .expect("config");
+    ft.train(&data, iters).expect("train");
+
+    let orig_final = orig.curve().final_accuracy();
+    let thr_final = thr.curve().final_accuracy();
+    let ft_final = ft.curve().final_accuracy();
+
+    // The original method wears the array out; the others protect it.
+    assert!(
+        orig.mapped().fraction_faulty() > 3.0 * thr.mapped().fraction_faulty(),
+        "threshold training must slow wear: {} vs {}",
+        orig.mapped().fraction_faulty(),
+        thr.mapped().fraction_faulty()
+    );
+    assert!(
+        thr_final > orig_final + 0.1,
+        "threshold must beat original: {thr_final} vs {orig_final}"
+    );
+    assert!(
+        ft_final > orig_final + 0.1,
+        "fault-tolerant flow must beat original: {ft_final} vs {orig_final}"
+    );
+    // The flow actually ran its phases.
+    assert!(ft.stats().detection_campaigns >= 2);
+}
+
+/// The §5.1 write-saving claim: threshold training suppresses the vast
+/// majority of write pulses at per-sample batches.
+#[test]
+fn threshold_training_suppresses_most_writes() {
+    let data = SyntheticDataset::mnist_like(240, 60, 5);
+    let mut thr = FaultTolerantTrainer::new(
+        small_net(2),
+        MappingConfig::new(MappingScope::EntireNetwork).with_seed(3),
+        FlowConfig::threshold_only().with_lr(LrSchedule::constant(0.1)),
+    )
+    .expect("config");
+    thr.train(&data, 300).expect("train");
+    assert!(
+        thr.stats().skipped_fraction() > 0.75,
+        "suppression was only {}",
+        thr.stats().skipped_fraction()
+    );
+}
+
+/// Detection inside the flow finds a usable share of the real faults.
+#[test]
+fn in_flow_detection_matches_ground_truth() {
+    use faultdet::metrics::DetectionReport;
+    use faultdet::detector::{DetectorConfig, OnlineFaultDetector};
+    use ftt_core::mapping::MappedNetwork;
+
+    let mut net = small_net(4);
+    let mut mapped = MappedNetwork::from_network(
+        &mut net,
+        MappingConfig::new(MappingScope::EntireNetwork)
+            .with_initial_fault_fraction(0.15)
+            .with_fault_distribution(SpatialDistribution::default_clusters())
+            .with_seed(5),
+    )
+    .expect("mapping");
+    let truth = mapped.ground_truth();
+    let detector = OnlineFaultDetector::new(DetectorConfig::new(2).expect("size"));
+    let detections = mapped.detect(&detector).expect("campaign");
+    for (det, truth) in detections.iter().zip(&truth) {
+        let report = DetectionReport::evaluate(truth, &det.predicted);
+        assert!(report.recall() > 0.9, "recall {}", report.recall());
+        assert!(report.precision() > 0.7, "precision {}", report.precision());
+    }
+}
+
+/// Re-training for new applications wears the chip out; the counter
+/// matches the §6.4 scenario mechanics.
+#[test]
+fn retraining_campaigns_accumulate_wear() {
+    let mapping = MappingConfig::new(MappingScope::EntireNetwork)
+        .with_endurance(EnduranceModel::new(700.0, 150.0))
+        .with_seed(6);
+    let mut trainer = FaultTolerantTrainer::new(
+        small_net(0),
+        mapping,
+        FlowConfig::original().with_lr(LrSchedule::constant(0.05)),
+    )
+    .expect("config");
+    let mut faulty = Vec::new();
+    for campaign in 0..3u64 {
+        if campaign > 0 {
+            trainer.reprogram_network(small_net(campaign)).expect("same topology");
+        }
+        let data = SyntheticDataset::mnist_like(240, 60, 50 + campaign);
+        trainer.train(&data, 400).expect("train");
+        faulty.push(trainer.mapped().fraction_faulty());
+    }
+    assert!(
+        faulty.windows(2).all(|w| w[0] <= w[1]),
+        "fault fraction must be monotone across campaigns: {faulty:?}"
+    );
+    assert!(faulty[2] > 0.2, "three campaigns must exhaust budgets: {faulty:?}");
+}
+
+/// Topology mismatches are rejected when re-programming.
+#[test]
+fn reprogram_rejects_different_topology() {
+    let mut trainer = FaultTolerantTrainer::new(
+        small_net(0),
+        MappingConfig::new(MappingScope::EntireNetwork).with_seed(1),
+        FlowConfig::original(),
+    )
+    .expect("config");
+    let mut rng = init_rng(9);
+    let mut other = Network::new();
+    other.push(Dense::new(784, 16, &mut rng));
+    other.push(Dense::new(16, 10, &mut rng));
+    assert!(trainer.reprogram_network(other).is_err());
+}
+
+/// Differential-pair coding works end-to-end through the flow and costs
+/// twice the write pulses of unipolar coding.
+#[test]
+fn differential_coding_flow() {
+    use ftt_core::config::WeightCoding;
+    let data = SyntheticDataset::mnist_like(240, 60, 5);
+    let run = |coding: WeightCoding| {
+        let mapping = MappingConfig::new(MappingScope::EntireNetwork)
+            .with_coding(coding)
+            .with_seed(21);
+        let mut trainer = FaultTolerantTrainer::new(
+            small_net(9),
+            mapping,
+            FlowConfig::original().with_lr(LrSchedule::constant(0.1)),
+        )
+        .expect("config");
+        trainer.train(&data, 400).expect("train");
+        (
+            trainer.curve().final_accuracy(),
+            trainer.mapped().total_write_pulses(),
+        )
+    };
+    let (uni_acc, uni_writes) = run(WeightCoding::Unipolar);
+    let (diff_acc, diff_writes) = run(WeightCoding::Differential);
+    // Fault-free: both codings learn equally well.
+    assert!((uni_acc - diff_acc).abs() < 0.15, "{uni_acc} vs {diff_acc}");
+    assert!(uni_acc > 0.45, "unipolar acc {uni_acc}");
+    // Differential pulses both polarities.
+    assert!(
+        diff_writes > (uni_writes as f64 * 1.8) as u64,
+        "diff {diff_writes} vs uni {uni_writes}"
+    );
+}
