@@ -32,12 +32,24 @@ fn programmed(size: usize, seed: u64) -> Crossbar {
 }
 
 fn bench_mvm(c: &mut Criterion) {
+    // Plane-backed dense SAXPY kernel, 64² through 1024².
     let mut group = c.benchmark_group("crossbar_mvm");
-    for size in [64usize, 128, 256, 512] {
+    for size in [64usize, 128, 256, 512, 1024] {
         let xbar = programmed(size, 1);
         let input = vec![0.5f32; size];
         group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
             b.iter(|| black_box(xbar.mvm(black_box(&input)).expect("mvm")));
+        });
+    }
+    group.finish();
+
+    // The retained scalar cell-walking kernel, for the speedup ratio.
+    let mut group = c.benchmark_group("crossbar_mvm_reference");
+    for size in [64usize, 256, 512, 1024] {
+        let xbar = programmed(size, 1);
+        let input = vec![0.5f32; size];
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| black_box(xbar.mvm_reference(black_box(&input)).expect("mvm")));
         });
     }
     group.finish();
@@ -46,19 +58,60 @@ fn bench_mvm(c: &mut Criterion) {
 fn bench_detection(c: &mut Criterion) {
     let mut group = c.benchmark_group("detection_campaign");
     group.sample_size(10);
-    for size in [64usize, 128, 256] {
-        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
-            b.iter_batched(
-                || programmed(size, 2),
-                |mut xbar| {
-                    let detector =
-                        OnlineFaultDetector::new(DetectorConfig::new(8).expect("size"));
-                    black_box(detector.run(&mut xbar).expect("campaign"));
-                },
-                criterion::BatchSize::LargeInput,
-            );
-        });
+    // (array size, test size Tr = Tc); Tr = 16 at 512² is the paper-scale
+    // campaign the parallel group sweep is sized for.
+    for (size, t) in [(64usize, 8usize), (128, 8), (256, 8), (256, 16), (512, 16)] {
+        group.bench_with_input(
+            BenchmarkId::new(format!("t{t}"), size),
+            &size,
+            |b, &size| {
+                b.iter_batched(
+                    || programmed(size, 2),
+                    |mut xbar| {
+                        let detector =
+                            OnlineFaultDetector::new(DetectorConfig::new(t).expect("size"));
+                        black_box(detector.run(&mut xbar).expect("campaign"));
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
     }
+    group.finish();
+}
+
+fn bench_group_sums(c: &mut Criterion) {
+    // The detection campaign's hot comparison kernel: every output line's
+    // quiescent sum for a Tr = 16 group sweep over a 512² array — batched
+    // plane64 sweep vs per-line scalar walks.
+    let mut group = c.benchmark_group("detection_group_sums");
+    group.sample_size(20);
+    let size = 512usize;
+    let t = 16usize;
+    let xbar = programmed(size, 7);
+    group.bench_function("batched", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for g in 0..size / t {
+                let sums = xbar.column_group_sums(g * t..(g + 1) * t).expect("sums");
+                acc += sums.iter().sum::<f64>();
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("scalar", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for g in 0..size / t {
+                for col in 0..size {
+                    acc += xbar
+                        .column_group_sum(g * t..(g + 1) * t, col)
+                        .expect("sum");
+                }
+            }
+            black_box(acc)
+        });
+    });
     group.finish();
 }
 
@@ -90,7 +143,30 @@ fn bench_remap(c: &mut Criterion) {
                 ))
             });
         });
+        group.bench_with_input(
+            BenchmarkId::new("greedy_batch", budget),
+            &budget,
+            |b, &budget| {
+                b.iter(|| {
+                    black_box(problem.solve(
+                        &mapped,
+                        &RemapConfig {
+                            algorithm: RemapAlgorithm::GreedySwapBatch { batch: 64 },
+                            cost: CostModel::PaperDist,
+                            iterations: budget,
+                            seed: 3,
+                        },
+                    ))
+                });
+            },
+        );
     }
+    // The incremental-delta machinery keeps each hill-climb step at
+    // O(rows + block·cols); the full recount is the term it avoids.
+    let perms = vec![nn::permute::Permutation::identity(100)];
+    group.bench_function("full_cost_recount", |b| {
+        b.iter(|| black_box(problem.cost(black_box(&perms))));
+    });
     group.finish();
 }
 
@@ -127,6 +203,7 @@ criterion_group!(
     benches,
     bench_mvm,
     bench_detection,
+    bench_group_sums,
     bench_remap,
     bench_training_iteration
 );

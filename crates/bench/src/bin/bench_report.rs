@@ -1,0 +1,245 @@
+//! Standalone kernel benchmark reporter.
+//!
+//! Times the perf-critical kernels with a self-contained harness (criterion
+//! is a dev-dependency, so binaries do their own calibration) and writes a
+//! machine-readable `BENCH_kernels.json` — one record per measurement:
+//! `{ "name", "size", "ns_per_iter", "threads" }`.
+//!
+//! The interesting ratios, printed at the end:
+//!
+//! * `crossbar_mvm_plane` vs `crossbar_mvm_reference` — the cached
+//!   structure-of-arrays conductance plane against the scalar cell walk.
+//! * `detection_group_sums_batched` vs `…_scalar` — the campaign's hot
+//!   comparison kernel: one dense plane sweep per group vs per-line walks.
+//!
+//! The worker budget is whatever [`par::thread_count`] resolves to
+//! (`RRAM_FTT_THREADS` env override, else the machine's parallelism) and is
+//! recorded per measurement, so single-core containers report honest
+//! `threads = 1` numbers where the speedups are purely algorithmic.
+//!
+//! Output path: `BENCH_kernels.json` in the working directory, or the
+//! `BENCH_REPORT_PATH` env var.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use faultdet::detector::{DetectorConfig, OnlineFaultDetector};
+use ftt_core::config::{MappingConfig, MappingScope, RemapConfig};
+use ftt_core::remap::{CostModel, RemapAlgorithm, RemapProblem};
+use nn::models::mlp_784_100_10;
+use nn::permute::Permutation;
+use nn::pruning::magnitude_prune;
+use nn::tensor::Tensor;
+use rand::Rng;
+use rram::crossbar::{Crossbar, CrossbarBuilder};
+use rram::spatial::SpatialDistribution;
+use std::hint::black_box;
+
+#[derive(Debug, Clone)]
+struct Record {
+    name: &'static str,
+    size: usize,
+    ns_per_iter: f64,
+    threads: usize,
+}
+
+/// Times `f` with calibrated repetition: doubles the iteration count until a
+/// batch takes at least `min_batch_ms`, then reports the median ns/iter of
+/// `samples` batches.
+fn time_ns<F: FnMut()>(mut f: F, min_batch_ms: u64, samples: usize) -> f64 {
+    let mut iters = 1u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed();
+        if elapsed.as_millis() as u64 >= min_batch_ms || iters >= 1 << 22 {
+            break;
+        }
+        iters *= 2;
+    }
+    let mut measured: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    measured.sort_by(|a, b| a.total_cmp(b));
+    measured[measured.len() / 2]
+}
+
+fn programmed(size: usize, seed: u64) -> Crossbar {
+    let mut xbar = CrossbarBuilder::new(size, size)
+        .initial_faults(SpatialDistribution::Uniform, 0.1)
+        .seed(seed)
+        .build()
+        .expect("valid crossbar");
+    let mut rng = rram::rng::sim_rng(seed);
+    for r in 0..size {
+        for c in 0..size {
+            let _ = xbar.write_level(r, c, rng.gen_range(0..8)).expect("in range");
+        }
+    }
+    xbar
+}
+
+fn main() {
+    let threads = par::thread_count();
+    let mut records: Vec<Record> = Vec::new();
+    let push = |records: &mut Vec<Record>, name: &'static str, size: usize, ns: f64| {
+        eprintln!("{name:<34} size {size:>5}  {ns:>14.0} ns/iter  ({threads} threads)");
+        records.push(Record { name, size, ns_per_iter: ns, threads });
+    };
+
+    // --- Crossbar MVM: cached plane vs scalar reference -----------------
+    for size in [64usize, 128, 256, 512, 1024] {
+        let xbar = programmed(size, 1);
+        let input: Vec<f32> = (0..size).map(|i| (i as f32 * 0.37).sin()).collect();
+        let ns = time_ns(|| drop(black_box(xbar.mvm(black_box(&input)).unwrap())), 10, 5);
+        push(&mut records, "crossbar_mvm_plane", size, ns);
+        let ns = time_ns(
+            || drop(black_box(xbar.mvm_reference(black_box(&input)).unwrap())),
+            10,
+            5,
+        );
+        push(&mut records, "crossbar_mvm_reference", size, ns);
+    }
+
+    // --- Detection: full campaign at the paper-scale Tr = 16 ------------
+    for size in [256usize, 512] {
+        let mut xbar = programmed(size, 2);
+        let detector = OnlineFaultDetector::new(DetectorConfig::new(16).unwrap());
+        let ns = time_ns(|| drop(black_box(detector.run(&mut xbar).unwrap())), 50, 3);
+        push(&mut records, "detection_campaign_t16", size, ns);
+    }
+
+    // --- Detection comparison kernel: batched plane sweep vs per-line ---
+    {
+        let size = 512usize;
+        let t = 16usize;
+        let xbar = programmed(size, 7);
+        let ns = time_ns(
+            || {
+                let mut acc = 0.0f64;
+                for g in 0..size / t {
+                    let sums = xbar.column_group_sums(g * t..(g + 1) * t).unwrap();
+                    acc += sums.iter().sum::<f64>();
+                }
+                black_box(acc);
+            },
+            10,
+            5,
+        );
+        push(&mut records, "detection_group_sums_batched", size, ns);
+        let ns = time_ns(
+            || {
+                let mut acc = 0.0f64;
+                for g in 0..size / t {
+                    for col in 0..size {
+                        acc += xbar.column_group_sum(g * t..(g + 1) * t, col).unwrap();
+                    }
+                }
+                black_box(acc);
+            },
+            10,
+            5,
+        );
+        push(&mut records, "detection_group_sums_scalar", size, ns);
+    }
+
+    // --- Tensor matmul (forward-pass substrate) --------------------------
+    for size in [128usize, 256] {
+        let a = Tensor::from_vec(
+            vec![size, size],
+            (0..size * size).map(|i| ((i % 97) as f32 - 48.0) / 48.0).collect(),
+        );
+        let b = Tensor::from_vec(
+            vec![size, size],
+            (0..size * size).map(|i| ((i % 89) as f32 - 44.0) / 44.0).collect(),
+        );
+        let ns = time_ns(|| drop(black_box(a.matmul(black_box(&b)))), 20, 5);
+        push(&mut records, "tensor_matmul", size, ns);
+    }
+
+    // --- Re-mapping: full recount and the two searches -------------------
+    {
+        let mut net = mlp_784_100_10(1);
+        let mapped = ftt_core::mapping::MappedNetwork::from_network(
+            &mut net,
+            MappingConfig::new(MappingScope::EntireNetwork)
+                .with_initial_fault_fraction(0.3)
+                .with_seed(5),
+        )
+        .expect("mapping");
+        let mask = magnitude_prune(&mut net, 0.5);
+        let problem = RemapProblem::with_ground_truth(&mapped, &mask, CostModel::PaperDist)
+            .expect("problem");
+        let perms = vec![Permutation::identity(100)];
+        let ns = time_ns(
+            || {
+                let _ = black_box(problem.cost(black_box(&perms)));
+            },
+            20,
+            5,
+        );
+        push(&mut records, "remap_full_cost_recount", 784 * 100 + 100 * 10, ns);
+        for (name, algorithm) in [
+            ("remap_hill_climb_1k", RemapAlgorithm::SwapHillClimb),
+            ("remap_greedy_batch_1k", RemapAlgorithm::GreedySwapBatch { batch: 64 }),
+        ] {
+            let cfg = RemapConfig {
+                algorithm,
+                cost: CostModel::PaperDist,
+                iterations: 1000,
+                seed: 3,
+            };
+            let ns = time_ns(|| drop(black_box(problem.solve(&mapped, &cfg))), 50, 3);
+            push(&mut records, name, 1000, ns);
+        }
+    }
+
+    // --- Speedup summary --------------------------------------------------
+    let find = |name: &str, size: usize| {
+        records
+            .iter()
+            .find(|r| r.name == name && r.size == size)
+            .map(|r| r.ns_per_iter)
+    };
+    if let (Some(plane), Some(reference)) =
+        (find("crossbar_mvm_plane", 512), find("crossbar_mvm_reference", 512))
+    {
+        eprintln!("mvm 512²: plane kernel speedup {:.2}x over scalar reference", reference / plane);
+    }
+    if let (Some(batched), Some(scalar)) = (
+        find("detection_group_sums_batched", 512),
+        find("detection_group_sums_scalar", 512),
+    ) {
+        eprintln!(
+            "detection Tr=16 sweep 512²: batched kernel speedup {:.2}x over per-line walks",
+            scalar / batched
+        );
+    }
+
+    // --- JSON out ---------------------------------------------------------
+    let mut json = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let _ = write!(
+            json,
+            "  {{\"name\": \"{}\", \"size\": {}, \"ns_per_iter\": {:.1}, \"threads\": {}}}{}\n",
+            r.name,
+            r.size,
+            r.ns_per_iter,
+            r.threads,
+            if i + 1 < records.len() { "," } else { "" }
+        );
+    }
+    json.push_str("]\n");
+    let path = std::env::var("BENCH_REPORT_PATH")
+        .unwrap_or_else(|_| "BENCH_kernels.json".to_string());
+    std::fs::write(&path, json).expect("write BENCH_kernels.json");
+    eprintln!("wrote {path}");
+}

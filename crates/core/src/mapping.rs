@@ -69,6 +69,11 @@ impl MappedLayer {
 
     /// The effective weight currently realized by the hardware at the given
     /// logical coordinates (includes faults and write variation).
+    ///
+    /// Kept as the per-cell reference for
+    /// [`MappedNetwork::load_effective_weights`], whose plane-backed bulk
+    /// copy must reproduce this value bit-for-bit (asserted in tests).
+    #[cfg_attr(not(test), allow(dead_code))]
     fn effective(&self, row: usize, col: usize, tile_size: usize) -> f64 {
         let ti = self.tile_of(row, col, tile_size);
         let t = &self.tiles[ti];
@@ -306,15 +311,50 @@ impl MappedNetwork {
     /// Copies the hardware's *effective* weights (faults, variation,
     /// clamping included) into the software network — run before every
     /// forward pass so training sees what the chip actually computes.
+    ///
+    /// This is the flow's hottest hardware read, so instead of one
+    /// [`MappedLayer::effective`] call per cell (tile lookup + bounds-checked
+    /// conductance read each), it streams every tile's cached `f64`
+    /// conductance plane row-by-row into the weight buffer. The arithmetic
+    /// per cell is the exact expression `effective` evaluates, so the loaded
+    /// weights are bit-identical to the per-cell path.
     pub fn load_effective_weights(&self, net: &mut Network) {
-        let ts = self.config.tile_size;
         for layer in &self.layers {
-            let params = net
+            let mut params = net
                 .layer_params_mut(layer.layer_index)
                 .expect("mapped layer has parameters");
-            for r in 0..layer.rows {
-                for c in 0..layer.cols {
-                    params.weights[r * layer.cols + c] = layer.effective(r, c, ts) as f32;
+            let cols = layer.cols;
+            let w_max = layer.w_max;
+            let out = &mut params.weights;
+            if layer.is_differential() {
+                // `tiles` and `neg_tiles` share one grid geometry.
+                for (pos, neg) in layer.tiles.iter().zip(&layer.neg_tiles) {
+                    let (t_rows, t_cols) = (pos.xbar.rows(), pos.xbar.cols());
+                    let gp = pos.xbar.conductance_plane_f64();
+                    let gn = neg.xbar.conductance_plane_f64();
+                    for r in 0..t_rows {
+                        let dst =
+                            &mut out[(pos.row0 + r) * cols + pos.col0..][..t_cols];
+                        let gp_row = &gp[r * t_cols..(r + 1) * t_cols];
+                        let gn_row = &gn[r * t_cols..(r + 1) * t_cols];
+                        for ((d, &p), &n) in dst.iter_mut().zip(gp_row).zip(gn_row) {
+                            *d = ((p - n) * w_max) as f32;
+                        }
+                    }
+                }
+            } else {
+                for tile in &layer.tiles {
+                    let (t_rows, t_cols) = (tile.xbar.rows(), tile.xbar.cols());
+                    let plane = tile.xbar.conductance_plane_f64();
+                    for r in 0..t_rows {
+                        let base = (tile.row0 + r) * cols + tile.col0;
+                        let dst = &mut out[base..base + t_cols];
+                        let signs = &layer.signs[base..base + t_cols];
+                        let g_row = &plane[r * t_cols..(r + 1) * t_cols];
+                        for ((d, &s), &g) in dst.iter_mut().zip(signs).zip(g_row) {
+                            *d = (f64::from(s) * g * w_max) as f32;
+                        }
+                    }
                 }
             }
         }
@@ -434,17 +474,38 @@ impl MappedNetwork {
 
     /// Runs the on-line fault detector over every tile of every mapped
     /// layer and composes per-layer logical fault predictions.
+    ///
+    /// Tiles are physically independent arrays with private RNG streams, so
+    /// their campaigns fan out across the [`par`] worker budget (gated on
+    /// total campaign work). Outcomes merge sequentially in tile order, so
+    /// results are identical at any thread count.
     pub fn detect(
         &mut self,
         detector: &OnlineFaultDetector,
     ) -> Result<Vec<LayerDetection>, FttError> {
+        // A campaign sweeps each tile several times (nudge, two comparison
+        // directions, restore, for both fault kinds).
+        let ts = self.config.tile_size;
+        let est_ops_per_tile = 8 * ts * ts;
         let mut results = Vec::with_capacity(self.layers.len());
         for layer in &mut self.layers {
+            let mut work: Vec<(&mut Tile, Option<Result<DetectionOutcome, FttError>>)> = layer
+                .tiles
+                .iter_mut()
+                .chain(layer.neg_tiles.iter_mut())
+                .map(|t| (t, None))
+                .collect();
+            par::for_each_chunk_mut_hinted(&mut work, est_ops_per_tile, |_, chunk| {
+                for (tile, slot) in chunk {
+                    *slot = Some(detector.run(&mut tile.xbar).map_err(FttError::from));
+                }
+            });
             let mut predicted = FaultMap::healthy(layer.rows, layer.cols);
             let mut cycles = 0u64;
             let mut write_pulses = 0u64;
-            for tile in layer.tiles.iter_mut().chain(layer.neg_tiles.iter_mut()) {
-                let outcome: DetectionOutcome = detector.run(&mut tile.xbar)?;
+            for (tile, slot) in work {
+                let outcome: DetectionOutcome =
+                    slot.expect("every tile ran a campaign")?;
                 cycles += outcome.cycles();
                 write_pulses += outcome.write_pulses;
                 for (r, c, kind) in outcome.predicted.iter_faulty() {
@@ -597,6 +658,66 @@ mod tests {
             }
         }
         assert!(saw_sa1);
+    }
+
+    #[test]
+    fn plane_backed_load_matches_per_cell_effective() {
+        use crate::config::WeightCoding;
+        // The bulk plane copy must reproduce the per-cell reference exactly,
+        // for both codings, across tile boundaries, with faults present.
+        for coding in [WeightCoding::Unipolar, WeightCoding::Differential] {
+            let mut net = mlp();
+            let mut config = MappingConfig::new(MappingScope::EntireNetwork)
+                .with_coding(coding)
+                .with_initial_fault_fraction(0.2)
+                .with_seed(21);
+            config.tile_size = 4; // force tiling
+            let mapped = MappedNetwork::from_network(&mut net, config).unwrap();
+            mapped.load_effective_weights(&mut net);
+            for layer in mapped.layers() {
+                let loaded: Vec<f32> =
+                    net.layer_params_mut(layer.layer_index).unwrap().weights.to_vec();
+                for r in 0..layer.rows {
+                    for c in 0..layer.cols {
+                        let reference = layer.effective(r, c, 4) as f32;
+                        assert_eq!(
+                            loaded[r * layer.cols + c],
+                            reference,
+                            "({r},{c}) must match bit-for-bit under {coding:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn detect_is_thread_count_invariant() {
+        // Tile campaigns fan out across workers; each tile owns its RNG, so
+        // the merged predictions must not depend on the thread count.
+        let build = || {
+            let mut net = mlp();
+            let mut config = MappingConfig::new(MappingScope::EntireNetwork)
+                .with_initial_fault_fraction(0.1)
+                .with_seed(3);
+            config.tile_size = 4;
+            MappedNetwork::from_network(&mut net, config).unwrap()
+        };
+        let detector = OnlineFaultDetector::new(DetectorConfig::new(2).unwrap());
+        let run_with = |threads: usize| {
+            par::set_thread_count(threads);
+            let out = build().detect(&detector).unwrap();
+            par::set_thread_count(0);
+            out
+        };
+        let seq = run_with(1);
+        let par4 = run_with(4);
+        assert_eq!(seq.len(), par4.len());
+        for (a, b) in seq.iter().zip(&par4) {
+            assert_eq!(a.predicted, b.predicted);
+            assert_eq!(a.cycles, b.cycles);
+            assert_eq!(a.write_pulses, b.write_pulses);
+        }
     }
 
     #[test]

@@ -15,6 +15,20 @@
 //! knapsack instances and is NP-hard, so the paper uses a stochastic
 //! neuron-swap search, optimizing layer by layer; a genetic algorithm and
 //! two baselines are also provided for the ablation benches.
+//!
+//! # Parallel cost evaluation
+//!
+//! `Dist(P, F)` decomposes per layer, so [`RemapProblem::cost`] fans the
+//! per-layer recounts across the [`par`] worker budget and sums the
+//! partials in layer order (identical to the sequential count).
+//! [`RemapAlgorithm::GreedySwapBatch`] goes further: each round draws a
+//! *batch* of candidate swaps up front, scores every candidate's
+//! incremental delta against the frozen permutations in parallel
+//! (read-only [`RemapProblem::neuron_cost`] probes), then applies the
+//! improving, non-conflicting candidates sequentially in draw order. Both
+//! the candidate stream (drawn before the fan-out) and the application
+//! policy are deterministic, so the search trajectory is identical at any
+//! thread count.
 
 use nn::network::Network;
 use nn::permute::{permute_columns, permute_hidden_neurons, permute_row_blocks, Permutation};
@@ -37,6 +51,15 @@ pub enum RemapAlgorithm {
     /// The paper's method: repeatedly exchange two random neurons and keep
     /// the exchange when the cost does not increase.
     SwapHillClimb,
+    /// Batched variant of the paper's method built for wide arrays: each
+    /// round draws `batch` candidate swaps, scores all their incremental
+    /// deltas in parallel against the frozen permutations, then applies the
+    /// strictly improving, non-conflicting candidates in draw order.
+    /// Deterministic at any thread count.
+    GreedySwapBatch {
+        /// Candidate swaps scored per round.
+        batch: usize,
+    },
     /// A genetic algorithm optimizing each neuron group in turn
     /// ("layer by layer" per the paper), with order crossover and swap
     /// mutation.
@@ -290,38 +313,49 @@ impl RemapProblem {
 
     /// Evaluates `Dist(P, F)` for a full assignment of group permutations.
     ///
+    /// The count decomposes per layer, so the per-layer recounts run on the
+    /// [`par`] worker budget (gated on total cell count) and the partials
+    /// are summed in layer order — identical to the sequential count.
+    ///
     /// # Panics
     ///
     /// Panics if the permutation count or sizes mismatch the groups.
     pub fn cost(&self, perms: &[Permutation]) -> u64 {
         assert_eq!(perms.len(), self.groups.len(), "one permutation per group");
+        let est = self.layers.iter().map(|l| l.rows * l.cols).max().unwrap_or(0);
+        par::map_indices_hinted(self.layers.len(), est, |li| self.layer_cost(perms, li))
+            .into_iter()
+            .sum()
+    }
+
+    /// The `Dist(P, F)` contribution of one layer under the permutations.
+    fn layer_cost(&self, perms: &[Permutation], li: usize) -> u64 {
+        let layer = &self.layers[li];
         let mut total = 0u64;
-        for (li, layer) in self.layers.iter().enumerate() {
-            // The permutation acting on this layer's columns (output side)
-            // and on its row blocks (input side).
-            let out_perm = self
-                .groups
-                .iter()
-                .position(|g| g.layer == li)
-                .map(|gi| &perms[gi]);
-            let in_group = self.groups.iter().position(|g| g.layer + 1 == li);
-            let in_perm = in_group.map(|gi| (&perms[gi], self.groups[gi].block));
-            for i in 0..layer.rows {
-                // Logical row i of the hardware receives software row src_i.
-                let src_i = match in_perm {
-                    Some((p, block)) => p.as_slice()[i / block] * block + i % block,
-                    None => i,
+        // The permutation acting on this layer's columns (output side)
+        // and on its row blocks (input side).
+        let out_perm = self
+            .groups
+            .iter()
+            .position(|g| g.layer == li)
+            .map(|gi| &perms[gi]);
+        let in_group = self.groups.iter().position(|g| g.layer + 1 == li);
+        let in_perm = in_group.map(|gi| (&perms[gi], self.groups[gi].block));
+        for i in 0..layer.rows {
+            // Logical row i of the hardware receives software row src_i.
+            let src_i = match in_perm {
+                Some((p, block)) => p.as_slice()[i / block] * block + i % block,
+                None => i,
+            };
+            for j in 0..layer.cols {
+                let src_j = match out_perm {
+                    Some(p) => p.as_slice()[j],
+                    None => j,
                 };
-                for j in 0..layer.cols {
-                    let src_j = match out_perm {
-                        Some(p) => p.as_slice()[j],
-                        None => j,
-                    };
-                    let pruned = layer.pruned[src_i * layer.cols + src_j];
-                    let fault = layer.fault[i * layer.cols + j];
-                    if self.cost_model.is_error(pruned, fault) {
-                        total += 1;
-                    }
+                let pruned = layer.pruned[src_i * layer.cols + src_j];
+                let fault = layer.fault[i * layer.cols + j];
+                if self.cost_model.is_error(pruned, fault) {
+                    total += 1;
                 }
             }
         }
@@ -332,13 +366,33 @@ impl RemapProblem {
     /// of `layer`'s column `j` plus `layer + 1`'s row block `j`, under the
     /// given permutations. Used for O(rows + block·cols) swap deltas.
     fn neuron_cost(&self, perms: &[Permutation], group_idx: usize, j: usize) -> u64 {
+        self.neuron_cost_as(perms, group_idx, j, perms[group_idx].as_slice()[j])
+    }
+
+    /// [`neuron_cost`] with the source neuron at position `j` overridden to
+    /// `src` instead of `perms[group_idx][j]`. This scores a *hypothetical*
+    /// swap without mutating any permutation: after swapping positions
+    /// `a, b` the cost at `a` is `neuron_cost_as(…, a, perms[g][b])` and
+    /// vice versa, because within a group the cost at one position never
+    /// depends on the group's assignment at other positions (the in/out
+    /// environment comes from *adjacent* groups). Read-only, so candidate
+    /// swaps can be scored in parallel against frozen permutations.
+    ///
+    /// [`neuron_cost`]: Self::neuron_cost
+    fn neuron_cost_as(
+        &self,
+        perms: &[Permutation],
+        group_idx: usize,
+        j: usize,
+        src: usize,
+    ) -> u64 {
         let group = self.groups[group_idx];
         let li = group.layer;
         let mut total = 0u64;
         // Column j of layer li.
         {
             let layer = &self.layers[li];
-            let src_j = perms[group_idx].as_slice()[j];
+            let src_j = src;
             let in_perm = self
                 .groups
                 .iter()
@@ -364,7 +418,7 @@ impl RemapProblem {
                 .iter()
                 .position(|g| g.layer == li + 1)
                 .map(|gi| &perms[gi]);
-            let src_block = perms[group_idx].as_slice()[j];
+            let src_block = src;
             for b in 0..group.block {
                 let i = j * group.block + b;
                 let src_i = src_block * group.block + b;
@@ -420,6 +474,11 @@ impl RemapProblem {
                     }
                 }
             }
+            RemapAlgorithm::GreedySwapBatch { batch } => {
+                if !self.groups.is_empty() {
+                    self.greedy_swap_batch(&mut perms, batch.max(1), config.iterations, &mut rng);
+                }
+            }
             RemapAlgorithm::Genetic { population } => {
                 let population = population.max(4);
                 let generations = (config.iterations / population).max(1);
@@ -437,6 +496,85 @@ impl RemapProblem {
             .map(|(g, p)| (mapped.layers()[g.layer].weight_layer, p))
             .collect();
         RemapPlan { perms: plan_perms, initial_cost, final_cost }
+    }
+
+    /// The batched greedy swap search. Per round:
+    ///
+    /// 1. draw `batch` candidate `(group, a, b)` swaps from the (sequential,
+    ///    deterministic) RNG stream;
+    /// 2. score every candidate's delta in parallel with read-only
+    ///    [`Self::neuron_cost_as`] probes against the frozen permutations;
+    /// 3. apply strictly improving candidates in draw order, skipping any
+    ///    whose delta may have gone stale — a position already swapped this
+    ///    round, or a group whose in/out environment (an adjacent group)
+    ///    was already modified this round.
+    ///
+    /// The parallel step is pure, so the trajectory is identical at any
+    /// thread count.
+    fn greedy_swap_batch(
+        &self,
+        perms: &mut [Permutation],
+        batch: usize,
+        iterations: usize,
+        rng: &mut rand::rngs::StdRng,
+    ) {
+        // groups adjacent to gi: those feeding its layer or fed by it.
+        let adjacent: Vec<Vec<usize>> = self
+            .groups
+            .iter()
+            .map(|g| {
+                self.groups
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, h)| h.layer + 1 == g.layer || g.layer + 1 == h.layer)
+                    .map(|(hi, _)| hi)
+                    .collect()
+            })
+            .collect();
+        // Four neuron_cost probes per candidate, each O(rows + block·cols).
+        let probe_ops = self
+            .groups
+            .iter()
+            .map(|g| 4 * (self.layers[g.layer].rows + g.block * self.layers[g.layer + 1].cols))
+            .max()
+            .unwrap_or(0);
+        let rounds = (iterations / batch).max(1);
+        for _ in 0..rounds {
+            let candidates: Vec<(usize, usize, usize)> = (0..batch)
+                .filter_map(|_| {
+                    let gi = rng.gen_range(0..self.groups.len());
+                    let n = self.groups[gi].neurons;
+                    let (a, b) = (rng.gen_range(0..n), rng.gen_range(0..n));
+                    (a != b).then(|| (gi, a.min(b), a.max(b)))
+                })
+                .collect();
+            let frozen: &[Permutation] = perms;
+            let deltas = par::map_indices_hinted(candidates.len(), probe_ops, |k| {
+                let (gi, a, b) = candidates[k];
+                let (pa, pb) = (frozen[gi].as_slice()[a], frozen[gi].as_slice()[b]);
+                let before = self.neuron_cost_as(frozen, gi, a, pa)
+                    + self.neuron_cost_as(frozen, gi, b, pb);
+                let after = self.neuron_cost_as(frozen, gi, a, pb)
+                    + self.neuron_cost_as(frozen, gi, b, pa);
+                after as i64 - before as i64
+            });
+            let mut touched: Vec<Vec<bool>> =
+                self.groups.iter().map(|g| vec![false; g.neurons]).collect();
+            let mut group_modified = vec![false; self.groups.len()];
+            for (&(gi, a, b), &delta) in candidates.iter().zip(&deltas) {
+                if delta >= 0
+                    || touched[gi][a]
+                    || touched[gi][b]
+                    || adjacent[gi].iter().any(|&hi| group_modified[hi])
+                {
+                    continue;
+                }
+                perms[gi].swap(a, b);
+                touched[gi][a] = true;
+                touched[gi][b] = true;
+                group_modified[gi] = true;
+            }
+        }
     }
 
     /// GA over one neuron group with the other groups fixed.
@@ -639,6 +777,49 @@ mod tests {
         };
         let plan = problem.solve(&mapped, &config);
         assert!(plan.final_cost < plan.initial_cost, "{plan:?}");
+    }
+
+    #[test]
+    fn greedy_batch_reduces_cost() {
+        let mut net = mlp(4);
+        let mapped = mapped_with_faults(&mut net, 0.15, 4);
+        let mask = magnitude_prune(&mut net, 0.6);
+        let problem =
+            RemapProblem::with_ground_truth(&mapped, &mask, CostModel::PaperDist).unwrap();
+        let config = RemapConfig {
+            algorithm: RemapAlgorithm::GreedySwapBatch { batch: 32 },
+            iterations: 3000,
+            ..RemapConfig::default()
+        };
+        let plan = problem.solve(&mapped, &config);
+        assert!(plan.final_cost < plan.initial_cost, "{plan:?}");
+    }
+
+    #[test]
+    fn greedy_batch_is_thread_count_invariant() {
+        // Candidates are drawn before the fan-out and applied with a
+        // deterministic policy, so the search trajectory must not depend on
+        // how many workers scored the deltas.
+        let mut net = mlp(10);
+        let mapped = mapped_with_faults(&mut net, 0.2, 10);
+        let mask = magnitude_prune(&mut net, 0.5);
+        let problem =
+            RemapProblem::with_ground_truth(&mapped, &mask, CostModel::PaperDist).unwrap();
+        let config = RemapConfig {
+            algorithm: RemapAlgorithm::GreedySwapBatch { batch: 16 },
+            iterations: 1000,
+            ..RemapConfig::default()
+        };
+        let run_with = |threads: usize| {
+            par::set_thread_count(threads);
+            let plan = problem.solve(&mapped, &config);
+            par::set_thread_count(0);
+            plan
+        };
+        let seq = run_with(1);
+        let par4 = run_with(4);
+        assert_eq!(seq.final_cost, par4.final_cost);
+        assert_eq!(seq.perms(), par4.perms(), "identical trajectory required");
     }
 
     #[test]

@@ -1,4 +1,20 @@
 //! The complete quiescent-voltage-comparison detection campaign (Fig. 3).
+//!
+//! # Parallel comparison sweeps
+//!
+//! Each test cycle drives one group of `Tr` rows (or `Tc` columns) and reads
+//! every output line — a purely read-only pass over a `t × cols` slice of
+//! the crossbar's cached conductance plane. Candidate-bearing groups are
+//! therefore independent work items, and [`OnlineFaultDetector::kind_pass`]
+//! fans them out across the [`par`] worker budget via
+//! [`par::map_indices_hinted`] (groups are few but heavy, so the fan-out is
+//! gated on total estimated work, not item count). The mutating steps — the
+//! `±δ` test writes before the sweep and the restore writes after — stay
+//! sequential. Per-group flags are merged back in group order, so the
+//! predicted fault map is bit-identical to the sequential sweep at any
+//! thread count.
+
+#![deny(clippy::needless_range_loop)]
 
 use rram::adc::Adc;
 use rram::crossbar::Crossbar;
@@ -216,42 +232,66 @@ impl OnlineFaultDetector {
             deltas[r * cols + c] = delta;
         }
 
-        // Steps 2-4: drive row groups, compare all candidate columns.
+        // Steps 2-4: drive row groups, compare all candidate columns. The
+        // comparison sweep is read-only, so the candidate-bearing groups fan
+        // out across worker threads; each returns the columns it flagged and
+        // the flags merge sequentially in group order (bit-identical to the
+        // sequential sweep). The dense batched kernels compute every output
+        // line's sum — exactly what the hardware's quiescent read produces —
+        // but only candidate lines are compared, matching the old per-line
+        // loop's predictions.
         let mut flags = FlagSet::new();
-        let mut cycles = 0u64;
-        for (g, group) in groups(rows, t).into_iter().enumerate() {
-            if !candidates.any_in_rows(group.clone()) {
-                continue;
-            }
-            cycles += 1;
-            for col in 0..cols {
-                if !candidates.column_has_candidate(group.clone(), col) {
-                    continue;
+        let row_groups: Vec<(usize, std::ops::Range<usize>)> = groups(rows, t)
+            .into_iter()
+            .enumerate()
+            .filter(|(_, group)| candidates.any_in_rows(group.clone()))
+            .collect();
+        let col_groups: Vec<(usize, std::ops::Range<usize>)> = groups(cols, t)
+            .into_iter()
+            .enumerate()
+            .filter(|(_, group)| candidates.any_in_cols(group.clone()))
+            .collect();
+        let cycles = (row_groups.len() + col_groups.len()) as u64;
+        {
+            let xbar: &Crossbar = xbar;
+            let per_group = par::map_indices_hinted(row_groups.len(), t * cols, |gi| {
+                let group = row_groups[gi].1.clone();
+                let actual = xbar.column_group_sums(group.clone())?;
+                let expected = store.expected_column_group_sums(group.clone(), &deltas);
+                let mut hits = Vec::new();
+                for (col, (&sum, &exp)) in actual.iter().zip(&expected).enumerate() {
+                    if candidates.column_has_candidate(group.clone(), col)
+                        && adc.digitize_mod(sum) != adc.reduce(exp)
+                    {
+                        hits.push(col);
+                    }
                 }
-                let actual = adc.digitize_mod(xbar.column_group_sum(group.clone(), col)?);
-                let expected =
-                    adc.reduce(store.expected_column_group_sum(group.clone(), col, &deltas));
-                if actual != expected {
-                    flags.flag_row_test(g, col);
+                Ok::<_, RramError>(hits)
+            });
+            for ((g, _), hits) in row_groups.iter().zip(per_group) {
+                for col in hits? {
+                    flags.flag_row_test(*g, col);
                 }
             }
-        }
 
-        // Repeat in the column direction to derive row information.
-        for (g, group) in groups(cols, t).into_iter().enumerate() {
-            if !candidates.any_in_cols(group.clone()) {
-                continue;
-            }
-            cycles += 1;
-            for row in 0..rows {
-                if !candidates.row_has_candidate(row, group.clone()) {
-                    continue;
+            // Repeat in the column direction to derive row information.
+            let per_group = par::map_indices_hinted(col_groups.len(), t * rows, |gi| {
+                let group = col_groups[gi].1.clone();
+                let actual = xbar.row_group_sums(group.clone())?;
+                let expected = store.expected_row_group_sums(group.clone(), &deltas);
+                let mut hits = Vec::new();
+                for (row, (&sum, &exp)) in actual.iter().zip(&expected).enumerate() {
+                    if candidates.row_has_candidate(row, group.clone())
+                        && adc.digitize_mod(sum) != adc.reduce(exp)
+                    {
+                        hits.push(row);
+                    }
                 }
-                let actual = adc.digitize_mod(xbar.row_group_sum(row, group.clone())?);
-                let expected =
-                    adc.reduce(store.expected_row_group_sum(row, group.clone(), &deltas));
-                if actual != expected {
-                    flags.flag_col_test(g, row);
+                Ok::<_, RramError>(hits)
+            });
+            for ((g, _), hits) in col_groups.iter().zip(per_group) {
+                for row in hits? {
+                    flags.flag_col_test(*g, row);
                 }
             }
         }
@@ -393,6 +433,27 @@ mod tests {
         .run(&mut xbar)
         .unwrap();
         assert!(sel.cycles() < 16, "cycles {}", sel.cycles());
+    }
+
+    #[test]
+    fn predictions_are_thread_count_invariant() {
+        // The fan-out only changes which worker computes a group, never the
+        // comparison values or merge order — any thread count must yield
+        // the sequential prediction bit-for-bit.
+        let detector = OnlineFaultDetector::new(DetectorConfig::new(16).unwrap());
+        let run_with = |threads: usize| {
+            par::set_thread_count(threads);
+            let mut xbar = faulty_xbar(64, 0.1, 11);
+            let out = detector.run(&mut xbar).unwrap();
+            par::set_thread_count(0);
+            out
+        };
+        let seq = run_with(1);
+        let par4 = run_with(4);
+        assert_eq!(seq.predicted, par4.predicted, "fault maps must match");
+        assert_eq!(seq.sa0_cycles, par4.sa0_cycles);
+        assert_eq!(seq.sa1_cycles, par4.sa1_cycles);
+        assert_eq!(seq.write_pulses, par4.write_pulses);
     }
 
     #[test]

@@ -89,6 +89,65 @@ impl OffChipStore {
             .sum()
     }
 
+    /// Batched form of [`expected_column_group_sum`]: the expected sum over
+    /// the row slice for *every* column at once, as one dense row-major
+    /// sweep over the snapshot. Entry `col` equals
+    /// `expected_column_group_sum(rows, col, deltas)` exactly (same
+    /// clamped-level accumulation, ascending row order), so callers that
+    /// sweep whole detection groups avoid `cols` separate strided walks.
+    ///
+    /// [`expected_column_group_sum`]: Self::expected_column_group_sum
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row range is out of bounds.
+    pub fn expected_column_group_sums(
+        &self,
+        rows: std::ops::Range<usize>,
+        deltas: &[i32],
+    ) -> Vec<u64> {
+        assert!(rows.end <= self.rows, "row range out of bounds");
+        let top = i64::from(self.levels - 1);
+        let mut sums = vec![0u64; self.cols];
+        for r in rows {
+            let base = r * self.cols;
+            let stored = &self.stored[base..base + self.cols];
+            let row_deltas = &deltas[base..base + self.cols];
+            for (s, (&lvl, &d)) in sums.iter_mut().zip(stored.iter().zip(row_deltas)) {
+                *s += (i64::from(lvl) + i64::from(d)).clamp(0, top) as u64;
+            }
+        }
+        sums
+    }
+
+    /// Batched form of [`expected_row_group_sum`]: the expected sum over the
+    /// column slice for *every* row at once. Entry `row` equals
+    /// `expected_row_group_sum(row, cols, deltas)` exactly.
+    ///
+    /// [`expected_row_group_sum`]: Self::expected_row_group_sum
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column range is out of bounds.
+    pub fn expected_row_group_sums(
+        &self,
+        cols: std::ops::Range<usize>,
+        deltas: &[i32],
+    ) -> Vec<u64> {
+        assert!(cols.end <= self.cols, "column range out of bounds");
+        let top = i64::from(self.levels - 1);
+        let mut sums = vec![0u64; self.rows];
+        for (r, s) in sums.iter_mut().enumerate() {
+            let base = r * self.cols;
+            let stored = &self.stored[base + cols.start..base + cols.end];
+            let row_deltas = &deltas[base + cols.start..base + cols.end];
+            for (&lvl, &d) in stored.iter().zip(row_deltas) {
+                *s += (i64::from(lvl) + i64::from(d)).clamp(0, top) as u64;
+            }
+        }
+        sums
+    }
+
     /// Restores every cell whose level differs from the snapshot back to the
     /// stored value (the "recover the training weights" step). Returns the
     /// number of restore writes issued.
@@ -165,6 +224,26 @@ mod tests {
         let sum = store.expected_row_group_sum(1, 0..4, &deltas);
         // Stored row 1: 2, 3, 4, 5; +1: 3, 4, 5, 6 = 18.
         assert_eq!(sum, 18);
+    }
+
+    #[test]
+    fn batched_group_sums_match_scalar_sums() {
+        let x = programmed_xbar();
+        let store = OffChipStore::read_from(&x);
+        // Mixed deltas, including saturating ones.
+        let deltas: Vec<i32> = (0..16).map(|i| [1, -1, 0, 2][i % 4]).collect();
+        for lo in 0..4 {
+            for hi in lo..=4 {
+                let cols = store.expected_column_group_sums(lo..hi, &deltas);
+                for (c, &sum) in cols.iter().enumerate() {
+                    assert_eq!(sum, store.expected_column_group_sum(lo..hi, c, &deltas));
+                }
+                let rows = store.expected_row_group_sums(lo..hi, &deltas);
+                for (r, &sum) in rows.iter().enumerate() {
+                    assert_eq!(sum, store.expected_row_group_sum(r, lo..hi, &deltas));
+                }
+            }
+        }
     }
 
     #[test]

@@ -5,6 +5,20 @@
 //! are `[in_features, out_features]` so that a crossbar mapping puts inputs
 //! on rows and output neurons on columns, matching the paper's `w(n)_{i,j}`
 //! indexing.
+//!
+//! The three GEMM kernels share one inner microkernel (`saxpy_row_kernel`)
+//! operating on contiguous rows: `matmul` uses it directly, `matmul_tn`
+//! packs `selfᵀ` first so the inner loop never strides, and `matmul_nt`
+//! runs contiguous dot products. Output rows are independent, so all three
+//! fan out across [`par`] worker threads above a FLOP-count gate — each
+//! worker owns a block of whole output rows, which keeps every output
+//! element's accumulation order identical to the sequential kernel
+//! (bit-identical results at any thread count).
+
+// Kernel module: keep the hot loops in iterator/slice style so the
+// optimizer sees contiguous accesses (regressions to index loops are
+// rejected at compile time).
+#![deny(clippy::needless_range_loop)]
 
 use std::fmt;
 
@@ -152,6 +166,10 @@ impl Tensor {
 
     /// Matrix product `self · other` for 2-D tensors (`[m,k] · [k,n] → [m,n]`).
     ///
+    /// Output rows are computed independently (row-blocked across worker
+    /// threads above a FLOP gate); results are identical to the sequential
+    /// kernel at any thread count.
+    ///
     /// # Panics
     ///
     /// Panics if the inner dimensions disagree or either tensor is not 2-D.
@@ -160,24 +178,26 @@ impl Tensor {
         let (k2, n) = (other.rows(), other.cols());
         assert_eq!(k, k2, "matmul inner dimensions: {k} vs {k2}");
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let c_row = &mut out[i * n..(i + 1) * n];
-            for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[p * n..(p + 1) * n];
-                for (c, &b) in c_row.iter_mut().zip(b_row) {
-                    *c += a * b;
-                }
+        let a = &self.data;
+        let b = &other.data;
+        run_row_blocked(&mut out, n, m * k * n, |i0, block| {
+            for (bi, c_row) in block.chunks_mut(n).enumerate() {
+                let i = i0 + bi;
+                saxpy_row_kernel(&a[i * k..(i + 1) * k], b, c_row);
             }
-        }
+        });
         Tensor::from_vec(vec![m, n], out)
     }
 
     /// Matrix product `selfᵀ · other` (`[k,m]ᵀ · [k,n] → [m,n]`), used for
     /// weight gradients (`dW = Xᵀ · dY`).
+    ///
+    /// `selfᵀ` is packed into a contiguous `[m,k]` buffer first, so the hot
+    /// loop is the same contiguous SAXPY microkernel as [`Tensor::matmul`]
+    /// instead of the former `p`-outer sweep that re-touched the entire
+    /// output matrix once per shared-dimension step. Per output element the
+    /// accumulation still runs in ascending `p` order, so results match the
+    /// old kernel exactly.
     ///
     /// # Panics
     ///
@@ -186,25 +206,27 @@ impl Tensor {
         let (k, m) = (self.rows(), self.cols());
         let (k2, n) = (other.rows(), other.cols());
         assert_eq!(k, k2, "matmul_tn leading dimensions: {k} vs {k2}");
-        let mut out = vec![0.0f32; m * n];
-        for p in 0..k {
-            let a_row = &self.data[p * m..(p + 1) * m];
-            let b_row = &other.data[p * n..(p + 1) * n];
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let c_row = &mut out[i * n..(i + 1) * n];
-                for (c, &b) in c_row.iter_mut().zip(b_row) {
-                    *c += a * b;
-                }
+        // Pack Aᵀ row-major: at[i*k + p] = a[p*m + i].
+        let mut at = vec![0.0f32; k * m];
+        for (p, a_row) in self.data.chunks_exact(m).enumerate() {
+            for (i, &v) in a_row.iter().enumerate() {
+                at[i * k + p] = v;
             }
         }
+        let mut out = vec![0.0f32; m * n];
+        let b = &other.data;
+        run_row_blocked(&mut out, n, m * k * n, |i0, block| {
+            for (bi, c_row) in block.chunks_mut(n).enumerate() {
+                let i = i0 + bi;
+                saxpy_row_kernel(&at[i * k..(i + 1) * k], b, c_row);
+            }
+        });
         Tensor::from_vec(vec![m, n], out)
     }
 
     /// Matrix product `self · otherᵀ` (`[m,k] · [n,k]ᵀ → [m,n]`), used for
-    /// input gradients (`dX = dY · Wᵀ`).
+    /// input gradients (`dX = dY · Wᵀ`). Both operands are walked
+    /// contiguously (dot products), row-blocked across workers.
     ///
     /// # Panics
     ///
@@ -214,18 +236,20 @@ impl Tensor {
         let (n, k2) = (other.rows(), other.cols());
         assert_eq!(k, k2, "matmul_nt trailing dimensions: {k} vs {k2}");
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let c_row = &mut out[i * n..(i + 1) * n];
-            for (j, c) in c_row.iter_mut().enumerate() {
-                let b_row = &other.data[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
+        let a = &self.data;
+        let b = &other.data;
+        run_row_blocked(&mut out, n, m * k * n, |i0, block| {
+            for (bi, c_row) in block.chunks_mut(n).enumerate() {
+                let a_row = &a[(i0 + bi) * k..(i0 + bi + 1) * k];
+                for (c, b_row) in c_row.iter_mut().zip(b.chunks_exact(k)) {
+                    let mut acc = 0.0f32;
+                    for (&av, &bv) in a_row.iter().zip(b_row) {
+                        acc += av * bv;
+                    }
+                    *c = acc;
                 }
-                *c = acc;
             }
-        }
+        });
         Tensor::from_vec(vec![m, n], out)
     }
 
@@ -249,6 +273,48 @@ impl Tensor {
         Tensor {
             shape: self.shape.clone(),
             data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+}
+
+/// MAC-count gate below which the GEMM kernels stay on the calling thread
+/// (a thread spawn costs ~10 µs ≈ tens of thousands of MACs).
+const PAR_MIN_FLOPS: usize = 1 << 16;
+
+/// Runs `f(first_row, row_block)` over `out` split into whole-row blocks,
+/// in parallel when `flops` clears the gate, sequentially otherwise.
+fn run_row_blocked<F>(out: &mut [f32], row_len: usize, flops: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    if flops >= PAR_MIN_FLOPS && par::thread_count() > 1 {
+        par::for_each_row_block_mut(out, row_len, f);
+    } else {
+        f(0, out);
+    }
+}
+
+/// The shared GEMM microkernel: `c_row += Σ_p a_row[p] · b[p-th row]`, all
+/// slices contiguous. The zero-skip branch is gated on measured sparsity
+/// ([`par::SPARSITY_SKIP_THRESHOLD`]): skipping a zero `a` saves an
+/// `n`-length SAXPY but costs a branch per `p`, which only wins on
+/// mostly-zero operands — e.g. activations after §5.2 magnitude pruning
+/// has parked >50 % of the weights at zero, or ReLU-sparse features.
+/// Skipping never changes the result: each skipped contribution is
+/// `±0.0 · b` with finite `b`, which leaves an IEEE-754 accumulator on the
+/// value it would otherwise hold.
+#[inline]
+fn saxpy_row_kernel(a_row: &[f32], b: &[f32], c_row: &mut [f32]) {
+    let n = c_row.len();
+    let zeros = a_row.iter().filter(|&&a| a == 0.0).count();
+    let skip_zeros = zeros as f32 > par::SPARSITY_SKIP_THRESHOLD * a_row.len() as f32;
+    for (p, &a) in a_row.iter().enumerate() {
+        if skip_zeros && a == 0.0 {
+            continue;
+        }
+        let b_row = &b[p * n..(p + 1) * n];
+        for (c, &bv) in c_row.iter_mut().zip(b_row) {
+            *c += a * bv;
         }
     }
 }
@@ -428,6 +494,51 @@ mod tests {
         let b = Tensor::from_vec(vec![2, 3], vec![7., 9., 11., 8., 10., 12.]);
         let bt = Tensor::from_vec(vec![3, 2], vec![7., 8., 9., 10., 11., 12.]);
         assert_eq!(a.matmul_nt(&b), a.matmul(&bt));
+    }
+
+    #[test]
+    fn matmul_family_is_thread_count_invariant() {
+        // Large enough to clear PAR_MIN_FLOPS so the parallel path runs.
+        let (m, k, n) = (37, 65, 41);
+        let fill = |len: usize, f: f32| -> Vec<f32> {
+            (0..len).map(|i| ((i as f32) * f).sin()).collect()
+        };
+        let a = Tensor::from_vec(vec![m, k], fill(m * k, 0.37));
+        let b = Tensor::from_vec(vec![k, n], fill(k * n, 0.53));
+        let a_t = Tensor::from_vec(vec![k, m], fill(k * m, 0.37));
+        let b_t = Tensor::from_vec(vec![n, k], fill(n * k, 0.53));
+        par::set_thread_count(1);
+        let seq = (a.matmul(&b), a_t.matmul_tn(&b), a.matmul_nt(&b_t));
+        par::set_thread_count(4);
+        let parl = (a.matmul(&b), a_t.matmul_tn(&b), a.matmul_nt(&b_t));
+        par::set_thread_count(0);
+        assert_eq!(seq.0.data(), parl.0.data(), "matmul must be bit-identical");
+        assert_eq!(seq.1.data(), parl.1.data(), "matmul_tn must be bit-identical");
+        assert_eq!(seq.2.data(), parl.2.data(), "matmul_nt must be bit-identical");
+    }
+
+    #[test]
+    fn matmul_tn_packed_matches_naive_on_sparse_input() {
+        // Mostly-zero operand: exercises the sparsity-gated zero-skip.
+        let (k, m, n) = (50, 30, 46); // 69k MACs clears the parallel gate too
+        let mut a = vec![0.0f32; k * m];
+        for (i, v) in a.iter_mut().enumerate() {
+            if i % 5 == 0 {
+                *v = (i as f32 * 0.11).cos();
+            }
+        }
+        let b: Vec<f32> = (0..k * n).map(|i| (i as f32 * 0.29).sin()).collect();
+        let a_t = Tensor::from_vec(vec![k, m], a.clone());
+        let b_t = Tensor::from_vec(vec![k, n], b.clone());
+        // Naive reference: explicit transpose then matmul.
+        let mut at = vec![0.0f32; m * k];
+        for (p, row) in a.chunks_exact(m).enumerate() {
+            for (i, &v) in row.iter().enumerate() {
+                at[i * k + p] = v;
+            }
+        }
+        let reference = Tensor::from_vec(vec![m, k], at).matmul(&b_t);
+        assert_eq!(a_t.matmul_tn(&b_t).data(), reference.data());
     }
 
     #[test]

@@ -1,0 +1,363 @@
+//! Scoped-thread data-parallel helpers for the workspace's wide loops.
+//!
+//! The build environment is offline (no crates.io registry), so instead of
+//! `rayon` this crate provides the minimal fork-join surface the kernels
+//! need, built purely on [`std::thread::scope`]:
+//!
+//! * [`thread_count`] — the worker budget: `RRAM_FTT_THREADS` env override,
+//!   else [`std::thread::available_parallelism`].
+//! * [`for_each_chunk_mut`] — split a `&mut [T]` into contiguous chunks and
+//!   process them on worker threads (the backbone of row-blocked matmul and
+//!   plane-backed MVM batching).
+//! * [`map_indices`] — evaluate an independent `Fn(usize) -> T` for
+//!   `0..n` and collect results in index order (detection-group sweeps,
+//!   remap candidate scoring).
+//! * [`join_reduce`] — partition `0..n` into ranges, fold each range on a
+//!   worker, then combine partial results (cost sums).
+//!
+//! All helpers fall back to plain sequential execution when the budget is
+//! one thread or the problem is below [`PAR_THRESHOLD`], so small inputs
+//! never pay thread-spawn overhead and unit tests stay deterministic.
+//!
+//! Determinism note: every helper assigns work by index and writes results
+//! into pre-sliced disjoint regions, so outputs are bit-identical to the
+//! sequential order regardless of the thread count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Problems smaller than this many work items run sequentially: spawning
+/// even one scoped thread costs ~10 µs, which dwarfs small kernels.
+pub const PAR_THRESHOLD: usize = 64;
+
+/// Sparsity gate shared by `Crossbar::mvm` and `Tensor::matmul`: skipping a
+/// zero input element saves a row-length SAXPY, but the branch costs a
+/// compare per element. Profiling shows the skip only wins once the input
+/// is mostly zeros — which happens after §5.2-style pruning re-mapping
+/// (>50 % of weights pruned) or with sparse spike-like activations. Dense
+/// kernels therefore only take the branch when the caller has measured
+/// sparsity above this fraction.
+pub const SPARSITY_SKIP_THRESHOLD: f32 = 0.5;
+
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// The worker budget used by all helpers.
+///
+/// Resolution order: [`set_thread_count`] override (tests / benches), the
+/// `RRAM_FTT_THREADS` environment variable, then
+/// [`std::thread::available_parallelism`]. Always at least 1.
+pub fn thread_count() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    static FROM_ENV: OnceLock<usize> = OnceLock::new();
+    *FROM_ENV.get_or_init(|| {
+        std::env::var("RRAM_FTT_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// Forces [`thread_count`] to `n` for this process (0 restores the
+/// env/auto behaviour). Used by benches to sweep thread counts.
+pub fn set_thread_count(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// Splits `data` into at most `thread_count()` contiguous chunks of at
+/// least `min_chunk` items and runs `f(chunk_start_index, chunk)` for each,
+/// in parallel. Falls back to one sequential call for small inputs.
+pub fn for_each_chunk_mut<T, F>(data: &mut [T], min_chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n = data.len();
+    if n == 0 {
+        return;
+    }
+    let workers = worker_count(n.div_ceil(min_chunk.max(1)));
+    if workers <= 1 {
+        f(0, data);
+        return;
+    }
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (ci, slice) in data.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || f(ci * chunk, slice));
+        }
+    });
+}
+
+/// Like [`for_each_chunk_mut`], but sized for *few, heavy* items (e.g. a
+/// handful of crossbar tiles each running a whole detection campaign): the
+/// fan-out engages whenever `data.len() · est_ops_per_item` clears
+/// [`PAR_MIN_WORK`], even far below [`PAR_THRESHOLD`] items.
+pub fn for_each_chunk_mut_hinted<T, F>(data: &mut [T], est_ops_per_item: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n = data.len();
+    if n == 0 {
+        return;
+    }
+    let workers = if n < 2 || n.saturating_mul(est_ops_per_item) < PAR_MIN_WORK {
+        1
+    } else {
+        thread_count().min(n)
+    };
+    if workers <= 1 {
+        f(0, data);
+        return;
+    }
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (ci, slice) in data.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || f(ci * chunk, slice));
+        }
+    });
+}
+
+/// Splits a row-major matrix buffer (`data.len() == rows * row_len`) into
+/// contiguous blocks of *whole rows* and runs `f(first_row, block)` for
+/// each block on the worker budget. Unlike [`for_each_chunk_mut`] this
+/// never splits a row across workers, so per-row kernels (matmul output
+/// rows, crossbar MVM lanes) stay contiguous.
+///
+/// The caller decides *whether* parallelism pays (e.g. by a FLOP-count
+/// gate); this helper only refuses to split when there is a single row or
+/// a single worker.
+///
+/// # Panics
+///
+/// Panics if `row_len` is zero or does not divide `data.len()`.
+pub fn for_each_row_block_mut<T, F>(data: &mut [T], row_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(row_len > 0, "row_len must be positive");
+    assert!(
+        data.len() % row_len == 0,
+        "buffer length {} is not a multiple of row_len {row_len}",
+        data.len()
+    );
+    let rows = data.len() / row_len;
+    let workers = thread_count().min(rows);
+    if workers <= 1 {
+        f(0, data);
+        return;
+    }
+    let rows_per_block = rows.div_ceil(workers);
+    let block = rows_per_block * row_len;
+    std::thread::scope(|scope| {
+        for (ci, slice) in data.chunks_mut(block).enumerate() {
+            let f = &f;
+            scope.spawn(move || f(ci * rows_per_block, slice));
+        }
+    });
+}
+
+/// Evaluates `f(i)` for every `i in 0..n` on the worker budget and returns
+/// the results in index order. `f` must be independent across indices.
+pub fn map_indices<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    map_indices_on(worker_count(n), n, f)
+}
+
+/// Estimated scalar operations below which a fan-out is not worth a thread
+/// spawn (see [`map_indices_hinted`]).
+pub const PAR_MIN_WORK: usize = 1 << 14;
+
+/// Like [`map_indices`], but sized for *few, heavy* items: the caller
+/// passes an estimate of the scalar operations per item, and the fan-out
+/// engages whenever `n · est_ops_per_item` clears [`PAR_MIN_WORK`] — even
+/// for item counts far below [`PAR_THRESHOLD`] (e.g. 8 detection groups
+/// that each sweep a 512-column crossbar slice).
+pub fn map_indices_hinted<T, F>(n: usize, est_ops_per_item: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = if n < 2 || n.saturating_mul(est_ops_per_item) < PAR_MIN_WORK {
+        1
+    } else {
+        thread_count().min(n)
+    };
+    map_indices_on(workers, n, f)
+}
+
+fn map_indices_on<T, F>(workers: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut out: Vec<Option<T>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (ci, slice) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                for (k, slot) in slice.iter_mut().enumerate() {
+                    *slot = Some(f(ci * chunk + k));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|v| v.expect("worker filled every slot"))
+        .collect()
+}
+
+/// Folds `0..n` in parallel: each worker folds its contiguous index range
+/// with `fold(acc, i)` starting from `init()`, and the per-worker partials
+/// are combined left-to-right (in range order) with `combine`.
+///
+/// With a commutative+associative `combine` (e.g. `f64` cost sums where
+/// per-range grouping differences are acceptable) this is a drop-in
+/// replacement for a sequential fold.
+pub fn join_reduce<A, I, F, C>(n: usize, init: I, fold: F, combine: C) -> A
+where
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(A, usize) -> A + Sync,
+    C: Fn(A, A) -> A,
+{
+    let workers = worker_count(n);
+    if workers <= 1 {
+        return (0..n).fold(init(), &fold);
+    }
+    let chunk = n.div_ceil(workers);
+    let mut partials: Vec<Option<A>> = Vec::new();
+    partials.resize_with(n.div_ceil(chunk), || None);
+    std::thread::scope(|scope| {
+        for (ci, slot) in partials.iter_mut().enumerate() {
+            let init = &init;
+            let fold = &fold;
+            scope.spawn(move || {
+                let lo = ci * chunk;
+                let hi = (lo + chunk).min(n);
+                *slot = Some((lo..hi).fold(init(), fold));
+            });
+        }
+    });
+    partials
+        .into_iter()
+        .map(|p| p.expect("worker produced a partial"))
+        .reduce(combine)
+        .unwrap_or_else(init)
+}
+
+/// How many workers a problem of `n` independent items warrants.
+fn worker_count(n: usize) -> usize {
+    if n < PAR_THRESHOLD {
+        1
+    } else {
+        thread_count().min(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn set_thread_count_overrides_and_restores() {
+        set_thread_count(3);
+        assert_eq!(thread_count(), 3);
+        set_thread_count(0);
+        assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn chunks_cover_every_index_once() {
+        let mut data = vec![0u32; 1000];
+        for_each_chunk_mut(&mut data, 1, |start, chunk| {
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v += (start + k) as u32 + 1;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i as u32 + 1, "index {i} visited exactly once");
+        }
+    }
+
+    #[test]
+    fn small_input_runs_sequentially() {
+        let mut data = vec![1u8; PAR_THRESHOLD - 1];
+        let mut calls = 0;
+        // A FnMut would not compile for the parallel path; the sequential
+        // fallback is exercised through an interior-mutability counter.
+        let counter = std::sync::atomic::AtomicUsize::new(0);
+        for_each_chunk_mut(&mut data, 1, |_, chunk| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            for v in chunk {
+                *v = 2;
+            }
+        });
+        calls += counter.load(Ordering::Relaxed);
+        assert_eq!(calls, 1, "below-threshold input must not be split");
+        assert!(data.iter().all(|&v| v == 2));
+    }
+
+    #[test]
+    fn row_blocks_never_split_rows() {
+        let row_len = 7;
+        let rows = 131;
+        let mut data = vec![0usize; rows * row_len];
+        for_each_row_block_mut(&mut data, row_len, |first_row, block| {
+            assert_eq!(block.len() % row_len, 0, "block must hold whole rows");
+            for (k, v) in block.iter_mut().enumerate() {
+                *v = (first_row * row_len + k) + 1;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i + 1);
+        }
+    }
+
+    #[test]
+    fn map_indices_preserves_order() {
+        let squares = map_indices(500, |i| i * i);
+        assert_eq!(squares.len(), 500);
+        for (i, s) in squares.iter().enumerate() {
+            assert_eq!(*s, i * i);
+        }
+    }
+
+    #[test]
+    fn join_reduce_matches_sequential_fold() {
+        let n = 4097;
+        let par: u64 = join_reduce(n, || 0u64, |acc, i| acc + i as u64, |a, b| a + b);
+        let seq: u64 = (0..n as u64).sum();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn join_reduce_empty_range_yields_init() {
+        let v: u64 = join_reduce(0, || 7u64, |acc, _| acc + 1, |a, b| a + b);
+        assert_eq!(v, 7);
+    }
+}

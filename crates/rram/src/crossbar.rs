@@ -11,6 +11,25 @@
 //! Every effective write consumes endurance; an exhausted cell becomes a
 //! stuck-at fault — this is the mechanism that degrades on-line training in
 //! the paper's motivational experiment (Fig. 1).
+//!
+//! # Cached conductance planes
+//!
+//! Cell state lives in an array-of-structs `Vec<RramCell>` (convenient for
+//! the write/fault/endurance logic), but every analog *read* path — MVM in
+//! both directions and the quiescent group sums of the test method — runs
+//! on dense row-major **conductance planes** cached next to the cells: a
+//! `Vec<f32>` for MVM SAXPY kernels and a `Vec<f64>` for the analog group
+//! sums the ADC digitizes. The planes are kept coherent by construction:
+//! the only two mutation funnels ([`Crossbar::apply_fault_map`] and the
+//! internal `finish_write`, which every write primitive calls) refresh the
+//! planes for the touched cell. Invariant, checked by the property tests:
+//! `plane32[r*cols+c] == cells[r*cols+c].conductance() as f32` (and the
+//! `f64` plane equals `conductance()` exactly) at every observable moment.
+
+// Kernel module: keep the hot loops in iterator/slice style so the
+// optimizer sees contiguous accesses (regressions to index loops are
+// rejected at compile time).
+#![deny(clippy::needless_range_loop)]
 
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -26,6 +45,18 @@ use crate::variation::WriteVariation;
 
 /// Default number of programmable conductance levels (Xu et al., DAC'13).
 pub const DEFAULT_LEVELS: u16 = 8;
+
+/// Minimum number of cells before the MVM kernels fan out to worker
+/// threads; below this the whole product is cheaper than one thread spawn.
+const PAR_MIN_CELLS: usize = 1 << 15;
+
+/// Whether `input` is sparse enough for the zero-skip branch to win; see
+/// [`par::SPARSITY_SKIP_THRESHOLD`].
+#[inline]
+fn sparse_enough(input: &[f32]) -> bool {
+    let zeros = input.iter().filter(|&&v| v == 0.0).count();
+    zeros as f32 > par::SPARSITY_SKIP_THRESHOLD * input.len() as f32
+}
 
 /// Builder for [`Crossbar`] arrays.
 ///
@@ -151,11 +182,15 @@ impl CrossbarBuilder {
         let cells: Vec<RramCell> = (0..self.rows * self.cols)
             .map(|_| RramCell::new(self.levels, self.endurance.sample(&mut rng)))
             .collect();
+        let plane64: Vec<f64> = cells.iter().map(|c| c.conductance()).collect();
+        let plane32: Vec<f32> = plane64.iter().map(|&g| g as f32).collect();
         let mut xbar = Crossbar {
             rows: self.rows,
             cols: self.cols,
             levels: self.levels,
             cells,
+            plane32,
+            plane64,
             endurance: self.endurance,
             variation: self.variation,
             rng,
@@ -177,6 +212,13 @@ pub struct Crossbar {
     cols: usize,
     levels: u16,
     cells: Vec<RramCell>,
+    /// Row-major cached conductances (`cells[i].conductance() as f32`),
+    /// consumed by the dense MVM kernels. Kept coherent by `finish_write`
+    /// and [`Crossbar::apply_fault_map`].
+    plane32: Vec<f32>,
+    /// Row-major cached conductances at full precision, consumed by the
+    /// quiescent group-sum reads (the ADC digitizes analog `f64` sums).
+    plane64: Vec<f64>,
     endurance: EnduranceModel,
     variation: WriteVariation,
     rng: StdRng,
@@ -398,6 +440,16 @@ impl Crossbar {
         }
     }
 
+    /// Refreshes the cached conductance planes for cell `i`. Must be called
+    /// after *any* cell-state mutation; `finish_write` and
+    /// [`Crossbar::apply_fault_map`] are the only two mutation funnels.
+    #[inline]
+    fn sync_plane(&mut self, i: usize) {
+        let g = self.cells[i].conductance();
+        self.plane64[i] = g;
+        self.plane32[i] = g as f32;
+    }
+
     fn finish_write(
         &mut self,
         i: usize,
@@ -417,8 +469,10 @@ impl Crossbar {
                 };
                 self.cells[i].wear_out(kind);
                 self.wear_faults += 1;
+                self.sync_plane(i);
                 return Ok(WriteOutcome::WoreOut(kind));
             }
+            self.sync_plane(i);
         }
         Ok(outcome)
     }
@@ -445,6 +499,58 @@ impl Crossbar {
     ///
     /// Returns [`RramError::DimensionMismatch`] if `input.len() != rows`.
     pub fn mvm(&self, input: &[f32]) -> Result<Vec<f32>, RramError> {
+        if input.len() != self.rows {
+            return Err(RramError::DimensionMismatch {
+                expected: self.rows,
+                actual: input.len(),
+            });
+        }
+        let mut out = vec![0.0f32; self.cols];
+        // Skipping a zero input row saves a row-length SAXPY but costs a
+        // branch per row; it only wins on mostly-zero inputs (post-§5.2
+        // pruning, sparse activations). Gate it on measured sparsity so
+        // dense inputs run branch-free. Skipping preserves the result
+        // exactly: every skipped contribution is `±0.0 · g` with finite
+        // `g ∈ [0, 1]`, which cannot move an IEEE-754 accumulator off the
+        // value it would otherwise hold.
+        let skip_zeros = sparse_enough(input);
+        if self.rows * self.cols >= PAR_MIN_CELLS && par::thread_count() > 1 {
+            let plane = &self.plane32;
+            let cols = self.cols;
+            par::for_each_chunk_mut(&mut out, 64, |c0, chunk| {
+                for (r, &v) in input.iter().enumerate() {
+                    if skip_zeros && v == 0.0 {
+                        continue;
+                    }
+                    let row = &plane[r * cols + c0..r * cols + c0 + chunk.len()];
+                    for (o, &g) in chunk.iter_mut().zip(row) {
+                        *o += g * v;
+                    }
+                }
+            });
+        } else {
+            for (r, &v) in input.iter().enumerate() {
+                if skip_zeros && v == 0.0 {
+                    continue;
+                }
+                let row = &self.plane32[r * self.cols..(r + 1) * self.cols];
+                for (o, &g) in out.iter_mut().zip(row) {
+                    *o += g * v;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Scalar reference implementation of [`Crossbar::mvm`] iterating the
+    /// array-of-structs cell storage directly (the pre-plane seed kernel).
+    /// Kept for property tests and benches: [`Crossbar::mvm`] must return
+    /// results equal to this for every input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RramError::DimensionMismatch`] if `input.len() != rows`.
+    pub fn mvm_reference(&self, input: &[f32]) -> Result<Vec<f32>, RramError> {
         if input.len() != self.rows {
             return Err(RramError::DimensionMismatch {
                 expected: self.rows,
@@ -479,13 +585,26 @@ impl Crossbar {
             });
         }
         let mut out = vec![0.0f32; self.rows];
-        for (r, o) in out.iter_mut().enumerate() {
-            let row_cells = &self.cells[r * self.cols..(r + 1) * self.cols];
+        let plane = &self.plane32;
+        let cols = self.cols;
+        let dot = |r: usize| -> f32 {
+            let row = &plane[r * cols..(r + 1) * cols];
             let mut acc = 0.0f32;
-            for (cell, &v) in row_cells.iter().zip(input) {
-                acc += cell.conductance() as f32 * v;
+            for (&g, &v) in row.iter().zip(input) {
+                acc += g * v;
             }
-            *o = acc;
+            acc
+        };
+        if self.rows * self.cols >= PAR_MIN_CELLS && par::thread_count() > 1 {
+            par::for_each_chunk_mut(&mut out, 16, |r0, chunk| {
+                for (k, o) in chunk.iter_mut().enumerate() {
+                    *o = dot(r0 + k);
+                }
+            });
+        } else {
+            for (r, o) in out.iter_mut().enumerate() {
+                *o = dot(r);
+            }
         }
         Ok(out)
     }
@@ -510,7 +629,60 @@ impl Crossbar {
                 cols: self.cols,
             });
         }
-        Ok(rows.map(|r| self.cells[r * self.cols + col].conductance()).sum())
+        Ok(rows.map(|r| self.plane64[r * self.cols + col]).sum())
+    }
+
+    /// Batched [`Crossbar::column_group_sum`] for **all** columns at once:
+    /// `out[k] = Σ_{r ∈ rows} g[r][k]`. One dense row-major sweep instead
+    /// of `cols` strided walks — this is the kernel behind the detection
+    /// campaign's row-group pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RramError::OutOfBounds`] if the row range is invalid.
+    pub fn column_group_sums(&self, rows: std::ops::Range<usize>) -> Result<Vec<f64>, RramError> {
+        if rows.end > self.rows {
+            return Err(RramError::OutOfBounds {
+                row: rows.end.saturating_sub(1),
+                col: 0,
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        let mut out = vec![0.0f64; self.cols];
+        for r in rows {
+            let row = &self.plane64[r * self.cols..(r + 1) * self.cols];
+            for (o, &g) in out.iter_mut().zip(row) {
+                *o += g;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Batched [`Crossbar::row_group_sum`] for **all** rows at once:
+    /// `out[j] = Σ_{k ∈ cols} g[j][k]` — the kernel behind the detection
+    /// campaign's column-group pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RramError::OutOfBounds`] if the column range is invalid.
+    pub fn row_group_sums(&self, cols: std::ops::Range<usize>) -> Result<Vec<f64>, RramError> {
+        if cols.end > self.cols {
+            return Err(RramError::OutOfBounds {
+                row: 0,
+                col: cols.end.saturating_sub(1),
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        let out = (0..self.rows)
+            .map(|r| {
+                self.plane64[r * self.cols + cols.start..r * self.cols + cols.end]
+                    .iter()
+                    .sum()
+            })
+            .collect();
+        Ok(out)
     }
 
     /// Quiescent row read: the analog sum over a slice of driven bit lines
@@ -532,16 +704,33 @@ impl Crossbar {
                 cols: self.cols,
             });
         }
-        Ok(cols.map(|c| self.cells[row * self.cols + c].conductance()).sum())
+        Ok(self.plane64[row * self.cols + cols.start..row * self.cols + cols.end]
+            .iter()
+            .sum())
     }
 
     /// Pins cells to hard faults per the given map (fabrication injection).
     pub fn apply_fault_map(&mut self, map: &FaultMap) {
         for (r, c, kind) in map.iter_faulty() {
             if r < self.rows && c < self.cols {
-                self.cells[r * self.cols + c].force_fault(kind);
+                let i = r * self.cols + c;
+                self.cells[i].force_fault(kind);
+                self.sync_plane(i);
             }
         }
+    }
+
+    /// The cached row-major `f32` conductance plane
+    /// (`plane[r * cols + c] == cells[r * cols + c].conductance() as f32`).
+    /// External kernels (and the coherence property tests) read it directly.
+    pub fn conductance_plane(&self) -> &[f32] {
+        &self.plane32
+    }
+
+    /// The cached row-major `f64` conductance plane backing the quiescent
+    /// group-sum reads (exactly `conductance()` per cell).
+    pub fn conductance_plane_f64(&self) -> &[f64] {
+        &self.plane64
     }
 
     /// Ground-truth fault map of the current array state.

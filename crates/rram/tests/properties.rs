@@ -157,6 +157,99 @@ proptest! {
         }
     }
 
+    /// Cached-plane coherence: after *any* interleaving of level writes,
+    /// analog writes, training pulses, nudges, fault forcing, and
+    /// endurance-driven wear-out transitions, both cached conductance
+    /// planes read exactly what the cells read.
+    #[test]
+    fn conductance_planes_stay_coherent(
+        seed in 0u64..300,
+        fraction in 0.0f64..0.2,
+        ops in proptest::collection::vec(
+            (0u8..5, 0usize..8, 0usize..8, 0u16..8, -3i32..=3, 0.0f64..1.0),
+            1..50,
+        ),
+    ) {
+        // Tiny endurance budget so wear-out (the subtlest write path: a
+        // write that lands *and* kills the cell) occurs within the run.
+        let mut xbar = CrossbarBuilder::new(8, 8)
+            .endurance(EnduranceModel::new(12.0, 4.0))
+            .variation(WriteVariation::new(0.02))
+            .initial_faults(SpatialDistribution::Uniform, fraction)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let coherent = |xbar: &rram::crossbar::Crossbar| {
+            let p64 = xbar.conductance_plane_f64();
+            let p32 = xbar.conductance_plane();
+            for r in 0..8 {
+                for c in 0..8 {
+                    let g = xbar.conductance(r, c).unwrap();
+                    assert_eq!(p64[r * 8 + c], g, "plane64 at ({r}, {c})");
+                    assert_eq!(p32[r * 8 + c], g as f32, "plane32 at ({r}, {c})");
+                }
+            }
+        };
+        coherent(&xbar);
+        for (op, r, c, lvl, delta, g) in ops {
+            match op {
+                0 => { let _ = xbar.write_level(r, c, lvl).unwrap(); }
+                1 => { let _ = xbar.write_analog(r, c, g).unwrap(); }
+                2 => { let _ = xbar.pulse_analog(r, c, g).unwrap(); }
+                3 => { let _ = xbar.nudge(r, c, delta).unwrap(); }
+                _ => {
+                    let mut map = xbar.fault_map();
+                    let kind = if lvl % 2 == 0 {
+                        FaultKind::StuckAt0
+                    } else {
+                        FaultKind::StuckAt1
+                    };
+                    map.set(r, c, Some(kind));
+                    xbar.apply_fault_map(&map);
+                }
+            }
+            coherent(&xbar);
+        }
+    }
+
+    /// The plane-backed MVM is bit-identical to the scalar cell-walking
+    /// reference kernel, dense or sparse, with faults present.
+    #[test]
+    fn mvm_is_bit_identical_to_reference(
+        seed in 0u64..300,
+        rows in 1usize..24,
+        cols in 1usize..24,
+        keep_every in 1usize..5,
+    ) {
+        let mut xbar = CrossbarBuilder::new(rows, cols)
+            .initial_faults(SpatialDistribution::Uniform, 0.1)
+            .variation(WriteVariation::new(0.05))
+            .seed(seed)
+            .build()
+            .unwrap();
+        use rand::Rng;
+        let mut rng = sim_rng(seed ^ 0xABCD);
+        for r in 0..rows {
+            for c in 0..cols {
+                let _ = xbar.write_level(r, c, rng.gen_range(0..8)).unwrap();
+            }
+        }
+        // keep_every > 1 zeroes most inputs, driving the sparsity-gated
+        // zero-skip branch; the ±0.0·g IEEE argument makes it exact.
+        let input: Vec<f32> = (0..rows)
+            .map(|i| {
+                if i % keep_every == 0 {
+                    rng.gen_range(-1.0f32..1.0)
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let fast = xbar.mvm(&input).unwrap();
+        let reference = xbar.mvm_reference(&input).unwrap();
+        prop_assert_eq!(fast, reference);
+    }
+
     /// Write variation never pushes a conductance outside [0, 1].
     #[test]
     fn variation_stays_in_unit_interval(
@@ -171,4 +264,40 @@ proptest! {
             prop_assert!((0.0..=1.0).contains(&g));
         }
     }
+}
+
+/// The proptest sizes stay below the crossbar's parallel-MVM work gate, so
+/// this deterministic case covers the multi-threaded SAXPY path: a
+/// 256 × 256 array (≥ `PAR_MIN_CELLS`) must still match the scalar
+/// reference bit-for-bit at several thread counts.
+#[test]
+fn parallel_mvm_is_bit_identical_to_reference() {
+    use rand::Rng;
+    let mut xbar = CrossbarBuilder::new(256, 256)
+        .initial_faults(SpatialDistribution::Uniform, 0.05)
+        .variation(WriteVariation::new(0.05))
+        .seed(99)
+        .build()
+        .unwrap();
+    let mut rng = sim_rng(123);
+    for r in 0..256 {
+        for c in 0..256 {
+            let _ = xbar.write_level(r, c, rng.gen_range(0..8)).unwrap();
+        }
+    }
+    let dense: Vec<f32> = (0..256).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let sparse: Vec<f32> = dense
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| if i % 4 == 0 { v } else { 0.0 })
+        .collect();
+    for threads in [1usize, 2, 4, 8] {
+        par::set_thread_count(threads);
+        for input in [&dense, &sparse] {
+            let fast = xbar.mvm(input).unwrap();
+            let reference = xbar.mvm_reference(input).unwrap();
+            assert_eq!(fast, reference, "threads = {threads}");
+        }
+    }
+    par::set_thread_count(0);
 }

@@ -1,0 +1,367 @@
+//! Offline, API-compatible subset of the crates.io `criterion` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the slice of `criterion` 0.5 its benches actually use:
+//!
+//! * [`Criterion::benchmark_group`] / [`BenchmarkGroup`] with
+//!   [`sample_size`](BenchmarkGroup::sample_size),
+//!   [`bench_function`](BenchmarkGroup::bench_function),
+//!   [`bench_with_input`](BenchmarkGroup::bench_with_input) and
+//!   [`finish`](BenchmarkGroup::finish),
+//! * [`Bencher::iter`] and [`Bencher::iter_batched`] (with [`BatchSize`]),
+//! * [`BenchmarkId`], [`black_box`], [`criterion_group!`],
+//!   [`criterion_main!`].
+//!
+//! Unlike upstream there is no statistical engine, HTML report, or saved
+//! baseline: each benchmark is calibrated so one sample takes a few
+//! milliseconds, a fixed number of samples is collected, and the median
+//! ns/iter is printed on stdout as
+//! `bench: <group>/<id> ... <median> ns/iter (n samples)`.
+//!
+//! Knobs:
+//! * `CRITERION_SAMPLE_COUNT` — overrides every group's sample count
+//!   (handy to smoke-test benches quickly in CI).
+//! * `CRITERION_JSON_LINES` — when set to a path, each finished benchmark
+//!   also appends one JSON object per line (`{"group":…,"id":…,
+//!   "median_ns":…,"samples":…}`) so scripts can scrape results without
+//!   parsing human output.
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. The shim times each routine
+/// call individually, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs (upstream batches many per sample).
+    SmallInput,
+    /// Large per-iteration inputs (upstream batches few per sample).
+    LargeInput,
+    /// One input per routine call.
+    PerIteration,
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form (the common case in this workspace).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_count: u32,
+}
+
+impl Bencher {
+    fn new(sample_count: u32) -> Self {
+        Self {
+            samples: Vec::with_capacity(sample_count as usize),
+            sample_count,
+        }
+    }
+
+    /// Times `routine`, called in a calibrated loop so each sample lasts
+    /// a few milliseconds even for nanosecond-scale routines.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: grow the per-sample iteration count until one sample
+        // takes >= 2 ms (or we hit a generous cap for very slow routines).
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(2) || iters >= 1 << 24 {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed.as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.sample_count {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            let elapsed = start.elapsed();
+            black_box(out);
+            self.samples.push(elapsed.as_nanos() as f64);
+        }
+    }
+
+    fn median_ns(&mut self) -> f64 {
+        assert!(
+            !self.samples.is_empty(),
+            "benchmark routine collected no samples"
+        );
+        self.samples
+            .sort_by(|a, b| a.partial_cmp(b).expect("non-NaN sample"));
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_count: u32,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many samples each benchmark in this group collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(1) as u32;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's calibration ignores it.
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    fn effective_samples(&self) -> u32 {
+        std::env::var("CRITERION_SAMPLE_COUNT")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.sample_count)
+            .max(1)
+    }
+
+    /// Runs one benchmark identified by a plain label.
+    pub fn bench_function<R>(&mut self, id: impl Into<BenchmarkId>, mut routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.effective_samples());
+        routine(&mut bencher);
+        self.report(&id, bencher);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        R: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.effective_samples());
+        routine(&mut bencher, input);
+        self.report(&id, bencher);
+        self
+    }
+
+    /// Ends the group (upstream flushes its report here; the shim prints
+    /// eagerly, so this only consumes the group).
+    pub fn finish(self) {}
+
+    fn report(&mut self, id: &BenchmarkId, mut bencher: Bencher) {
+        let median = bencher.median_ns();
+        let n = bencher.samples.len();
+        println!(
+            "bench: {}/{} ... {:.0} ns/iter ({} samples)",
+            self.name, id.id, median, n
+        );
+        self.criterion.record(&self.name, &id.id, median, n);
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    json_lines: Option<std::path::PathBuf>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            json_lines: std::env::var_os("CRITERION_JSON_LINES").map(Into::into),
+        }
+    }
+}
+
+impl Criterion {
+    /// Upstream parses CLI filters here; the shim runs everything.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_count: 20,
+        }
+    }
+
+    /// Single-benchmark convenience (no group).
+    pub fn bench_function<R>(&mut self, label: &str, routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(label, routine);
+        group.finish();
+        self
+    }
+
+    /// Upstream prints the end-of-run summary; the shim prints eagerly.
+    pub fn final_summary(&mut self) {}
+
+    fn record(&mut self, group: &str, id: &str, median_ns: f64, samples: usize) {
+        let Some(path) = &self.json_lines else {
+            return;
+        };
+        let line = format!(
+            "{{\"group\":\"{}\",\"id\":\"{}\",\"median_ns\":{:.1},\"samples\":{}}}\n",
+            group.escape_default(),
+            id.escape_default(),
+            median_ns,
+            samples
+        );
+        let written = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .and_then(|mut f| f.write_all(line.as_bytes()));
+        if let Err(e) = written {
+            eprintln!("criterion shim: cannot append to {}: {e}", path.display());
+        }
+    }
+}
+
+/// Expands to a runner fn invoking each benchmark fn with a shared
+/// [`Criterion`] instance (mirrors upstream's expansion shape).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($bench:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($bench(&mut criterion);)+
+        }
+    };
+}
+
+/// Expands to `main()` running each [`criterion_group!`] runner.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::Criterion::default().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_collects_requested_samples() {
+        let mut c = Criterion { json_lines: None };
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(4);
+        let mut calls = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        group.finish();
+        assert!(calls >= 4, "routine ran {calls} times");
+    }
+
+    #[test]
+    fn iter_batched_times_each_input() {
+        let mut c = Criterion { json_lines: None };
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut setups = 0u32;
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &x| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![x; 8]
+                },
+                |v| v.iter().sum::<u32>(),
+                BatchSize::LargeInput,
+            )
+        });
+        group.finish();
+        assert_eq!(setups, 3);
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::from_parameter(128).id, "128");
+        assert_eq!(BenchmarkId::new("mvm", 128).id, "mvm/128");
+    }
+
+    criterion_group!(example_group, noop_bench);
+
+    fn noop_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("noop");
+        group.sample_size(1);
+        group.bench_function("nothing", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+
+    #[test]
+    fn group_macro_expands_to_runner() {
+        example_group();
+    }
+}

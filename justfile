@@ -1,0 +1,28 @@
+# rram-ftt task runner. Every recipe is plain cargo underneath, so
+# `just <name>` and the expanded command are interchangeable.
+
+# Default: list recipes.
+default:
+    @just --list
+
+# Tier-1 gate: release build + root-package tests (what CI enforces).
+check:
+    cargo build --release
+    cargo test -q
+
+# Full workspace test sweep (all crates, all suites).
+test-all:
+    cargo test --workspace -q
+
+# Criterion benches for the simulator substrates.
+bench:
+    cargo bench -p ftt-bench
+
+# Standalone kernel benchmark report -> BENCH_kernels.json (name, size,
+# ns/iter, threads). Honors RRAM_FTT_THREADS and BENCH_REPORT_PATH.
+bench-report:
+    cargo run --release -p ftt-bench --bin bench_report
+
+# Lints at the workspace's warning bar.
+clippy:
+    cargo clippy --workspace --all-targets -- -D warnings
