@@ -227,9 +227,9 @@ fn main() {
     // --- JSON out ---------------------------------------------------------
     let mut json = String::from("[\n");
     for (i, r) in records.iter().enumerate() {
-        let _ = write!(
+        let _ = writeln!(
             json,
-            "  {{\"name\": \"{}\", \"size\": {}, \"ns_per_iter\": {:.1}, \"threads\": {}}}{}\n",
+            "  {{\"name\": \"{}\", \"size\": {}, \"ns_per_iter\": {:.1}, \"threads\": {}}}{}",
             r.name,
             r.size,
             r.ns_per_iter,

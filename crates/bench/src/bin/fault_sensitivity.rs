@@ -57,7 +57,7 @@ fn main() {
                     .with_seed(7 + seed);
                 let mapped = MappedNetwork::from_network(&mut deployed, mapping)
                     .expect("valid mapping");
-                mapped.load_effective_weights(&mut deployed);
+                mapped.load_effective_weights(&mut deployed).unwrap();
                 acc[i] += accuracy(&deployed.forward(&tx), &ty);
             }
             acc[i] /= seeds as f64;

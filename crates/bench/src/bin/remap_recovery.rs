@@ -104,7 +104,7 @@ fn main() {
                 plan.apply(&mut net, &mut mask).expect("apply plan");
                 apply_mask(&mut net, &mask);
                 mapped.reprogram_from(&mut net, 1e-6).expect("reprogram");
-                mapped.load_effective_weights(&mut net);
+                mapped.load_effective_weights(&mut net).unwrap();
                 dist_sum += plan.final_cost as f64;
                 acc_sum += accuracy(&net.forward(&tx), &ty);
             }

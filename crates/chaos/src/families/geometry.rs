@@ -1,0 +1,185 @@
+//! Geometry-focused families: degenerate array shapes and plane/scalar
+//! coherence under adversarial mutation sequences.
+
+use faultdet::detector::{DetectorConfig, OnlineFaultDetector};
+use rram::crossbar::CrossbarBuilder;
+use rram::endurance::EnduranceModel;
+use rram::fault::{FaultKind, FaultMap};
+use rram::spatial::SpatialDistribution;
+use rram::variation::WriteVariation;
+
+use super::{check_plane_coherence, uniform_crossbar};
+use crate::{ensure, FamilyReport};
+
+/// 1×N, N×1, and 1×1 crossbars, standalone and as mapped tiles: every
+/// operation (write, MVM, detection, the full flow) must handle rank-1
+/// geometry.
+pub fn extreme_geometry(seed: u64) -> FamilyReport {
+    let mut fam = FamilyReport::new("extreme_geometry");
+    for (rows, cols) in [(1usize, 8usize), (8, 1), (1, 1)] {
+        fam.case(&format!("crossbar_{rows}x{cols}"), || {
+            let mut xbar = uniform_crossbar(rows, cols, 3)?;
+            // Basic ops.
+            let input = vec![1.0f32; rows];
+            let out = xbar.mvm(&input).map_err(|e| format!("mvm: {e}"))?;
+            ensure(out.len() == cols, "mvm output length")?;
+            let back = xbar
+                .mvm_transpose(&vec![1.0f32; cols])
+                .map_err(|e| format!("mvm_transpose: {e}"))?;
+            ensure(back.len() == rows, "transpose output length")?;
+            // Detection with a fault in the only row/column.
+            let mut injected = FaultMap::healthy(rows, cols);
+            injected.set(0, 0, Some(FaultKind::StuckAt0));
+            xbar.apply_fault_map(&injected);
+            for t in [1usize, 3] {
+                let detector = OnlineFaultDetector::new(
+                    DetectorConfig::new(t).map_err(|e| e.to_string())?,
+                );
+                let outcome =
+                    detector.run(&mut xbar).map_err(|e| format!("run t={t}: {e}"))?;
+                ensure(
+                    outcome.predicted.get(0, 0) == Some(FaultKind::StuckAt0),
+                    format!("t={t}: the fault in a rank-1 array escaped"),
+                )?;
+                ensure(outcome.untested_groups == 0, "rank-1 groups must all be swept")?;
+            }
+            check_plane_coherence(&xbar, "after rank-1 campaign")
+        });
+    }
+
+    fam.case("flow_with_rank1_layers_and_tiny_tiles", || {
+        use ftt_core::config::{FlowConfig, MappingConfig, MappingScope};
+        use ftt_core::flow::FaultTolerantTrainer;
+        use nn::init::init_rng;
+        use nn::network::Network;
+        use nn::optimizer::LrSchedule;
+        use nn::synth::SyntheticDataset;
+
+        // A 1-wide bottleneck (N×1 then 1×N weight matrices) with tile
+        // size 2, forcing heavy tiling and 1-column tiles.
+        let raw = SyntheticDataset::images(30, 10, seed, 1, 2, 2, 2);
+        let (train_x, train_y) = raw.train_set();
+        let (test_x, test_y) = raw.test_set();
+        let data = nn::data::Dataset::new(
+            train_x.reshape(vec![30, 4]),
+            train_y,
+            test_x.reshape(vec![10, 4]),
+            test_y,
+            2,
+        );
+        let mut rng = init_rng(seed);
+        let mut net = Network::new();
+        net.push(nn::layers::Dense::new(4, 1, &mut rng));
+        net.push(nn::layers::Relu::new());
+        net.push(nn::layers::Dense::new(1, 2, &mut rng));
+        let mapping = MappingConfig::new(MappingScope::EntireNetwork)
+            .with_tile_size(2)
+            .with_initial_fault_fraction(0.25)
+            .with_seed(seed);
+        let flow = FlowConfig::fault_tolerant()
+            .with_lr(LrSchedule::constant(0.05))
+            .with_detection_interval(3)
+            .with_detection_warmup(0)
+            .with_eval_interval(5);
+        let mut trainer = FaultTolerantTrainer::new(net, mapping, flow)
+            .map_err(|e| format!("new: {e}"))?;
+        trainer.train(&data, 9).map_err(|e| format!("train: {e}"))?;
+        ensure(trainer.stats().detection_campaigns > 0, "detection must have run")
+    });
+    fam
+}
+
+/// Plane/scalar coherence after every kind of mutation the simulator
+/// supports, interleaved in a seeded but adversarial order (wear-out
+/// mid-write, fault injection over written cells, detection campaigns).
+pub fn plane_coherence(seed: u64) -> FamilyReport {
+    let mut fam = FamilyReport::new("plane_coherence");
+
+    fam.case("mixed_write_kinds", || {
+        let mut xbar = CrossbarBuilder::new(6, 5)
+            .variation(WriteVariation::new(0.05))
+            .seed(seed)
+            .build()
+            .map_err(|e| e.to_string())?;
+        for step in 0..60usize {
+            let r = (step * 7 + 3) % 6;
+            let c = (step * 5 + 1) % 5;
+            match step % 4 {
+                0 => {
+                    let _ = xbar.write_level(r, c, (step % 8) as u16);
+                }
+                1 => {
+                    let _ = xbar.write_analog(r, c, (step as f64 * 0.017) % 1.0);
+                }
+                2 => {
+                    let _ = xbar.pulse_analog(r, c, 1.0 - (step as f64 * 0.013) % 1.0);
+                }
+                _ => {
+                    let _ = xbar.nudge(r, c, if step % 8 < 4 { 1 } else { -1 });
+                }
+            }
+            check_plane_coherence(&xbar, &format!("after step {step}"))?;
+        }
+        Ok(())
+    });
+
+    fam.case("wearout_during_writes", || {
+        let mut xbar = CrossbarBuilder::new(4, 4)
+            .endurance(EnduranceModel::new(8.0, 2.0))
+            .seed(seed)
+            .build()
+            .map_err(|e| e.to_string())?;
+        for step in 0..400usize {
+            let r = step % 4;
+            let c = (step / 4) % 4;
+            // A level that changes on every visit to the cell: writes that
+            // re-target the current level are no-ops and cost no endurance.
+            let level = ((step / 16) % 8) as u16;
+            let _ = xbar.write_level(r, c, level);
+        }
+        ensure(xbar.wear_faults() > 0, "8-write budgets must exhaust in 400 writes")?;
+        check_plane_coherence(&xbar, "after wear-out")
+    });
+
+    fam.case("fault_injection_over_written_cells", || {
+        let mut xbar = uniform_crossbar(5, 5, 6)?;
+        let mut map = FaultMap::healthy(5, 5);
+        for i in 0..5 {
+            map.set(i, i, Some(FaultKind::StuckAt0));
+            map.set(i, (i + 1) % 5, Some(FaultKind::StuckAt1));
+        }
+        xbar.apply_fault_map(&map);
+        check_plane_coherence(&xbar, "after fault injection")?;
+        // Writes to stuck cells are refused but must not desync the plane.
+        for r in 0..5 {
+            for c in 0..5 {
+                let _ = xbar.write_level(r, c, 2);
+            }
+        }
+        check_plane_coherence(&xbar, "after writes over faults")
+    });
+
+    fam.case("detection_campaign_restores_coherently", || {
+        let mut xbar = CrossbarBuilder::new(12, 9)
+            .initial_faults(SpatialDistribution::Uniform, 0.2)
+            .seed(seed)
+            .build()
+            .map_err(|e| e.to_string())?;
+        for r in 0..12 {
+            for c in 0..9 {
+                let _ = xbar.write_level(r, c, ((r + c) % 8) as u16);
+            }
+        }
+        let before = xbar.read_all_levels();
+        let detector = OnlineFaultDetector::new(
+            DetectorConfig::new(5).map_err(|e| e.to_string())?,
+        );
+        detector.run(&mut xbar).map_err(|e| format!("run: {e}"))?;
+        check_plane_coherence(&xbar, "after campaign")?;
+        ensure(
+            xbar.read_all_levels() == before,
+            "the campaign must restore the pre-test state (no wear configured)",
+        )
+    });
+    fam
+}

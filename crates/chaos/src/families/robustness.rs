@@ -1,0 +1,200 @@
+//! Robustness-focused families: typed rejection of invalid configurations
+//! and worker-budget chaos (garbage env values, bit-identity across thread
+//! counts).
+
+use faultdet::detector::{DetectorConfig, OnlineFaultDetector};
+use ftt_core::config::{FlowConfig, MappingConfig, MappingScope};
+use ftt_core::flow::FaultTolerantTrainer;
+use ftt_core::report::FlowStats;
+use nn::init::init_rng;
+use nn::network::Network;
+use nn::optimizer::LrSchedule;
+use nn::pruning::try_magnitude_prune_per_layer;
+use nn::synth::SyntheticDataset;
+use rram::crossbar::CrossbarBuilder;
+use rram::spatial::{FaultInjection, SpatialDistribution};
+
+use super::uniform_crossbar;
+use crate::{ensure, FamilyReport};
+
+/// Invalid configurations must surface as typed `Err`s — never panics,
+/// never silent acceptance.
+pub fn config_rejection(seed: u64) -> FamilyReport {
+    let mut fam = FamilyReport::new("config_rejection");
+
+    fam.case("zero_test_size", || {
+        ensure(DetectorConfig::new(0).is_err(), "Tr = 0 must be rejected")?;
+        // The fields are public, so a zero can bypass the constructor; the
+        // campaign re-validates.
+        let mut cfg = DetectorConfig::new(4).map_err(|e| e.to_string())?;
+        cfg.test_size = 0;
+        let mut xbar = uniform_crossbar(4, 4, 3)?;
+        ensure(
+            OnlineFaultDetector::new(cfg).run(&mut xbar).is_err(),
+            "a smuggled Tr = 0 must be rejected at run time",
+        )
+    });
+
+    fam.case("degenerate_crossbar_builds", || {
+        ensure(CrossbarBuilder::new(0, 8).build().is_err(), "0 rows must be rejected")?;
+        ensure(CrossbarBuilder::new(8, 0).build().is_err(), "0 cols must be rejected")?;
+        ensure(
+            CrossbarBuilder::new(4, 4).levels(1).build().is_err(),
+            "1-level cells must be rejected",
+        )
+    });
+
+    fam.case("non_finite_write_targets", || {
+        let mut xbar = uniform_crossbar(2, 2, 3)?;
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            ensure(
+                xbar.write_analog(0, 0, bad).is_err(),
+                format!("write_analog({bad}) must be rejected"),
+            )?;
+            ensure(
+                xbar.pulse_analog(0, 0, bad).is_err(),
+                format!("pulse_analog({bad}) must be rejected"),
+            )?;
+        }
+        ensure(
+            xbar.write_level(0, 0, 99).is_err(),
+            "an out-of-range level must be rejected",
+        )
+    });
+
+    fam.case("invalid_fault_fraction", || {
+        ensure(
+            FaultInjection::new(SpatialDistribution::Uniform, 1.5).is_err(),
+            "fraction > 1 must be rejected",
+        )?;
+        ensure(
+            FaultInjection::new(SpatialDistribution::Uniform, -0.1).is_err(),
+            "negative fraction must be rejected",
+        )
+    });
+
+    fam.case("invalid_batch_and_prune_configs", || {
+        let data = SyntheticDataset::mnist_like(20, 10, seed);
+        ensure(data.try_train_batches(0).is_err(), "batch = 0 must be rejected")?;
+        ensure(
+            data.try_train_batches(10_000).is_err(),
+            "batch > train set must be rejected",
+        )?;
+        let mut rng = init_rng(seed);
+        let mut net = Network::new();
+        net.push(nn::layers::Dense::new(4, 2, &mut rng));
+        ensure(
+            try_magnitude_prune_per_layer(&mut net, &[]).is_err(),
+            "fraction-count mismatch must be rejected",
+        )?;
+        ensure(
+            try_magnitude_prune_per_layer(&mut net, &[1.5]).is_err(),
+            "fraction > 1 must be rejected",
+        )?;
+        ensure(
+            try_magnitude_prune_per_layer(&mut net, &[-0.5]).is_err(),
+            "negative fraction must be rejected",
+        )
+    });
+
+    fam.case("topology_swap_rejected", || {
+        let mut rng = init_rng(seed);
+        let mut net = Network::new();
+        net.push(nn::layers::Dense::new(4, 2, &mut rng));
+        let mapping = MappingConfig::new(MappingScope::EntireNetwork);
+        let flow = FlowConfig::original().with_lr(LrSchedule::constant(0.1));
+        let mut trainer = FaultTolerantTrainer::new(net, mapping, flow)
+            .map_err(|e| format!("new: {e}"))?;
+        let mut other = Network::new();
+        other.push(nn::layers::Dense::new(5, 2, &mut rng));
+        ensure(
+            trainer.reprogram_network(other).is_err(),
+            "a different topology must be rejected, not written",
+        )
+    });
+    fam
+}
+
+fn run_seeded_flow(seed: u64, iterations: u64) -> Result<(Vec<u64>, FlowStats), String> {
+    let data = SyntheticDataset::mnist_like(40, 10, seed);
+    let mut rng = init_rng(seed);
+    let mut net = Network::new();
+    net.push(nn::layers::Dense::new(784, 12, &mut rng));
+    net.push(nn::layers::Relu::new());
+    net.push(nn::layers::Dense::new(12, 10, &mut rng));
+    let mapping = MappingConfig::new(MappingScope::EntireNetwork)
+        .with_initial_fault_fraction(0.15)
+        .with_seed(seed);
+    let flow = FlowConfig::fault_tolerant()
+        .with_lr(LrSchedule::constant(0.1))
+        .with_detection_interval(5)
+        .with_detection_warmup(0)
+        .with_eval_interval(5);
+    let mut trainer =
+        FaultTolerantTrainer::new(net, mapping, flow).map_err(|e| format!("new: {e}"))?;
+    let curve = trainer.train(&data, iterations).map_err(|e| format!("train: {e}"))?;
+    // Accuracies compared as exact bit patterns: any cross-thread
+    // nondeterminism (merge order, floating-point reassociation) shows up.
+    let bits = curve.points().iter().map(|p| p.test_accuracy.to_bits()).collect();
+    Ok((bits, *trainer.stats()))
+}
+
+/// Worker-budget chaos: every `RRAM_FTT_THREADS` shape from garbage to 0
+/// to beyond the cap resolves to a usable budget, and the full closed loop
+/// is bit-identical whichever budget is in force.
+pub fn thread_budget(seed: u64) -> FamilyReport {
+    let mut fam = FamilyReport::new("thread_budget");
+
+    fam.case("env_parsing_never_yields_zero_workers", || {
+        let cases: &[(Option<&str>, Option<usize>)] = &[
+            (None, None),              // auto-detect
+            (Some("0"), Some(1)),      // clamped, not zero
+            (Some("1"), Some(1)),
+            (Some(" 8 "), Some(8)),    // whitespace tolerated
+            (Some("64"), Some(64)),
+            (Some("4000000"), Some(par::MAX_THREADS)),
+            (Some("-3"), None),        // garbage falls back to auto
+            (Some("abc"), None),
+            (Some(""), None),
+            (Some("3.5"), None),
+            (Some("0x10"), None),
+        ];
+        for &(raw, expected) in cases {
+            let got = par::resolve_thread_budget(raw);
+            ensure(
+                (1..=par::MAX_THREADS).contains(&got),
+                format!("{raw:?} resolved to {got}, outside 1..=MAX_THREADS"),
+            )?;
+            if let Some(want) = expected {
+                ensure(got == want, format!("{raw:?} resolved to {got}, want {want}"))?;
+            }
+        }
+        Ok(())
+    });
+
+    fam.case("closed_loop_bit_identical_across_thread_counts", || {
+        let budgets = [1usize, 2, 3, 8, 64];
+        let mut reference: Option<(Vec<u64>, FlowStats)> = None;
+        for &budget in &budgets {
+            par::set_thread_count(budget);
+            let result = run_seeded_flow(seed, 15);
+            par::set_thread_count(0); // restore env/auto behaviour
+            let (bits, stats) = result?;
+            match &reference {
+                None => reference = Some((bits, stats)),
+                Some((ref_bits, ref_stats)) => {
+                    ensure(
+                        &bits == ref_bits,
+                        format!("curve diverged between 1 and {budget} threads"),
+                    )?;
+                    ensure(
+                        &stats == ref_stats,
+                        format!("stats diverged between 1 and {budget} threads"),
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    });
+    fam
+}

@@ -1,0 +1,168 @@
+//! Training-focused families: poisoned gradients and pruning extremes.
+
+use ftt_core::config::{FlowConfig, MappingConfig, MappingScope};
+use ftt_core::flow::FaultTolerantTrainer;
+use ftt_core::mapping::MappedNetwork;
+use ftt_core::threshold::{ThresholdPolicy, ThresholdTrainer};
+use nn::init::init_rng;
+use nn::network::Network;
+use nn::optimizer::LrSchedule;
+use nn::pruning::{try_apply_mask, try_magnitude_prune_per_layer};
+use nn::synth::SyntheticDataset;
+use nn::tensor::Tensor;
+
+use crate::{ensure, FamilyReport};
+
+fn dense_net(inputs: usize, outputs: usize, seed: u64) -> Network {
+    let mut rng = init_rng(seed);
+    let mut net = Network::new();
+    net.push(nn::layers::Dense::new(inputs, outputs, &mut rng));
+    net
+}
+
+fn mapped_pair(seed: u64) -> Result<(Network, MappedNetwork), String> {
+    let mut net = dense_net(6, 4, seed);
+    let mapped =
+        MappedNetwork::from_network(&mut net, MappingConfig::new(MappingScope::EntireNetwork))
+            .map_err(|e| format!("map: {e}"))?;
+    Ok((net, mapped))
+}
+
+/// Backward pass with a crafted output gradient.
+fn backward_with(net: &mut Network, inputs: usize, grad: Vec<f32>) {
+    let x = Tensor::from_vec(vec![1, inputs], (0..inputs).map(|i| 0.1 + i as f32 * 0.1).collect());
+    net.forward_train(&x);
+    let g = Tensor::from_vec(vec![1, grad.len()], grad);
+    net.backward(&g);
+}
+
+/// NaN, ∞, and all-zero gradient iterations: the update pass must skip
+/// them deterministically — no NaN on hardware, no spurious pulses, same
+/// result on every replay.
+pub fn degenerate_gradients(seed: u64) -> FamilyReport {
+    let mut fam = FamilyReport::new("degenerate_gradients");
+
+    fam.case("nan_and_inf_gradients_never_reach_hardware", || {
+        let (mut net, mut mapped) = mapped_pair(seed)?;
+        mapped.load_effective_weights(&mut net).map_err(|e| e.to_string())?;
+        backward_with(&mut net, 6, vec![f32::NAN, f32::INFINITY, 0.5, -0.5]);
+        let mut trainer = ThresholdTrainer::new(ThresholdPolicy::paper_default(), &mapped);
+        let report = trainer
+            .apply(&mut mapped, &mut net, 0.1)
+            .map_err(|e| format!("apply: {e}"))?;
+        ensure(report.nan_updates_skipped > 0, "poisoned updates must be counted")?;
+        ensure(report.max_abs_dw.is_finite(), "max|δw| must exclude NaN")?;
+        mapped.load_effective_weights(&mut net).map_err(|e| e.to_string())?;
+        let params = net.layer_params_mut(0).ok_or("params")?;
+        ensure(
+            params.weights.iter().all(|w| w.is_finite()),
+            "a NaN reached the hardware weights",
+        )
+    });
+
+    fam.case("all_nan_gradients_degrade_to_noop", || {
+        let (mut net, mut mapped) = mapped_pair(seed)?;
+        mapped.load_effective_weights(&mut net).map_err(|e| e.to_string())?;
+        backward_with(&mut net, 6, vec![f32::NAN; 4]);
+        let mut trainer = ThresholdTrainer::new(ThresholdPolicy::paper_default(), &mapped);
+        let report = trainer
+            .apply(&mut mapped, &mut net, 0.1)
+            .map_err(|e| format!("apply: {e}"))?;
+        ensure(report.writes_issued == 0, "an all-NaN iteration must not pulse cells")?;
+        ensure(report.max_abs_dw == 0.0, "no finite update exists")?;
+        Ok(())
+    });
+
+    fam.case("zero_gradient_iteration_is_deterministic", || {
+        let (mut net, mut mapped) = mapped_pair(seed)?;
+        mapped.load_effective_weights(&mut net).map_err(|e| e.to_string())?;
+        backward_with(&mut net, 6, vec![0.0; 4]);
+        let mut trainer = ThresholdTrainer::new(ThresholdPolicy::paper_default(), &mapped);
+        let first = trainer
+            .apply(&mut mapped, &mut net, 0.1)
+            .map_err(|e| format!("apply: {e}"))?;
+        ensure(first.writes_issued == 0, "a zero iteration must skip every write")?;
+        ensure(first.writes_skipped == 24, "all 6×4 updates suppressed")?;
+        let second = trainer
+            .apply(&mut mapped, &mut net, 0.1)
+            .map_err(|e| format!("apply 2: {e}"))?;
+        ensure(
+            first.writes_skipped == second.writes_skipped
+                && first.writes_issued == second.writes_issued,
+            "replaying a zero iteration must be bit-identical",
+        )
+    });
+
+    fam.case("none_policy_keeps_pulse_everything_semantics", || {
+        // The original method has no write-verify: even zero updates cost a
+        // pulse. The degenerate-iteration skip must NOT change the baseline.
+        let (mut net, mut mapped) = mapped_pair(seed)?;
+        mapped.load_effective_weights(&mut net).map_err(|e| e.to_string())?;
+        backward_with(&mut net, 6, vec![0.0; 4]);
+        let mut trainer = ThresholdTrainer::new(ThresholdPolicy::None, &mapped);
+        let report = trainer
+            .apply(&mut mapped, &mut net, 0.1)
+            .map_err(|e| format!("apply: {e}"))?;
+        ensure(
+            report.writes_skipped == 0,
+            "the None policy must not silently start suppressing",
+        )
+    });
+    fam
+}
+
+/// Pruning rates at exactly 0 % and 100 %, standalone and inside the full
+/// detection + re-map phase.
+pub fn prune_rate_extremes(seed: u64) -> FamilyReport {
+    let mut fam = FamilyReport::new("prune_rate_extremes");
+
+    fam.case("prune_0pct_keeps_everything", || {
+        let mut net = dense_net(8, 4, seed);
+        let mask =
+            try_magnitude_prune_per_layer(&mut net, &[0.0]).map_err(|e| e.to_string())?;
+        ensure(mask.total_sparsity() == 0.0, "0 % must prune nothing")?;
+        try_apply_mask(&mut net, &mask).map_err(|e| e.to_string())?;
+        Ok(())
+    });
+
+    fam.case("prune_100pct_zeroes_everything", || {
+        let mut net = dense_net(8, 4, seed);
+        let mask =
+            try_magnitude_prune_per_layer(&mut net, &[1.0]).map_err(|e| e.to_string())?;
+        ensure(mask.total_sparsity() == 1.0, "100 % must prune all 32 weights")?;
+        try_apply_mask(&mut net, &mask).map_err(|e| e.to_string())?;
+        let params = net.layer_params_mut(0).ok_or("params")?;
+        ensure(params.weights.iter().all(|&w| w == 0.0), "weights must all be zero")
+    });
+
+    for (name, dense, conv) in [("flow_prune_0pct", 0.0, 0.0), ("flow_prune_100pct", 1.0, 1.0)]
+    {
+        fam.case(name, || {
+            let data = SyntheticDataset::mnist_like(40, 10, seed);
+            let mut rng = init_rng(seed);
+            let mut net = Network::new();
+            net.push(nn::layers::Dense::new(784, 8, &mut rng));
+            net.push(nn::layers::Relu::new());
+            net.push(nn::layers::Dense::new(8, 10, &mut rng));
+            let mapping = MappingConfig::new(MappingScope::EntireNetwork)
+                .with_initial_fault_fraction(0.2)
+                .with_seed(seed);
+            let mut flow = FlowConfig::fault_tolerant()
+                .with_lr(LrSchedule::constant(0.1))
+                .with_detection_interval(4)
+                .with_detection_warmup(0)
+                .with_eval_interval(4);
+            flow.prune_fraction_dense = dense;
+            flow.prune_fraction_conv = conv;
+            let mut trainer = FaultTolerantTrainer::new(net, mapping, flow)
+                .map_err(|e| format!("new: {e}"))?;
+            let curve = trainer.train(&data, 10).map_err(|e| format!("train: {e}"))?;
+            ensure(
+                curve.points().iter().all(|p| p.test_accuracy.is_finite()),
+                "accuracy must stay finite at pruning extremes",
+            )?;
+            ensure(trainer.stats().detection_campaigns > 0, "detection must have run")
+        });
+    }
+    fam
+}

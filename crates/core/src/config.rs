@@ -206,9 +206,15 @@ impl FlowConfig {
             threshold: ThresholdPolicy::None,
             detection_interval: None,
             detection_warmup: 0,
-            detector: DetectorConfig::new(8)
-                .expect("static detector config")
-                .with_selected_cells(),
+            // Built literally so this constructor is infallible: the fields
+            // are the paper's defaults and `test_size` is statically
+            // non-zero, so no validation can fail.
+            detector: DetectorConfig {
+                test_size: 8,
+                delta_levels: 1,
+                modulo_divisor: 16,
+                mode: faultdet::detector::TestMode::default_selected(),
+            },
             remap: None,
             prune_fraction_dense: 0.5,
             prune_fraction_conv: 0.1,

@@ -16,6 +16,13 @@ pub enum FttError {
     Nn(NnError),
     /// A flow or mapping configuration was invalid.
     InvalidConfig(String),
+    /// The training data stream ended before the flow finished.
+    ///
+    /// `Dataset::try_train_batches` yields a cycling (infinite) iterator, so
+    /// this is unreachable with the in-tree dataset — but the flow no longer
+    /// *assumes* that invariant and surfaces a typed error instead of
+    /// panicking if a future data source is finite.
+    DataExhausted,
 }
 
 impl fmt::Display for FttError {
@@ -24,6 +31,7 @@ impl fmt::Display for FttError {
             FttError::Rram(e) => write!(f, "rram: {e}"),
             FttError::Nn(e) => write!(f, "nn: {e}"),
             FttError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            FttError::DataExhausted => write!(f, "training data exhausted"),
         }
     }
 }
@@ -33,7 +41,7 @@ impl Error for FttError {
         match self {
             FttError::Rram(e) => Some(e),
             FttError::Nn(e) => Some(e),
-            FttError::InvalidConfig(_) => None,
+            FttError::InvalidConfig(_) | FttError::DataExhausted => None,
         }
     }
 }

@@ -14,7 +14,7 @@ use nn::data::Dataset;
 use nn::loss::softmax_cross_entropy;
 use nn::metrics::accuracy;
 use nn::network::Network;
-use nn::pruning::{apply_mask, magnitude_prune_per_layer, PruneMask};
+use nn::pruning::{try_apply_mask, try_magnitude_prune_per_layer, PruneMask};
 
 use crate::config::{FlowConfig, MappingConfig};
 use crate::error::FttError;
@@ -119,11 +119,16 @@ impl FaultTolerantTrainer {
     }
 
     /// Measures test accuracy through the current (faulty) hardware.
-    pub fn evaluate(&mut self, data: &Dataset) -> f64 {
-        self.mapped.load_effective_weights(&mut self.net);
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FttError::InvalidConfig`] if the mapped layout no longer
+    /// matches the software network (a different network was substituted).
+    pub fn evaluate(&mut self, data: &Dataset) -> Result<f64, FttError> {
+        self.mapped.load_effective_weights(&mut self.net)?;
         let (tx, ty) = data.test_set();
         let logits = self.net.forward(&tx);
-        accuracy(&logits, &ty)
+        Ok(accuracy(&logits, &ty))
     }
 
     /// Trains for `iterations` mini-batches, recording the accuracy curve.
@@ -140,7 +145,7 @@ impl FaultTolerantTrainer {
     ) -> Result<&TrainingCurve, FttError> {
         let mut data = data.clone();
         data.set_shuffle_seed(self.flow.data_seed ^ self.iteration);
-        let mut batches = data.train_batches(self.flow.batch);
+        let mut batches = data.try_train_batches(self.flow.batch)?;
         let eval_interval = self.flow.eval_interval.max(1);
         for step in 0..iterations {
             self.iteration += 1;
@@ -157,8 +162,8 @@ impl FaultTolerantTrainer {
 
             // Forward propagation on the RCS: sync the software view with
             // the hardware's effective weights first.
-            self.mapped.load_effective_weights(&mut self.net);
-            let (x, y) = batches.next().expect("train_batches is infinite");
+            self.mapped.load_effective_weights(&mut self.net)?;
+            let (x, y) = batches.next().ok_or(FttError::DataExhausted)?;
             let logits = self.net.forward_train(&x);
             let (_, grad) = softmax_cross_entropy(&logits, &y);
             self.net.backward(&grad);
@@ -174,6 +179,7 @@ impl FaultTolerantTrainer {
             )?;
             self.stats.writes_issued += report.writes_issued;
             self.stats.writes_skipped += report.writes_skipped;
+            self.stats.nan_updates_skipped += report.nan_updates_skipped;
             self.stats.wear_faults_during_training +=
                 self.mapped.wear_faults() - wear_before;
             // Analog MVM work this iteration: forward plus the two backward
@@ -189,7 +195,7 @@ impl FaultTolerantTrainer {
 
             // Evaluation checkpoint.
             if self.iteration.is_multiple_of(eval_interval) || step + 1 == iterations {
-                let acc = self.evaluate(&data);
+                let acc = self.evaluate(&data)?;
                 self.curve.push(CurvePoint {
                     iteration: self.iteration,
                     test_accuracy: acc,
@@ -209,6 +215,7 @@ impl FaultTolerantTrainer {
         for d in &detections {
             self.stats.detection_cycles += d.cycles;
             self.stats.detection_writes += d.write_pulses;
+            self.stats.detection_untested_groups += d.untested_groups;
         }
 
         let Some(remap_cfg) = self.flow.remap else {
@@ -220,16 +227,16 @@ impl FaultTolerantTrainer {
         // network, not on the fault-corrupted hardware view — otherwise
         // magnitude pruning would trivially select the stuck-at-zero cells
         // and the re-ordering search would have nothing left to align).
-        self.mapped.load_target_weights(&mut self.net);
+        self.mapped.load_target_weights(&mut self.net)?;
         let weight_layers = self.net.weight_layer_indices();
         let fractions: Vec<f64> = weight_layers
             .iter()
-            .map(|&li| match self.net.layer_kind(li) {
-                "dense" => self.flow.prune_fraction_dense,
+            .map(|&li| match self.net.try_layer_kind(li) {
+                Some("dense") => self.flow.prune_fraction_dense,
                 _ => self.flow.prune_fraction_conv,
             })
             .collect();
-        let mut mask = magnitude_prune_per_layer(&mut self.net, &fractions);
+        let mut mask = try_magnitude_prune_per_layer(&mut self.net, &fractions)?;
 
         // Search for a neuron re-ordering minimizing Dist(P, F).
         let mut cfg = remap_cfg;
@@ -244,7 +251,7 @@ impl FaultTolerantTrainer {
 
         // Park the pruned zeros and reprogram the array with the permuted
         // weights (writes only where the target moved).
-        apply_mask(&mut self.net, &mask);
+        try_apply_mask(&mut self.net, &mask)?;
         let _ = self.mapped.reprogram_from(&mut self.net, REPROGRAM_EPSILON)?;
         self.active_mask = Some(mask);
         Ok(())

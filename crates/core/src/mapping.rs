@@ -74,6 +74,9 @@ impl MappedLayer {
     /// [`MappedNetwork::load_effective_weights`], whose plane-backed bulk
     /// copy must reproduce this value bit-for-bit (asserted in tests).
     #[cfg_attr(not(test), allow(dead_code))]
+    // PANIC-OK: test-only reference path; `tile_of` maps logical
+    // coordinates onto the tile that covers them by construction.
+    #[allow(clippy::expect_used)]
     fn effective(&self, row: usize, col: usize, tile_size: usize) -> f64 {
         let ti = self.tile_of(row, col, tile_size);
         let t = &self.tiles[ti];
@@ -145,6 +148,21 @@ pub struct LayerDetection {
     pub cycles: u64,
     /// Write pulses the detection itself spent.
     pub write_pulses: u64,
+    /// Group sweeps that failed and were skipped across this layer's tiles,
+    /// plus whole tiles whose campaign errored out — both degrade coverage
+    /// instead of aborting the campaign (see
+    /// [`faultdet::detector::DetectionOutcome::untested_groups`]).
+    pub untested_groups: u64,
+}
+
+/// The error raised when a `MappedNetwork` operation is handed a network
+/// whose layer at `layer_index` carries no parameters — i.e. a network the
+/// mapping was not built from.
+fn foreign_network_error(layer_index: usize) -> FttError {
+    FttError::InvalidConfig(format!(
+        "mapped layer {layer_index} has no parameters in this network \
+         (mapping built from a different network?)"
+    ))
 }
 
 /// A network whose selected weight layers live on simulated RRAM crossbars.
@@ -192,6 +210,9 @@ impl MappedNetwork {
         let mut tile_counter = 0u64;
         for &k in &selected {
             let layer_index = weight_layers[k];
+            // PANIC-OK: `layer_index` comes from `weight_layer_indices` on
+            // this same network, which only lists layers with parameters.
+            #[allow(clippy::expect_used)]
             let params = net
                 .layer_params_mut(layer_index)
                 .expect("weight layer has parameters");
@@ -318,11 +339,19 @@ impl MappedNetwork {
     /// conductance plane row-by-row into the weight buffer. The arithmetic
     /// per cell is the exact expression `effective` evaluates, so the loaded
     /// weights are bit-identical to the per-cell path.
-    pub fn load_effective_weights(&self, net: &mut Network) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FttError::InvalidConfig`] when `net` is not the network
+    /// this mapping was built from (a mapped layer index has no parameters).
+    pub fn load_effective_weights(&self, net: &mut Network) -> Result<(), FttError> {
         for layer in &self.layers {
             let mut params = net
                 .layer_params_mut(layer.layer_index)
-                .expect("mapped layer has parameters");
+                .ok_or_else(|| foreign_network_error(layer.layer_index))?;
+            if params.weights.len() != layer.rows * layer.cols {
+                return Err(foreign_network_error(layer.layer_index));
+            }
             let cols = layer.cols;
             let w_max = layer.w_max;
             let out = &mut params.weights;
@@ -358,6 +387,7 @@ impl MappedNetwork {
                 }
             }
         }
+        Ok(())
     }
 
     /// Programs one weight with an unconditional training pulse (no
@@ -367,9 +397,11 @@ impl MappedNetwork {
     /// sign is stored in the periphery. Returns the hardware write outcome
     /// (stuck cells ignore the write; the write may wear the cell out).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `position` or `idx` is out of range.
+    /// Returns [`FttError::InvalidConfig`] if `position` or `idx` is out of
+    /// range, and propagates crossbar errors (including a non-finite
+    /// `value`, which the hardware layer rejects).
     pub fn write_weight(
         &mut self,
         position: usize,
@@ -377,7 +409,15 @@ impl MappedNetwork {
         value: f32,
     ) -> Result<WriteOutcome, FttError> {
         let ts = self.config.tile_size;
-        let layer = &mut self.layers[position];
+        let layer = self.layers.get_mut(position).ok_or_else(|| {
+            FttError::InvalidConfig(format!("mapped position {position} out of range"))
+        })?;
+        if idx >= layer.rows * layer.cols {
+            return Err(FttError::InvalidConfig(format!(
+                "weight index {idx} out of range for {}x{} layer",
+                layer.rows, layer.cols
+            )));
+        }
         let (row, col) = (idx / layer.cols, idx % layer.cols);
         layer.targets[idx] = value;
         if value != 0.0 {
@@ -412,13 +452,22 @@ impl MappedNetwork {
     /// Copies the *software* (intended) weights into the network — the view
     /// the pruning and re-mapping phases reason about, independent of which
     /// cells happen to be stuck.
-    pub fn load_target_weights(&self, net: &mut Network) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FttError::InvalidConfig`] when `net` is not the network
+    /// this mapping was built from.
+    pub fn load_target_weights(&self, net: &mut Network) -> Result<(), FttError> {
         for layer in &self.layers {
             let params = net
                 .layer_params_mut(layer.layer_index)
-                .expect("mapped layer has parameters");
+                .ok_or_else(|| foreign_network_error(layer.layer_index))?;
+            if params.weights.len() != layer.targets.len() {
+                return Err(foreign_network_error(layer.layer_index));
+            }
             params.weights.copy_from_slice(&layer.targets);
         }
+        Ok(())
     }
 
     /// Rewrites every mapped weight from the software network, skipping
@@ -435,7 +484,10 @@ impl MappedNetwork {
         for layer in &mut self.layers {
             let params = net
                 .layer_params_mut(layer.layer_index)
-                .expect("mapped layer has parameters");
+                .ok_or_else(|| foreign_network_error(layer.layer_index))?;
+            if params.weights.len() != layer.rows * layer.cols {
+                return Err(foreign_network_error(layer.layer_index));
+            }
             let differential = layer.is_differential();
             for idx in 0..layer.rows * layer.cols {
                 let target = params.weights[idx];
@@ -503,11 +555,35 @@ impl MappedNetwork {
             let mut predicted = FaultMap::healthy(layer.rows, layer.cols);
             let mut cycles = 0u64;
             let mut write_pulses = 0u64;
+            let mut untested_groups = 0u64;
+            let mut first_err: Option<FttError> = None;
+            let mut any_ok = false;
+            let t = detector.config().test_size.max(1);
             for (tile, slot) in work {
-                let outcome: DetectionOutcome =
-                    slot.expect("every tile ran a campaign")?;
+                // PANIC-OK: `for_each_chunk_mut_hinted` visits every item
+                // exactly once; an unfilled slot is a bug in `par`, not a
+                // caller-reachable state.
+                #[allow(clippy::expect_used)]
+                let outcome = slot.expect("every tile ran a campaign");
+                let outcome: DetectionOutcome = match outcome {
+                    Ok(o) => o,
+                    Err(e) => {
+                        // Graceful degradation: the failed tile's groups are
+                        // counted untested and the campaign continues with
+                        // the remaining tiles.
+                        untested_groups += 2
+                            * (tile.xbar.rows().div_ceil(t) + tile.xbar.cols().div_ceil(t))
+                                as u64;
+                        if first_err.is_none() {
+                            first_err = Some(e);
+                        }
+                        continue;
+                    }
+                };
+                any_ok = true;
                 cycles += outcome.cycles();
                 write_pulses += outcome.write_pulses;
+                untested_groups += outcome.untested_groups;
                 for (r, c, kind) in outcome.predicted.iter_faulty() {
                     // Differential pairs merge onto the logical cell; the
                     // severe kind (SA1) wins on disagreement.
@@ -520,11 +596,19 @@ impl MappedNetwork {
                     predicted.set(lr, lc, Some(merged));
                 }
             }
+            if !any_ok {
+                if let Some(e) = first_err {
+                    // Every tile failed the same way — a systematic
+                    // configuration error, not a partial campaign.
+                    return Err(e);
+                }
+            }
             results.push(LayerDetection {
                 weight_layer: layer.weight_layer,
                 predicted,
                 cycles,
                 write_pulses,
+                untested_groups,
             });
         }
         Ok(results)
@@ -594,7 +678,7 @@ mod tests {
         let mapped =
             MappedNetwork::from_network(&mut net, MappingConfig::new(MappingScope::EntireNetwork))
                 .unwrap();
-        mapped.load_effective_weights(&mut net);
+        mapped.load_effective_weights(&mut net).unwrap();
         let after: Vec<f32> = net.layer_params_mut(0).unwrap().weights.to_vec();
         for (b, a) in before.iter().zip(&after) {
             assert!((b - a).abs() < 1e-6, "{b} vs {a}");
@@ -633,7 +717,7 @@ mod tests {
         .unwrap();
         assert!((mapped.fraction_faulty() - 0.3).abs() < 0.05);
         let before: Vec<f32> = net.layer_params_mut(0).unwrap().weights.to_vec();
-        mapped.load_effective_weights(&mut net);
+        mapped.load_effective_weights(&mut net).unwrap();
         let after: Vec<f32> = net.layer_params_mut(0).unwrap().weights.to_vec();
         let changed = before
             .iter()
@@ -673,7 +757,7 @@ mod tests {
                 .with_seed(21);
             config.tile_size = 4; // force tiling
             let mapped = MappedNetwork::from_network(&mut net, config).unwrap();
-            mapped.load_effective_weights(&mut net);
+            mapped.load_effective_weights(&mut net).unwrap();
             for layer in mapped.layers() {
                 let loaded: Vec<f32> =
                     net.layer_params_mut(layer.layer_index).unwrap().weights.to_vec();
@@ -729,12 +813,12 @@ mod tests {
         let w_max = mapped.layers()[0].w_max as f32;
         let target = -0.5 * w_max;
         mapped.write_weight(0, 3, target).unwrap();
-        mapped.load_effective_weights(&mut net);
+        mapped.load_effective_weights(&mut net).unwrap();
         let read = net.layer_params_mut(0).unwrap().weights[3];
         assert!((read - target).abs() < 1e-5, "{read} vs {target}");
         // Magnitudes beyond full scale clamp.
         mapped.write_weight(0, 3, 10.0 * w_max).unwrap();
-        mapped.load_effective_weights(&mut net);
+        mapped.load_effective_weights(&mut net).unwrap();
         let read = net.layer_params_mut(0).unwrap().weights[3];
         assert!((read - w_max).abs() < 1e-5);
     }
@@ -747,7 +831,7 @@ mod tests {
         let mapped = MappedNetwork::from_network(&mut net, config).unwrap();
         // Effective read equals the written value across tile boundaries.
         let before: Vec<f32> = net.layer_params_mut(0).unwrap().weights.to_vec();
-        mapped.load_effective_weights(&mut net);
+        mapped.load_effective_weights(&mut net).unwrap();
         let after: Vec<f32> = net.layer_params_mut(0).unwrap().weights.to_vec();
         for (b, a) in before.iter().zip(&after) {
             assert!((b - a).abs() < 1e-6);
@@ -809,7 +893,7 @@ mod tests {
         )
         .unwrap();
         assert!(mapped.layers()[0].is_differential());
-        mapped.load_effective_weights(&mut net);
+        mapped.load_effective_weights(&mut net).unwrap();
         let after: Vec<f32> = net.layer_params_mut(0).unwrap().weights.to_vec();
         for (b, a) in before.iter().zip(&after) {
             assert!((b - a).abs() < 1e-6, "{b} vs {a}");
@@ -858,7 +942,7 @@ mod tests {
         .unwrap();
         let truth = &mapped.ground_truth()[0];
         assert!(truth.count_faulty() > 0);
-        mapped.load_effective_weights(&mut net);
+        mapped.load_effective_weights(&mut net).unwrap();
         let w_max = mapped.layers()[0].w_max as f32;
         let effective: Vec<f32> = net.layer_params_mut(0).unwrap().weights.to_vec();
         assert!(effective.iter().all(|w| w.abs() <= w_max + 1e-5));
@@ -893,7 +977,7 @@ mod tests {
         let mut mapped =
             MappedNetwork::from_network(&mut net, MappingConfig::new(MappingScope::EntireNetwork))
                 .unwrap();
-        mapped.load_effective_weights(&mut net);
+        mapped.load_effective_weights(&mut net).unwrap();
         let writes = mapped.reprogram_from(&mut net, 1e-9).unwrap();
         assert_eq!(writes, 0, "nothing changed, nothing written");
         // Change one weight and reprogram: exactly one write.

@@ -294,6 +294,7 @@ impl RemapProblem {
                 predicted: truth,
                 cycles: 0,
                 write_pulses: 0,
+                untested_groups: 0,
             })
             .collect();
         Self::new(mapped, mask, &detections, cost_model)
@@ -624,6 +625,9 @@ impl RemapProblem {
             }
             let child_score = fitness(&child, &mut scratch);
             // Replace the worst member if the child improves on it.
+            #[allow(clippy::expect_used)]
+            // PANIC-OK: `pop` (and hence `scores`) is constructed non-empty
+            // a few lines above and never shrinks inside this loop.
             let (worst_idx, &worst) = scores
                 .iter()
                 .enumerate()
@@ -634,6 +638,8 @@ impl RemapProblem {
                 scores[worst_idx] = child_score;
             }
         }
+        #[allow(clippy::expect_used)]
+        // PANIC-OK: the population is non-empty by construction.
         let best = scores
             .iter()
             .enumerate()
@@ -673,7 +679,10 @@ fn order_crossover(
             fill = (fill + 1) % n;
         }
     }
-    Permutation::from_vec(child).expect("OX produces a valid permutation")
+    // OX produces a valid permutation by construction; if that invariant
+    // were ever violated, degrade to a clone of parent `a` (a valid
+    // individual) rather than panicking mid-search.
+    Permutation::from_vec(child).unwrap_or_else(|_| a.clone())
 }
 
 /// Convenience entry point: assemble the problem, search, and report.

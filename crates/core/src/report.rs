@@ -83,6 +83,12 @@ pub struct FlowStats {
     /// Cell-level analog multiply-accumulates performed on the mapped
     /// crossbars (forward pass plus the two backward products).
     pub mvm_cell_ops: u64,
+    /// Non-finite (NaN/inf) gradient updates skipped by the threshold
+    /// trainer instead of being written to hardware.
+    pub nan_updates_skipped: u64,
+    /// Detection test groups that could not be swept (hardware error mid-
+    /// campaign); their cells stay flagged as they were, untested.
+    pub detection_untested_groups: u64,
 }
 
 impl FlowStats {

@@ -71,6 +71,10 @@ pub struct UpdateReport {
     pub new_faults: u64,
     /// The iteration's `max|δw|` over the mapped layers.
     pub max_abs_dw: f64,
+    /// Updates whose gradient was NaN/infinite, skipped deterministically.
+    /// A NaN `δw` fails every threshold comparison, so without this guard
+    /// it would silently pass through and poison the hardware weights.
+    pub nan_updates_skipped: u64,
 }
 
 impl UpdateReport {
@@ -161,13 +165,19 @@ impl ThresholdTrainer {
             .collect();
 
         // Pass 1: the iteration's max |δw| over mapped layers (δw ∝ grad,
-        // the LR is a shared constant).
+        // the LR is a shared constant). NaN gradients are excluded: a NaN
+        // fails every `>` comparison, so without the finiteness guard the
+        // max would silently stay 0 and zero every threshold.
         let mut max_abs_dw = 0.0f64;
         for &(_, layer_index) in &mapped_positions {
-            let params = net.layer_params_mut(layer_index).expect("mapped layer");
+            let params = net.layer_params_mut(layer_index).ok_or_else(|| {
+                FttError::InvalidConfig(format!(
+                    "mapped layer {layer_index} has no parameters in this network"
+                ))
+            })?;
             for &g in params.weight_grad {
                 let dw = f64::from(g.abs()) * f64::from(lr);
-                if dw > max_abs_dw {
+                if dw.is_finite() && dw > max_abs_dw {
                     max_abs_dw = dw;
                 }
             }
@@ -179,13 +189,24 @@ impl ThresholdTrainer {
         // cells silently refuse the write, they do not drag the software
         // state with them.
         let mut report = UpdateReport { max_abs_dw, ..Default::default() };
+        // A degenerate iteration — every finite update is exactly zero while
+        // a thresholding policy is active — carries no information: skip the
+        // whole pass deterministically instead of pulsing every cell with a
+        // zero update (the None policy keeps the original method's
+        // pulse-everything behaviour).
+        let degenerate =
+            max_abs_dw == 0.0 && !matches!(self.policy, ThresholdPolicy::None);
         let mut pending: Vec<(usize, Vec<(usize, f32)>)> = Vec::new();
         for &(pos, layer_index) in &mapped_positions {
             let frozen_layer = frozen.and_then(|m| {
                 m.layers().iter().find(|l| l.layer_index == layer_index)
             });
             let targets = mapped.layers()[pos].targets().to_vec();
-            let params = net.layer_params_mut(layer_index).expect("mapped layer");
+            let params = net.layer_params_mut(layer_index).ok_or_else(|| {
+                FttError::InvalidConfig(format!(
+                    "mapped layer {layer_index} has no parameters in this network"
+                ))
+            })?;
             let mut updates = Vec::new();
             for (idx, &g) in params.weight_grad.iter().enumerate() {
                 if let Some(fl) = frozen_layer {
@@ -198,6 +219,16 @@ impl ThresholdTrainer {
                 // even a zero update costs a pulse (None's threshold is 0,
                 // which suppresses nothing).
                 let dw = f64::from(g) * f64::from(lr);
+                if !dw.is_finite() {
+                    // A NaN/∞ gradient fails every `<` comparison below and
+                    // would write NaN into the hardware; skip and count it.
+                    report.nan_updates_skipped += 1;
+                    continue;
+                }
+                if degenerate {
+                    report.writes_skipped += 1;
+                    continue;
+                }
                 let thr = self.policy.threshold(max_abs_dw, self.write_amounts[pos][idx]);
                 if dw.abs() < thr {
                     report.writes_skipped += 1;
@@ -228,12 +259,20 @@ impl ThresholdTrainer {
         for (layer_index, params) in net.param_layers_mut() {
             if !mapped_layer_indices.contains(&layer_index) {
                 for (w, &g) in params.weights.iter_mut().zip(params.weight_grad) {
-                    *w -= lr * g;
+                    if g.is_finite() {
+                        *w -= lr * g;
+                    } else {
+                        report.nan_updates_skipped += 1;
+                    }
                 }
             }
             if let (Some(bias), Some(bias_grad)) = (params.bias, params.bias_grad) {
                 for (b, &g) in bias.iter_mut().zip(bias_grad) {
-                    *b -= lr * g;
+                    if g.is_finite() {
+                        *b -= lr * g;
+                    } else {
+                        report.nan_updates_skipped += 1;
+                    }
                 }
             }
         }
@@ -279,7 +318,7 @@ mod tests {
     #[test]
     fn none_policy_writes_everything() {
         let (mut net, mut mapped) = setup();
-        mapped.load_effective_weights(&mut net);
+        mapped.load_effective_weights(&mut net).unwrap();
         one_backward(&mut net);
         let mut trainer = ThresholdTrainer::new(ThresholdPolicy::None, &mapped);
         let report = trainer.apply(&mut mapped, &mut net, 0.1).unwrap();
@@ -291,7 +330,7 @@ mod tests {
     #[test]
     fn fixed_policy_suppresses_small_updates() {
         let (mut net, mut mapped) = setup();
-        mapped.load_effective_weights(&mut net);
+        mapped.load_effective_weights(&mut net).unwrap();
         one_backward(&mut net);
         let mut trainer =
             ThresholdTrainer::new(ThresholdPolicy::Fixed { fraction: 0.5 }, &mapped);
@@ -305,7 +344,7 @@ mod tests {
     #[test]
     fn paper_default_skips_zero_and_tiny_updates() {
         let (mut net, mut mapped) = setup();
-        mapped.load_effective_weights(&mut net);
+        mapped.load_effective_weights(&mut net).unwrap();
         // Sparse input (like MNIST strokes): zero features produce
         // exactly-zero first-layer gradients, which the threshold suppresses
         // but the original method still pulses.
@@ -328,12 +367,12 @@ mod tests {
     #[test]
     fn writes_update_hardware_weights() {
         let (mut net, mut mapped) = setup();
-        mapped.load_effective_weights(&mut net);
+        mapped.load_effective_weights(&mut net).unwrap();
         let before: Vec<f32> = net.layer_params_mut(0).unwrap().weights.to_vec();
         one_backward(&mut net);
         let mut trainer = ThresholdTrainer::new(ThresholdPolicy::None, &mapped);
         trainer.apply(&mut mapped, &mut net, 0.5).unwrap();
-        mapped.load_effective_weights(&mut net);
+        mapped.load_effective_weights(&mut net).unwrap();
         let after: Vec<f32> = net.layer_params_mut(0).unwrap().weights.to_vec();
         assert_ne!(before, after, "hardware weights must move");
     }
@@ -341,7 +380,7 @@ mod tests {
     #[test]
     fn ledger_counts_writes_per_cell() {
         let (mut net, mut mapped) = setup();
-        mapped.load_effective_weights(&mut net);
+        mapped.load_effective_weights(&mut net).unwrap();
         one_backward(&mut net);
         let mut trainer = ThresholdTrainer::new(ThresholdPolicy::None, &mapped);
         let report = trainer.apply(&mut mapped, &mut net, 0.1).unwrap();
@@ -359,9 +398,67 @@ mod tests {
     }
 
     #[test]
+    fn nan_gradients_are_skipped_and_counted() {
+        let (mut net, mut mapped) = setup();
+        mapped.load_effective_weights(&mut net).unwrap();
+        // Back-propagate a diverged loss gradient: NaN and ∞ entries in the
+        // output gradient poison the corresponding weight-gradient columns
+        // (0·NaN = NaN, so every row of those columns is non-finite).
+        let x = Tensor::from_vec(vec![1, 8], vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        net.forward_train(&x);
+        let g = Tensor::from_vec(vec![1, 4], vec![f32::NAN, f32::INFINITY, 0.5, -0.25]);
+        net.backward(&g);
+        let mut trainer = ThresholdTrainer::new(ThresholdPolicy::paper_default(), &mapped);
+        let report = trainer.apply(&mut mapped, &mut net, 0.1).unwrap();
+        // Two poisoned weight gradients (row 0, columns 0 and 1) plus two
+        // poisoned bias entries: all skipped, none written.
+        assert_eq!(report.nan_updates_skipped, 2 + 2);
+        assert!(report.max_abs_dw.is_finite());
+        assert!(report.max_abs_dw > 0.0, "finite columns still contribute");
+        // No NaN reached the hardware or the off-chip biases.
+        mapped.load_effective_weights(&mut net).unwrap();
+        let params = net.layer_params_mut(0).unwrap();
+        assert!(params.weights.iter().all(|w| w.is_finite()));
+        assert!(params.bias.unwrap().iter().all(|b| b.is_finite()));
+    }
+
+    #[test]
+    fn all_zero_gradient_iteration_skips_deterministically() {
+        let (mut net, mut mapped) = setup();
+        mapped.load_effective_weights(&mut net).unwrap();
+        // An all-zero output gradient makes every weight/bias gradient zero.
+        let x = Tensor::from_vec(vec![4, 8], (0..32).map(|i| (i as f32 * 0.4).sin()).collect());
+        net.forward_train(&x);
+        let g = Tensor::from_vec(vec![4, 4], vec![0.0; 16]);
+        net.backward(&g);
+        let mut trainer = ThresholdTrainer::new(ThresholdPolicy::paper_default(), &mapped);
+        let before = trainer.write_amounts(0).to_vec();
+        let report = trainer.apply(&mut mapped, &mut net, 0.1).unwrap();
+        assert_eq!(report.max_abs_dw, 0.0);
+        assert_eq!(report.writes_issued, 0, "a zero iteration must not pulse cells");
+        assert_eq!(report.writes_skipped, 32);
+        assert_eq!(trainer.write_amounts(0), before.as_slice());
+        // Running it twice is bit-identical (deterministic skip).
+        let report2 = trainer.apply(&mut mapped, &mut net, 0.1).unwrap();
+        assert_eq!(report.writes_skipped, report2.writes_skipped);
+    }
+
+    #[test]
+    fn mismatched_network_surfaces_typed_error() {
+        let (mut net, mut mapped) = setup();
+        mapped.load_effective_weights(&mut net).unwrap();
+        one_backward(&mut net);
+        let mut trainer = ThresholdTrainer::new(ThresholdPolicy::None, &mapped);
+        // A network whose mapped layer index points at nothing: empty net.
+        let mut other = Network::new();
+        let err = trainer.apply(&mut mapped, &mut other, 0.1);
+        assert!(err.is_err(), "foreign network must error, not panic");
+    }
+
+    #[test]
     fn bias_updates_always_apply() {
         let (mut net, mut mapped) = setup();
-        mapped.load_effective_weights(&mut net);
+        mapped.load_effective_weights(&mut net).unwrap();
         one_backward(&mut net);
         let bias_before: Vec<f32> =
             net.layer_params_mut(0).unwrap().bias.unwrap().to_vec();

@@ -47,7 +47,7 @@ proptest! {
             MappingConfig::new(MappingScope::EntireNetwork).with_coding(coding),
         )
         .unwrap();
-        mapped.load_effective_weights(&mut net);
+        mapped.load_effective_weights(&mut net).unwrap();
         let after: Vec<f32> = net.layer_params_mut(0).unwrap().weights.to_vec();
         for (b, a) in before.iter().zip(&after) {
             prop_assert!((b - a).abs() < 1e-5);
@@ -65,7 +65,7 @@ proptest! {
                 MappingConfig::new(MappingScope::EntireNetwork),
             )
             .unwrap();
-            mapped.load_effective_weights(&mut net);
+            mapped.load_effective_weights(&mut net).unwrap();
             let x = Tensor::from_vec(
                 vec![2, 8],
                 (0..16).map(|i| ((i as f32) * 0.37 + seed as f32).sin()).collect(),

@@ -124,6 +124,10 @@ pub struct DetectionOutcome {
     pub sa0_candidates: usize,
     /// SA1 candidate count.
     pub sa1_candidates: usize,
+    /// Comparison sweeps that failed and were skipped instead of aborting
+    /// the campaign (graceful degradation: the cells covered only by an
+    /// untested group may carry undetected faults). 0 on a clean campaign.
+    pub untested_groups: u64,
 }
 
 impl DetectionOutcome {
@@ -158,9 +162,17 @@ impl OnlineFaultDetector {
     ///
     /// # Errors
     ///
-    /// Returns an error for an invalid modulo divisor or on crossbar access
-    /// failures (which would indicate a bug in the campaign itself).
+    /// Returns an error for a zero test size or an invalid modulo divisor.
+    /// A comparison sweep that fails mid-campaign does **not** abort the
+    /// run: the group is counted in
+    /// [`DetectionOutcome::untested_groups`] and the campaign continues
+    /// with the remaining groups (graceful degradation).
     pub fn run(&self, xbar: &mut Crossbar) -> Result<DetectionOutcome, RramError> {
+        if self.config.test_size == 0 {
+            // `DetectorConfig` fields are public, so a zero test size is
+            // constructible without going through `DetectorConfig::new`.
+            return Err(RramError::InvalidConfig("test size must be non-zero".into()));
+        }
         let adc = Adc::new(xbar.levels(), self.config.modulo_divisor)?;
         let store = OffChipStore::read_from(xbar);
         let (sa0_candidates, sa1_candidates) = match self.config.mode {
@@ -176,9 +188,9 @@ impl OnlineFaultDetector {
         let pulses_before = xbar.write_pulses();
 
         let delta = i32::from(self.config.delta_levels);
-        let (sa0_map, sa0_cycles) =
+        let (sa0_map, sa0_cycles, sa0_untested) =
             self.kind_pass(xbar, &store, &adc, &sa0_candidates, FaultKind::StuckAt0, delta)?;
-        let (sa1_map, sa1_cycles) =
+        let (sa1_map, sa1_cycles, sa1_untested) =
             self.kind_pass(xbar, &store, &adc, &sa1_candidates, FaultKind::StuckAt1, -delta)?;
 
         // Merge the two passes. When both flag the same cell the controller
@@ -207,11 +219,14 @@ impl OnlineFaultDetector {
             write_pulses: xbar.write_pulses() - pulses_before,
             sa0_candidates: sa0_candidates.count(),
             sa1_candidates: sa1_candidates.count(),
+            untested_groups: sa0_untested + sa1_untested,
         })
     }
 
     /// One fault-kind pass: write `delta` to the candidates, run the
-    /// two-direction comparison, restore, and localize.
+    /// two-direction comparison, restore, and localize. Returns the
+    /// predicted map, the cycles spent, and the number of comparison
+    /// sweeps that failed and were skipped (graceful degradation).
     fn kind_pass(
         &self,
         xbar: &mut Crossbar,
@@ -220,7 +235,7 @@ impl OnlineFaultDetector {
         candidates: &CandidateMask,
         kind: FaultKind,
         delta: i32,
-    ) -> Result<(FaultMap, u64), RramError> {
+    ) -> Result<(FaultMap, u64, u64), RramError> {
         let (rows, cols) = (xbar.rows(), xbar.cols());
         let t = self.config.test_size;
 
@@ -252,6 +267,7 @@ impl OnlineFaultDetector {
             .filter(|(_, group)| candidates.any_in_cols(group.clone()))
             .collect();
         let cycles = (row_groups.len() + col_groups.len()) as u64;
+        let mut untested = 0u64;
         {
             let xbar: &Crossbar = xbar;
             let per_group = par::map_indices_hinted(row_groups.len(), t * cols, |gi| {
@@ -269,8 +285,16 @@ impl OnlineFaultDetector {
                 Ok::<_, RramError>(hits)
             });
             for ((g, _), hits) in row_groups.iter().zip(per_group) {
-                for col in hits? {
-                    flags.flag_row_test(*g, col);
+                match hits {
+                    Ok(hit_cols) => {
+                        for col in hit_cols {
+                            flags.flag_row_test(*g, col);
+                        }
+                    }
+                    // Graceful degradation: a failed sweep marks the group
+                    // untested and the campaign continues (§4's controller
+                    // re-schedules the group on the next periodic test).
+                    Err(_) => untested += 1,
                 }
             }
 
@@ -290,8 +314,13 @@ impl OnlineFaultDetector {
                 Ok::<_, RramError>(hits)
             });
             for ((g, _), hits) in col_groups.iter().zip(per_group) {
-                for row in hits? {
-                    flags.flag_col_test(*g, row);
+                match hits {
+                    Ok(hit_rows) => {
+                        for row in hit_rows {
+                            flags.flag_col_test(*g, row);
+                        }
+                    }
+                    Err(_) => untested += 1,
                 }
             }
         }
@@ -304,7 +333,7 @@ impl OnlineFaultDetector {
             }
         }
 
-        Ok((flags.predict(candidates, kind, t), cycles))
+        Ok((flags.predict(candidates, kind, t), cycles, untested))
     }
 }
 
@@ -462,10 +491,105 @@ mod tests {
     }
 
     #[test]
+    fn zero_test_size_literal_errors_instead_of_panicking() {
+        // `DetectorConfig` fields are pub, so the constructor's validation
+        // can be bypassed; `run` must still surface a typed error.
+        let mut xbar = faulty_xbar(8, 0.0, 10);
+        let cfg = DetectorConfig {
+            test_size: 0,
+            delta_levels: 1,
+            modulo_divisor: 16,
+            mode: TestMode::AllCells,
+        };
+        let err = OnlineFaultDetector::new(cfg).run(&mut xbar);
+        assert!(matches!(err, Err(RramError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn clean_campaign_reports_no_untested_groups() {
+        let mut xbar = faulty_xbar(16, 0.1, 12);
+        let detector = OnlineFaultDetector::new(DetectorConfig::new(4).unwrap());
+        let outcome = detector.run(&mut xbar).unwrap();
+        assert_eq!(outcome.untested_groups, 0);
+    }
+
+    #[test]
     fn bad_modulo_divisor_fails_at_run() {
         let mut xbar = faulty_xbar(8, 0.0, 9);
         let detector =
             OnlineFaultDetector::new(DetectorConfig::new(2).unwrap().with_modulo_divisor(12));
         assert!(detector.run(&mut xbar).is_err());
+    }
+
+    /// Every cell at `level`, variation-free — the deterministic substrate
+    /// the remainder/aliasing regressions are built on.
+    fn uniform_xbar(rows: usize, cols: usize, level: u16) -> Crossbar {
+        let mut xbar = CrossbarBuilder::new(rows, cols).build().unwrap();
+        for r in 0..rows {
+            for c in 0..cols {
+                xbar.write_level(r, c, level).unwrap();
+            }
+        }
+        xbar
+    }
+
+    #[test]
+    fn remainder_groups_are_swept_not_dropped() {
+        // Tr = 3 does not divide 10 rows or 7 columns: the campaign must
+        // sweep ceil(10/3) + ceil(7/3) = 4 + 3 groups per pass and still
+        // find a fault parked in the trailing remainder group.
+        for (rows, cols, t) in [(10usize, 7usize, 3usize), (9, 5, 4), (5, 9, 16)] {
+            let mut xbar = uniform_xbar(rows, cols, 3);
+            let mut injected = FaultMap::healthy(rows, cols);
+            injected.set(rows - 1, cols - 1, Some(FaultKind::StuckAt0));
+            xbar.apply_fault_map(&injected);
+
+            let detector = OnlineFaultDetector::new(DetectorConfig::new(t).unwrap());
+            let outcome = detector.run(&mut xbar).unwrap();
+            let expected_cycles = (rows.div_ceil(t) + cols.div_ceil(t)) as u64;
+            assert_eq!(
+                outcome.sa0_cycles, expected_cycles,
+                "{rows}x{cols} t={t}: a remainder group was dropped"
+            );
+            assert_eq!(
+                outcome.predicted.get(rows - 1, cols - 1),
+                Some(FaultKind::StuckAt0),
+                "{rows}x{cols} t={t}: the remainder-corner fault escaped"
+            );
+        }
+    }
+
+    /// Pins the §4.2 aliasing escape documented at the crate root: failed
+    /// increments summing to 0 mod 16 within one tested group are
+    /// invisible to the comparison. This is *intended* behavior — the
+    /// paper's recall ceiling — and must not silently change.
+    #[test]
+    fn mod16_aliasing_false_negative_regression() {
+        let build_and_run = |divisor: u32| {
+            let mut xbar = uniform_xbar(16, 16, 3);
+            // 16 SA0 cells in one column of the single 16-row group: the
+            // SA0 pass loses exactly 16·δ = 16 levels on that column sum.
+            let mut injected = FaultMap::healthy(16, 16);
+            for r in 0..16 {
+                injected.set(r, 5, Some(FaultKind::StuckAt0));
+            }
+            xbar.apply_fault_map(&injected);
+            let config = DetectorConfig::new(16).unwrap().with_modulo_divisor(divisor);
+            OnlineFaultDetector::new(config).run(&mut xbar).unwrap()
+        };
+
+        // mod 16: the deviation aliases to 0 — all 16 faults escape.
+        let aliased = build_and_run(16);
+        assert_eq!(
+            aliased.predicted.count_faulty(),
+            0,
+            "the documented mod-16 false negative disappeared — ADC change?"
+        );
+        // mod 32: the same deviation is visible — all 16 faults localized.
+        let caught = build_and_run(32);
+        assert_eq!(caught.predicted.count_faulty(), 16);
+        for r in 0..16 {
+            assert_eq!(caught.predicted.get(r, 5), Some(FaultKind::StuckAt0));
+        }
     }
 }

@@ -86,21 +86,43 @@ impl Dataset {
     ///
     /// # Panics
     ///
-    /// Panics if `batch` is zero or exceeds the training split size.
+    /// Panics if `batch` is zero or exceeds the training split size. Library
+    /// code that must not panic should use [`Dataset::try_train_batches`].
     pub fn train_batches(&self, batch: usize) -> TrainBatches<'_> {
-        assert!(batch > 0, "batch size must be non-zero");
-        assert!(
-            batch <= self.train_len(),
-            "batch {batch} exceeds {} training samples",
-            self.train_len()
-        );
-        TrainBatches {
+        // PANIC-OK: documented panicking convenience wrapper; the fallible
+        // variant below is what library flows use.
+        #[allow(clippy::expect_used)]
+        self.try_train_batches(batch).expect("invalid batch size")
+    }
+
+    /// Fallible variant of [`Dataset::train_batches`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::error::NnError::InvalidConfig`] if `batch` is zero
+    /// or exceeds the training split size.
+    pub fn try_train_batches(
+        &self,
+        batch: usize,
+    ) -> Result<TrainBatches<'_>, crate::error::NnError> {
+        if batch == 0 {
+            return Err(crate::error::NnError::InvalidConfig(
+                "batch size must be non-zero".into(),
+            ));
+        }
+        if batch > self.train_len() {
+            return Err(crate::error::NnError::InvalidConfig(format!(
+                "batch {batch} exceeds {} training samples",
+                self.train_len()
+            )));
+        }
+        Ok(TrainBatches {
             dataset: self,
             batch,
             order: (0..self.train_len()).collect(),
             cursor: usize::MAX, // force an initial shuffle
             rng: StdRng::seed_from_u64(self.shuffle_seed),
-        }
+        })
     }
 
     fn gather(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
@@ -215,5 +237,14 @@ mod tests {
     fn oversized_batch_panics() {
         let d = tiny();
         let _ = d.train_batches(7);
+    }
+
+    #[test]
+    fn try_train_batches_surfaces_typed_errors() {
+        let d = tiny();
+        assert!(d.try_train_batches(0).is_err());
+        assert!(d.try_train_batches(7).is_err());
+        let mut it = d.try_train_batches(2).unwrap();
+        assert!(it.next().is_some());
     }
 }

@@ -112,6 +112,9 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        #[allow(clippy::expect_used)]
+        // PANIC-OK: documented `Layer::backward` contract — a training-mode
+        // forward must precede backward (see the trait's `# Panics` section).
         let input = self
             .cached_input
             .take()

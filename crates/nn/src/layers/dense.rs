@@ -76,6 +76,9 @@ impl Layer for Dense {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        #[allow(clippy::expect_used)]
+        // PANIC-OK: documented `Layer::backward` contract — a training-mode
+        // forward must precede backward (see the trait's `# Panics` section).
         let x = self
             .cached_input
             .take()

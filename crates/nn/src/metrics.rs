@@ -10,6 +10,11 @@ use crate::tensor::Tensor;
 pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f64 {
     let (b, k) = (logits.rows(), logits.cols());
     assert_eq!(b, labels.len(), "one label per row");
+    if b == 0 {
+        // An empty batch has no wrong answers; returning 0.0 (not NaN from
+        // 0/0) keeps downstream curve aggregation finite.
+        return 0.0;
+    }
     let mut correct = 0usize;
     for (row, &label) in logits.data().chunks(k).zip(labels) {
         let argmax = row

@@ -116,9 +116,15 @@ impl Network {
     ///
     /// # Panics
     ///
-    /// Panics if the index is out of range.
+    /// Panics if the index is out of range; [`Network::try_layer_kind`] is
+    /// the non-panicking variant.
     pub fn layer_kind(&self, index: usize) -> &'static str {
         self.layers[index].kind()
+    }
+
+    /// The kind tag of a layer by index, or `None` when out of range.
+    pub fn try_layer_kind(&self, index: usize) -> Option<&'static str> {
+        self.layers.get(index).map(|l| l.kind())
     }
 
     /// Total number of trainable weights (excluding biases).

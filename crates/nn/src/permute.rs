@@ -214,6 +214,9 @@ pub fn permute_hidden_neurons(
 
     // Permute this layer's columns and bias.
     {
+        // PANIC-OK: `this_idx` comes from `weight_layer_indices`, which
+        // only lists layers with parameters.
+        #[allow(clippy::expect_used)]
         let params = net.layer_params_mut(this_idx).expect("weight layer has params");
         let (rows, cols) = params.weight_shape;
         if perm.len() != cols {
@@ -233,6 +236,9 @@ pub fn permute_hidden_neurons(
     // Permute the next layer's row blocks.
     {
         let neurons = perm.len();
+        // PANIC-OK: `next_idx` comes from `weight_layer_indices`, which
+        // only lists layers with parameters.
+        #[allow(clippy::expect_used)]
         let params = net.layer_params_mut(next_idx).expect("weight layer has params");
         let (rows, cols) = params.weight_shape;
         if rows % neurons != 0 {

@@ -126,18 +126,45 @@ pub fn magnitude_prune(net: &mut Network, fraction: f64) -> PruneMask {
 /// # Panics
 ///
 /// Panics if the fraction count does not match the number of weight layers
-/// or any fraction is outside `[0, 1]`.
+/// or any fraction is outside `[0, 1]`. Library code that must not panic
+/// should use [`try_magnitude_prune_per_layer`].
 pub fn magnitude_prune_per_layer(net: &mut Network, fractions: &[f64]) -> PruneMask {
+    // PANIC-OK: documented panicking convenience wrapper over the fallible
+    // variant below.
+    #[allow(clippy::expect_used)]
+    try_magnitude_prune_per_layer(net, fractions).expect("invalid pruning fractions")
+}
+
+/// Fallible variant of [`magnitude_prune_per_layer`].
+///
+/// # Errors
+///
+/// Returns [`crate::error::NnError::InvalidConfig`] if the fraction count
+/// does not match the number of weight layers or any fraction is outside
+/// `[0, 1]` (NaN included).
+pub fn try_magnitude_prune_per_layer(
+    net: &mut Network,
+    fractions: &[f64],
+) -> Result<PruneMask, crate::error::NnError> {
     let indices = net.weight_layer_indices();
-    assert_eq!(
-        indices.len(),
-        fractions.len(),
-        "need one fraction per weight layer ({} layers)",
-        indices.len()
-    );
+    if indices.len() != fractions.len() {
+        return Err(crate::error::NnError::InvalidConfig(format!(
+            "need one fraction per weight layer ({} layers, {} fractions)",
+            indices.len(),
+            fractions.len()
+        )));
+    }
     let mut layers = Vec::with_capacity(indices.len());
     for (&layer_index, &fraction) in indices.iter().zip(fractions) {
-        assert!((0.0..=1.0).contains(&fraction), "fraction {fraction} outside [0, 1]");
+        if !(0.0..=1.0).contains(&fraction) {
+            return Err(crate::error::NnError::InvalidConfig(format!(
+                "fraction {fraction} outside [0, 1]"
+            )));
+        }
+        // PANIC-OK: `weight_layer_indices` only returns indices of layers
+        // that expose parameters; a `None` here is an internal Network
+        // invariant violation, not a caller-reachable state.
+        #[allow(clippy::expect_used)]
         let params = net
             .layer_params_mut(layer_index)
             .expect("weight_layer_indices returned a parameterless layer");
@@ -177,30 +204,50 @@ pub fn magnitude_prune_per_layer(net: &mut Network, fractions: &[f64]) -> PruneM
         }
         layers.push(LayerMask { layer_index, shape: params.weight_shape, pruned });
     }
-    PruneMask { layers }
+    Ok(PruneMask { layers })
 }
 
 /// Zeroes every pruned weight in the network.
 ///
 /// # Panics
 ///
-/// Panics if the mask does not match the network's weight layers.
+/// Panics if the mask does not match the network's weight layers. Library
+/// code that must not panic should use [`try_apply_mask`].
 pub fn apply_mask(net: &mut Network, mask: &PruneMask) {
+    // PANIC-OK: documented panicking convenience wrapper over the fallible
+    // variant below.
+    #[allow(clippy::expect_used)]
+    try_apply_mask(net, mask).expect("mask does not match network");
+}
+
+/// Fallible variant of [`apply_mask`].
+///
+/// # Errors
+///
+/// Returns [`crate::error::NnError::ShapeMismatch`] if a mask layer points
+/// at a parameterless layer or its size does not match the weight matrix —
+/// e.g. a mask computed before a topology change and applied after.
+pub fn try_apply_mask(net: &mut Network, mask: &PruneMask) -> Result<(), crate::error::NnError> {
     for layer_mask in mask.layers() {
-        let params = net
-            .layer_params_mut(layer_mask.layer_index)
-            .expect("mask references a parameterless layer");
-        assert_eq!(
-            params.weights.len(),
-            layer_mask.pruned.len(),
-            "mask does not match layer size"
-        );
+        let params = net.layer_params_mut(layer_mask.layer_index).ok_or_else(|| {
+            crate::error::NnError::InvalidConfig(format!(
+                "mask references parameterless layer {}",
+                layer_mask.layer_index
+            ))
+        })?;
+        if params.weights.len() != layer_mask.pruned.len() {
+            return Err(crate::error::NnError::ShapeMismatch {
+                expected: format!("mask of {} weights", params.weights.len()),
+                actual: vec![layer_mask.pruned.len()],
+            });
+        }
         for (w, &p) in params.weights.iter_mut().zip(&layer_mask.pruned) {
             if p {
                 *w = 0.0;
             }
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -300,5 +347,30 @@ mod tests {
     fn wrong_fraction_count_panics() {
         let mut n = net();
         let _ = magnitude_prune_per_layer(&mut n, &[0.5]);
+    }
+
+    #[test]
+    fn try_variants_surface_typed_errors() {
+        let mut n = net();
+        assert!(try_magnitude_prune_per_layer(&mut n, &[0.5]).is_err());
+        assert!(try_magnitude_prune_per_layer(&mut n, &[0.5, f64::NAN]).is_err());
+        assert!(try_magnitude_prune_per_layer(&mut n, &[0.5, 1.5]).is_err());
+        let ok = try_magnitude_prune_per_layer(&mut n, &[0.0, 1.0]).unwrap();
+        assert_eq!(ok.len(), 2);
+
+        // A mask whose shape no longer matches the network must error, not
+        // corrupt weights.
+        let bad = PruneMask::from_layers(vec![LayerMask {
+            layer_index: 0,
+            shape: (3, 3),
+            pruned: vec![true; 9],
+        }]);
+        assert!(try_apply_mask(&mut n, &bad).is_err());
+        let bad_idx = PruneMask::from_layers(vec![LayerMask {
+            layer_index: 1, // Relu: parameterless
+            shape: (1, 1),
+            pruned: vec![true],
+        }]);
+        assert!(try_apply_mask(&mut n, &bad_idx).is_err());
     }
 }

@@ -41,28 +41,80 @@ pub const SPARSITY_SKIP_THRESHOLD: f32 = 0.5;
 
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
+/// Upper bound on the worker budget. `RRAM_FTT_THREADS=4000000` would
+/// otherwise ask [`std::thread::scope`] for millions of spawns.
+pub const MAX_THREADS: usize = 1024;
+
 /// The worker budget used by all helpers.
 ///
 /// Resolution order: [`set_thread_count`] override (tests / benches), the
-/// `RRAM_FTT_THREADS` environment variable, then
-/// [`std::thread::available_parallelism`]. Always at least 1.
+/// `RRAM_FTT_THREADS` environment variable (resolved once through
+/// [`resolve_thread_budget`]), then
+/// [`std::thread::available_parallelism`]. Always in `1..=MAX_THREADS`.
 pub fn thread_count() -> usize {
     let forced = THREAD_OVERRIDE.load(Ordering::Relaxed);
     if forced > 0 {
-        return forced;
+        return forced.min(MAX_THREADS);
     }
     static FROM_ENV: OnceLock<usize> = OnceLock::new();
     *FROM_ENV.get_or_init(|| {
-        std::env::var("RRAM_FTT_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            })
+        let raw = std::env::var("RRAM_FTT_THREADS").ok();
+        resolve_thread_budget(raw.as_deref())
     })
+}
+
+/// Resolves a raw `RRAM_FTT_THREADS` value into a usable worker budget.
+///
+/// This is the pure core of [`thread_count`], exposed so the policy can be
+/// tested without mutating process environment (the env lookup itself is
+/// cached in a `OnceLock` and cannot be re-run in-process):
+///
+/// * `None` (unset) — auto-detect via `available_parallelism`, min 1.
+/// * `Some("0")` — **clamped to 1** with a diagnostic on stderr. A zero
+///   worker budget would make every `div_ceil(workers)` chunk division and
+///   `thread::scope` fan-out degenerate; the paper's flow must keep
+///   running, just sequentially.
+/// * `Some(non-numeric / negative / empty)` — falls back to auto-detect
+///   with a diagnostic; garbage must never poison the budget.
+/// * Values above [`MAX_THREADS`] are capped.
+///
+/// Never returns 0.
+pub fn resolve_thread_budget(raw: Option<&str>) -> usize {
+    let auto = || {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .clamp(1, MAX_THREADS)
+    };
+    match raw {
+        None => auto(),
+        Some(s) => match s.trim().parse::<usize>() {
+            Ok(0) => {
+                debug_log("RRAM_FTT_THREADS=0 is not a valid worker budget; clamping to 1");
+                1
+            }
+            Ok(n) if n > MAX_THREADS => {
+                debug_log(&format!(
+                    "RRAM_FTT_THREADS={n} exceeds MAX_THREADS; capping to {MAX_THREADS}"
+                ));
+                MAX_THREADS
+            }
+            Ok(n) => n,
+            Err(_) => {
+                debug_log(&format!(
+                    "RRAM_FTT_THREADS={s:?} is not a number; using auto-detected parallelism"
+                ));
+                auto()
+            }
+        },
+    }
+}
+
+/// One-line diagnostic for configuration clamps. Kept out of hot paths —
+/// only ever called once per process from the `OnceLock` init (or from
+/// tests exercising [`resolve_thread_budget`] directly).
+fn debug_log(msg: &str) {
+    eprintln!("[rram-ftt/par] {msg}");
 }
 
 /// Forces [`thread_count`] to `n` for this process (0 restores the
@@ -148,7 +200,7 @@ where
 {
     assert!(row_len > 0, "row_len must be positive");
     assert!(
-        data.len() % row_len == 0,
+        data.len().is_multiple_of(row_len),
         "buffer length {} is not a multiple of row_len {row_len}",
         data.len()
     );
@@ -222,7 +274,13 @@ where
         }
     });
     out.into_iter()
-        .map(|v| v.expect("worker filled every slot"))
+        // PANIC-OK: the workers above cover `0..n` exactly (disjoint
+        // chunks of the same Vec); an empty slot is a bug in this module,
+        // not a caller-reachable state.
+        .map(|v| {
+            #[allow(clippy::expect_used)]
+            v.expect("worker filled every slot")
+        })
         .collect()
 }
 
@@ -260,7 +318,13 @@ where
     });
     partials
         .into_iter()
-        .map(|p| p.expect("worker produced a partial"))
+        // PANIC-OK: one worker is spawned per partial slot and each writes
+        // `Some` before the scope joins; a `None` here is a bug in this
+        // module, not a caller-reachable state.
+        .map(|p| {
+            #[allow(clippy::expect_used)]
+            p.expect("worker produced a partial")
+        })
         .reduce(combine)
         .unwrap_or_else(init)
 }
@@ -281,6 +345,43 @@ mod tests {
     #[test]
     fn thread_count_is_positive() {
         assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn budget_unset_auto_detects() {
+        let n = resolve_thread_budget(None);
+        assert!((1..=MAX_THREADS).contains(&n));
+    }
+
+    #[test]
+    fn budget_zero_clamps_to_one() {
+        assert_eq!(resolve_thread_budget(Some("0")), 1);
+        assert_eq!(resolve_thread_budget(Some(" 0 ")), 1);
+    }
+
+    #[test]
+    fn budget_garbage_falls_back_to_auto() {
+        for garbage in ["", "  ", "abc", "-3", "1.5", "0x10", "NaN", "١٦"] {
+            let n = resolve_thread_budget(Some(garbage));
+            assert!(n >= 1, "garbage {garbage:?} must yield a usable budget");
+            assert!(n <= MAX_THREADS);
+        }
+    }
+
+    #[test]
+    fn budget_plain_numbers_pass_through() {
+        assert_eq!(resolve_thread_budget(Some("1")), 1);
+        assert_eq!(resolve_thread_budget(Some("64")), 64);
+        assert_eq!(resolve_thread_budget(Some(" 8\n")), 8);
+    }
+
+    #[test]
+    fn budget_huge_values_are_capped() {
+        assert_eq!(resolve_thread_budget(Some("4000000")), MAX_THREADS);
+        assert_eq!(
+            resolve_thread_budget(Some("18446744073709551615")),
+            MAX_THREADS
+        );
     }
 
     #[test]

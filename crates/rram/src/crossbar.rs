@@ -335,13 +335,18 @@ impl Crossbar {
     ///
     /// # Errors
     ///
-    /// Returns [`RramError::OutOfBounds`] for invalid coordinates.
+    /// Returns [`RramError::OutOfBounds`] for invalid coordinates and
+    /// [`RramError::NonFiniteValue`] for a NaN/infinite target (which would
+    /// otherwise poison the cached conductance planes).
     pub fn write_analog(
         &mut self,
         row: usize,
         col: usize,
         target: f64,
     ) -> Result<WriteOutcome, RramError> {
+        if !target.is_finite() {
+            return Err(RramError::NonFiniteValue { context: "write_analog target" });
+        }
         let i = self.idx(row, col)?;
         let noise = self.sample_noise();
         let outcome = self.cells[i].write_analog(target, noise);
@@ -369,6 +374,9 @@ impl Crossbar {
         tolerance: f64,
         max_pulses: u32,
     ) -> Result<(WriteOutcome, u32), RramError> {
+        if !target.is_finite() {
+            return Err(RramError::NonFiniteValue { context: "write_verified target" });
+        }
         if !tolerance.is_finite() || tolerance <= 0.0 {
             return Err(RramError::InvalidConfig(format!(
                 "tolerance must be positive, got {tolerance}"
@@ -399,13 +407,17 @@ impl Crossbar {
     ///
     /// # Errors
     ///
-    /// Returns [`RramError::OutOfBounds`] for invalid coordinates.
+    /// Returns [`RramError::OutOfBounds`] for invalid coordinates and
+    /// [`RramError::NonFiniteValue`] for a NaN/infinite target.
     pub fn pulse_analog(
         &mut self,
         row: usize,
         col: usize,
         target: f64,
     ) -> Result<WriteOutcome, RramError> {
+        if !target.is_finite() {
+            return Err(RramError::NonFiniteValue { context: "pulse_analog target" });
+        }
         let i = self.idx(row, col)?;
         let noise = self.sample_noise();
         let outcome = self.cells[i].pulse_analog(target, noise);
@@ -902,6 +914,29 @@ mod tests {
             .unwrap();
         let frac = x.fault_map().fraction_faulty();
         assert!((frac - 0.25).abs() < 0.01, "fraction was {frac}");
+    }
+
+    #[test]
+    fn non_finite_write_targets_are_rejected() {
+        let mut x = small();
+        let before = x.conductance(0, 0).unwrap();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(matches!(
+                x.write_analog(0, 0, bad),
+                Err(RramError::NonFiniteValue { .. })
+            ));
+            assert!(matches!(
+                x.pulse_analog(0, 0, bad),
+                Err(RramError::NonFiniteValue { .. })
+            ));
+            assert!(matches!(
+                x.write_verified(0, 0, bad, 0.01, 4),
+                Err(RramError::NonFiniteValue { .. })
+            ));
+        }
+        // The rejected writes must not have touched cell state or planes.
+        assert_eq!(x.conductance(0, 0).unwrap(), before);
+        assert!(x.conductance_plane().iter().all(|g| g.is_finite()));
     }
 
     #[test]

@@ -35,6 +35,13 @@ pub enum RramError {
     /// A configuration value was invalid (zero-sized array, fraction outside
     /// `[0, 1]`, fewer than two levels, ...).
     InvalidConfig(String),
+    /// A caller supplied a NaN or infinite value where the simulator needs
+    /// a finite number (write targets, pulse amounts). Accepting it would
+    /// poison the cached conductance planes and every downstream MVM.
+    NonFiniteValue {
+        /// Which operation rejected the value.
+        context: &'static str,
+    },
 }
 
 impl fmt::Display for RramError {
@@ -50,6 +57,9 @@ impl fmt::Display for RramError {
                 write!(f, "level {level} out of range for {levels}-level cell")
             }
             RramError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            RramError::NonFiniteValue { context } => {
+                write!(f, "non-finite value rejected in {context}")
+            }
         }
     }
 }

@@ -26,3 +26,17 @@ bench-report:
 # Lints at the workspace's warning bar.
 clippy:
     cargo clippy --workspace --all-targets -- -D warnings
+
+# Adversarial-configuration harness (DESIGN.md §8.4): seeded, deterministic,
+# < 60 s. Part of tier-1 via tests/chaos_harness.rs.
+chaos:
+    cargo test -q --test chaos_harness
+    cargo test -q -p chaos
+
+# Panic-policy gate (DESIGN.md §8.1): library crates may not unwrap/expect
+# on caller-reachable paths; justified internal invariants carry a
+# `// PANIC-OK:` comment plus a targeted #[allow]. Test code is exempt
+# (--lib builds without cfg(test)).
+clippy-unwrap:
+    cargo clippy -p par -p rram -p nn -p faultdet -p ftt-core --lib -- \
+        -D warnings -D clippy::unwrap_used -D clippy::expect_used

@@ -1,0 +1,25 @@
+//! Tier-1 wiring of the adversarial harness: the seeded chaos run must
+//! pass, and must be deterministic — two runs from the same seed produce
+//! the same report.
+//!
+//! `just chaos` runs the same harness with verbose per-family output.
+
+const SEED: u64 = 0xC0FFEE;
+
+#[test]
+fn chaos_harness_passes() {
+    let report = chaos::run_all(SEED);
+    assert!(
+        report.all_passed(),
+        "adversarial scenarios failed:\n{report}"
+    );
+    assert!(report.families.len() >= 8, "at least 8 scenario families");
+    assert!(report.case_count() >= 20, "the families should fan out into many cases");
+}
+
+#[test]
+fn chaos_harness_is_deterministic() {
+    let a = chaos::run_all(SEED).to_string();
+    let b = chaos::run_all(SEED).to_string();
+    assert_eq!(a, b, "the same seed must reproduce the same report");
+}
