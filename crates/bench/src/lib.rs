@@ -82,7 +82,7 @@ pub fn run_flow(
     CurveRun {
         label: label.to_string(),
         curve: trainer.curve().clone(),
-        stats: *trainer.stats(),
+        stats: trainer.stats(),
         final_faulty: trainer.mapped().fraction_faulty(),
     }
 }

@@ -136,7 +136,7 @@ fn run_seeded_flow(seed: u64, iterations: u64) -> Result<(Vec<u64>, FlowStats), 
     // Accuracies compared as exact bit patterns: any cross-thread
     // nondeterminism (merge order, floating-point reassociation) shows up.
     let bits = curve.points().iter().map(|p| p.test_accuracy.to_bits()).collect();
-    Ok((bits, *trainer.stats()))
+    Ok((bits, trainer.stats()))
 }
 
 /// Worker-budget chaos: every `RRAM_FTT_THREADS` shape from garbage to 0

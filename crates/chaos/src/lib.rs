@@ -164,6 +164,7 @@ pub fn run_all(seed: u64) -> ChaosReport {
         families::config_rejection(seed ^ 0x07),
         families::plane_coherence(seed ^ 0x08),
         families::thread_budget(seed ^ 0x09),
+        families::obs_stream(seed ^ 0x0a),
     ];
     std::panic::set_hook(prev_hook);
     ChaosReport { seed, families }

@@ -10,17 +10,20 @@
 //! faulty cells, and reprograms the array.
 
 use faultdet::detector::OnlineFaultDetector;
+use faultdet::metrics::DetectionReport;
 use nn::data::Dataset;
 use nn::loss::softmax_cross_entropy;
 use nn::metrics::accuracy;
 use nn::network::Network;
 use nn::pruning::{try_apply_mask, try_magnitude_prune_per_layer, PruneMask};
+use obs::{Confusion, Event, Recorder, WritePhase};
 
 use crate::config::{FlowConfig, MappingConfig};
 use crate::error::FttError;
 use crate::mapping::MappedNetwork;
 use crate::remap::plan_remap;
 use crate::report::{CurvePoint, FlowStats, TrainingCurve};
+use crate::telemetry::FlowMetrics;
 use crate::threshold::ThresholdTrainer;
 
 /// Conductance tolerance below which a reprogramming write is skipped.
@@ -28,6 +31,21 @@ const REPROGRAM_EPSILON: f64 = 1e-4;
 
 /// Orchestrates fault-tolerant on-line training of one network on one
 /// simulated RCS.
+///
+/// # Telemetry
+///
+/// Every trainer carries an [`obs::Recorder`] (pass your own via
+/// [`FaultTolerantTrainer::with_recorder`] to attach sinks). The
+/// *sequential* flow spine emits the typed event stream —
+/// [`Event::TrainingIteration`], [`Event::ThresholdSkipBurst`],
+/// [`Event::DetectionCampaignStart`]/[`Event::DetectionCampaignEnd`] (with
+/// confusion-matrix scoring against simulator ground truth),
+/// [`Event::RemapApplied`], [`Event::WearFault`], and
+/// [`Event::WritePulseBatch`] — stamped on the iteration/write-pulse
+/// logical clock, so a seeded run's trace is byte-identical at any
+/// `RRAM_FTT_THREADS`. Aggregate statistics live in the recorder's
+/// registry (see [`FlowMetrics`]); [`FaultTolerantTrainer::stats`] is a
+/// snapshot view over it.
 #[derive(Debug)]
 pub struct FaultTolerantTrainer {
     net: Network,
@@ -36,23 +54,46 @@ pub struct FaultTolerantTrainer {
     trainer: ThresholdTrainer,
     iteration: u64,
     curve: TrainingCurve,
-    stats: FlowStats,
+    metrics: FlowMetrics,
     active_mask: Option<PruneMask>,
+    /// First iteration of the currently open all-skip burst, if any.
+    burst_start: Option<u64>,
+    /// Updates suppressed across the open burst.
+    burst_skipped: u64,
 }
 
 impl FaultTolerantTrainer {
-    /// Maps the network onto simulated hardware and prepares the flow.
+    /// Maps the network onto simulated hardware and prepares the flow,
+    /// with a fresh wall-clock [`Recorder`] (no sinks attached).
     ///
     /// # Errors
     ///
     /// Returns mapping/configuration errors; see
     /// [`MappedNetwork::from_network`].
     pub fn new(
-        mut net: Network,
+        net: Network,
         mapping: MappingConfig,
         flow: FlowConfig,
     ) -> Result<Self, FttError> {
-        let mapped = MappedNetwork::from_network(&mut net, mapping)?;
+        Self::with_recorder(net, mapping, flow, Recorder::new())
+    }
+
+    /// Like [`FaultTolerantTrainer::new`], but records telemetry on the
+    /// given recorder — attach sinks to it before or after construction to
+    /// capture the event stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns mapping/configuration errors; see
+    /// [`MappedNetwork::from_network`].
+    pub fn with_recorder(
+        mut net: Network,
+        mapping: MappingConfig,
+        flow: FlowConfig,
+        recorder: Recorder,
+    ) -> Result<Self, FttError> {
+        let mut mapped = MappedNetwork::from_network(&mut net, mapping)?;
+        mapped.attach_recorder(&recorder);
         let trainer = ThresholdTrainer::new(flow.threshold, &mapped);
         Ok(Self {
             net,
@@ -61,8 +102,10 @@ impl FaultTolerantTrainer {
             trainer,
             iteration: 0,
             curve: TrainingCurve::new(),
-            stats: FlowStats::default(),
+            metrics: FlowMetrics::new(recorder),
             active_mask: None,
+            burst_start: None,
+            burst_skipped: 0,
         })
     }
 
@@ -71,9 +114,15 @@ impl FaultTolerantTrainer {
         &self.curve
     }
 
-    /// Aggregate flow statistics.
-    pub fn stats(&self) -> &FlowStats {
-        &self.stats
+    /// Aggregate flow statistics — a snapshot derived from the telemetry
+    /// registry (the counters are the single source of truth).
+    pub fn stats(&self) -> FlowStats {
+        self.metrics.snapshot()
+    }
+
+    /// The trainer's telemetry recorder.
+    pub fn recorder(&self) -> &Recorder {
+        self.metrics.recorder()
     }
 
     /// The simulated hardware.
@@ -147,8 +196,11 @@ impl FaultTolerantTrainer {
         data.set_shuffle_seed(self.flow.data_seed ^ self.iteration);
         let mut batches = data.try_train_batches(self.flow.batch)?;
         let eval_interval = self.flow.eval_interval.max(1);
+        let recorder = self.metrics.recorder().clone();
         for step in 0..iterations {
             self.iteration += 1;
+            recorder.set_iteration(self.iteration);
+            let _iter_span = recorder.span("flow_iteration");
 
             // Periodic detection + re-mapping phase (after warm-up).
             if let Some(interval) = self.flow.detection_interval {
@@ -177,11 +229,11 @@ impl FaultTolerantTrainer {
                 lr,
                 self.active_mask.as_ref(),
             )?;
-            self.stats.writes_issued += report.writes_issued;
-            self.stats.writes_skipped += report.writes_skipped;
-            self.stats.nan_updates_skipped += report.nan_updates_skipped;
-            self.stats.wear_faults_during_training +=
-                self.mapped.wear_faults() - wear_before;
+            self.metrics.writes_issued.add(report.writes_issued);
+            self.metrics.writes_skipped.add(report.writes_skipped);
+            self.metrics.nan_updates_skipped.add(report.nan_updates_skipped);
+            let new_wear = self.mapped.wear_faults() - wear_before;
+            self.metrics.wear_faults_during_training.add(new_wear);
             // Analog MVM work this iteration: forward plus the two backward
             // products (dX and dW) touch every mapped cell once each, per
             // sample in the batch.
@@ -191,7 +243,40 @@ impl FaultTolerantTrainer {
                 .iter()
                 .map(|l| (l.rows * l.cols) as u64)
                 .sum();
-            self.stats.mvm_cell_ops += 3 * cells_per_pass * self.flow.batch as u64;
+            self.metrics
+                .mvm_cell_ops
+                .add(3 * cells_per_pass * self.flow.batch as u64);
+
+            // Event stream (sequential spine only — see the struct docs).
+            recorder.set_write_pulses(self.mapped.total_write_pulses());
+            if new_wear > 0 {
+                recorder.emit(Event::WearFault {
+                    new_faults: new_wear,
+                    total_faults: self.mapped.wear_faults(),
+                });
+            }
+            if report.writes_issued > 0 {
+                recorder.emit(Event::WritePulseBatch {
+                    pulses: report.writes_issued,
+                    phase: WritePhase::Training,
+                });
+            }
+            if report.writes_issued == 0 && report.writes_skipped > 0 {
+                // Extend (or open) the all-skip burst.
+                if self.burst_start.is_none() {
+                    self.burst_start = Some(self.iteration);
+                }
+                self.burst_skipped += report.writes_skipped;
+            } else {
+                self.flush_skip_burst(self.iteration.saturating_sub(1));
+            }
+            recorder.emit(Event::TrainingIteration {
+                writes_issued: report.writes_issued,
+                writes_skipped: report.writes_skipped,
+                nan_updates_skipped: report.nan_updates_skipped,
+                new_wear_faults: new_wear,
+                max_abs_dw: report.max_abs_dw,
+            });
 
             // Evaluation checkpoint.
             if self.iteration.is_multiple_of(eval_interval) || step + 1 == iterations {
@@ -204,18 +289,75 @@ impl FaultTolerantTrainer {
                 });
             }
         }
+        self.flush_skip_burst(self.iteration);
         Ok(&self.curve)
+    }
+
+    /// Emits the [`Event::ThresholdSkipBurst`] for the currently open
+    /// all-skip run (if any), closing it at `end_iteration`.
+    fn flush_skip_burst(&mut self, end_iteration: u64) {
+        if let Some(start) = self.burst_start.take() {
+            let skipped = std::mem::take(&mut self.burst_skipped);
+            self.metrics.recorder().emit(Event::ThresholdSkipBurst {
+                start_iteration: start,
+                end_iteration,
+                writes_skipped: skipped,
+            });
+        }
     }
 
     /// The Fig. 2 periodic phase: on-line detection, pruning, re-mapping.
     fn detection_phase(&mut self) -> Result<(), FttError> {
-        let detector = OnlineFaultDetector::new(self.flow.detector);
-        let detections = self.mapped.detect(&detector)?;
-        self.stats.detection_campaigns += 1;
+        let recorder = self.metrics.recorder().clone();
+        let _phase_span = recorder.span("detection_phase");
+        self.metrics.detection_campaigns.inc();
+        let campaign = self.metrics.detection_campaigns.get();
+        recorder.emit(Event::DetectionCampaignStart { campaign });
+
+        let detector =
+            OnlineFaultDetector::new(self.flow.detector).with_recorder(&recorder);
+        let detections = {
+            let _detect_span = recorder.span("detect");
+            self.mapped.detect(&detector)?
+        };
+        let (mut cycles, mut writes, mut untested, mut flagged) = (0u64, 0u64, 0u64, 0u64);
         for d in &detections {
-            self.stats.detection_cycles += d.cycles;
-            self.stats.detection_writes += d.write_pulses;
-            self.stats.detection_untested_groups += d.untested_groups;
+            cycles += d.cycles;
+            writes += d.write_pulses;
+            untested += d.untested_groups;
+            flagged += d.predicted.count_faulty() as u64;
+        }
+        self.metrics.detection_cycles.add(cycles);
+        self.metrics.detection_writes.add(writes);
+        self.metrics.detection_untested_groups.add(untested);
+        recorder.set_write_pulses(self.mapped.total_write_pulses());
+
+        // The simulator knows the ground-truth fault maps, so every
+        // campaign is scored with a full confusion matrix (summed over all
+        // mapped layers) — the paper's detection-accuracy experiments fall
+        // out of the event stream for free.
+        let truth = self.mapped.ground_truth();
+        let mut confusion = Confusion::default();
+        for (t, d) in truth.iter().zip(&detections) {
+            let r = DetectionReport::evaluate(t, &d.predicted);
+            confusion.true_pos += r.tp;
+            confusion.false_pos += r.fp;
+            confusion.false_neg += r.fn_;
+            confusion.true_neg += r.tn;
+        }
+        recorder.emit(Event::DetectionCampaignEnd {
+            campaign,
+            flagged_cells: flagged,
+            cycles,
+            write_pulses: writes,
+            untested_groups: untested,
+            confusion: Some(confusion),
+        });
+        if writes > 0 {
+            recorder.emit(Event::WritePulseBatch {
+                pulses: writes,
+                phase: WritePhase::Detection,
+            });
         }
 
         let Some(remap_cfg) = self.flow.remap else {
@@ -241,18 +383,32 @@ impl FaultTolerantTrainer {
         // Search for a neuron re-ordering minimizing Dist(P, F).
         let mut cfg = remap_cfg;
         cfg.seed ^= self.iteration; // fresh search each phase
-        let plan = plan_remap(&self.mapped, &mask, &detections, &cfg)?;
-        self.stats.last_remap_initial_cost = plan.initial_cost;
-        self.stats.last_remap_final_cost = plan.final_cost;
+        let plan = {
+            let _search_span = recorder.span("remap_search");
+            plan_remap(&self.mapped, &mask, &detections, &cfg)?
+        };
+        self.metrics.last_remap_initial_cost.set(plan.initial_cost as f64);
+        self.metrics.last_remap_final_cost.set(plan.final_cost as f64);
         if plan.final_cost < plan.initial_cost && !plan.is_identity() {
             plan.apply(&mut self.net, &mut mask)?;
-            self.stats.remaps_applied += 1;
+            self.metrics.remaps_applied.inc();
+            recorder.emit(Event::RemapApplied {
+                initial_cost: plan.initial_cost,
+                final_cost: plan.final_cost,
+            });
         }
 
         // Park the pruned zeros and reprogram the array with the permuted
         // weights (writes only where the target moved).
         try_apply_mask(&mut self.net, &mask)?;
-        let _ = self.mapped.reprogram_from(&mut self.net, REPROGRAM_EPSILON)?;
+        let reprog_writes = self.mapped.reprogram_from(&mut self.net, REPROGRAM_EPSILON)?;
+        recorder.set_write_pulses(self.mapped.total_write_pulses());
+        if reprog_writes > 0 {
+            recorder.emit(Event::WritePulseBatch {
+                pulses: reprog_writes,
+                phase: WritePhase::Reprogram,
+            });
+        }
         self.active_mask = Some(mask);
         Ok(())
     }

@@ -58,6 +58,7 @@ pub mod flow;
 pub mod mapping;
 pub mod remap;
 pub mod report;
+pub mod telemetry;
 pub mod threshold;
 
 pub use config::{FlowConfig, MappingConfig, MappingScope};

@@ -643,6 +643,17 @@ impl MappedNetwork {
         faulty as f64 / total.max(1) as f64
     }
 
+    /// Instruments every tile's crossbar (positive and negative polarity)
+    /// with `recorder`'s registry counters; see
+    /// [`rram::crossbar::Crossbar::attach_recorder`].
+    pub fn attach_recorder(&mut self, recorder: &obs::Recorder) {
+        for layer in &mut self.layers {
+            for tile in layer.tiles.iter_mut().chain(layer.neg_tiles.iter_mut()) {
+                tile.xbar.attach_recorder(recorder);
+            }
+        }
+    }
+
     /// Number of cells that wore out (endurance faults) since construction.
     pub fn wear_faults(&self) -> u64 {
         self.layers

@@ -47,6 +47,9 @@ impl TrainingCurve {
 
     /// Renders the curve as CSV
     /// (`iteration,accuracy,faulty_fraction,write_pulses`).
+    ///
+    /// Floats are truncated to 4 decimals for readability; use
+    /// [`TrainingCurve::to_jsonl`] for a lossless export.
     pub fn to_csv(&self) -> String {
         let mut out = String::from("iteration,accuracy,faulty_fraction,write_pulses\n");
         for p in &self.points {
@@ -56,6 +59,45 @@ impl TrainingCurve {
             ));
         }
         out
+    }
+
+    /// Renders the curve as JSON Lines, one object per point, using the
+    /// telemetry subsystem's shortest-round-trip float formatting — unlike
+    /// [`TrainingCurve::to_csv`] this is lossless (every `f64` parses back
+    /// to the identical bits; see [`TrainingCurve::from_jsonl`]).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for p in &self.points {
+            out.push_str(
+                &obs::JsonObject::new()
+                    .field_u64("iteration", p.iteration)
+                    .field_f64("accuracy", p.test_accuracy)
+                    .field_f64("faulty_fraction", p.faulty_fraction)
+                    .field_u64("write_pulses", p.write_pulses)
+                    .finish(),
+            );
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a curve back from [`TrainingCurve::to_jsonl`] output. Lines
+    /// missing any field are skipped (blank lines included), so the parse
+    /// is total.
+    pub fn from_jsonl(text: &str) -> Self {
+        let mut curve = Self::new();
+        for line in text.lines() {
+            let (Some(iteration), Some(test_accuracy), Some(faulty_fraction), Some(write_pulses)) = (
+                obs::json::extract_u64(line, "iteration"),
+                obs::json::extract_f64(line, "accuracy"),
+                obs::json::extract_f64(line, "faulty_fraction"),
+                obs::json::extract_u64(line, "write_pulses"),
+            ) else {
+                continue;
+            };
+            curve.push(CurvePoint { iteration, test_accuracy, faulty_fraction, write_pulses });
+        }
+        curve
     }
 }
 
@@ -103,11 +145,13 @@ impl FlowStats {
     }
 
     /// Estimates the run's RCS energy under the given model: analog MVM
-    /// work plus all programming pulses (training and detection).
+    /// work, the quiescent-voltage read cycles spent by detection (one
+    /// cell read per detection test cycle), and all programming pulses
+    /// (training and detection).
     pub fn energy(&self, model: &rram::energy::EnergyModel) -> rram::energy::EnergyEstimate {
         model.estimate(rram::energy::OperationCounts {
             mvm_cell_ops: self.mvm_cell_ops,
-            cell_reads: 0,
+            cell_reads: self.detection_cycles,
             write_pulses: self.writes_issued + self.detection_writes,
         })
     }
@@ -163,6 +207,57 @@ mod tests {
         // 1000 * 0.1 + 15 * 100 = 1600 pJ.
         assert!((est.total_pj() - 1600.0).abs() < 1e-9);
         assert!(est.write_fraction() > 0.9);
+
+        // Detection read cycles are no longer free: each test cycle is a
+        // quiescent-voltage cell read at 1 pJ.
+        let with_reads = FlowStats { detection_cycles: 200, ..stats };
+        let est2 = with_reads.energy(&rram::energy::EnergyModel::typical());
+        assert!((est2.read_pj - 200.0).abs() < 1e-9);
+        assert!((est2.total_pj() - 1800.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jsonl_round_trips_bit_exact() {
+        let mut curve = TrainingCurve::new();
+        for (i, acc) in [(1u64, 1.0 / 3.0), (2, 0.123456789012345), (3, f64::MIN_POSITIVE)] {
+            curve.push(CurvePoint {
+                iteration: i,
+                test_accuracy: acc,
+                faulty_fraction: acc / 7.0,
+                write_pulses: i * 1000 + 1,
+            });
+        }
+        let text = curve.to_jsonl();
+        assert_eq!(text.lines().count(), 3);
+        let back = TrainingCurve::from_jsonl(&text);
+        assert_eq!(back.points().len(), 3);
+        for (a, b) in curve.points().iter().zip(back.points()) {
+            assert_eq!(a.iteration, b.iteration);
+            assert_eq!(a.write_pulses, b.write_pulses);
+            assert_eq!(a.test_accuracy.to_bits(), b.test_accuracy.to_bits());
+            assert_eq!(a.faulty_fraction.to_bits(), b.faulty_fraction.to_bits());
+        }
+    }
+
+    #[test]
+    fn csv_round_trips_at_four_decimals() {
+        // CSV is the lossy export: values survive only to 4 decimals.
+        let mut curve = TrainingCurve::new();
+        curve.push(CurvePoint {
+            iteration: 9,
+            test_accuracy: 0.87654321,
+            faulty_fraction: 0.00012,
+            write_pulses: 7,
+        });
+        let csv = curve.to_csv();
+        let row = csv.lines().nth(1).unwrap();
+        let cols: Vec<&str> = row.split(',').collect();
+        assert_eq!(cols[0].parse::<u64>().unwrap(), 9);
+        let acc: f64 = cols[1].parse().unwrap();
+        assert!((acc - 0.87654321).abs() <= 5e-5, "4-decimal truncation bound");
+        let ff: f64 = cols[2].parse().unwrap();
+        assert!((ff - 0.00012).abs() <= 5e-5);
+        assert_eq!(cols[3].parse::<u64>().unwrap(), 7);
     }
 
     #[test]

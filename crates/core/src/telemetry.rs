@@ -1,0 +1,123 @@
+//! The flow's metrics carrier: [`FlowMetrics`].
+//!
+//! PR 3 rebuilt [`FlowStats`](crate::report::FlowStats) as a *view*: the
+//! trainer no longer owns a mutable stats struct — it owns cached
+//! counter/gauge handles on an [`obs::Recorder`]'s registry, and
+//! [`FlowMetrics::snapshot`] derives the same `FlowStats` value the old
+//! field updates produced (increments happen at exactly the same call
+//! sites, with the same amounts). Existing code that reads
+//! `trainer.stats().writes_issued` keeps working; the registry additionally
+//! exposes every quantity to the Prometheus/JSONL exporters under the
+//! `flow_*` names listed on [`FlowMetrics::new`].
+
+use obs::{Counter, Gauge, Recorder};
+
+use crate::report::FlowStats;
+
+/// Cached handles for every flow statistic, plus the recorder they live on.
+#[derive(Debug, Clone)]
+pub struct FlowMetrics {
+    recorder: Recorder,
+    pub(crate) writes_issued: Counter,
+    pub(crate) writes_skipped: Counter,
+    pub(crate) wear_faults_during_training: Counter,
+    pub(crate) detection_campaigns: Counter,
+    pub(crate) detection_cycles: Counter,
+    pub(crate) detection_writes: Counter,
+    pub(crate) remaps_applied: Counter,
+    pub(crate) mvm_cell_ops: Counter,
+    pub(crate) nan_updates_skipped: Counter,
+    pub(crate) detection_untested_groups: Counter,
+    pub(crate) last_remap_initial_cost: Gauge,
+    pub(crate) last_remap_final_cost: Gauge,
+}
+
+impl FlowMetrics {
+    /// Registers the flow metrics on `recorder`'s registry:
+    ///
+    /// * counters `flow_writes_issued_total`, `flow_writes_skipped_total`,
+    ///   `flow_wear_faults_training_total`, `flow_detection_campaigns_total`,
+    ///   `flow_detection_cycles_total`, `flow_detection_writes_total`,
+    ///   `flow_remaps_applied_total`, `flow_mvm_cell_ops_total`,
+    ///   `flow_nan_updates_skipped_total`,
+    ///   `flow_detection_untested_groups_total`;
+    /// * gauges `flow_last_remap_initial_cost`,
+    ///   `flow_last_remap_final_cost`.
+    pub fn new(recorder: Recorder) -> Self {
+        let r = &recorder;
+        Self {
+            writes_issued: r.counter("flow_writes_issued_total"),
+            writes_skipped: r.counter("flow_writes_skipped_total"),
+            wear_faults_during_training: r.counter("flow_wear_faults_training_total"),
+            detection_campaigns: r.counter("flow_detection_campaigns_total"),
+            detection_cycles: r.counter("flow_detection_cycles_total"),
+            detection_writes: r.counter("flow_detection_writes_total"),
+            remaps_applied: r.counter("flow_remaps_applied_total"),
+            mvm_cell_ops: r.counter("flow_mvm_cell_ops_total"),
+            nan_updates_skipped: r.counter("flow_nan_updates_skipped_total"),
+            detection_untested_groups: r.counter("flow_detection_untested_groups_total"),
+            last_remap_initial_cost: r.gauge("flow_last_remap_initial_cost"),
+            last_remap_final_cost: r.gauge("flow_last_remap_final_cost"),
+            recorder,
+        }
+    }
+
+    /// The recorder the metrics live on.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Derives the aggregate [`FlowStats`] value from the registry — the
+    /// same numbers the pre-PR-3 mutable struct accumulated.
+    pub fn snapshot(&self) -> FlowStats {
+        FlowStats {
+            writes_issued: self.writes_issued.get(),
+            writes_skipped: self.writes_skipped.get(),
+            wear_faults_during_training: self.wear_faults_during_training.get(),
+            detection_campaigns: self.detection_campaigns.get(),
+            detection_cycles: self.detection_cycles.get(),
+            detection_writes: self.detection_writes.get(),
+            remaps_applied: self.remaps_applied.get(),
+            // Dist(P, F) costs are cell counts far below 2^53, so the f64
+            // gauge round-trips them exactly.
+            last_remap_initial_cost: self.last_remap_initial_cost.get() as u64,
+            last_remap_final_cost: self.last_remap_final_cost.get() as u64,
+            mvm_cell_ops: self.mvm_cell_ops.get(),
+            nan_updates_skipped: self.nan_updates_skipped.get(),
+            detection_untested_groups: self.detection_untested_groups.get(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_mirrors_counter_state() {
+        let m = FlowMetrics::new(Recorder::deterministic());
+        assert_eq!(m.snapshot(), FlowStats::default());
+        m.writes_issued.add(10);
+        m.writes_skipped.add(90);
+        m.last_remap_initial_cost.set(40.0);
+        m.last_remap_final_cost.set(11.0);
+        let snap = m.snapshot();
+        assert_eq!(snap.writes_issued, 10);
+        assert_eq!(snap.writes_skipped, 90);
+        assert_eq!(snap.last_remap_initial_cost, 40);
+        assert_eq!(snap.last_remap_final_cost, 11);
+        assert!((snap.skipped_fraction() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_are_visible_through_the_registry() {
+        let m = FlowMetrics::new(Recorder::deterministic());
+        m.mvm_cell_ops.add(7);
+        assert_eq!(
+            m.recorder().registry().counter_value("flow_mvm_cell_ops_total"),
+            Some(7)
+        );
+        let text = m.recorder().render_prometheus();
+        assert!(text.contains("flow_mvm_cell_ops_total 7"));
+    }
+}

@@ -139,16 +139,55 @@ impl DetectionOutcome {
     }
 }
 
+/// Cached telemetry handles of an instrumented detector.
+///
+/// Campaigns may execute on worker threads (the mapped network fans tiles
+/// out across the [`par`] budget), so everything here is *commutative*:
+/// counter adds and span histograms merge identically in any interleaving.
+/// No events are emitted from the detector — the sequential flow spine
+/// emits the campaign events.
+#[derive(Debug, Clone)]
+struct DetectorMetrics {
+    recorder: obs::Recorder,
+    campaigns: obs::Counter,
+    cycles: obs::Counter,
+    write_pulses: obs::Counter,
+    flagged_cells: obs::Counter,
+    untested_groups: obs::Counter,
+    candidates: obs::Counter,
+}
+
 /// Runs quiescent-voltage-comparison campaigns against a crossbar.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct OnlineFaultDetector {
     config: DetectorConfig,
+    metrics: Option<DetectorMetrics>,
 }
 
 impl OnlineFaultDetector {
     /// Creates a detector with the given configuration.
     pub fn new(config: DetectorConfig) -> Self {
-        Self { config }
+        Self { config, metrics: None }
+    }
+
+    /// Instruments the detector: per-campaign counters
+    /// (`faultdet_campaigns_total`, `faultdet_cycles_total`,
+    /// `faultdet_write_pulses_total`, `faultdet_flagged_cells_total`,
+    /// `faultdet_untested_groups_total`, `faultdet_candidates_total`) and
+    /// per-pass sweep-timing spans land in `recorder`'s registry. Only
+    /// commutative metrics are touched, so instrumented campaigns remain
+    /// bit-identical at any thread count.
+    pub fn with_recorder(mut self, recorder: &obs::Recorder) -> Self {
+        self.metrics = Some(DetectorMetrics {
+            recorder: recorder.clone(),
+            campaigns: recorder.counter("faultdet_campaigns_total"),
+            cycles: recorder.counter("faultdet_cycles_total"),
+            write_pulses: recorder.counter("faultdet_write_pulses_total"),
+            flagged_cells: recorder.counter("faultdet_flagged_cells_total"),
+            untested_groups: recorder.counter("faultdet_untested_groups_total"),
+            candidates: recorder.counter("faultdet_candidates_total"),
+        });
+        self
     }
 
     /// The detector's configuration.
@@ -212,7 +251,7 @@ impl OnlineFaultDetector {
                 predicted.set(r, c, kind);
             }
         }
-        Ok(DetectionOutcome {
+        let outcome = DetectionOutcome {
             predicted,
             sa0_cycles,
             sa1_cycles,
@@ -220,7 +259,16 @@ impl OnlineFaultDetector {
             sa0_candidates: sa0_candidates.count(),
             sa1_candidates: sa1_candidates.count(),
             untested_groups: sa0_untested + sa1_untested,
-        })
+        };
+        if let Some(m) = &self.metrics {
+            m.campaigns.inc();
+            m.cycles.add(outcome.cycles());
+            m.write_pulses.add(outcome.write_pulses);
+            m.flagged_cells.add(outcome.predicted.count_faulty() as u64);
+            m.untested_groups.add(outcome.untested_groups);
+            m.candidates.add((outcome.sa0_candidates + outcome.sa1_candidates) as u64);
+        }
+        Ok(outcome)
     }
 
     /// One fault-kind pass: write `delta` to the candidates, run the
@@ -269,6 +317,14 @@ impl OnlineFaultDetector {
         let cycles = (row_groups.len() + col_groups.len()) as u64;
         let mut untested = 0u64;
         {
+            // Per-pass sweep timing (histogram only; never the event
+            // stream, so wall-clock jitter cannot break determinism).
+            let _sweep_span = self.metrics.as_ref().map(|m| {
+                m.recorder.span(match kind {
+                    FaultKind::StuckAt0 => "faultdet_sweep_sa0",
+                    FaultKind::StuckAt1 => "faultdet_sweep_sa1",
+                })
+            });
             let xbar: &Crossbar = xbar;
             let per_group = par::map_indices_hinted(row_groups.len(), t * cols, |gi| {
                 let group = row_groups[gi].1.clone();

@@ -1,0 +1,127 @@
+//! Lightweight hierarchical spans.
+//!
+//! [`Recorder::span`] returns a [`SpanGuard`]; dropping the guard records
+//! the elapsed time (per the recorder's [`Clock`]) into a histogram named
+//! `span_<path>_ns`, where `<path>` is the `.`-joined chain of active
+//! span names *on the current thread*. Nesting is tracked with a
+//! thread-local stack, so
+//!
+//! ```text
+//! flow.train            -> span_flow.train_ns
+//! flow.train > forward  -> span_flow.train.forward_ns
+//! ```
+//!
+//! Span durations live only in histograms — never in the event stream —
+//! so wall-clock jitter cannot break trace determinism. Tests that want
+//! reproducible histograms use [`Recorder::deterministic`], which times
+//! spans on a [`crate::clock::LogicalClock`].
+//!
+//! [`Recorder::span`]: crate::recorder::Recorder::span
+//! [`Clock`]: crate::clock::Clock
+
+use std::cell::RefCell;
+
+use crate::recorder::Recorder;
+
+thread_local! {
+    /// The active span names on this thread, outermost first.
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard for one timed span. Records on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    recorder: Recorder,
+    start_ns: u64,
+    /// Full dotted path, precomputed at entry so drop is cheap.
+    path: String,
+}
+
+impl SpanGuard {
+    pub(crate) fn enter(recorder: Recorder, name: &str) -> Self {
+        let path = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = if let Some(parent) = stack.last() {
+                format!("{parent}.{name}")
+            } else {
+                name.to_string()
+            };
+            stack.push(path.clone());
+            path
+        });
+        let start_ns = recorder.clock_now_ns();
+        Self { recorder, start_ns, path }
+    }
+
+    /// The span's full dotted path (e.g. `flow.train.forward`).
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let elapsed = self.recorder.clock_now_ns().saturating_sub(self.start_ns);
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Pop our own frame. Guards are dropped in reverse entry
+            // order on a thread, so this is the top — but be tolerant of
+            // exotic drop orders and remove by identity instead.
+            if let Some(pos) = stack.iter().rposition(|p| p == &self.path) {
+                stack.remove(pos);
+            }
+        });
+        let name = format!("span_{}_ns", self.path);
+        self.recorder.registry().histogram(&name).observe(elapsed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_spans_build_dotted_paths() {
+        let rec = Recorder::deterministic();
+        {
+            let outer = rec.span("train");
+            assert_eq!(outer.path(), "train");
+            {
+                let inner = rec.span("forward");
+                assert_eq!(inner.path(), "train.forward");
+            }
+            let sibling = rec.span("backward");
+            assert_eq!(sibling.path(), "train.backward");
+        }
+        let reg = rec.registry();
+        for name in ["span_train_ns", "span_train.forward_ns", "span_train.backward_ns"] {
+            let h = reg.histogram_handle(name);
+            assert!(h.is_some(), "missing histogram {name}");
+            assert_eq!(h.map(|h| h.count()), Some(1), "{name}");
+        }
+    }
+
+    #[test]
+    fn logical_clock_makes_durations_deterministic() {
+        // LogicalClock(step=1): each now_ns() reading advances by 1, and a
+        // span takes exactly two readings, so every span lasts "1 ns".
+        let rec = Recorder::deterministic();
+        for _ in 0..5 {
+            let _g = rec.span("tick");
+        }
+        let h = rec.registry().histogram_handle("span_tick_ns");
+        assert_eq!(h.as_ref().map(|h| h.count()), Some(5));
+        assert_eq!(h.map(|h| h.sum()), Some(5));
+    }
+
+    #[test]
+    fn stack_is_clean_after_drops() {
+        let rec = Recorder::deterministic();
+        {
+            let _a = rec.span("a");
+            let _b = rec.span("b");
+        }
+        let fresh = rec.span("fresh");
+        assert_eq!(fresh.path(), "fresh");
+    }
+}

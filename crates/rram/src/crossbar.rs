@@ -196,6 +196,7 @@ impl CrossbarBuilder {
             rng,
             write_pulses: 0,
             wear_faults: 0,
+            metrics: None,
         };
         if let Some(inj) = self.injection {
             let map = inj.generate(self.rows, self.cols, &mut xbar.rng);
@@ -224,6 +225,17 @@ pub struct Crossbar {
     rng: StdRng,
     write_pulses: u64,
     wear_faults: u64,
+    /// Optional telemetry handles; see [`Crossbar::attach_recorder`].
+    metrics: Option<CrossbarMetrics>,
+}
+
+/// Cached telemetry counters of an instrumented crossbar. Counter adds are
+/// commutative, so instrumented arrays may live on worker threads without
+/// affecting determinism.
+#[derive(Debug, Clone)]
+struct CrossbarMetrics {
+    write_pulses: obs::Counter,
+    wear_faults: obs::Counter,
 }
 
 impl Crossbar {
@@ -250,6 +262,19 @@ impl Crossbar {
     /// Number of cells that wore out (developed endurance faults) so far.
     pub fn wear_faults(&self) -> u64 {
         self.wear_faults
+    }
+
+    /// Instruments the array: every effective write pulse and wear-out
+    /// fault also bumps the workspace-wide counters
+    /// `rram_write_pulses_total` / `rram_wear_faults_total` on `recorder`'s
+    /// registry. Clones of an instrumented crossbar share the same counter
+    /// storage (handles are `Arc`s), so aggregate totals include every
+    /// clone's writes.
+    pub fn attach_recorder(&mut self, recorder: &obs::Recorder) {
+        self.metrics = Some(CrossbarMetrics {
+            write_pulses: recorder.counter("rram_write_pulses_total"),
+            wear_faults: recorder.counter("rram_wear_faults_total"),
+        });
     }
 
     #[inline]
@@ -473,6 +498,9 @@ impl Crossbar {
         );
         if outcome.changed() {
             self.write_pulses += 1;
+            if let Some(m) = &self.metrics {
+                m.write_pulses.inc();
+            }
             if self.cells[i].is_worn_out() && !self.cells[i].state().is_faulty() {
                 let kind = if self.rng.gen_bool(self.endurance.wearout_sa0_prob()) {
                     FaultKind::StuckAt0
@@ -481,6 +509,9 @@ impl Crossbar {
                 };
                 self.cells[i].wear_out(kind);
                 self.wear_faults += 1;
+                if let Some(m) = &self.metrics {
+                    m.wear_faults.inc();
+                }
                 self.sync_plane(i);
                 return Ok(WriteOutcome::WoreOut(kind));
             }

@@ -38,5 +38,12 @@ chaos:
 # `// PANIC-OK:` comment plus a targeted #[allow]. Test code is exempt
 # (--lib builds without cfg(test)).
 clippy-unwrap:
-    cargo clippy -p par -p rram -p nn -p faultdet -p ftt-core --lib -- \
+    cargo clippy -p obs -p par -p rram -p nn -p faultdet -p ftt-core -p chaos --lib -- \
         -D warnings -D clippy::unwrap_used -D clippy::expect_used
+
+# Telemetry walkthrough (DESIGN.md §9): runs the closed-loop flow with all
+# sinks attached, verifies the JSONL trace is byte-identical across thread
+# budgets and contains every core event kind, then writes
+# telemetry_trace.jsonl and prints the summary + Prometheus rendering.
+obs-demo:
+    cargo run --release --example telemetry_trace
