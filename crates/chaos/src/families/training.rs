@@ -129,7 +129,10 @@ pub fn prune_rate_extremes(seed: u64) -> FamilyReport {
         let mut net = dense_net(8, 4, seed);
         let mask =
             try_magnitude_prune_per_layer(&mut net, &[1.0]).map_err(|e| e.to_string())?;
-        ensure(mask.total_sparsity() == 1.0, "100 % must prune all 32 weights")?;
+        ensure(
+            nn::metrics::approx_eq(mask.total_sparsity(), 1.0),
+            "100 % must prune all 32 weights",
+        )?;
         try_apply_mask(&mut net, &mask).map_err(|e| e.to_string())?;
         let params = net.layer_params_mut(0).ok_or("params")?;
         ensure(params.weights.iter().all(|&w| w == 0.0), "weights must all be zero")

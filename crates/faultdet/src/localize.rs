@@ -7,7 +7,7 @@
 //! faulty when it sits at the intersection of a flagged column and a flagged
 //! row (Fig. 4 of the paper), restricted to the candidate cells under test.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use rram::fault::{FaultKind, FaultMap};
 
@@ -17,9 +17,13 @@ use crate::selected::CandidateMask;
 #[derive(Debug, Clone, Default)]
 pub struct FlagSet {
     /// Flags from row-direction tests: `(row_group_index, column)`.
-    row_test: HashSet<(usize, usize)>,
+    ///
+    /// A `BTreeSet` (not `HashSet`) so that any future iteration over
+    /// the flags is deterministic — the D1 lint bans unordered
+    /// collections in the detection path.
+    row_test: BTreeSet<(usize, usize)>,
     /// Flags from column-direction tests: `(column_group_index, row)`.
-    col_test: HashSet<(usize, usize)>,
+    col_test: BTreeSet<(usize, usize)>,
 }
 
 impl FlagSet {

@@ -1,0 +1,150 @@
+//! **D1 — determinism.**
+//!
+//! The simulator's strongest regression tool is bit-identity across
+//! `RRAM_FTT_THREADS`. Crates listed under `[checks.D1] crates` form the
+//! deterministic core and may not reach for wall clocks
+//! (`Instant` / `SystemTime` / `UNIX_EPOCH` / `std::time`), unscoped
+//! `thread::spawn` (scoped `std::thread::scope` via `par` is the
+//! sanctioned construct), or iteration-order-unstable collections
+//! (`HashMap` / `HashSet` — use `BTreeMap` / `BTreeSet` or sorted
+//! vectors). `obs::clock::Wall` and the bench crate live outside the
+//! listed crates or on the `allow` list.
+
+use crate::config::Config;
+use crate::diag::Finding;
+use crate::lexer::TokenKind;
+use crate::model::SourceFile;
+
+use super::{path_allowed, Check};
+
+/// Determinism check (see module docs).
+pub struct Determinism;
+
+const BANNED_IDENTS: [(&str, &str); 5] = [
+    ("Instant", "wall-clock time is banned in deterministic core crates"),
+    ("SystemTime", "wall-clock time is banned in deterministic core crates"),
+    ("UNIX_EPOCH", "wall-clock time is banned in deterministic core crates"),
+    ("HashMap", "iteration-order-unstable collection; use BTreeMap or a sorted Vec"),
+    ("HashSet", "iteration-order-unstable collection; use BTreeSet or a sorted Vec"),
+];
+
+impl Check for Determinism {
+    fn id(&self) -> &'static str {
+        "D1"
+    }
+
+    fn description(&self) -> &'static str {
+        "no wall clocks, unscoped spawns, or unordered collections in deterministic core crates"
+    }
+
+    fn check_file(&self, file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
+        if path_allowed(cfg, self.id(), &file.rel_path) {
+            return;
+        }
+        let crates = cfg.list("checks.D1", "crates");
+        let in_scope = file
+            .crate_name
+            .as_ref()
+            .map(|c| crates.iter().any(|l| l == c))
+            .unwrap_or(false);
+        if !in_scope {
+            return;
+        }
+        let toks = &file.scan.tokens;
+        for (i, tok) in toks.iter().enumerate() {
+            if tok.kind != TokenKind::Ident {
+                continue;
+            }
+            for (banned, why) in BANNED_IDENTS {
+                if tok.text == banned {
+                    out.push(Finding {
+                        check: self.id(),
+                        file: file.rel_path.clone(),
+                        line: tok.line,
+                        message: format!("`{banned}`: {why}"),
+                    });
+                }
+            }
+            // `std :: time` path (covers Duration imports as well: wall
+            // time has no business in the deterministic core).
+            if tok.text == "std"
+                && toks.get(i + 1).map(|t| t.text == "::").unwrap_or(false)
+                && toks.get(i + 2).map(|t| t.text == "time").unwrap_or(false)
+            {
+                out.push(Finding {
+                    check: self.id(),
+                    file: file.rel_path.clone(),
+                    line: tok.line,
+                    message: "`std::time`: wall-clock time is banned in deterministic core crates"
+                        .to_string(),
+                });
+            }
+            // `thread :: spawn` — unscoped threads outlive the fork
+            // point and break deterministic joins.
+            if tok.text == "thread"
+                && toks.get(i + 1).map(|t| t.text == "::").unwrap_or(false)
+                && toks.get(i + 2).map(|t| t.text == "spawn").unwrap_or(false)
+            {
+                out.push(Finding {
+                    check: self.id(),
+                    file: file.rel_path.clone(),
+                    line: tok.line,
+                    message:
+                        "`thread::spawn`: use the scoped `par` helpers for deterministic joins"
+                            .to_string(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testsupport::lib_file;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let cfg = Config::parse("[checks.D1]\ncrates = [\"demo\"]\n").expect("cfg");
+        let file = lib_file("crates/demo/src/lib.rs", "demo", src);
+        let mut out = Vec::new();
+        Determinism.check_file(&file, &cfg, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_wall_clocks_collections_and_spawn() {
+        let out = run(
+            "use std::time::Instant;\nuse std::collections::HashMap;\nfn f() {\n    std::thread::spawn(|| {});\n}\n",
+        );
+        let msgs: Vec<&str> = out.iter().map(|f| f.message.as_str()).collect();
+        assert!(msgs.iter().any(|m| m.contains("Instant")), "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("HashMap")), "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("thread::spawn")), "{msgs:?}");
+    }
+
+    #[test]
+    fn scoped_threads_and_btrees_pass() {
+        let out = run(
+            "use std::collections::BTreeMap;\nfn f() {\n    std::thread::scope(|s| {\n        s.spawn(|| {});\n    });\n}\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn mentions_in_comments_and_strings_are_ignored() {
+        let out = run("// HashMap would be wrong here\nfn f() -> &'static str {\n    \"Instant\"\n}\n");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn allowlisted_paths_are_skipped() {
+        let cfg = Config::parse(
+            "[checks.D1]\ncrates = [\"demo\"]\nallow = [\"crates/demo/src/clock.rs\"]\n",
+        )
+        .expect("cfg");
+        let file = lib_file("crates/demo/src/clock.rs", "demo", "use std::time::Instant;\n");
+        let mut out = Vec::new();
+        Determinism.check_file(&file, &cfg, &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,73 @@
+//! The pluggable check catalog.
+//!
+//! A [`Check`] sees each scanned file (and, once, the whole workspace)
+//! and appends [`Finding`]s. Checks read their scoping and allowlists
+//! from `lint.toml` under `[checks.<ID>]`; the shared conventions are:
+//!
+//! * `allow = ["path/prefix", ...]` — workspace-relative path prefixes
+//!   this check never fires on;
+//! * annotation markers (`PANIC-OK:` / `CAST-OK:` / `SAFETY:`) justify a
+//!   site when they appear in a comment on the same line or within
+//!   `lookback` (default 5) lines above it.
+//!
+//! Adding a check: implement [`Check`], give it a unique short id, and
+//! add it to [`catalog`]. Fixture coverage (one failing + one passing
+//! case) is part of the definition of done — see
+//! `tests/fixtures/`.
+
+use crate::config::Config;
+use crate::diag::Finding;
+use crate::model::{SourceFile, Workspace};
+
+mod determinism;
+mod float_soundness;
+mod obs_policy;
+mod panic_policy;
+mod unsafe_audit;
+mod workspace;
+
+pub use determinism::Determinism;
+pub use float_soundness::FloatSoundness;
+pub use obs_policy::ObsPolicy;
+pub use panic_policy::PanicPolicy;
+pub use unsafe_audit::UnsafeAudit;
+pub use workspace::WorkspaceConsistency;
+
+/// A single static-analysis policy.
+pub trait Check {
+    /// Short stable id (`"P1"`).
+    fn id(&self) -> &'static str;
+
+    /// One-line description for reports and docs.
+    fn description(&self) -> &'static str;
+
+    /// Per-file pass (default: nothing).
+    fn check_file(&self, _file: &SourceFile, _cfg: &Config, _out: &mut Vec<Finding>) {}
+
+    /// Workspace-level pass, run once (default: nothing).
+    fn check_workspace(&self, _ws: &Workspace, _cfg: &Config, _out: &mut Vec<Finding>) {}
+}
+
+/// The full check catalog, in id order.
+pub fn catalog() -> Vec<Box<dyn Check>> {
+    vec![
+        Box::new(Determinism),
+        Box::new(FloatSoundness),
+        Box::new(ObsPolicy),
+        Box::new(PanicPolicy),
+        Box::new(UnsafeAudit),
+        Box::new(WorkspaceConsistency),
+    ]
+}
+
+/// Shared helper: is `path` covered by `[checks.<id>] allow` prefixes?
+pub(crate) fn path_allowed(cfg: &Config, id: &str, path: &str) -> bool {
+    cfg.list(&format!("checks.{id}"), "allow")
+        .iter()
+        .any(|p| path == p || path.starts_with(&format!("{p}/")))
+}
+
+/// Shared helper: the marker lookback window for `[checks.<id>]`.
+pub(crate) fn lookback(cfg: &Config, id: &str) -> usize {
+    cfg.int(&format!("checks.{id}"), "lookback", 5).max(0) as usize
+}

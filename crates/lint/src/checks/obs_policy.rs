@@ -1,0 +1,130 @@
+//! **O1 — obs naming policy.**
+//!
+//! Metric and span names registered through the `obs` API must follow
+//! the `snake_case` registry grammar from DESIGN.md §9:
+//! `^[a-z][a-z0-9]*(_[a-z0-9]+)*$` — lowercase words joined by single
+//! underscores, starting with a letter, no leading/trailing/double
+//! underscores. The check fires on every string literal passed directly
+//! to a registry/recorder constructor (`counter(` / `gauge(` /
+//! `histogram(` / `histogram_with_bounds(` / `counter_value(` /
+//! `gauge_value(` / `histogram_handle(` / `span(`), anywhere in the
+//! workspace, so a malformed name cannot reach the Prometheus renderer
+//! or split a trace's metric namespace.
+
+use crate::config::Config;
+use crate::diag::Finding;
+use crate::lexer::TokenKind;
+use crate::model::SourceFile;
+
+use super::{path_allowed, Check};
+
+/// Obs naming-policy check (see module docs).
+pub struct ObsPolicy;
+
+const REGISTRY_FNS: [&str; 8] = [
+    "counter",
+    "gauge",
+    "histogram",
+    "histogram_with_bounds",
+    "counter_value",
+    "gauge_value",
+    "histogram_handle",
+    "span",
+];
+
+/// Validate the registry grammar `^[a-z][a-z0-9]*(_[a-z0-9]+)*$`.
+pub fn valid_name(name: &str) -> bool {
+    if name.is_empty() || !name.starts_with(|c: char| c.is_ascii_lowercase()) {
+        return false;
+    }
+    if name.ends_with('_') || name.contains("__") {
+        return false;
+    }
+    name.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
+impl Check for ObsPolicy {
+    fn id(&self) -> &'static str {
+        "O1"
+    }
+
+    fn description(&self) -> &'static str {
+        "metric/span names passed to obs constructors follow the snake_case registry grammar"
+    }
+
+    fn check_file(&self, file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
+        if path_allowed(cfg, self.id(), &file.rel_path) {
+            return;
+        }
+        let toks = &file.scan.tokens;
+        for (i, tok) in toks.iter().enumerate() {
+            if tok.kind != TokenKind::Ident || !REGISTRY_FNS.contains(&tok.text.as_str()) {
+                continue;
+            }
+            let Some(open) = toks.get(i + 1) else { continue };
+            let Some(arg) = toks.get(i + 2) else { continue };
+            if open.text != "(" || arg.kind != TokenKind::Str {
+                continue;
+            }
+            // Strip the surrounding quotes (plain strings only; raw
+            // strings as metric names would themselves be a smell but
+            // still validate by their inner text).
+            let name = arg.text.trim_start_matches(['r', 'b', '#']).trim_matches(['"', '#']);
+            if !valid_name(name) {
+                out.push(Finding {
+                    check: self.id(),
+                    file: file.rel_path.clone(),
+                    line: arg.line,
+                    message: format!(
+                        "metric/span name {:?} violates the snake_case registry grammar \
+                         `^[a-z][a-z0-9]*(_[a-z0-9]+)*$`",
+                        name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testsupport::lib_file;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let cfg = Config::parse("[checks.O1]\n").expect("cfg");
+        let file = lib_file("crates/demo/src/lib.rs", "demo", src);
+        let mut out = Vec::new();
+        ObsPolicy.check_file(&file, &cfg, &mut out);
+        out
+    }
+
+    #[test]
+    fn grammar_accepts_and_rejects() {
+        for ok in ["flow_iterations_total", "detect", "span2_ns", "a_1_b"] {
+            assert!(valid_name(ok), "{ok}");
+        }
+        for bad in ["", "Flow", "flow-iterations", "_x", "x_", "a__b", "1abc", "a.b"] {
+            assert!(!valid_name(bad), "{bad}");
+        }
+    }
+
+    #[test]
+    fn flags_bad_names_at_call_sites() {
+        let out = run("fn f(r: &Recorder) {\n    r.counter(\"Bad-Name\").inc();\n    r.span(\"ok_name\");\n}");
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("Bad-Name"));
+    }
+
+    #[test]
+    fn non_registry_calls_and_dynamic_names_pass() {
+        let out = run("fn f(r: &Recorder, n: &str) {\n    r.counter(n).inc();\n    other(\"Whatever Name\");\n}");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn test_code_is_held_to_the_same_grammar() {
+        let out = run("#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        reg.gauge(\"BAD\").set(1.0);\n    }\n}");
+        assert_eq!(out.len(), 1, "names leak into shared registries from tests too");
+    }
+}

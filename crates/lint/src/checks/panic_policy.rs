@@ -1,0 +1,224 @@
+//! **P1 — panic policy.**
+//!
+//! Library code in the crates listed under `[checks.P1] lib_crates` may
+//! only panic deliberately: every `.unwrap()` / `.expect(...)` /
+//! `panic!` / `unreachable!` / `todo!` / `unimplemented!` on a
+//! caller-reachable path, and every panic-related `#[allow(clippy::…)]`
+//! escape hatch, must carry a `// PANIC-OK: <reason>` comment (same line
+//! or within the lookback window above). Test code (`#[cfg(test)]`
+//! items, `tests/`, `benches/`, `examples/`, `src/bin`) is exempt —
+//! matching the `just clippy-unwrap` gate, which builds `--lib` without
+//! `cfg(test)`.
+
+use crate::config::Config;
+use crate::diag::Finding;
+use crate::lexer::TokenKind;
+use crate::model::{FileRole, SourceFile};
+
+use super::{lookback, path_allowed, Check};
+
+const MARKER: &str = "PANIC-OK:";
+
+/// Panic-policy check (see module docs).
+pub struct PanicPolicy;
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+impl Check for PanicPolicy {
+    fn id(&self) -> &'static str {
+        "P1"
+    }
+
+    fn description(&self) -> &'static str {
+        "library panic sites and panic-lint allows require a // PANIC-OK: justification"
+    }
+
+    fn check_file(&self, file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
+        if file.role != FileRole::Lib || path_allowed(cfg, self.id(), &file.rel_path) {
+            return;
+        }
+        let lib_crates = cfg.list("checks.P1", "lib_crates");
+        let in_scope = file
+            .crate_name
+            .as_ref()
+            .map(|c| lib_crates.iter().any(|l| l == c))
+            .unwrap_or(false);
+        if !in_scope {
+            return;
+        }
+        let lb = lookback(cfg, self.id());
+
+        // Escape hatches: every panic-related #[allow] needs a reason.
+        // Convention allows the comment above the attribute *or*
+        // directly after it (attr, then // PANIC-OK:, then statement).
+        for (_, attr_line) in &file.panic_allow_scopes {
+            if file.in_test_code(*attr_line) {
+                continue;
+            }
+            if !reason_in_range(file, attr_line.saturating_sub(lb), attr_line + 2) {
+                out.push(Finding {
+                    check: self.id(),
+                    file: file.rel_path.clone(),
+                    line: *attr_line,
+                    message: "panic-lint #[allow] without a // PANIC-OK: <reason> comment"
+                        .to_string(),
+                });
+            }
+        }
+
+        // Panic sites outside justified allow scopes.
+        let toks = &file.scan.tokens;
+        for (i, tok) in toks.iter().enumerate() {
+            if tok.kind != TokenKind::Ident {
+                continue;
+            }
+            let site = if (tok.text == "unwrap" || tok.text == "expect")
+                && i > 0
+                && toks[i - 1].text == "."
+                && toks.get(i + 1).map(|t| t.text == "(").unwrap_or(false)
+            {
+                Some(format!(".{}()", tok.text))
+            } else if PANIC_MACROS.contains(&tok.text.as_str())
+                && toks.get(i + 1).map(|t| t.text == "!").unwrap_or(false)
+            {
+                Some(format!("{}!", tok.text))
+            } else {
+                None
+            };
+            let Some(site) = site else { continue };
+            if file.in_test_code(tok.line) {
+                continue;
+            }
+            if file.in_panic_allow(tok.line) {
+                // The enclosing #[allow] is the unit of justification;
+                // it was validated above.
+                continue;
+            }
+            if has_reason(file, tok.line, lb) {
+                continue;
+            }
+            out.push(Finding {
+                check: self.id(),
+                file: file.rel_path.clone(),
+                line: tok.line,
+                message: format!(
+                    "{site} in library code without a // PANIC-OK: <reason> comment"
+                ),
+            });
+        }
+    }
+}
+
+/// Marker plus a non-empty reason, same line or within `lb` lines above.
+fn has_reason(file: &SourceFile, line: usize, lb: usize) -> bool {
+    reason_in_range(file, line.saturating_sub(lb), line)
+}
+
+/// `PANIC-OK:` with a non-empty reason anywhere in `[lo, hi]`.
+fn reason_in_range(file: &SourceFile, lo: usize, hi: usize) -> bool {
+    marker_in_range(file, lo, hi, MARKER)
+}
+
+/// Shared across P1/F1/S1: marker with a non-empty reason, same line or
+/// within `lb` lines above `line`.
+pub(crate) fn marker_has_text(file: &SourceFile, line: usize, lb: usize, marker: &str) -> bool {
+    marker_in_range(file, line.saturating_sub(lb), line, marker)
+}
+
+/// The annotation must not be bare — something must follow `<marker>`.
+fn marker_in_range(file: &SourceFile, lo: usize, hi: usize, marker: &str) -> bool {
+    file.scan.comments.iter().any(|c| {
+        let span = c.text.matches('\n').count();
+        let covers = (lo..=hi).any(|l| l >= c.line && l <= c.line + span);
+        if !covers {
+            return false;
+        }
+        c.text
+            .find(marker)
+            .map(|at| !c.text[at + marker.len()..].trim().is_empty())
+            .unwrap_or(false)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testsupport::lib_file;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let cfg = Config::parse("[checks.P1]\nlib_crates = [\"demo\"]\n").expect("cfg");
+        let file = lib_file("crates/demo/src/lib.rs", "demo", src);
+        let mut out = Vec::new();
+        PanicPolicy.check_file(&file, &cfg, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_bare_unwrap_and_panic_macro() {
+        let out = run("pub fn f(x: Option<u8>) -> u8 {\n    let v = x.unwrap();\n    if v > 9 { panic!(\"no\") }\n    v\n}\n");
+        assert_eq!(out.len(), 2);
+        assert!(out[0].message.contains(".unwrap()"));
+        assert!(out[1].message.contains("panic!"));
+    }
+
+    #[test]
+    fn passes_with_panic_ok_comment() {
+        let out = run(
+            "pub fn f(x: Option<u8>) -> u8 {\n    // PANIC-OK: x is checked above\n    x.unwrap()\n}\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn bare_marker_without_reason_still_fails() {
+        let out = run("pub fn f(x: Option<u8>) -> u8 {\n    // PANIC-OK:\n    x.unwrap()\n}\n");
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn allow_attr_needs_reason_but_covers_its_scope() {
+        let ok = run(
+            "// PANIC-OK: invariant upheld by construction\n#[allow(clippy::unwrap_used)]\npub fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n",
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+        let bad = run(
+            "#[allow(clippy::unwrap_used)]\npub fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n",
+        );
+        assert_eq!(bad.len(), 1, "attr without reason is one finding");
+        assert!(bad[0].message.contains("#[allow]"));
+    }
+
+    #[test]
+    fn attr_then_comment_convention_is_accepted() {
+        // The workspace's established style: attribute first, then the
+        // justification, then the statement.
+        let out = run(
+            "pub fn f(x: Option<u8>) -> u8 {\n    #[allow(clippy::expect_used)]\n    // PANIC-OK: documented contract — see `# Panics`.\n    x.expect(\"contract\")\n}\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let out = run(
+            "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        None::<u8>.unwrap();\n    }\n}\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_not_panic_sites() {
+        let out =
+            run("pub fn f(x: Option<u8>) -> u8 {\n    x.unwrap_or(0).max(x.unwrap_or_default())\n}\n");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn out_of_scope_crates_are_ignored() {
+        let cfg = Config::parse("[checks.P1]\nlib_crates = [\"other\"]\n").expect("cfg");
+        let file = lib_file("crates/demo/src/lib.rs", "demo", "pub fn f(x: Option<u8>) { x.unwrap(); }");
+        let mut out = Vec::new();
+        PanicPolicy.check_file(&file, &cfg, &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,100 @@
+//! **S1 — unsafe audit.**
+//!
+//! Any `unsafe` keyword outside the allowlisted paths (the vendored
+//! `crates/shims` subtree) must carry a `// SAFETY: <reason>` comment on
+//! the same line or within the lookback window above. This applies to
+//! blocks, functions, impls, and trait declarations alike — if the word
+//! appears in checked code, the proof obligation must be written down.
+
+use crate::config::Config;
+use crate::diag::Finding;
+use crate::lexer::TokenKind;
+use crate::model::SourceFile;
+
+use super::panic_policy::marker_has_text;
+use super::{lookback, path_allowed, Check};
+
+const MARKER: &str = "SAFETY:";
+
+/// Unsafe-audit check (see module docs).
+pub struct UnsafeAudit;
+
+impl Check for UnsafeAudit {
+    fn id(&self) -> &'static str {
+        "S1"
+    }
+
+    fn description(&self) -> &'static str {
+        "every `unsafe` outside crates/shims requires a // SAFETY: justification"
+    }
+
+    fn check_file(&self, file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
+        if path_allowed(cfg, self.id(), &file.rel_path) {
+            return;
+        }
+        let lb = lookback(cfg, self.id());
+        for tok in &file.scan.tokens {
+            if tok.kind != TokenKind::Ident || tok.text != "unsafe" {
+                continue;
+            }
+            if file.scan.has_marker_near(tok.line, lb, MARKER)
+                && marker_has_text(file, tok.line, lb, MARKER)
+            {
+                continue;
+            }
+            out.push(Finding {
+                check: self.id(),
+                file: file.rel_path.clone(),
+                line: tok.line,
+                message: "`unsafe` without a // SAFETY: <reason> comment".to_string(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testsupport::lib_file;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let cfg = Config::parse("[checks.S1]\n").expect("cfg");
+        let file = lib_file("crates/demo/src/lib.rs", "demo", src);
+        let mut out = Vec::new();
+        UnsafeAudit.check_file(&file, &cfg, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_unjustified_unsafe_block() {
+        let out = run("fn f(p: *const u8) -> u8 { unsafe { *p } }");
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn safety_comment_justifies() {
+        let out = run("fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid\n    unsafe { *p }\n}");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn bare_safety_marker_is_not_enough() {
+        let out = run("fn f(p: *const u8) -> u8 {\n    // SAFETY:\n    unsafe { *p }\n}");
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn the_word_in_comments_or_strings_is_fine() {
+        let out = run("// unsafe is banned here\nfn f() -> &'static str { \"unsafe\" }");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn allowlisted_shims_are_exempt() {
+        let cfg = Config::parse("[checks.S1]\nallow = [\"crates/shims\"]\n").expect("cfg");
+        let file = lib_file("crates/shims/rand/src/lib.rs", "rand", "fn f(p: *const u8) -> u8 { unsafe { *p } }");
+        let mut out = Vec::new();
+        UnsafeAudit.check_file(&file, &cfg, &mut out);
+        assert!(out.is_empty());
+    }
+}

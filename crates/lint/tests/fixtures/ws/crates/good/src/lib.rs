@@ -1,0 +1,67 @@
+//! The clean crate: one *negative* (passing) case per check.
+//!
+//! P1: justified panic sites. D1: ordered collections, scoped threads.
+//! F1: exact-zero compares, epsilon helpers, annotated casts.
+//! S1: justified unsafe. O1: snake_case registry names.
+//! W1: inherits workspace version/license and is mentioned in README.md.
+
+use std::collections::BTreeMap;
+
+/// P1 negative: a panic site with a justification, plus the
+/// attr-then-comment convention.
+pub fn head(xs: &[u8]) -> u8 {
+    assert!(!xs.is_empty(), "contract: xs non-empty");
+    #[allow(clippy::unwrap_used)]
+    // PANIC-OK: emptiness is rejected by the assert above.
+    *xs.first().unwrap()
+}
+
+/// D1 negative: deterministic collections and scoped threads only.
+pub fn ordered(pairs: &[(usize, usize)]) -> BTreeMap<usize, usize> {
+    let map: BTreeMap<usize, usize> = pairs.iter().copied().collect();
+    std::thread::scope(|s| {
+        s.spawn(|| map.len());
+    });
+    map
+}
+
+/// F1 negative: exact-zero compares are exempt; other comparisons go
+/// through an epsilon; the narrowing cast carries its note.
+pub fn sparsity(xs: &[f64]) -> f32 {
+    let zeros = xs.iter().filter(|&&x| x == 0.0).count();
+    let ratio = zeros as f64 / xs.len().max(1) as f64;
+    let saturated = (ratio - 1.0).abs() < 1e-12;
+    let _ = saturated;
+    // CAST-OK: reporting precision only; the f64 master value is kept.
+    ratio as f32
+}
+
+/// S1 negative: unsafe with its proof obligation written down.
+pub fn first_byte(p: *const u8) -> u8 {
+    // SAFETY: callers guarantee `p` is valid for reads of one byte.
+    unsafe { *p }
+}
+
+/// O1 negative: registry names in the snake_case grammar.
+pub fn register(r: &dyn Registrar) {
+    r.counter("good_events_total");
+    r.span("good_phase");
+}
+
+/// Minimal registrar shape so the fixture stays self-contained.
+pub trait Registrar {
+    /// Register a counter.
+    fn counter(&self, name: &str);
+    /// Open a span.
+    fn span(&self, name: &str);
+}
+
+#[cfg(test)]
+mod tests {
+    // P1 exemption: test code may unwrap freely.
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u8> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,6 +1,29 @@
-//! Classification metrics.
+//! Classification metrics and shared float-comparison helpers.
 
 use crate::tensor::Tensor;
+
+/// Absolute-tolerance float equality: `|a - b| <= tol`, with exact
+/// equality as a fallback so infinities compare equal to themselves.
+///
+/// This is the workspace's sanctioned alternative to `==` on floats:
+/// the F1 lint (DESIGN.md §10) flags equality against non-zero float
+/// literals, and call sites are expected to route through this helper
+/// (or [`approx_eq`]) instead. Comparisons against exact zero remain
+/// `==` by policy — the sparsity skip gate depends on IEEE-exact zero
+/// semantics.
+#[inline]
+#[must_use]
+pub fn approx_eq_tol(a: f64, b: f64, tol: f64) -> bool {
+    a == b || (a - b).abs() <= tol
+}
+
+/// [`approx_eq_tol`] with the default tolerance `1e-12`, suited to
+/// values of order one (accuracies, sparsities, normalized weights).
+#[inline]
+#[must_use]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    approx_eq_tol(a, b, 1e-12)
+}
 
 /// Top-1 accuracy of logits (or probabilities) against labels, in `[0, 1]`.
 ///
@@ -86,6 +109,17 @@ impl ConfusionMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn approx_eq_tolerates_rounding_but_not_gaps() {
+        assert!(approx_eq(0.1 + 0.2, 0.3), "classic rounding case");
+        assert!(approx_eq(1.0, 1.0));
+        assert!(!approx_eq(1.0, 1.0 + 1e-6));
+        assert!(approx_eq_tol(1.0, 1.5, 0.5));
+        assert!(!approx_eq_tol(1.0, 1.51, 0.5));
+        assert!(approx_eq(f64::INFINITY, f64::INFINITY), "inf == inf via exact branch");
+        assert!(!approx_eq(f64::NAN, f64::NAN), "NaN never compares equal");
+    }
 
     #[test]
     fn accuracy_counts_argmax_hits() {

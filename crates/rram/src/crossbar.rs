@@ -55,6 +55,8 @@ const PAR_MIN_CELLS: usize = 1 << 15;
 #[inline]
 fn sparse_enough(input: &[f32]) -> bool {
     let zeros = input.iter().filter(|&&v| v == 0.0).count();
+    // CAST-OK: a ratio test on counts; both sides fit f32 exactly for any
+    // realistic crossbar dimension (< 2^24 cells per axis).
     zeros as f32 > par::SPARSITY_SKIP_THRESHOLD * input.len() as f32
 }
 
@@ -183,6 +185,8 @@ impl CrossbarBuilder {
             .map(|_| RramCell::new(self.levels, self.endurance.sample(&mut rng)))
             .collect();
         let plane64: Vec<f64> = cells.iter().map(|c| c.conductance()).collect();
+        // CAST-OK: the f32 plane *is defined as* the rounded view of the f64
+        // master state (DESIGN.md §6); coherence tests pin this round-trip.
         let plane32: Vec<f32> = plane64.iter().map(|&g| g as f32).collect();
         let mut xbar = Crossbar {
             rows: self.rows,
@@ -484,6 +488,8 @@ impl Crossbar {
     fn sync_plane(&mut self, i: usize) {
         let g = self.cells[i].conductance();
         self.plane64[i] = g;
+        // CAST-OK: same rounding as the builder's plane init — the f32 plane
+        // is the defined narrowing of the f64 master (DESIGN.md §6).
         self.plane32[i] = g as f32;
     }
 
@@ -607,6 +613,8 @@ impl Crossbar {
             }
             let row_cells = &self.cells[r * self.cols..(r + 1) * self.cols];
             for (o, cell) in out.iter_mut().zip(row_cells) {
+                // CAST-OK: the f32 reference path mirrors the plane cache's
+                // defined narrowing so scalar and plane MVMs stay bit-equal.
                 *o += cell.conductance() as f32 * v;
             }
         }

@@ -5,9 +5,9 @@
 //! JSONL sink and a ring buffer on the trainer's [`obs::Recorder`], runs
 //! the *same seeded flow* under several `RRAM_FTT_THREADS` budgets, and
 //! verifies the traces are byte-identical (the logical-clock determinism
-//! contract). It then writes the trace to `telemetry_trace.jsonl`, checks
-//! it contains every core event kind, and prints the human summary plus a
-//! Prometheus rendering of the metrics registry.
+//! contract). It then writes the trace to `results/telemetry_trace.jsonl`,
+//! checks it contains every core event kind, and prints the human summary
+//! plus a Prometheus rendering of the metrics registry.
 //!
 //! Run with:
 //!
@@ -95,10 +95,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         par::set_thread_count(0); // back to env/auto
         match &reference {
             None => {
-                // 2. The artifact: write the trace next to the repo root.
-                std::fs::write("telemetry_trace.jsonl", &trace)?;
+                // 2. The artifact: write the trace under results/ so the
+                //    repo root stays free of generated files (gitignored).
+                std::fs::create_dir_all("results")?;
+                std::fs::write("results/telemetry_trace.jsonl", &trace)?;
                 println!(
-                    "wrote telemetry_trace.jsonl ({} events)",
+                    "wrote results/telemetry_trace.jsonl ({} events)",
                     trace.lines().count()
                 );
                 println!("\n{summary}");

@@ -36,14 +36,27 @@ chaos:
 # Panic-policy gate (DESIGN.md §8.1): library crates may not unwrap/expect
 # on caller-reachable paths; justified internal invariants carry a
 # `// PANIC-OK:` comment plus a targeted #[allow]. Test code is exempt
-# (--lib builds without cfg(test)).
+# (--lib builds without cfg(test)). Includes ftt-lint so the linter
+# obeys its own panic policy.
 clippy-unwrap:
-    cargo clippy -p obs -p par -p rram -p nn -p faultdet -p ftt-core -p chaos --lib -- \
+    cargo clippy -p obs -p par -p rram -p nn -p faultdet -p ftt-core -p chaos -p ftt-lint --lib -- \
         -D warnings -D clippy::unwrap_used -D clippy::expect_used
+
+# Static-analysis gate (DESIGN.md §10): the ftt-lint check catalog (P1
+# panic policy, D1 determinism, F1 float soundness, S1 unsafe audit,
+# O1 obs naming, W1 workspace consistency) over the whole workspace.
+# Exits non-zero on any unallowlisted finding.
+lint:
+    cargo run --release -p ftt-lint
+
+# Same gate, machine-readable: deterministic sorted JSON on stdout
+# (byte-identical across runs and RRAM_FTT_THREADS settings).
+lint-json:
+    cargo run --release -p ftt-lint -- --json
 
 # Telemetry walkthrough (DESIGN.md §9): runs the closed-loop flow with all
 # sinks attached, verifies the JSONL trace is byte-identical across thread
 # budgets and contains every core event kind, then writes
-# telemetry_trace.jsonl and prints the summary + Prometheus rendering.
+# results/telemetry_trace.jsonl and prints the summary + Prometheus rendering.
 obs-demo:
     cargo run --release --example telemetry_trace
