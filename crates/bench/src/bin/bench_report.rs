@@ -109,6 +109,30 @@ fn main() {
         push(&mut records, "crossbar_mvm_reference", size, ns);
     }
 
+    // --- Tiled MVM vs the monolithic kernel (DESIGN.md §11) --------------
+    // Same conductance state on both sides (the chip tiles are programmed
+    // from the monolithic array's plane), tile size 128 with remainder-free
+    // grids: 512² -> 4×4 shards, 1024² -> 8×8.
+    for size in [512usize, 1024] {
+        let xbar = programmed(size, 3);
+        let input: Vec<f32> = (0..size).map(|i| (i as f32 * 0.37).sin()).collect();
+        let chip_cfg = ftt_tile::ChipConfig::new(128, 8, 3);
+        let mut chip = ftt_tile::TiledChip::new(chip_cfg).expect("valid chip");
+        let tiled = ftt_tile::TiledMapping::allocate(&mut chip, size, size)
+            .expect("tiled mapping");
+        tiled
+            .program(&mut chip, xbar.conductance_plane_f64())
+            .expect("program tiles");
+        let ns = time_ns(|| drop(black_box(xbar.mvm(black_box(&input)).unwrap())), 10, 5);
+        push(&mut records, "mvm_monolithic", size, ns);
+        let ns = time_ns(
+            || drop(black_box(tiled.mvm(&chip, black_box(&input)).unwrap())),
+            10,
+            5,
+        );
+        push(&mut records, "mvm_tiled_t128", size, ns);
+    }
+
     // --- Detection: full campaign at the paper-scale Tr = 16 ------------
     for size in [256usize, 512] {
         let mut xbar = programmed(size, 2);
@@ -213,6 +237,14 @@ fn main() {
         (find("crossbar_mvm_plane", 512), find("crossbar_mvm_reference", 512))
     {
         eprintln!("mvm 512²: plane kernel speedup {:.2}x over scalar reference", reference / plane);
+    }
+    if let (Some(mono), Some(tiled)) =
+        (find("mvm_monolithic", 1024), find("mvm_tiled_t128", 1024))
+    {
+        eprintln!(
+            "mvm 1024² on 128² tiles: {:.2}x the monolithic kernel (bit-identical output)",
+            tiled / mono
+        );
     }
     if let (Some(batched), Some(scalar)) = (
         find("detection_group_sums_batched", 512),

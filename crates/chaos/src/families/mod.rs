@@ -8,12 +8,14 @@ mod detector;
 mod geometry;
 mod observability;
 mod robustness;
+mod tiling;
 mod training;
 
 pub use detector::{all_faulty_extremes, detector_group_remainders, mod16_aliasing};
 pub use geometry::{extreme_geometry, plane_coherence};
 pub use observability::obs_stream;
 pub use robustness::{config_rejection, thread_budget};
+pub use tiling::tiling;
 pub use training::{degenerate_gradients, prune_rate_extremes};
 
 use rram::crossbar::{Crossbar, CrossbarBuilder};

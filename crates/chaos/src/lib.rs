@@ -165,6 +165,7 @@ pub fn run_all(seed: u64) -> ChaosReport {
         families::plane_coherence(seed ^ 0x08),
         families::thread_budget(seed ^ 0x09),
         families::obs_stream(seed ^ 0x0a),
+        families::tiling(seed ^ 0x0b),
     ];
     std::panic::set_hook(prev_hook);
     ChaosReport { seed, families }

@@ -65,6 +65,12 @@ pub struct MappingConfig {
     pub initial_sa0_prob: f64,
     /// RNG seed (crossbar construction, endurance sampling, wear-out kinds).
     pub seed: u64,
+    /// Cold spare tiles the chip holds for substitution (0 disables the
+    /// spare pool).
+    pub spare_tiles: usize,
+    /// Retire a tile and attach a spare when its *predicted* fault density
+    /// crosses this threshold (`None` disables tile sparing).
+    pub retire_fault_density: Option<f64>,
 }
 
 impl MappingConfig {
@@ -83,6 +89,8 @@ impl MappingConfig {
             fault_distribution: SpatialDistribution::Uniform,
             initial_sa0_prob: 0.5,
             seed: 0,
+            spare_tiles: 0,
+            retire_fault_density: None,
         }
     }
 
@@ -131,6 +139,18 @@ impl MappingConfig {
     /// Sets the RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the cold-spare pool size.
+    pub fn with_spare_tiles(mut self, spares: usize) -> Self {
+        self.spare_tiles = spares;
+        self
+    }
+
+    /// Enables tile retirement at the given predicted fault density.
+    pub fn with_retire_fault_density(mut self, density: f64) -> Self {
+        self.retire_fault_density = Some(density);
         self
     }
 }

@@ -58,6 +58,15 @@ impl From<NnError> for FttError {
     }
 }
 
+impl From<ftt_tile::TileError> for FttError {
+    fn from(e: ftt_tile::TileError) -> Self {
+        match e {
+            ftt_tile::TileError::Rram(e) => FttError::Rram(e),
+            other => FttError::InvalidConfig(other.to_string()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -316,7 +316,7 @@ impl FaultTolerantTrainer {
 
         let detector =
             OnlineFaultDetector::new(self.flow.detector).with_recorder(&recorder);
-        let detections = {
+        let mut detections = {
             let _detect_span = recorder.span("detect");
             self.mapped.detect(&detector)?
         };
@@ -358,6 +358,34 @@ impl FaultTolerantTrainer {
                 pulses: writes,
                 phase: WritePhase::Detection,
             });
+        }
+
+        // Tile sparing: retire tiles whose predicted fault density crossed
+        // the configured threshold and swap in screened spares, before the
+        // re-mapping search reasons about the (now partially healed) fault
+        // state. No-op unless `retire_fault_density` is configured.
+        if self.mapped.config().retire_fault_density.is_some() {
+            let sparing = {
+                let _sparing_span = recorder.span("tile_sparing");
+                self.mapped.apply_sparing(&detector, &mut detections)?
+            };
+            self.metrics.tiles_retired.add(sparing.tiles_retired);
+            self.metrics.spares_attached.add(sparing.spares_attached);
+            self.metrics.detection_cycles.add(sparing.verify_cycles);
+            self.metrics.detection_writes.add(sparing.verify_write_pulses);
+            recorder.set_write_pulses(self.mapped.total_write_pulses());
+            if sparing.verify_write_pulses > 0 {
+                recorder.emit(Event::WritePulseBatch {
+                    pulses: sparing.verify_write_pulses,
+                    phase: WritePhase::Detection,
+                });
+            }
+            if sparing.reprogram_pulses > 0 {
+                recorder.emit(Event::WritePulseBatch {
+                    pulses: sparing.reprogram_pulses,
+                    phase: WritePhase::Reprogram,
+                });
+            }
         }
 
         let Some(remap_cfg) = self.flow.remap else {
@@ -540,6 +568,33 @@ mod tests {
         assert!(
             trainer.stats().last_remap_final_cost <= trainer.stats().last_remap_initial_cost
         );
+    }
+
+    #[test]
+    fn sparing_retires_tiles_in_the_closed_loop() {
+        let data = small_data();
+        let mut mapping = MappingConfig::new(MappingScope::EntireNetwork)
+            .with_initial_fault_fraction(0.2)
+            .with_seed(9)
+            .with_spare_tiles(8)
+            .with_retire_fault_density(0.1);
+        mapping.tile_size = 64;
+        let flow = FlowConfig::fault_tolerant()
+            .with_lr(LrSchedule::constant(0.1))
+            .with_detection_interval(60);
+        let mut trainer = FaultTolerantTrainer::new(small_net(9), mapping, flow).unwrap();
+        trainer.train(&data, 100).unwrap();
+        let stats = trainer.stats();
+        assert!(stats.tiles_retired > 0, "dense-fault tiles must retire: {stats:?}");
+        assert_eq!(stats.tiles_retired, stats.spares_attached);
+        // The chip events reached the flow's recorder.
+        let retired = trainer.recorder().events_of_kind(obs::EventKind::TileRetired);
+        let attached = trainer.recorder().events_of_kind(obs::EventKind::SpareAttached);
+        assert_eq!(retired, stats.tiles_retired);
+        assert_eq!(attached, stats.spares_attached);
+        // Screened spares replaced the densest tiles, so the in-service
+        // fault fraction sits below the injected 0.2 (wear adds some back).
+        assert!(trainer.mapped().fraction_faulty() < 0.2);
     }
 
     #[test]

@@ -1,6 +1,6 @@
-//! Mapping a network's weight matrices onto simulated RRAM crossbars.
+//! Mapping a network's weight matrices onto the tiled RRAM chip.
 //!
-//! Each mapped weight layer is tiled into crossbars of at most
+//! Each mapped weight layer is sharded into crossbar tiles of at most
 //! `tile_size × tile_size` cells (inputs on rows, output neurons on
 //! columns). One *logical cell per weight* stores the weight magnitude as a
 //! normalized conductance (`g = |w| / w_max`); the sign lives in the digital
@@ -9,27 +9,39 @@
 //! cell, which is why a zero can *reuse* an SA0 cell, and an SA1 fault pins
 //! the weight at full scale.
 //!
+//! Since PR 5 the physical arrays live in an [`ftt_tile::TiledChip`]: the
+//! mapping holds chip-global tile *ids* (plus each shard's logical
+//! offset), the chip owns the arrays, the spare pool, and the retirement
+//! policy. Tile seeds and allocation order are unchanged from the
+//! pre-chip mapper (the chip uses the same
+//! `seed · 0x9E37_79B9 + counter` stream), so seeded runs reproduce
+//! bit-identically across the refactor.
+//!
 //! The mapped network is the single point through which training touches
 //! hardware: effective (fault- and variation-corrupted) weights are read
 //! back into the software network before every forward pass, and every
 //! weight update is an analog write that consumes endurance.
 
-use faultdet::detector::{DetectionOutcome, OnlineFaultDetector};
+use std::collections::BTreeSet;
+
+use faultdet::detector::OnlineFaultDetector;
+use ftt_tile::{ChipConfig, ShardGrid, SpareOutcome, TiledChip};
 use nn::network::Network;
-use rram::crossbar::{Crossbar, CrossbarBuilder};
 use rram::cell::WriteOutcome;
+use rram::crossbar::Crossbar;
 use rram::fault::{FaultKind, FaultMap};
 use rram::spatial::FaultInjection;
 
 use crate::config::{MappingConfig, MappingScope};
 use crate::error::FttError;
 
-/// One crossbar tile of a mapped layer.
-#[derive(Debug, Clone)]
-struct Tile {
+/// One shard of a mapped layer: where it sits logically and which chip
+/// tile backs it (spare substitution re-points `id`).
+#[derive(Debug, Clone, Copy)]
+struct TileRef {
     row0: usize,
     col0: usize,
-    xbar: Crossbar,
+    id: usize,
 }
 
 /// One weight layer placed on RRAM.
@@ -50,16 +62,22 @@ pub struct MappedLayer {
     /// training intends each cell to hold. Stuck cells silently refuse the
     /// writes, so the effective (hardware) weights diverge from these.
     targets: Vec<f32>,
-    tiles: Vec<Tile>,
-    /// Second (negative-polarity) tile grid under differential coding;
+    tiles: Vec<TileRef>,
+    /// Second (negative-polarity) shard grid under differential coding;
     /// empty for unipolar coding.
-    neg_tiles: Vec<Tile>,
+    neg_tiles: Vec<TileRef>,
 }
 
 impl MappedLayer {
     fn tile_of(&self, row: usize, col: usize, tile_size: usize) -> usize {
         let tiles_per_row = self.cols.div_ceil(tile_size);
         (row / tile_size) * tiles_per_row + col / tile_size
+    }
+
+    /// Dimensions of the shard at `tile_idx` (remainder-aware).
+    fn shard_dims(&self, tile_idx: usize, tile_size: usize) -> (usize, usize) {
+        let t = &self.tiles[tile_idx];
+        (tile_size.min(self.rows - t.row0), tile_size.min(self.cols - t.col0))
     }
 
     /// Whether this layer uses differential (two-cell) coding.
@@ -77,17 +95,19 @@ impl MappedLayer {
     // PANIC-OK: test-only reference path; `tile_of` maps logical
     // coordinates onto the tile that covers them by construction.
     #[allow(clippy::expect_used)]
-    fn effective(&self, row: usize, col: usize, tile_size: usize) -> f64 {
+    fn effective(&self, chip: &TiledChip, row: usize, col: usize, tile_size: usize) -> f64 {
         let ti = self.tile_of(row, col, tile_size);
         let t = &self.tiles[ti];
-        let g = t
-            .xbar
+        let g = chip
+            .tile(t.id)
+            .expect("mapped tile exists on the chip")
             .conductance(row - t.row0, col - t.col0)
             .expect("tile coordinates are in range by construction");
         if self.is_differential() {
             let n = &self.neg_tiles[ti];
-            let g_neg = n
-                .xbar
+            let g_neg = chip
+                .tile(n.id)
+                .expect("mapped tile exists on the chip")
                 .conductance(row - n.row0, col - n.col0)
                 .expect("tile coordinates are in range by construction");
             (g - g_neg) * self.w_max
@@ -100,10 +120,11 @@ impl MappedLayer {
     /// differential coding a logical cell is faulty when *either* polarity
     /// cell is stuck; SA1 (the severe kind — it pins full-scale current)
     /// wins when the pair disagrees.
-    pub fn fault_map(&self, tile_size: usize) -> FaultMap {
+    pub fn fault_map(&self, chip: &TiledChip) -> FaultMap {
         let mut map = FaultMap::healthy(self.rows, self.cols);
         for tile in self.tiles.iter().chain(&self.neg_tiles) {
-            let sub = tile.xbar.fault_map();
+            let Ok(xbar) = chip.tile(tile.id) else { continue };
+            let sub = xbar.fault_map();
             for (r, c, kind) in sub.iter_faulty() {
                 let (lr, lc) = (tile.row0 + r, tile.col0 + c);
                 let merged = match (map.get(lr, lc), kind) {
@@ -115,17 +136,17 @@ impl MappedLayer {
                 map.set(lr, lc, Some(merged));
             }
         }
-        let _ = tile_size; // geometry is embedded in the tiles
         map
     }
 
     /// Fraction of this layer's *physical* cells carrying hard faults.
-    pub fn fraction_faulty(&self) -> f64 {
+    pub fn fraction_faulty(&self, chip: &TiledChip) -> f64 {
         let faulty: usize = self
             .tiles
             .iter()
             .chain(&self.neg_tiles)
-            .map(|t| t.xbar.fault_map().count_faulty())
+            .filter_map(|t| chip.tile(t.id).ok())
+            .map(|x| x.fault_map().count_faulty())
             .sum();
         let cells = self.rows * self.cols * if self.is_differential() { 2 } else { 1 };
         faulty as f64 / cells as f64
@@ -134,6 +155,32 @@ impl MappedLayer {
     /// The software (intended) weights, row-major.
     pub fn targets(&self) -> &[f32] {
         &self.targets
+    }
+
+    /// Target conductances of the shard at `tile_idx`, shard-local
+    /// row-major, for the given polarity — what a freshly attached spare
+    /// must be programmed with.
+    fn shard_conductances(&self, tile_idx: usize, neg: bool, tile_size: usize) -> Vec<f64> {
+        let t = if neg { &self.neg_tiles[tile_idx] } else { &self.tiles[tile_idx] };
+        let (t_rows, t_cols) = self.shard_dims(tile_idx, tile_size);
+        let differential = self.is_differential();
+        let mut g = Vec::with_capacity(t_rows * t_cols);
+        for r in 0..t_rows {
+            for c in 0..t_cols {
+                let w = f64::from(self.targets[(t.row0 + r) * self.cols + (t.col0 + c)]);
+                let target = if differential {
+                    if neg {
+                        ((-w).max(0.0) / self.w_max).min(1.0)
+                    } else {
+                        (w.max(0.0) / self.w_max).min(1.0)
+                    }
+                } else {
+                    (w.abs() / self.w_max).min(1.0)
+                };
+                g.push(target);
+            }
+        }
+        g
     }
 }
 
@@ -155,6 +202,24 @@ pub struct LayerDetection {
     pub untested_groups: u64,
 }
 
+/// Aggregate result of one tile-sparing pass (see
+/// [`MappedNetwork::apply_sparing`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SparingOutcome {
+    /// Tiles retired this pass.
+    pub tiles_retired: u64,
+    /// Spares attached this pass (equals `tiles_retired`).
+    pub spares_attached: u64,
+    /// Tiles over the threshold left in service because the pool is empty.
+    pub spares_exhausted: u64,
+    /// Test cycles spent verifying freshly attached spares.
+    pub verify_cycles: u64,
+    /// Write pulses spent by the verification campaigns.
+    pub verify_write_pulses: u64,
+    /// Write pulses spent programming the spares with the shard targets.
+    pub reprogram_pulses: u64,
+}
+
 /// The error raised when a `MappedNetwork` operation is handed a network
 /// whose layer at `layer_index` carries no parameters — i.e. a network the
 /// mapping was not built from.
@@ -165,15 +230,37 @@ fn foreign_network_error(layer_index: usize) -> FttError {
     ))
 }
 
-/// A network whose selected weight layers live on simulated RRAM crossbars.
+/// Verify-then-write: reprogram one cell only when it drifted beyond
+/// `epsilon` of the target conductance.
+fn verify_write(
+    xbar: &mut Crossbar,
+    row: usize,
+    col: usize,
+    g: f64,
+    epsilon: f64,
+    writes: &mut u64,
+) -> Result<(), FttError> {
+    let current = xbar.conductance(row, col)?;
+    if (current - g).abs() > epsilon {
+        let outcome = xbar.write_analog(row, col, g)?;
+        if outcome.changed() {
+            *writes += 1;
+        }
+    }
+    Ok(())
+}
+
+/// A network whose selected weight layers live on a simulated tiled RRAM
+/// chip.
 #[derive(Debug)]
 pub struct MappedNetwork {
     config: MappingConfig,
+    chip: TiledChip,
     layers: Vec<MappedLayer>,
 }
 
 impl MappedNetwork {
-    /// Places the network's weights onto crossbars per the mapping config
+    /// Places the network's weights onto chip tiles per the mapping config
     /// and programs the initial values.
     ///
     /// # Errors
@@ -206,8 +293,24 @@ impl MappedNetwork {
             return Err(FttError::InvalidConfig("tile size must be non-zero".into()));
         }
 
+        let mut chip_cfg = ChipConfig::new(config.tile_size, config.levels, config.seed)
+            .with_endurance(config.endurance)
+            .with_variation(config.variation)
+            .with_spare_tiles(config.spare_tiles);
+        if config.initial_fault_fraction > 0.0 {
+            let injection = FaultInjection::new(
+                config.fault_distribution,
+                config.initial_fault_fraction,
+            )?
+            .with_sa0_prob(config.initial_sa0_prob)?;
+            chip_cfg = chip_cfg.with_injection(injection);
+        }
+        if let Some(density) = config.retire_fault_density {
+            chip_cfg = chip_cfg.with_retire_fault_density(density);
+        }
+        let mut chip = TiledChip::new(chip_cfg)?;
+
         let mut layers = Vec::with_capacity(selected.len());
-        let mut tile_counter = 0u64;
         for &k in &selected {
             let layer_index = weight_layers[k];
             // PANIC-OK: `layer_index` comes from `weight_layer_indices` on
@@ -244,54 +347,36 @@ impl MappedNetwork {
                 .collect();
 
             let ts = config.tile_size;
-            let build_grid = |initial: &[f64],
-                                  tile_counter: &mut u64|
-             -> Result<Vec<Tile>, FttError> {
-                let mut tiles = Vec::new();
-                for tr in 0..rows.div_ceil(ts) {
-                    for tc in 0..cols.div_ceil(ts) {
-                        let row0 = tr * ts;
-                        let col0 = tc * ts;
-                        let t_rows = ts.min(rows - row0);
-                        let t_cols = ts.min(cols - col0);
-                        *tile_counter += 1;
-                        let mut builder = CrossbarBuilder::new(t_rows, t_cols)
-                            .levels(config.levels)
-                            .endurance(config.endurance)
-                            .variation(config.variation)
-                            .seed(
-                                config
-                                    .seed
-                                    .wrapping_mul(0x9E37_79B9)
-                                    .wrapping_add(*tile_counter),
-                            );
-                        if config.initial_fault_fraction > 0.0 {
-                            let injection = FaultInjection::new(
-                                config.fault_distribution,
-                                config.initial_fault_fraction,
-                            )?
-                            .with_sa0_prob(config.initial_sa0_prob)?;
-                            builder = builder.initial_fault_injection(injection);
-                        }
-                        let mut xbar = builder.build()?;
-                        // Program the initial weights (fabrication-time).
-                        for r in 0..t_rows {
-                            for c in 0..t_cols {
-                                let g = initial[(row0 + r) * cols + (col0 + c)];
+            let grid = ShardGrid::new(rows, cols, ts, ts).ok_or_else(|| {
+                FttError::InvalidConfig(format!(
+                    "layer {layer_index} has a zero-sized weight matrix"
+                ))
+            })?;
+            // Shards allocate and program in row-major grid order — the
+            // same build/program interleaving (and hence the same per-tile
+            // RNG streams) as the pre-chip mapper.
+            let build_grid =
+                |initial: &[f64], chip: &mut TiledChip| -> Result<Vec<TileRef>, FttError> {
+                    let mut tiles = Vec::with_capacity(grid.shard_count());
+                    for shard in grid.iter() {
+                        let id = chip.allocate(shard.rows, shard.cols)?;
+                        let xbar = chip.tile_mut(id)?;
+                        for r in 0..shard.rows {
+                            for c in 0..shard.cols {
+                                let g = initial[(shard.row0 + r) * cols + (shard.col0 + c)];
                                 let _ = xbar.write_analog(r, c, g)?;
                             }
                         }
-                        tiles.push(Tile { row0, col0, xbar });
+                        tiles.push(TileRef { row0: shard.row0, col0: shard.col0, id });
                     }
-                }
-                Ok(tiles)
-            };
+                    Ok(tiles)
+                };
             let (tiles, neg_tiles) = if differential {
-                let t = build_grid(&pos_g, &mut tile_counter)?;
-                let n = build_grid(&neg_g, &mut tile_counter)?;
+                let t = build_grid(&pos_g, &mut chip)?;
+                let n = build_grid(&neg_g, &mut chip)?;
                 (t, n)
             } else {
-                (build_grid(&mag_g, &mut tile_counter)?, Vec::new())
+                (build_grid(&mag_g, &mut chip)?, Vec::new())
             };
             layers.push(MappedLayer {
                 weight_layer: k,
@@ -305,13 +390,17 @@ impl MappedNetwork {
                 neg_tiles,
             });
         }
-        let mapped = Self { config, layers };
-        Ok(mapped)
+        Ok(Self { config, chip, layers })
     }
 
     /// The mapping configuration.
     pub fn config(&self) -> &MappingConfig {
         &self.config
+    }
+
+    /// The chip backing this mapping (tile pool, spares, health).
+    pub fn chip(&self) -> &TiledChip {
+        &self.chip
     }
 
     /// The mapped layers, in weight-layer order.
@@ -358,9 +447,11 @@ impl MappedNetwork {
             if layer.is_differential() {
                 // `tiles` and `neg_tiles` share one grid geometry.
                 for (pos, neg) in layer.tiles.iter().zip(&layer.neg_tiles) {
-                    let (t_rows, t_cols) = (pos.xbar.rows(), pos.xbar.cols());
-                    let gp = pos.xbar.conductance_plane_f64();
-                    let gn = neg.xbar.conductance_plane_f64();
+                    let px = self.chip.tile(pos.id)?;
+                    let nx = self.chip.tile(neg.id)?;
+                    let (t_rows, t_cols) = (px.rows(), px.cols());
+                    let gp = px.conductance_plane_f64();
+                    let gn = nx.conductance_plane_f64();
                     for r in 0..t_rows {
                         let dst =
                             &mut out[(pos.row0 + r) * cols + pos.col0..][..t_cols];
@@ -373,8 +464,9 @@ impl MappedNetwork {
                 }
             } else {
                 for tile in &layer.tiles {
-                    let (t_rows, t_cols) = (tile.xbar.rows(), tile.xbar.cols());
-                    let plane = tile.xbar.conductance_plane_f64();
+                    let xbar = self.chip.tile(tile.id)?;
+                    let (t_rows, t_cols) = (xbar.rows(), xbar.cols());
+                    let plane = xbar.conductance_plane_f64();
                     for r in 0..t_rows {
                         let base = (tile.row0 + r) * cols + tile.col0;
                         let dst = &mut out[base..base + t_cols];
@@ -428,10 +520,16 @@ impl MappedNetwork {
             // One-sided differential programming: two pulses per update.
             let gp = (f64::from(value.max(0.0)) / layer.w_max).min(1.0);
             let gn = (f64::from((-value).max(0.0)) / layer.w_max).min(1.0);
-            let tile = &mut layer.tiles[tile_idx];
-            let pos = tile.xbar.pulse_analog(row - tile.row0, col - tile.col0, gp)?;
-            let tile = &mut layer.neg_tiles[tile_idx];
-            let neg = tile.xbar.pulse_analog(row - tile.row0, col - tile.col0, gn)?;
+            let tile = layer.tiles[tile_idx];
+            let pos = self
+                .chip
+                .tile_mut(tile.id)?
+                .pulse_analog(row - tile.row0, col - tile.col0, gp)?;
+            let tile = layer.neg_tiles[tile_idx];
+            let neg = self
+                .chip
+                .tile_mut(tile.id)?
+                .pulse_analog(row - tile.row0, col - tile.col0, gn)?;
             // Report the more severe outcome (a new fault on either side).
             Ok(match (pos, neg) {
                 (WriteOutcome::WoreOut(k), _) | (_, WriteOutcome::WoreOut(k)) => {
@@ -444,8 +542,11 @@ impl MappedNetwork {
             })
         } else {
             let g = (f64::from(value.abs()) / layer.w_max).min(1.0);
-            let tile = &mut layer.tiles[tile_idx];
-            Ok(tile.xbar.pulse_analog(row - tile.row0, col - tile.col0, g)?)
+            let tile = layer.tiles[tile_idx];
+            Ok(self
+                .chip
+                .tile_mut(tile.id)?
+                .pulse_analog(row - tile.row0, col - tile.col0, g)?)
         }
     }
 
@@ -497,177 +598,257 @@ impl MappedNetwork {
                 }
                 let (row, col) = (idx / layer.cols, idx % layer.cols);
                 let tile_idx = layer.tile_of(row, col, ts);
-                let verify_write =
-                    |tile: &mut Tile, g: f64, writes: &mut u64| -> Result<(), FttError> {
-                        let current =
-                            tile.xbar.conductance(row - tile.row0, col - tile.col0)?;
-                        if (current - g).abs() > epsilon {
-                            let outcome =
-                                tile.xbar.write_analog(row - tile.row0, col - tile.col0, g)?;
-                            if outcome.changed() {
-                                *writes += 1;
-                            }
-                        }
-                        Ok(())
-                    };
                 if differential {
                     let gp = (f64::from(target.max(0.0)) / layer.w_max).min(1.0);
                     let gn = (f64::from((-target).max(0.0)) / layer.w_max).min(1.0);
-                    verify_write(&mut layer.tiles[tile_idx], gp, &mut writes)?;
-                    verify_write(&mut layer.neg_tiles[tile_idx], gn, &mut writes)?;
+                    let t = layer.tiles[tile_idx];
+                    verify_write(
+                        self.chip.tile_mut(t.id)?,
+                        row - t.row0,
+                        col - t.col0,
+                        gp,
+                        epsilon,
+                        &mut writes,
+                    )?;
+                    let t = layer.neg_tiles[tile_idx];
+                    verify_write(
+                        self.chip.tile_mut(t.id)?,
+                        row - t.row0,
+                        col - t.col0,
+                        gn,
+                        epsilon,
+                        &mut writes,
+                    )?;
                 } else {
                     let g = (f64::from(target.abs()) / layer.w_max).min(1.0);
-                    verify_write(&mut layer.tiles[tile_idx], g, &mut writes)?;
+                    let t = layer.tiles[tile_idx];
+                    verify_write(
+                        self.chip.tile_mut(t.id)?,
+                        row - t.row0,
+                        col - t.col0,
+                        g,
+                        epsilon,
+                        &mut writes,
+                    )?;
                 }
             }
         }
         Ok(writes)
     }
 
+    /// Composes the logical per-layer detection view from the chip's
+    /// stored per-tile campaign outcomes. Failed tiles degrade coverage
+    /// (their groups count untested); the layer errors out only when *no*
+    /// tile produced an outcome and at least one failed.
+    fn compose_layer(&mut self, li: usize, test_size: usize) -> Result<LayerDetection, FttError> {
+        let layer = &self.layers[li];
+        let mut predicted = FaultMap::healthy(layer.rows, layer.cols);
+        let mut cycles = 0u64;
+        let mut write_pulses = 0u64;
+        let mut untested_groups = 0u64;
+        let mut first_err: Option<FttError> = None;
+        let mut any_ok = false;
+        let t = test_size.max(1);
+        for tile in layer.tiles.iter().chain(&layer.neg_tiles) {
+            let slot = self.chip.slot(tile.id)?;
+            if let Some(e) = &slot.last_campaign_error {
+                // Graceful degradation: the failed tile's groups are
+                // counted untested and the campaign continues with the
+                // remaining tiles.
+                untested_groups += 2
+                    * (slot.xbar.rows().div_ceil(t) + slot.xbar.cols().div_ceil(t)) as u64;
+                if first_err.is_none() {
+                    first_err = Some(FttError::from(e.clone()));
+                }
+                continue;
+            }
+            let Some(outcome) = &slot.last_detection else {
+                continue;
+            };
+            any_ok = true;
+            cycles += outcome.cycles();
+            write_pulses += outcome.write_pulses;
+            untested_groups += outcome.untested_groups;
+            for (r, c, kind) in outcome.predicted.iter_faulty() {
+                // Differential pairs merge onto the logical cell; the
+                // severe kind (SA1) wins on disagreement.
+                let (lr, lc) = (tile.row0 + r, tile.col0 + c);
+                let merged = match (predicted.get(lr, lc), kind) {
+                    (Some(FaultKind::StuckAt1), _) | (_, FaultKind::StuckAt1) => {
+                        FaultKind::StuckAt1
+                    }
+                    _ => FaultKind::StuckAt0,
+                };
+                predicted.set(lr, lc, Some(merged));
+            }
+        }
+        if !any_ok {
+            if let Some(e) = first_err {
+                // Every tile failed the same way — a systematic
+                // configuration error, not a partial campaign.
+                return Err(e);
+            }
+        }
+        Ok(LayerDetection {
+            weight_layer: layer.weight_layer,
+            predicted,
+            cycles,
+            write_pulses,
+            untested_groups,
+        })
+    }
+
     /// Runs the on-line fault detector over every tile of every mapped
     /// layer and composes per-layer logical fault predictions.
     ///
-    /// Tiles are physically independent arrays with private RNG streams, so
-    /// their campaigns fan out across the [`par`] worker budget (gated on
-    /// total campaign work). Outcomes merge sequentially in tile order, so
-    /// results are identical at any thread count.
+    /// Campaigns run tile-locally (comparison groups never span tile
+    /// edges) and fan out across the [`par`] worker budget via
+    /// [`ftt_tile::TiledChip::run_campaigns`]; outcomes compose
+    /// sequentially in shard order, so results are identical at any thread
+    /// count.
     pub fn detect(
         &mut self,
         detector: &OnlineFaultDetector,
     ) -> Result<Vec<LayerDetection>, FttError> {
-        // A campaign sweeps each tile several times (nudge, two comparison
-        // directions, restore, for both fault kinds).
-        let ts = self.config.tile_size;
-        let est_ops_per_tile = 8 * ts * ts;
+        let ids: Vec<usize> = self
+            .layers
+            .iter()
+            .flat_map(|l| l.tiles.iter().chain(&l.neg_tiles))
+            .map(|t| t.id)
+            .collect();
+        let _ = self.chip.run_campaigns(detector, &ids);
+        let t = detector.config().test_size;
         let mut results = Vec::with_capacity(self.layers.len());
-        for layer in &mut self.layers {
-            let mut work: Vec<(&mut Tile, Option<Result<DetectionOutcome, FttError>>)> = layer
-                .tiles
-                .iter_mut()
-                .chain(layer.neg_tiles.iter_mut())
-                .map(|t| (t, None))
-                .collect();
-            par::for_each_chunk_mut_hinted(&mut work, est_ops_per_tile, |_, chunk| {
-                for (tile, slot) in chunk {
-                    *slot = Some(detector.run(&mut tile.xbar).map_err(FttError::from));
-                }
-            });
-            let mut predicted = FaultMap::healthy(layer.rows, layer.cols);
-            let mut cycles = 0u64;
-            let mut write_pulses = 0u64;
-            let mut untested_groups = 0u64;
-            let mut first_err: Option<FttError> = None;
-            let mut any_ok = false;
-            let t = detector.config().test_size.max(1);
-            for (tile, slot) in work {
-                // PANIC-OK: `for_each_chunk_mut_hinted` visits every item
-                // exactly once; an unfilled slot is a bug in `par`, not a
-                // caller-reachable state.
-                #[allow(clippy::expect_used)]
-                let outcome = slot.expect("every tile ran a campaign");
-                let outcome: DetectionOutcome = match outcome {
-                    Ok(o) => o,
-                    Err(e) => {
-                        // Graceful degradation: the failed tile's groups are
-                        // counted untested and the campaign continues with
-                        // the remaining tiles.
-                        untested_groups += 2
-                            * (tile.xbar.rows().div_ceil(t) + tile.xbar.cols().div_ceil(t))
-                                as u64;
-                        if first_err.is_none() {
-                            first_err = Some(e);
-                        }
-                        continue;
-                    }
-                };
-                any_ok = true;
-                cycles += outcome.cycles();
-                write_pulses += outcome.write_pulses;
-                untested_groups += outcome.untested_groups;
-                for (r, c, kind) in outcome.predicted.iter_faulty() {
-                    // Differential pairs merge onto the logical cell; the
-                    // severe kind (SA1) wins on disagreement.
-                    let (lr, lc) = (tile.row0 + r, tile.col0 + c);
-                    let merged = match (predicted.get(lr, lc), kind) {
-                        (Some(FaultKind::StuckAt1), _)
-                        | (_, FaultKind::StuckAt1) => FaultKind::StuckAt1,
-                        _ => FaultKind::StuckAt0,
-                    };
-                    predicted.set(lr, lc, Some(merged));
-                }
-            }
-            if !any_ok {
-                if let Some(e) = first_err {
-                    // Every tile failed the same way — a systematic
-                    // configuration error, not a partial campaign.
-                    return Err(e);
-                }
-            }
-            results.push(LayerDetection {
-                weight_layer: layer.weight_layer,
-                predicted,
-                cycles,
-                write_pulses,
-                untested_groups,
-            });
+        for li in 0..self.layers.len() {
+            results.push(self.compose_layer(li, t)?);
         }
         Ok(results)
+    }
+
+    /// The §5-style sparing pass: retire every mapped tile whose
+    /// *predicted* fault density (from the latest campaigns) crosses
+    /// `retire_fault_density`, attach a spare, program it with the shard's
+    /// target weights, verify it with a fresh tile-local campaign, and
+    /// re-point the shard. With an exhausted pool the tile degrades in
+    /// service (counted in the outcome). Dirty layers' entries in
+    /// `detections` get their `predicted` maps recomposed so the
+    /// downstream re-mapping search sees the post-sparing fault state.
+    ///
+    /// No-op (all-zero outcome) when `retire_fault_density` is `None`.
+    ///
+    /// # Errors
+    ///
+    /// Device failures while programming or verifying a spare propagate.
+    pub fn apply_sparing(
+        &mut self,
+        detector: &OnlineFaultDetector,
+        detections: &mut [LayerDetection],
+    ) -> Result<SparingOutcome, FttError> {
+        let mut out = SparingOutcome::default();
+        let Some(threshold) = self.config.retire_fault_density else {
+            return Ok(out);
+        };
+        let ts = self.config.tile_size;
+        let mut dirty: BTreeSet<usize> = BTreeSet::new();
+        for id in self.chip.tiles_over_density(threshold) {
+            // Locate the shard this tile backs (spare-pool tiles that
+            // back nothing are not retirable — nothing to re-point).
+            let located = self.layers.iter().enumerate().find_map(|(li, l)| {
+                l.tiles
+                    .iter()
+                    .position(|t| t.id == id)
+                    .map(|ti| (li, false, ti))
+                    .or_else(|| {
+                        l.neg_tiles.iter().position(|t| t.id == id).map(|ti| (li, true, ti))
+                    })
+            });
+            let Some((li, neg, tile_idx)) = located else { continue };
+            match self.chip.substitute(id)? {
+                SpareOutcome::Exhausted => {
+                    out.spares_exhausted += 1;
+                    continue;
+                }
+                SpareOutcome::Attached { new_id } => {
+                    out.tiles_retired += 1;
+                    out.spares_attached += 1;
+                    // Program the spare with the shard's target weights.
+                    let g = self.layers[li].shard_conductances(tile_idx, neg, ts);
+                    let before = self.chip.tile(new_id)?.write_pulses();
+                    self.chip.tile_mut(new_id)?.program_conductances(&g)?;
+                    out.reprogram_pulses += self.chip.tile(new_id)?.write_pulses() - before;
+                    // Verify the spare with a tile-local campaign so the
+                    // recomposed prediction covers its (injected) faults.
+                    let stats = self.chip.run_campaigns(detector, &[new_id]);
+                    out.verify_cycles += stats.cycles;
+                    out.verify_write_pulses += stats.write_pulses;
+                    // Re-point the shard.
+                    let layer = &mut self.layers[li];
+                    if neg {
+                        layer.neg_tiles[tile_idx].id = new_id;
+                    } else {
+                        layer.tiles[tile_idx].id = new_id;
+                    }
+                    dirty.insert(li);
+                }
+            }
+        }
+        // Recompose dirty layers' predictions for the re-mapping search.
+        let t = detector.config().test_size;
+        for li in dirty {
+            let recomposed = self.compose_layer(li, t)?;
+            let weight_layer = self.layers[li].weight_layer;
+            if let Some(d) = detections.iter_mut().find(|d| d.weight_layer == weight_layer) {
+                d.predicted = recomposed.predicted;
+            }
+        }
+        Ok(out)
     }
 
     /// Ground-truth fault maps per mapped layer (for oracle experiments and
     /// precision/recall scoring).
     pub fn ground_truth(&self) -> Vec<FaultMap> {
-        self.layers.iter().map(|l| l.fault_map(self.config.tile_size)).collect()
+        self.layers.iter().map(|l| l.fault_map(&self.chip)).collect()
     }
 
-    /// Total write pulses across all tiles (training + detection +
-    /// initial programming).
+    /// Total write pulses across the whole chip (training + detection +
+    /// initial programming; retired tiles included — the logical
+    /// write-pulse clock is monotonic across retirement).
     pub fn total_write_pulses(&self) -> u64 {
-        self.layers
-            .iter()
-            .flat_map(|l| l.tiles.iter().chain(&l.neg_tiles))
-            .map(|t| t.xbar.write_pulses())
-            .sum()
+        self.chip.total_write_pulses()
     }
 
-    /// Fraction of all mapped cells that carry hard faults.
+    /// Fraction of all *in-service* mapped cells that carry hard faults.
     pub fn fraction_faulty(&self) -> f64 {
         let mut faulty = 0usize;
         let mut total = 0usize;
         for layer in &self.layers {
             for tile in layer.tiles.iter().chain(&layer.neg_tiles) {
-                faulty += tile.xbar.fault_map().count_faulty();
-                total += tile.xbar.rows() * tile.xbar.cols();
+                let Ok(xbar) = self.chip.tile(tile.id) else { continue };
+                faulty += xbar.fault_map().count_faulty();
+                total += xbar.rows() * xbar.cols();
             }
         }
         faulty as f64 / total.max(1) as f64
     }
 
-    /// Instruments every tile's crossbar (positive and negative polarity)
-    /// with `recorder`'s registry counters; see
-    /// [`rram::crossbar::Crossbar::attach_recorder`].
+    /// Instruments the chip (every tile, the spare pool counters, and the
+    /// `TileRetired` / `SpareAttached` events) with `recorder`; see
+    /// [`ftt_tile::TiledChip::attach_recorder`].
     pub fn attach_recorder(&mut self, recorder: &obs::Recorder) {
-        for layer in &mut self.layers {
-            for tile in layer.tiles.iter_mut().chain(layer.neg_tiles.iter_mut()) {
-                tile.xbar.attach_recorder(recorder);
-            }
-        }
+        self.chip.attach_recorder(recorder);
     }
 
-    /// Number of cells that wore out (endurance faults) since construction.
+    /// Number of cells that wore out (endurance faults) since construction,
+    /// chip-wide (retired tiles included).
     pub fn wear_faults(&self) -> u64 {
-        self.layers
-            .iter()
-            .flat_map(|l| l.tiles.iter().chain(&l.neg_tiles))
-            .map(|t| t.xbar.wear_faults())
-            .sum()
+        self.chip.wear_faults()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use faultdet::detector::DetectorConfig;
+    use faultdet::detector::{DetectorConfig, OnlineFaultDetector};
     use nn::init::init_rng;
     use nn::layers::{Dense, Relu};
     use nn::models::vgg11_cifar;
@@ -774,7 +955,7 @@ mod tests {
                     net.layer_params_mut(layer.layer_index).unwrap().weights.to_vec();
                 for r in 0..layer.rows {
                     for c in 0..layer.cols {
-                        let reference = layer.effective(r, c, 4) as f32;
+                        let reference = layer.effective(mapped.chip(), r, c, 4) as f32;
                         assert_eq!(
                             loaded[r * layer.cols + c],
                             reference,
@@ -995,5 +1176,84 @@ mod tests {
         net.layer_params_mut(0).unwrap().weights[7] = 0.123;
         let writes = mapped.reprogram_from(&mut net, 1e-9).unwrap();
         assert_eq!(writes, 1);
+    }
+
+    #[test]
+    fn sparing_replaces_dense_fault_tiles() {
+        // Heavy faults, a spare pool, and an aggressive threshold: after
+        // one detect + sparing pass the faulty tiles are swapped for
+        // spares and the effective weights recover toward the targets.
+        let mut net = mlp();
+        let mut config = MappingConfig::new(MappingScope::EntireNetwork)
+            .with_initial_fault_fraction(0.25)
+            .with_seed(17)
+            .with_spare_tiles(64)
+            .with_retire_fault_density(0.05);
+        config.tile_size = 4;
+        let mut mapped = MappedNetwork::from_network(&mut net, config).unwrap();
+        let faulty_before = mapped.fraction_faulty();
+        assert!(faulty_before > 0.1);
+        let detector = OnlineFaultDetector::new(DetectorConfig::new(1).unwrap());
+        let mut detections = mapped.detect(&detector).unwrap();
+        let flagged_before: usize =
+            detections.iter().map(|d| d.predicted.count_faulty()).sum();
+        assert!(flagged_before > 0);
+        let outcome = mapped.apply_sparing(&detector, &mut detections).unwrap();
+        assert!(outcome.tiles_retired > 0, "{outcome:?}");
+        assert_eq!(outcome.tiles_retired, outcome.spares_attached);
+        assert!(outcome.reprogram_pulses > 0);
+        assert!(outcome.verify_cycles > 0);
+        assert_eq!(mapped.chip().tiles_retired(), outcome.tiles_retired);
+        // Spares come from the screened pool (fault-free at attach), so
+        // swapping them in strictly lowers the in-service fault density.
+        let faulty_after = mapped.fraction_faulty();
+        assert!(faulty_after < faulty_before, "{faulty_after} vs {faulty_before}");
+        // The recomposed detections mirror the post-sparing ground truth
+        // (test size 1 is exact, and each spare was verified).
+        let truth = mapped.ground_truth();
+        for (det, truth) in detections.iter().zip(&truth) {
+            assert_eq!(&det.predicted, truth);
+        }
+    }
+
+    #[test]
+    fn sparing_degrades_when_pool_is_exhausted() {
+        let mut net = mlp();
+        let mut config = MappingConfig::new(MappingScope::EntireNetwork)
+            .with_initial_fault_fraction(0.3)
+            .with_seed(13)
+            .with_spare_tiles(1)
+            .with_retire_fault_density(0.05);
+        config.tile_size = 4;
+        let mut mapped = MappedNetwork::from_network(&mut net, config).unwrap();
+        let detector = OnlineFaultDetector::new(DetectorConfig::new(1).unwrap());
+        let mut detections = mapped.detect(&detector).unwrap();
+        let outcome = mapped.apply_sparing(&detector, &mut detections).unwrap();
+        assert_eq!(outcome.spares_attached, 1, "one spare, one attachment");
+        assert!(outcome.spares_exhausted > 0, "the rest degrade in service");
+        // Detection still works over the mixed old/spare tile set.
+        let after = mapped.detect(&detector).unwrap();
+        let truth = mapped.ground_truth();
+        for (det, truth) in after.iter().zip(&truth) {
+            assert_eq!(&det.predicted, truth);
+        }
+    }
+
+    #[test]
+    fn sparing_is_a_noop_without_a_threshold() {
+        let mut net = mlp();
+        let mut mapped = MappedNetwork::from_network(
+            &mut net,
+            MappingConfig::new(MappingScope::EntireNetwork)
+                .with_initial_fault_fraction(0.3)
+                .with_seed(2)
+                .with_spare_tiles(8),
+        )
+        .unwrap();
+        let detector = OnlineFaultDetector::new(DetectorConfig::new(1).unwrap());
+        let mut detections = mapped.detect(&detector).unwrap();
+        let outcome = mapped.apply_sparing(&detector, &mut detections).unwrap();
+        assert_eq!(outcome, SparingOutcome::default());
+        assert_eq!(mapped.chip().tiles_retired(), 0);
     }
 }

@@ -131,6 +131,10 @@ pub struct FlowStats {
     /// Detection test groups that could not be swept (hardware error mid-
     /// campaign); their cells stay flagged as they were, untested.
     pub detection_untested_groups: u64,
+    /// Crossbar tiles retired after crossing the fault-density threshold.
+    pub tiles_retired: u64,
+    /// Spare tiles attached in place of retired ones.
+    pub spares_attached: u64,
 }
 
 impl FlowStats {

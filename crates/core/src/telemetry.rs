@@ -28,6 +28,8 @@ pub struct FlowMetrics {
     pub(crate) mvm_cell_ops: Counter,
     pub(crate) nan_updates_skipped: Counter,
     pub(crate) detection_untested_groups: Counter,
+    pub(crate) tiles_retired: Counter,
+    pub(crate) spares_attached: Counter,
     pub(crate) last_remap_initial_cost: Gauge,
     pub(crate) last_remap_final_cost: Gauge,
 }
@@ -40,7 +42,8 @@ impl FlowMetrics {
     ///   `flow_detection_cycles_total`, `flow_detection_writes_total`,
     ///   `flow_remaps_applied_total`, `flow_mvm_cell_ops_total`,
     ///   `flow_nan_updates_skipped_total`,
-    ///   `flow_detection_untested_groups_total`;
+    ///   `flow_detection_untested_groups_total`,
+    ///   `flow_tiles_retired_total`, `flow_spares_attached_total`;
     /// * gauges `flow_last_remap_initial_cost`,
     ///   `flow_last_remap_final_cost`.
     pub fn new(recorder: Recorder) -> Self {
@@ -56,6 +59,8 @@ impl FlowMetrics {
             mvm_cell_ops: r.counter("flow_mvm_cell_ops_total"),
             nan_updates_skipped: r.counter("flow_nan_updates_skipped_total"),
             detection_untested_groups: r.counter("flow_detection_untested_groups_total"),
+            tiles_retired: r.counter("flow_tiles_retired_total"),
+            spares_attached: r.counter("flow_spares_attached_total"),
             last_remap_initial_cost: r.gauge("flow_last_remap_initial_cost"),
             last_remap_final_cost: r.gauge("flow_last_remap_final_cost"),
             recorder,
@@ -85,6 +90,8 @@ impl FlowMetrics {
             mvm_cell_ops: self.mvm_cell_ops.get(),
             nan_updates_skipped: self.nan_updates_skipped.get(),
             detection_untested_groups: self.detection_untested_groups.get(),
+            tiles_retired: self.tiles_retired.get(),
+            spares_attached: self.spares_attached.get(),
         }
     }
 }

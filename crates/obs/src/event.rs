@@ -96,11 +96,15 @@ pub enum EventKind {
     WearFault = 5,
     /// A phase issued a batch of hardware write pulses.
     WritePulseBatch = 6,
+    /// A crossbar tile crossed its fault-density threshold and was retired.
+    TileRetired = 7,
+    /// A spare tile was attached in place of a retired one.
+    SpareAttached = 8,
 }
 
 impl EventKind {
     /// All kinds, in discriminant order (indexing for per-kind counters).
-    pub const ALL: [EventKind; 7] = [
+    pub const ALL: [EventKind; 9] = [
         EventKind::TrainingIteration,
         EventKind::ThresholdSkipBurst,
         EventKind::DetectionCampaignStart,
@@ -108,6 +112,8 @@ impl EventKind {
         EventKind::RemapApplied,
         EventKind::WearFault,
         EventKind::WritePulseBatch,
+        EventKind::TileRetired,
+        EventKind::SpareAttached,
     ];
 
     /// Stable snake_case name used in serialized traces.
@@ -120,6 +126,8 @@ impl EventKind {
             EventKind::RemapApplied => "remap_applied",
             EventKind::WearFault => "wear_fault",
             EventKind::WritePulseBatch => "write_pulse_batch",
+            EventKind::TileRetired => "tile_retired",
+            EventKind::SpareAttached => "spare_attached",
         }
     }
 }
@@ -192,6 +200,25 @@ pub enum Event {
         /// Which phase issued them.
         phase: WritePhase,
     },
+    /// A crossbar tile crossed its fault-density threshold and was
+    /// retired from service.
+    TileRetired {
+        /// Chip-global id of the retired tile.
+        tile: u64,
+        /// Predicted faulty cells at retirement time.
+        faulty_cells: u64,
+        /// Predicted fault density (`faulty_cells / cells`) at retirement.
+        fault_density: f64,
+    },
+    /// A spare tile was attached in place of a retired one.
+    SpareAttached {
+        /// Chip-global id of the newly attached spare.
+        tile: u64,
+        /// Chip-global id of the retired tile it replaces.
+        replaced: u64,
+        /// Spares left in the pool after this attachment.
+        spares_remaining: u64,
+    },
 }
 
 impl Event {
@@ -205,6 +232,8 @@ impl Event {
             Event::RemapApplied { .. } => EventKind::RemapApplied,
             Event::WearFault { .. } => EventKind::WearFault,
             Event::WritePulseBatch { .. } => EventKind::WritePulseBatch,
+            Event::TileRetired { .. } => EventKind::TileRetired,
+            Event::SpareAttached { .. } => EventKind::SpareAttached,
         }
     }
 }
@@ -285,6 +314,14 @@ impl TimedEvent {
             Event::WritePulseBatch { pulses, phase } => obj
                 .field_u64("pulses", *pulses)
                 .field_str("phase", phase.as_str()),
+            Event::TileRetired { tile, faulty_cells, fault_density } => obj
+                .field_u64("tile", *tile)
+                .field_u64("faulty_cells", *faulty_cells)
+                .field_f64("fault_density", *fault_density),
+            Event::SpareAttached { tile, replaced, spares_remaining } => obj
+                .field_u64("tile", *tile)
+                .field_u64("replaced", *replaced)
+                .field_u64("spares_remaining", *spares_remaining),
         }
         .finish()
     }
@@ -331,6 +368,8 @@ mod tests {
             Event::RemapApplied { initial_cost: 40, final_cost: 11 },
             Event::WearFault { new_faults: 2, total_faults: 9 },
             Event::WritePulseBatch { pulses: 123, phase: WritePhase::Detection },
+            Event::TileRetired { tile: 4, faulty_cells: 900, fault_density: 0.055 },
+            Event::SpareAttached { tile: 17, replaced: 4, spares_remaining: 1 },
         ];
         for (i, event) in events.into_iter().enumerate() {
             let kind = event.kind();

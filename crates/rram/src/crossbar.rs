@@ -382,6 +382,37 @@ impl Crossbar {
         self.finish_write(i, outcome)
     }
 
+    /// Bulk-programs every cell from a row-major conductance plane in
+    /// `[0, 1]` — one [`Crossbar::write_analog`] per cell, in row-major
+    /// order (so the write-noise RNG stream matches a per-cell loop
+    /// exactly). Returns the number of cells whose value actually changed;
+    /// stuck/exhausted cells are skipped silently, matching how array
+    /// initialization treats pre-existing faults.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RramError::DimensionMismatch`] when `targets.len()` is not
+    /// `rows * cols`, and [`RramError::NonFiniteValue`] on any NaN/infinite
+    /// target (cells before the offending one stay programmed).
+    pub fn program_conductances(&mut self, targets: &[f64]) -> Result<u64, RramError> {
+        if targets.len() != self.rows * self.cols {
+            return Err(RramError::DimensionMismatch {
+                expected: self.rows * self.cols,
+                actual: targets.len(),
+            });
+        }
+        let mut changed = 0u64;
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let outcome = self.write_analog(r, c, targets[r * self.cols + c])?;
+                if outcome.changed() {
+                    changed += 1;
+                }
+            }
+        }
+        Ok(changed)
+    }
+
     /// Program-and-verify: re-pulses the cell until its analog conductance
     /// lands within `tolerance` of the target or `max_pulses` are spent.
     /// Returns the outcome of the last pulse and the number of pulses used.

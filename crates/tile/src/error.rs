@@ -1,0 +1,76 @@
+//! Typed errors of the tiled-chip layer.
+
+use rram::RramError;
+
+/// Everything that can go wrong inside the tiled-chip model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TileError {
+    /// A device-layer operation failed.
+    Rram(RramError),
+    /// A chip or mapping configuration was rejected.
+    InvalidConfig(String),
+    /// A tile id that does not exist (or no longer exists) was referenced.
+    UnknownTile {
+        /// The offending chip-global tile id.
+        id: usize,
+    },
+    /// An operation targeted a tile that has been retired from service.
+    TileRetired {
+        /// The retired tile's chip-global id.
+        id: usize,
+    },
+}
+
+impl std::fmt::Display for TileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TileError::Rram(e) => write!(f, "device error: {e}"),
+            TileError::InvalidConfig(msg) => write!(f, "invalid tile configuration: {msg}"),
+            TileError::UnknownTile { id } => write!(f, "unknown tile id {id}"),
+            TileError::TileRetired { id } => write!(f, "tile {id} is retired"),
+        }
+    }
+}
+
+impl std::error::Error for TileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TileError::Rram(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RramError> for TileError {
+    fn from(e: RramError) -> Self {
+        TileError::Rram(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let cases: Vec<(TileError, &str)> = vec![
+            (TileError::InvalidConfig("bad".into()), "invalid tile configuration"),
+            (TileError::UnknownTile { id: 7 }, "unknown tile id 7"),
+            (TileError::TileRetired { id: 3 }, "tile 3 is retired"),
+            (
+                TileError::Rram(RramError::NonFiniteValue { context: "x" }),
+                "device error",
+            ),
+        ];
+        for (e, needle) in cases {
+            assert!(e.to_string().contains(needle), "{e}");
+        }
+    }
+
+    #[test]
+    fn rram_errors_convert() {
+        let e: TileError = RramError::NonFiniteValue { context: "t" }.into();
+        assert!(matches!(e, TileError::Rram(_)));
+    }
+}

@@ -1,0 +1,112 @@
+//! Wear-aware tile health scoring.
+//!
+//! Health combines what detection *knows* (predicted fault density from
+//! the tile's last §4 campaign) with what the device layer *accumulates*
+//! (endurance wear-outs and write pressure). The score
+//! `(1 − fault_density) · (1 − wear_fraction)` is 1 for a pristine tile
+//! and decays toward 0 as stuck cells and wear-outs accumulate;
+//! retirement policy compares the *predicted density* (not the score)
+//! against the configured threshold, while schedulers may rank by wear to
+//! spend test cycles where faults are most likely next.
+
+use crate::chip::TileSlot;
+
+/// One tile's health snapshot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TileHealth {
+    /// Chip-global tile id.
+    pub id: usize,
+    /// Tile rows.
+    pub rows: usize,
+    /// Tile columns.
+    pub cols: usize,
+    /// Whether the tile has ever completed a detection campaign.
+    pub tested: bool,
+    /// Predicted faulty cells from the last campaign (0 when untested).
+    pub faulty_cells: u64,
+    /// Predicted fault density (`faulty_cells / cells`; 0 when untested).
+    pub fault_density: f64,
+    /// Endurance wear-out faults the device accumulated.
+    pub wear_faults: u64,
+    /// Write pulses the tile absorbed.
+    pub write_pulses: u64,
+    /// Whether the tile is retired.
+    pub retired: bool,
+    /// Whether the tile is an attached spare.
+    pub spare: bool,
+    /// Composite health in `[0, 1]`:
+    /// `(1 − fault_density) · (1 − min(wear_faults / cells, 1))`.
+    pub score: f64,
+}
+
+impl TileHealth {
+    /// Snapshot a slot's health.
+    pub fn from_slot(slot: &TileSlot) -> Self {
+        let cells = slot.cells().max(1) as f64;
+        let faulty = slot
+            .last_detection
+            .as_ref()
+            .map(|d| d.predicted.count_faulty() as u64)
+            .unwrap_or(0);
+        let fault_density = faulty as f64 / cells;
+        let wear_faults = slot.xbar.wear_faults();
+        let wear_fraction = (wear_faults as f64 / cells).min(1.0);
+        TileHealth {
+            id: slot.id,
+            rows: slot.xbar.rows(),
+            cols: slot.xbar.cols(),
+            tested: slot.last_detection.is_some(),
+            faulty_cells: faulty,
+            fault_density,
+            wear_faults,
+            write_pulses: slot.xbar.write_pulses(),
+            retired: slot.retired,
+            spare: slot.spare_origin.is_some(),
+            score: (1.0 - fault_density) * (1.0 - wear_fraction),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::chip::{ChipConfig, TiledChip};
+    use faultdet::detector::{DetectorConfig, OnlineFaultDetector};
+    use rram::spatial::{FaultInjection, SpatialDistribution};
+
+    #[test]
+    fn pristine_tile_scores_one() {
+        let mut c = TiledChip::new(ChipConfig::new(8, 8, 1)).unwrap();
+        let id = c.allocate(8, 8).unwrap();
+        let report = c.health_report();
+        assert_eq!(report.len(), 1);
+        let h = report[0];
+        assert_eq!(h.id, id);
+        assert!(!h.tested);
+        assert_eq!(h.score, 1.0);
+    }
+
+    #[test]
+    fn faults_lower_the_score() {
+        let injection = FaultInjection::new(SpatialDistribution::Uniform, 0.25).unwrap();
+        let mut c =
+            TiledChip::new(ChipConfig::new(16, 8, 3).with_injection(injection)).unwrap();
+        let id = c.allocate(16, 16).unwrap();
+        let det = OnlineFaultDetector::new(DetectorConfig::new(1).unwrap());
+        c.run_campaigns(&det, &[id]);
+        let h = c.health_report()[0];
+        assert!(h.tested);
+        assert!(h.faulty_cells > 0);
+        assert!(h.score < 1.0);
+        assert!((h.score - (1.0 - h.fault_density)).abs() < 1e-12, "no wear yet");
+    }
+
+    #[test]
+    fn spare_flag_tracks_origin() {
+        let mut c = TiledChip::new(ChipConfig::new(8, 8, 1).with_spare_tiles(1)).unwrap();
+        let id = c.allocate(4, 4).unwrap();
+        c.substitute(id).unwrap();
+        let report = c.health_report();
+        assert!(report[0].retired && !report[0].spare);
+        assert!(!report[1].retired && report[1].spare);
+    }
+}

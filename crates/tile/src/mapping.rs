@@ -1,0 +1,477 @@
+//! Sharded placement of one logical matrix onto chip tiles, plus the
+//! batched tiled MVM executor.
+//!
+//! # Bit-identity with the monolithic kernel
+//!
+//! [`rram::Crossbar::mvm`] accumulates each output column over rows in
+//! ascending global row order (`out[k] += g[r][k]·v[r]`). f32 addition is
+//! not associative, so a tiled executor that summed per-band partials
+//! would drift from the monolithic result in the last ulps. Instead, the
+//! executor here keeps **one accumulator per output column** and walks
+//! row-shard bands in ascending order, rows within a band in ascending
+//! order — the exact global row order — touching each band's conductance
+//! plane in place. Column shards merely partition which plane a segment
+//! comes from, which cannot reorder any single column's accumulation, and
+//! the parallel fan-out partitions *columns* (disjoint accumulators), so
+//! the result is bit-identical to the monolithic kernel at any
+//! `RRAM_FTT_THREADS` — asserted by in-crate tests and the chaos `tiling`
+//! family.
+//!
+//! The zero-skip gate and the parallel gate replicate the monolithic
+//! kernel's: skipping a zero input row adds `±0.0 · g` (finite `g`), which
+//! cannot move an IEEE-754 accumulator, and the same sparsity threshold is
+//! used so both kernels take the same branch.
+
+use rram::fault::FaultMap;
+use rram::RramError;
+
+use crate::chip::TiledChip;
+use crate::error::TileError;
+use crate::geometry::{Shard, ShardGrid};
+
+/// Minimum cells before the tiled MVM fans out to worker threads —
+/// mirrors the monolithic kernel's gate so both engage together.
+const PAR_MIN_CELLS: usize = 1 << 15;
+
+/// Whether `input` is sparse enough for the zero-skip branch to win;
+/// mirrors the monolithic kernel's predicate exactly.
+#[inline]
+fn sparse_enough(input: &[f32]) -> bool {
+    let zeros = input.iter().filter(|&&v| v == 0.0).count();
+    // CAST-OK: ratio test on counts; exact in f32 for realistic dims.
+    zeros as f32 > par::SPARSITY_SKIP_THRESHOLD * input.len() as f32
+}
+
+/// One logical matrix sharded across chip tiles.
+///
+/// The mapping stores tile *ids* in row-major shard order; the arrays
+/// live in the [`TiledChip`], so spare substitution re-points one id.
+#[derive(Debug, Clone)]
+pub struct TiledMapping {
+    grid: ShardGrid,
+    tiles: Vec<usize>,
+}
+
+impl TiledMapping {
+    /// Shards a `rows × cols` matrix onto freshly allocated chip tiles
+    /// (row-major shard order — the chip's canonical allocation order).
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero dimensions; propagates allocation failures.
+    pub fn allocate(chip: &mut TiledChip, rows: usize, cols: usize) -> Result<Self, TileError> {
+        let ts = chip.config().tile_size;
+        let grid = ShardGrid::new(rows, cols, ts, ts)
+            .ok_or_else(|| TileError::InvalidConfig("matrix dims must be non-zero".into()))?;
+        let mut tiles = Vec::with_capacity(grid.shard_count());
+        for shard in grid.iter() {
+            tiles.push(chip.allocate(shard.rows, shard.cols)?);
+        }
+        Ok(TiledMapping { grid, tiles })
+    }
+
+    /// The shard geometry.
+    pub fn grid(&self) -> &ShardGrid {
+        &self.grid
+    }
+
+    /// Tile ids in row-major shard order.
+    pub fn tile_ids(&self) -> &[usize] {
+        &self.tiles
+    }
+
+    /// Logical rows.
+    pub fn rows(&self) -> usize {
+        self.grid.rows
+    }
+
+    /// Logical columns.
+    pub fn cols(&self) -> usize {
+        self.grid.cols
+    }
+
+    /// The shard (geometry) currently backed by tile `id`, if any.
+    pub fn shard_of_tile(&self, id: usize) -> Option<Shard> {
+        let i = self.tiles.iter().position(|&t| t == id)?;
+        self.grid.shard(i / self.grid.col_shards(), i % self.grid.col_shards())
+    }
+
+    /// Re-points every shard backed by `old_id` at `new_id` (spare
+    /// substitution). Returns how many shards were re-pointed (0 or 1 —
+    /// a tile backs at most one shard).
+    pub fn repoint(&mut self, old_id: usize, new_id: usize) -> usize {
+        let mut n = 0;
+        for t in &mut self.tiles {
+            if *t == old_id {
+                *t = new_id;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Extracts the shard-local slice of a logical row-major buffer.
+    fn shard_local<T: Copy>(&self, shard: &Shard, logical: &[T]) -> Vec<T> {
+        let mut local = Vec::with_capacity(shard.cells());
+        for r in 0..shard.rows {
+            let base = (shard.row0 + r) * self.grid.cols + shard.col0;
+            local.extend_from_slice(&logical[base..base + shard.cols]);
+        }
+        local
+    }
+
+    /// Programs the whole matrix from a row-major conductance plane in
+    /// `[0, 1]` (shard by shard, shard-locally row-major — the same
+    /// per-tile write order the monolithic mapper uses). Returns the
+    /// number of cells whose value changed.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a buffer whose length is not `rows × cols`; propagates
+    /// device errors (cells already programmed stay programmed).
+    pub fn program(&self, chip: &mut TiledChip, targets: &[f64]) -> Result<u64, TileError> {
+        if targets.len() != self.grid.rows * self.grid.cols {
+            return Err(TileError::Rram(RramError::DimensionMismatch {
+                expected: self.grid.rows * self.grid.cols,
+                actual: targets.len(),
+            }));
+        }
+        let mut changed = 0;
+        for (shard, &id) in self.grid.iter().zip(&self.tiles) {
+            let local = self.shard_local(&shard, targets);
+            changed += chip.tile_mut(id)?.program_conductances(&local)?;
+        }
+        Ok(changed)
+    }
+
+    /// Writes one logical cell (training-style analog write on the
+    /// owning shard's tile).
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range coordinates and device errors propagate.
+    pub fn write_analog(
+        &self,
+        chip: &mut TiledChip,
+        row: usize,
+        col: usize,
+        target: f64,
+    ) -> Result<(), TileError> {
+        let oob = || {
+            TileError::Rram(RramError::OutOfBounds {
+                row,
+                col,
+                rows: self.grid.rows,
+                cols: self.grid.cols,
+            })
+        };
+        let (sr, sc) = self.grid.shard_of_cell(row, col).ok_or_else(oob)?;
+        let shard = self.grid.shard(sr, sc).ok_or_else(oob)?;
+        let id = self.tiles[self.grid.shard_index(sr, sc)];
+        chip.tile_mut(id)?.write_analog(row - shard.row0, col - shard.col0, target)?;
+        Ok(())
+    }
+
+    /// Composes the logical fault map from the shard tiles' maps.
+    ///
+    /// # Errors
+    ///
+    /// Unknown tile ids propagate.
+    pub fn fault_map(&self, chip: &TiledChip) -> Result<FaultMap, TileError> {
+        let mut map = FaultMap::healthy(self.grid.rows, self.grid.cols);
+        for (shard, &id) in self.grid.iter().zip(&self.tiles) {
+            let sub = chip.tile(id)?.fault_map();
+            for (r, c, kind) in sub.iter_faulty() {
+                map.set(shard.row0 + r, shard.col0 + c, Some(kind));
+            }
+        }
+        Ok(map)
+    }
+
+    /// Splits a logical fault map per shard and applies each piece to its
+    /// tile (equivalence-test helper: lets a tiled chip mirror the exact
+    /// fault pattern of a monolithic array).
+    ///
+    /// # Errors
+    ///
+    /// Rejects a map whose dimensions don't match; unknown ids propagate.
+    pub fn apply_fault_map(&self, chip: &mut TiledChip, map: &FaultMap) -> Result<(), TileError> {
+        if map.rows() != self.grid.rows || map.cols() != self.grid.cols {
+            return Err(TileError::Rram(RramError::DimensionMismatch {
+                expected: self.grid.rows * self.grid.cols,
+                actual: map.rows() * map.cols(),
+            }));
+        }
+        for (shard, &id) in self.grid.iter().zip(&self.tiles) {
+            let mut local = FaultMap::healthy(shard.rows, shard.cols);
+            for r in 0..shard.rows {
+                for c in 0..shard.cols {
+                    local.set(r, c, map.get(shard.row0 + r, shard.col0 + c));
+                }
+            }
+            chip.tile_mut(id)?.apply_fault_map(&local);
+        }
+        Ok(())
+    }
+
+    /// Gathers the shard tiles' f32 conductance planes in row-major shard
+    /// order, validating every id first.
+    fn planes<'a>(&self, chip: &'a TiledChip) -> Result<Vec<&'a [f32]>, TileError> {
+        self.tiles.iter().map(|&id| chip.tile(id).map(|x| x.conductance_plane())).collect()
+    }
+
+    /// Tiled analog matrix–vector product: `out[k] = Σ_r g[r][k]·input[r]`
+    /// with the accumulation order of the monolithic kernel (see module
+    /// docs) — bit-identical to [`rram::Crossbar::mvm`] on an array
+    /// holding the same conductances, at any thread budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension mismatch for a wrong-length input; unknown
+    /// tile ids propagate.
+    pub fn mvm(&self, chip: &TiledChip, input: &[f32]) -> Result<Vec<f32>, TileError> {
+        if input.len() != self.grid.rows {
+            return Err(TileError::Rram(RramError::DimensionMismatch {
+                expected: self.grid.rows,
+                actual: input.len(),
+            }));
+        }
+        let planes = self.planes(chip)?;
+        let mut out = vec![0.0f32; self.grid.cols];
+        let skip_zeros = sparse_enough(input);
+        if self.grid.rows * self.grid.cols >= PAR_MIN_CELLS && par::thread_count() > 1 {
+            par::for_each_chunk_mut(&mut out, 64, |c0, chunk| {
+                self.mvm_into(&planes, input, skip_zeros, c0, chunk);
+            });
+        } else {
+            self.mvm_into(&planes, input, skip_zeros, 0, &mut out);
+        }
+        Ok(out)
+    }
+
+    /// Batched tiled MVM: `inputs` is `batch × rows` row-major, the result
+    /// is `batch × cols` row-major. Samples fan out across the thread
+    /// budget (each sample's product runs the sequential kernel
+    /// full-width), so every output row is bit-identical to
+    /// [`TiledMapping::mvm`] on that sample — and hence to the monolithic
+    /// kernel — at any thread budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension mismatch when `inputs.len() != batch × rows`.
+    pub fn mvm_batch(
+        &self,
+        chip: &TiledChip,
+        inputs: &[f32],
+        batch: usize,
+    ) -> Result<Vec<f32>, TileError> {
+        if inputs.len() != batch * self.grid.rows {
+            return Err(TileError::Rram(RramError::DimensionMismatch {
+                expected: batch * self.grid.rows,
+                actual: inputs.len(),
+            }));
+        }
+        let planes = self.planes(chip)?;
+        let rows = self.grid.rows;
+        let mut out = vec![0.0f32; batch * self.grid.cols];
+        par::for_each_row_block_mut(&mut out, self.grid.cols, |b0, block| {
+            for (i, out_row) in block.chunks_mut(self.grid.cols).enumerate() {
+                let sample = &inputs[(b0 + i) * rows..(b0 + i + 1) * rows];
+                let skip_zeros = sparse_enough(sample);
+                self.mvm_into(&planes, sample, skip_zeros, 0, out_row);
+            }
+        });
+        Ok(out)
+    }
+
+    /// The shared inner kernel: accumulates the output columns
+    /// `[c0, c0 + chunk.len())` over all rows in ascending global row
+    /// order, reading each row segment from the covering shard's plane.
+    fn mvm_into(
+        &self,
+        planes: &[&[f32]],
+        input: &[f32],
+        skip_zeros: bool,
+        c0: usize,
+        chunk: &mut [f32],
+    ) {
+        if chunk.is_empty() {
+            return;
+        }
+        let col_shards = self.grid.col_shards();
+        // Column shards overlapping [c0, c0 + len).
+        let sc0 = c0 / self.grid.tile_cols;
+        let sc1 = ((c0 + chunk.len() - 1) / self.grid.tile_cols + 1).min(col_shards);
+        for sr in 0..self.grid.row_shards() {
+            let row0 = sr * self.grid.tile_rows;
+            let band_rows = self.grid.tile_rows.min(self.grid.rows - row0);
+            for lr in 0..band_rows {
+                let v = input[row0 + lr];
+                if skip_zeros && v == 0.0 {
+                    continue;
+                }
+                for sc in sc0..sc1 {
+                    let scol0 = sc * self.grid.tile_cols;
+                    let scols = self.grid.tile_cols.min(self.grid.cols - scol0);
+                    let lo = c0.max(scol0);
+                    let hi = (c0 + chunk.len()).min(scol0 + scols);
+                    if lo >= hi {
+                        continue;
+                    }
+                    let plane = planes[self.grid.shard_index(sr, sc)];
+                    let seg = &plane[lr * scols + (lo - scol0)..lr * scols + (hi - scol0)];
+                    let out_seg = &mut chunk[lo - c0..hi - c0];
+                    for (o, &g) in out_seg.iter_mut().zip(seg) {
+                        *o += g * v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chip::ChipConfig;
+    use rram::crossbar::CrossbarBuilder;
+    use rram::fault::FaultKind;
+
+    /// Deterministic pseudo-random conductances/inputs without pulling in
+    /// an RNG: a splitmix-style integer hash mapped to [0, 1).
+    fn lcg01(i: u64) -> f64 {
+        let mut z = i.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn build_pair(
+        rows: usize,
+        cols: usize,
+        tile: usize,
+    ) -> (TiledChip, TiledMapping, rram::Crossbar) {
+        let mut chip = TiledChip::new(ChipConfig::new(tile, 8, 5)).unwrap();
+        let mapping = TiledMapping::allocate(&mut chip, rows, cols).unwrap();
+        let targets: Vec<f64> = (0..rows * cols).map(|i| lcg01(i as u64)).collect();
+        mapping.program(&mut chip, &targets).unwrap();
+        let mut mono = CrossbarBuilder::new(rows, cols).seed(977).build().unwrap();
+        mono.program_conductances(&targets).unwrap();
+        (chip, mapping, mono)
+    }
+
+    fn dense_input(rows: usize, salt: u64) -> Vec<f32> {
+        (0..rows).map(|i| (lcg01(i as u64 ^ salt) * 2.0 - 1.0) as f32).collect()
+    }
+
+    fn sparse_input(rows: usize, salt: u64) -> Vec<f32> {
+        (0..rows)
+            .map(|i| {
+                if lcg01(i as u64 ^ salt) < 0.8 {
+                    0.0
+                } else {
+                    (lcg01(i as u64 ^ salt ^ 0xFF) * 2.0 - 1.0) as f32
+                }
+            })
+            .collect()
+    }
+
+    fn assert_bit_identical(a: &[f32], b: &[f32]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "col {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn tiled_mvm_matches_monolithic_with_remainders() {
+        // 300×200 on 128² tiles: remainder bands on both axes, and large
+        // enough (60k cells) to engage the parallel gate when threads > 1.
+        let (chip, mapping, mono) = build_pair(300, 200, 128);
+        for salt in [1u64, 2, 3] {
+            let dense = dense_input(300, salt);
+            assert_bit_identical(
+                &mapping.mvm(&chip, &dense).unwrap(),
+                &mono.mvm(&dense).unwrap(),
+            );
+            let sparse = sparse_input(300, salt);
+            assert_bit_identical(
+                &mapping.mvm(&chip, &sparse).unwrap(),
+                &mono.mvm(&sparse).unwrap(),
+            );
+        }
+    }
+
+    #[test]
+    fn tiled_mvm_matches_monolithic_with_faults() {
+        let (mut chip, mapping, mut mono) = build_pair(150, 140, 64);
+        // Mirror an adversarial fault pattern across both, including
+        // cells on shard edges.
+        let mut map = FaultMap::healthy(150, 140);
+        for i in 0..150usize {
+            let (r, c) = (i, (i * 7) % 140);
+            let kind =
+                if i % 2 == 0 { FaultKind::StuckAt0 } else { FaultKind::StuckAt1 };
+            map.set(r, c, Some(kind));
+        }
+        map.set(63, 63, Some(FaultKind::StuckAt1));
+        map.set(64, 64, Some(FaultKind::StuckAt0));
+        mapping.apply_fault_map(&mut chip, &map).unwrap();
+        mono.apply_fault_map(&map);
+        assert_eq!(mapping.fault_map(&chip).unwrap().count_faulty(), map.count_faulty());
+        let input = dense_input(150, 9);
+        assert_bit_identical(&mapping.mvm(&chip, &input).unwrap(), &mono.mvm(&input).unwrap());
+    }
+
+    #[test]
+    fn single_tile_degenerates_to_monolithic() {
+        let (chip, mapping, mono) = build_pair(60, 50, 128);
+        assert_eq!(mapping.tile_ids().len(), 1);
+        let input = dense_input(60, 4);
+        assert_bit_identical(&mapping.mvm(&chip, &input).unwrap(), &mono.mvm(&input).unwrap());
+    }
+
+    #[test]
+    fn batch_rows_match_single_mvm() {
+        let (chip, mapping, _) = build_pair(130, 70, 64);
+        let batch = 5;
+        let mut inputs = Vec::new();
+        for b in 0..batch {
+            inputs.extend(dense_input(130, 100 + b as u64));
+        }
+        let out = mapping.mvm_batch(&chip, &inputs, batch).unwrap();
+        for b in 0..batch {
+            let single = mapping.mvm(&chip, &inputs[b * 130..(b + 1) * 130]).unwrap();
+            assert_bit_identical(&out[b * 70..(b + 1) * 70], &single);
+        }
+    }
+
+    #[test]
+    fn dimension_errors() {
+        let (mut chip, mapping, _) = build_pair(40, 30, 16);
+        assert!(mapping.mvm(&chip, &[0.0; 39]).is_err());
+        assert!(mapping.mvm_batch(&chip, &[0.0; 41], 1).is_err());
+        assert!(mapping.program(&mut chip, &[0.5; 7]).is_err());
+        assert!(mapping.write_analog(&mut chip, 40, 0, 0.5).is_err());
+    }
+
+    #[test]
+    fn repoint_and_write_route_to_shards() {
+        let mut chip = TiledChip::new(ChipConfig::new(16, 8, 3).with_spare_tiles(1)).unwrap();
+        let mut mapping = TiledMapping::allocate(&mut chip, 20, 20).unwrap();
+        // Cell (17, 3) lives in shard (1, 0) — the bottom remainder band.
+        mapping.write_analog(&mut chip, 17, 3, 1.0).unwrap();
+        let id = mapping.tile_ids()[2];
+        assert_eq!(chip.tile(id).unwrap().conductance(1, 3).unwrap(), 1.0);
+        // Substitute that tile and re-point the shard.
+        let new_id = match chip.substitute(id).unwrap() {
+            crate::chip::SpareOutcome::Attached { new_id } => new_id,
+            crate::chip::SpareOutcome::Exhausted => panic!("have a spare"),
+        };
+        assert_eq!(mapping.repoint(id, new_id), 1);
+        assert_eq!(mapping.shard_of_tile(new_id).unwrap().row0, 16);
+        // Writes now land on the spare.
+        mapping.write_analog(&mut chip, 17, 3, 0.5).unwrap();
+        assert_eq!(chip.tile(new_id).unwrap().conductance(1, 3).unwrap(), 0.5);
+    }
+}

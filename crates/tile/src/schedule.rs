@@ -1,0 +1,182 @@
+//! Per-tile detection scheduling.
+//!
+//! On a tiled chip, test time is a per-array budget: running the §4
+//! quiescent-voltage campaign on every tile every interval wastes cycles
+//! on healthy tiles while a wearing tile waits its turn. The scheduler
+//! decides *which* tiles get this interval's campaigns; the chip runs
+//! them tile-locally (comparison groups never span tile edges). All
+//! policies are deterministic functions of the chip state and the
+//! scheduler's own cursor — no randomness, no wall time.
+
+use faultdet::detector::OnlineFaultDetector;
+
+use crate::chip::{CampaignStats, TiledChip};
+use crate::error::TileError;
+
+/// Which tiles to test each interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulePolicy {
+    /// Test every active tile every interval (the monolithic behaviour,
+    /// sharded).
+    Exhaustive,
+    /// Rotate a fixed-size window over the active tiles so every tile is
+    /// tested once per full rotation.
+    RoundRobin {
+        /// Tiles tested per campaign interval (≥ 1).
+        tiles_per_campaign: usize,
+    },
+    /// Spend the budget on the tiles most likely to have developed new
+    /// faults: rank by endurance wear-outs, then write pressure, then id.
+    WearRanked {
+        /// Tiles tested per campaign interval (≥ 1).
+        tiles_per_campaign: usize,
+    },
+}
+
+/// Stateful per-tile campaign scheduler.
+#[derive(Debug, Clone)]
+pub struct DetectionScheduler {
+    policy: SchedulePolicy,
+    cursor: usize,
+}
+
+impl DetectionScheduler {
+    /// Builds a scheduler.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a zero `tiles_per_campaign` (a schedule that never tests
+    /// anything is a misconfiguration, not a policy).
+    pub fn new(policy: SchedulePolicy) -> Result<Self, TileError> {
+        match policy {
+            SchedulePolicy::RoundRobin { tiles_per_campaign }
+            | SchedulePolicy::WearRanked { tiles_per_campaign }
+                if tiles_per_campaign == 0 =>
+            {
+                Err(TileError::InvalidConfig("tiles_per_campaign must be >= 1".into()))
+            }
+            _ => Ok(DetectionScheduler { policy, cursor: 0 }),
+        }
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> SchedulePolicy {
+        self.policy
+    }
+
+    /// Picks this interval's tiles from the chip's active set. Pure with
+    /// respect to the chip; advances only the scheduler's own cursor.
+    pub fn select(&mut self, chip: &TiledChip) -> Vec<usize> {
+        let active = chip.active_ids();
+        if active.is_empty() {
+            return Vec::new();
+        }
+        match self.policy {
+            SchedulePolicy::Exhaustive => active,
+            SchedulePolicy::RoundRobin { tiles_per_campaign } => {
+                let take = tiles_per_campaign.min(active.len());
+                let start = self.cursor % active.len();
+                self.cursor = (start + take) % active.len().max(1);
+                (0..take).map(|i| active[(start + i) % active.len()]).collect()
+            }
+            SchedulePolicy::WearRanked { tiles_per_campaign } => {
+                let mut ranked: Vec<(u64, u64, usize)> = active
+                    .iter()
+                    .map(|&id| {
+                        // PANIC-OK: ids come from active_ids on this chip.
+                        #[allow(clippy::expect_used)]
+                        let x = chip.tile(id).expect("active id exists");
+                        (x.wear_faults(), x.write_pulses(), id)
+                    })
+                    .collect();
+                ranked.sort_by(|a, b| {
+                    b.0.cmp(&a.0).then(b.1.cmp(&a.1)).then(a.2.cmp(&b.2))
+                });
+                ranked.into_iter().take(tiles_per_campaign).map(|(_, _, id)| id).collect()
+            }
+        }
+    }
+
+    /// Selects tiles and runs their campaigns on the chip.
+    pub fn run(
+        &mut self,
+        chip: &mut TiledChip,
+        detector: &OnlineFaultDetector,
+    ) -> CampaignStats {
+        let ids = self.select(chip);
+        chip.run_campaigns(detector, &ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chip::ChipConfig;
+    use faultdet::detector::DetectorConfig;
+
+    fn chip_with(n: usize) -> TiledChip {
+        let mut c = TiledChip::new(ChipConfig::new(8, 8, 11).with_spare_tiles(1)).unwrap();
+        for _ in 0..n {
+            c.allocate(8, 8).unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn zero_window_rejected() {
+        assert!(DetectionScheduler::new(SchedulePolicy::RoundRobin {
+            tiles_per_campaign: 0
+        })
+        .is_err());
+        assert!(DetectionScheduler::new(SchedulePolicy::WearRanked {
+            tiles_per_campaign: 0
+        })
+        .is_err());
+        assert!(DetectionScheduler::new(SchedulePolicy::Exhaustive).is_ok());
+    }
+
+    #[test]
+    fn exhaustive_selects_all_active() {
+        let mut c = chip_with(3);
+        let mut s = DetectionScheduler::new(SchedulePolicy::Exhaustive).unwrap();
+        assert_eq!(s.select(&c), vec![0, 1, 2]);
+        c.substitute(1).unwrap();
+        assert_eq!(s.select(&c), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn round_robin_rotates_and_wraps() {
+        let c = chip_with(5);
+        let mut s =
+            DetectionScheduler::new(SchedulePolicy::RoundRobin { tiles_per_campaign: 2 })
+                .unwrap();
+        assert_eq!(s.select(&c), vec![0, 1]);
+        assert_eq!(s.select(&c), vec![2, 3]);
+        assert_eq!(s.select(&c), vec![4, 0]);
+        assert_eq!(s.select(&c), vec![1, 2]);
+    }
+
+    #[test]
+    fn wear_ranked_prefers_worn_then_busy_tiles() {
+        let mut c = chip_with(3);
+        // Give tile 2 write pressure (no wear-outs: unlimited endurance).
+        for _ in 0..4 {
+            c.tile_mut(2).unwrap().write_analog(0, 0, 0.5).unwrap();
+        }
+        let mut s =
+            DetectionScheduler::new(SchedulePolicy::WearRanked { tiles_per_campaign: 2 })
+                .unwrap();
+        assert_eq!(s.select(&c), vec![2, 0]);
+    }
+
+    #[test]
+    fn run_feeds_selection_into_campaigns() {
+        let mut c = chip_with(4);
+        let det = OnlineFaultDetector::new(DetectorConfig::new(2).unwrap());
+        let mut s =
+            DetectionScheduler::new(SchedulePolicy::RoundRobin { tiles_per_campaign: 3 })
+                .unwrap();
+        let stats = s.run(&mut c, &det);
+        assert_eq!(stats.campaigns_run, 3);
+    }
+}

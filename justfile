@@ -39,7 +39,7 @@ chaos:
 # (--lib builds without cfg(test)). Includes ftt-lint so the linter
 # obeys its own panic policy.
 clippy-unwrap:
-    cargo clippy -p obs -p par -p rram -p nn -p faultdet -p ftt-core -p chaos -p ftt-lint --lib -- \
+    cargo clippy -p obs -p par -p rram -p nn -p faultdet -p ftt-tile -p ftt-core -p chaos -p ftt-lint --lib -- \
         -D warnings -D clippy::unwrap_used -D clippy::expect_used
 
 # Static-analysis gate (DESIGN.md §10): the ftt-lint check catalog (P1
@@ -53,6 +53,12 @@ lint:
 # (byte-identical across runs and RRAM_FTT_THREADS settings).
 lint-json:
     cargo run --release -p ftt-lint -- --json
+
+# Tiled-chip walkthrough (DESIGN.md §11): maps an MNIST-sized MLP whose
+# layers span many tiles, trains through the tiled chip with sparing
+# enabled, and prints the per-tile health report + chip event counts.
+tile-demo:
+    cargo run --release --example tiled_mnist
 
 # Telemetry walkthrough (DESIGN.md §9): runs the closed-loop flow with all
 # sinks attached, verifies the JSONL trace is byte-identical across thread
