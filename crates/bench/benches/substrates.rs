@@ -25,7 +25,9 @@ fn programmed(size: usize, seed: u64) -> Crossbar {
     let mut rng = rram::rng::sim_rng(seed);
     for r in 0..size {
         for c in 0..size {
-            let _ = xbar.write_level(r, c, rng.gen_range(0..8)).expect("in range");
+            let _ = xbar
+                .write_level(r, c, rng.gen_range(0..8))
+                .expect("in range");
         }
     }
     xbar
@@ -104,9 +106,7 @@ fn bench_group_sums(c: &mut Criterion) {
             let mut acc = 0.0f64;
             for g in 0..size / t {
                 for col in 0..size {
-                    acc += xbar
-                        .column_group_sum(g * t..(g + 1) * t, col)
-                        .expect("sum");
+                    acc += xbar.column_group_sum(g * t..(g + 1) * t, col).expect("sum");
                 }
             }
             black_box(acc)
@@ -130,19 +130,23 @@ fn bench_remap(c: &mut Criterion) {
     let problem =
         RemapProblem::with_ground_truth(&mapped, &mask, CostModel::PaperDist).expect("problem");
     for budget in [1000usize, 10_000] {
-        group.bench_with_input(BenchmarkId::from_parameter(budget), &budget, |b, &budget| {
-            b.iter(|| {
-                black_box(problem.solve(
-                    &mapped,
-                    &RemapConfig {
-                        algorithm: RemapAlgorithm::SwapHillClimb,
-                        cost: CostModel::PaperDist,
-                        iterations: budget,
-                        seed: 3,
-                    },
-                ))
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(budget),
+            &budget,
+            |b, &budget| {
+                b.iter(|| {
+                    black_box(problem.solve(
+                        &mapped,
+                        &RemapConfig {
+                            algorithm: RemapAlgorithm::SwapHillClimb,
+                            cost: CostModel::PaperDist,
+                            iterations: budget,
+                            seed: 3,
+                        },
+                    ))
+                });
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("greedy_batch", budget),
             &budget,
@@ -175,8 +179,14 @@ fn bench_training_iteration(c: &mut Criterion) {
     group.sample_size(10);
     let data = SyntheticDataset::mnist_like(128, 32, 3);
     for (label, flow) in [
-        ("original", FlowConfig::original().with_lr(LrSchedule::constant(0.1))),
-        ("threshold", FlowConfig::threshold_only().with_lr(LrSchedule::constant(0.1))),
+        (
+            "original",
+            FlowConfig::original().with_lr(LrSchedule::constant(0.1)),
+        ),
+        (
+            "threshold",
+            FlowConfig::threshold_only().with_lr(LrSchedule::constant(0.1)),
+        ),
     ] {
         group.bench_function(label, |b| {
             b.iter_batched(

@@ -27,7 +27,9 @@ fn build(size: usize, fraction: f64, seed: u64) -> Crossbar {
     let mut rng = rram::rng::sim_rng(seed ^ 0xada);
     for r in 0..size {
         for c in 0..size {
-            let _ = xbar.write_level(r, c, rng.gen_range(0..8)).expect("in range");
+            let _ = xbar
+                .write_level(r, c, rng.gen_range(0..8))
+                .expect("in range");
         }
     }
     xbar

@@ -27,9 +27,10 @@ fn main() {
     println!("coding, scenario, peak_accuracy, final_accuracy, write_pulses, faulty_at_end");
     let mut csv =
         String::from("coding,scenario,peak_accuracy,final_accuracy,write_pulses,faulty_at_end\n");
-    for (coding_name, coding) in
-        [("unipolar", WeightCoding::Unipolar), ("differential", WeightCoding::Differential)]
-    {
+    for (coding_name, coding) in [
+        ("unipolar", WeightCoding::Unipolar),
+        ("differential", WeightCoding::Differential),
+    ] {
         for (scenario, fraction, endurance) in [
             ("clean", 0.0, EnduranceModel::unlimited()),
             ("20%_faults", 0.2, EnduranceModel::unlimited()),
@@ -56,9 +57,7 @@ fn main() {
             let final_acc = trainer.curve().final_accuracy();
             let pulses = trainer.mapped().total_write_pulses();
             let faulty = trainer.mapped().fraction_faulty();
-            println!(
-                "{coding_name}, {scenario}, {peak:.3}, {final_acc:.3}, {pulses}, {faulty:.3}"
-            );
+            println!("{coding_name}, {scenario}, {peak:.3}, {final_acc:.3}, {pulses}, {faulty:.3}");
             csv.push_str(&format!(
                 "{coding_name},{scenario},{peak:.4},{final_acc:.4},{pulses},{faulty:.4}\n"
             ));

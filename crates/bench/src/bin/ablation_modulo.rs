@@ -22,7 +22,9 @@ fn main() {
     let test_size = arg_or("--test-size", 64usize);
     let seeds = arg_or("--seeds", 5u64);
 
-    println!("# modulo-divisor ablation ({size}x{size}, 10% uniform faults, test size {test_size})");
+    println!(
+        "# modulo-divisor ablation ({size}x{size}, 10% uniform faults, test size {test_size})"
+    );
     println!("divisor, reference_voltages, comparator_bits, precision, recall");
     let mut csv = String::from("divisor,reference_voltages,comparator_bits,precision,recall\n");
     for divisor in [2u32, 4, 8, 16, 32, 64] {
@@ -37,7 +39,9 @@ fn main() {
             let mut rng = rram::rng::sim_rng(seed ^ 0xfeed);
             for r in 0..size {
                 for c in 0..size {
-                    let _ = xbar.write_level(r, c, rng.gen_range(0..8)).expect("in range");
+                    let _ = xbar
+                        .write_level(r, c, rng.gen_range(0..8))
+                        .expect("in range");
                 }
             }
             let truth = xbar.fault_map();
@@ -56,7 +60,9 @@ fn main() {
         recall /= seeds as f64;
         let bits = divisor.trailing_zeros();
         println!("{divisor}, {divisor}, {bits}, {precision:.3}, {recall:.3}");
-        csv.push_str(&format!("{divisor},{divisor},{bits},{precision:.4},{recall:.4}\n"));
+        csv.push_str(&format!(
+            "{divisor},{divisor},{bits},{precision:.4},{recall:.4}\n"
+        ));
     }
     write_csv("ablation_modulo", &csv);
 }

@@ -27,10 +27,25 @@ fn main() {
     let policies: [(&str, ThresholdPolicy); 6] = [
         ("original (no threshold)", ThresholdPolicy::None),
         ("fixed 0.1%", ThresholdPolicy::Fixed { fraction: 0.001 }),
-        ("fixed 1% (paper)", ThresholdPolicy::Fixed { fraction: 0.01 }),
+        (
+            "fixed 1% (paper)",
+            ThresholdPolicy::Fixed { fraction: 0.01 },
+        ),
         ("fixed 5%", ThresholdPolicy::Fixed { fraction: 0.05 }),
-        ("wear-aware 1%", ThresholdPolicy::WearAware { fraction: 0.01, growth: 0.01 }),
-        ("wear-aware 0.1%", ThresholdPolicy::WearAware { fraction: 0.001, growth: 0.05 }),
+        (
+            "wear-aware 1%",
+            ThresholdPolicy::WearAware {
+                fraction: 0.01,
+                growth: 0.01,
+            },
+        ),
+        (
+            "wear-aware 0.1%",
+            ThresholdPolicy::WearAware {
+                fraction: 0.001,
+                growth: 0.05,
+            },
+        ),
     ];
 
     println!("# threshold policy ablation (784x100x10 MLP, {iterations} iterations)");
@@ -54,7 +69,10 @@ fn main() {
         let ratio = writes as f64 / original_writes.expect("set on first run") as f64;
         let acc = trainer.curve().final_accuracy();
         println!("{name}, {acc:.3}, {writes}, {ratio:.4}");
-        csv.push_str(&format!("{},{acc:.4},{writes},{ratio:.5}\n", name.replace(',', ";")));
+        csv.push_str(&format!(
+            "{},{acc:.4},{writes},{ratio:.5}\n",
+            name.replace(',', ";")
+        ));
     }
     write_csv("ablation_threshold", &csv);
 }

@@ -42,7 +42,9 @@ fn main() {
         let mut rng = rram::rng::sim_rng(13);
         for r in 0..size {
             for c in 0..size {
-                let _ = xbar.write_level(r, c, rng.gen_range(0..8)).expect("in range");
+                let _ = xbar
+                    .write_level(r, c, rng.gen_range(0..8))
+                    .expect("in range");
             }
         }
         let truth = xbar.fault_map();
@@ -50,7 +52,11 @@ fn main() {
             .run(&mut xbar)
             .expect("campaign");
         let report = DetectionReport::evaluate(&truth, &outcome.predicted);
-        println!("{sigma:.2}, {:.3}, {:.3}", report.precision(), report.recall());
+        println!(
+            "{sigma:.2}, {:.3}, {:.3}",
+            report.precision(),
+            report.recall()
+        );
         csv.push_str(&format!(
             "detection,{sigma:.3},{:.4},{:.4}\n",
             report.precision(),
@@ -59,7 +65,9 @@ fn main() {
     }
 
     println!();
-    println!("# on-line training under write variation (MLP, {iterations} iterations, no hard faults)");
+    println!(
+        "# on-line training under write variation (MLP, {iterations} iterations, no hard faults)"
+    );
     println!("sigma, final_accuracy");
     let data = SyntheticDataset::mnist_like(512, 128, 21);
     for &sigma in &sigmas {

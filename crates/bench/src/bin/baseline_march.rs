@@ -27,7 +27,9 @@ fn build(size: usize, seed: u64) -> Crossbar {
     let mut rng = rram::rng::sim_rng(seed ^ 0xdead);
     for r in 0..size {
         for c in 0..size {
-            let _ = xbar.write_level(r, c, rng.gen_range(0..8)).expect("in range");
+            let _ = xbar
+                .write_level(r, c, rng.gen_range(0..8))
+                .expect("in range");
         }
     }
     xbar
@@ -63,11 +65,9 @@ fn main() {
         // Quiescent-voltage comparison.
         let mut xbar = build(size, 5);
         let truth = xbar.fault_map();
-        let outcome = OnlineFaultDetector::new(
-            DetectorConfig::new(test_size).expect("test size"),
-        )
-        .run(&mut xbar)
-        .expect("campaign");
+        let outcome = OnlineFaultDetector::new(DetectorConfig::new(test_size).expect("test size"))
+            .run(&mut xbar)
+            .expect("campaign");
         let report = DetectionReport::evaluate(&truth, &outcome.predicted);
         println!(
             "{size}, quiescent, {}, {:.3}, {:.3}, {}",

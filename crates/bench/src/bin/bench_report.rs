@@ -19,11 +19,18 @@
 //!
 //! Output path: `BENCH_kernels.json` in the working directory, or the
 //! `BENCH_REPORT_PATH` env var.
+//!
+//! **Quick mode** (`BENCH_QUICK=1`, wired as `just bench-quick`): shrinks
+//! the expensive size sweeps and calibration budgets so the whole run fits
+//! in CI, while still executing every kernel and the bit-identity oracle
+//! checks — the smoke gate asserts *correctness* (vectorized == scalar,
+//! incremental == full resync), never timings.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use faultdet::detector::{DetectorConfig, OnlineFaultDetector};
+use faultdet::reference::OffChipStore;
 use ftt_core::config::{MappingConfig, MappingScope, RemapConfig};
 use ftt_core::remap::{CostModel, RemapAlgorithm, RemapProblem};
 use nn::models::mlp_784_100_10;
@@ -81,30 +88,98 @@ fn programmed(size: usize, seed: u64) -> Crossbar {
     let mut rng = rram::rng::sim_rng(seed);
     for r in 0..size {
         for c in 0..size {
-            let _ = xbar.write_level(r, c, rng.gen_range(0..8)).expect("in range");
+            let _ = xbar
+                .write_level(r, c, rng.gen_range(0..8))
+                .expect("in range");
         }
     }
     xbar
 }
 
+/// Bit-identity oracle checks for every kernel this report times; runs in
+/// both modes, and is the entire point of the `bench-quick` CI smoke.
+fn verify_bit_identity() {
+    for size in [33usize, 64] {
+        let xbar = programmed(size, 21);
+        let input: Vec<f32> = (0..size).map(|i| (i as f32 * 0.53).cos()).collect();
+        assert_eq!(
+            xbar.mvm(&input).unwrap(),
+            xbar.mvm_reference(&input).unwrap(),
+            "vectorized mvm diverged from scalar reference at {size}"
+        );
+        let sums = xbar.column_group_sums(0..size).unwrap();
+        let rows = xbar.row_group_sums(0..size).unwrap();
+        for i in 0..size {
+            assert_eq!(
+                sums[i].to_bits(),
+                xbar.column_group_sum(0..size, i).unwrap().to_bits(),
+                "batched column sum diverged at {size}, col {i}"
+            );
+            assert_eq!(
+                rows[i].to_bits(),
+                xbar.row_group_sum(i, 0..size).unwrap().to_bits(),
+                "batched row sum diverged at {size}, row {i}"
+            );
+        }
+    }
+    // Fresh-store incremental campaign == classic full campaign.
+    let detector = OnlineFaultDetector::new(DetectorConfig::new(8).unwrap());
+    let mut full_xbar = programmed(64, 23);
+    let mut inc_xbar = programmed(64, 23);
+    let full = detector.run(&mut full_xbar).unwrap();
+    let mut store = OffChipStore::attach(&mut inc_xbar);
+    let inc = detector
+        .run_incremental(&mut inc_xbar, &mut store, None)
+        .unwrap();
+    assert_eq!(
+        inc.predicted, full.predicted,
+        "incremental detection diverged from full"
+    );
+    assert_eq!(
+        (inc.sa0_cycles, inc.sa1_cycles, inc.write_pulses),
+        (full.sa0_cycles, full.sa1_cycles, full.write_pulses),
+        "incremental sweep costs diverged from full"
+    );
+    eprintln!("bit-identity oracles: ok (mvm, group sums, incremental detection)");
+}
+
 fn main() {
     let threads = par::thread_count();
+    let quick = std::env::var("BENCH_QUICK").is_ok();
+    verify_bit_identity();
+    // Quick mode trades calibration depth for CI wall-clock; the identity
+    // checks above are the gate, the timings are informational.
+    let (batch_ms, long_ms, samples) = if quick { (1, 2, 2) } else { (10, 50, 5) };
     let mut records: Vec<Record> = Vec::new();
     let push = |records: &mut Vec<Record>, name: &'static str, size: usize, ns: f64| {
         eprintln!("{name:<34} size {size:>5}  {ns:>14.0} ns/iter  ({threads} threads)");
-        records.push(Record { name, size, ns_per_iter: ns, threads });
+        records.push(Record {
+            name,
+            size,
+            ns_per_iter: ns,
+            threads,
+        });
     };
 
     // --- Crossbar MVM: cached plane vs scalar reference -----------------
-    for size in [64usize, 128, 256, 512, 1024] {
+    let mvm_sizes: &[usize] = if quick {
+        &[64, 129]
+    } else {
+        &[64, 128, 256, 512, 1024]
+    };
+    for &size in mvm_sizes {
         let xbar = programmed(size, 1);
         let input: Vec<f32> = (0..size).map(|i| (i as f32 * 0.37).sin()).collect();
-        let ns = time_ns(|| drop(black_box(xbar.mvm(black_box(&input)).unwrap())), 10, 5);
+        let ns = time_ns(
+            || drop(black_box(xbar.mvm(black_box(&input)).unwrap())),
+            batch_ms,
+            samples,
+        );
         push(&mut records, "crossbar_mvm_plane", size, ns);
         let ns = time_ns(
             || drop(black_box(xbar.mvm_reference(black_box(&input)).unwrap())),
-            10,
-            5,
+            batch_ms,
+            samples,
         );
         push(&mut records, "crossbar_mvm_reference", size, ns);
     }
@@ -113,32 +188,74 @@ fn main() {
     // Same conductance state on both sides (the chip tiles are programmed
     // from the monolithic array's plane), tile size 128 with remainder-free
     // grids: 512² -> 4×4 shards, 1024² -> 8×8.
-    for size in [512usize, 1024] {
+    let tiled_sizes: &[usize] = if quick { &[256] } else { &[512, 1024] };
+    for &size in tiled_sizes {
         let xbar = programmed(size, 3);
         let input: Vec<f32> = (0..size).map(|i| (i as f32 * 0.37).sin()).collect();
         let chip_cfg = ftt_tile::ChipConfig::new(128, 8, 3);
         let mut chip = ftt_tile::TiledChip::new(chip_cfg).expect("valid chip");
-        let tiled = ftt_tile::TiledMapping::allocate(&mut chip, size, size)
-            .expect("tiled mapping");
+        let tiled = ftt_tile::TiledMapping::allocate(&mut chip, size, size).expect("tiled mapping");
         tiled
             .program(&mut chip, xbar.conductance_plane_f64())
             .expect("program tiles");
-        let ns = time_ns(|| drop(black_box(xbar.mvm(black_box(&input)).unwrap())), 10, 5);
+        let ns = time_ns(
+            || drop(black_box(xbar.mvm(black_box(&input)).unwrap())),
+            batch_ms,
+            samples,
+        );
         push(&mut records, "mvm_monolithic", size, ns);
         let ns = time_ns(
             || drop(black_box(tiled.mvm(&chip, black_box(&input)).unwrap())),
-            10,
-            5,
+            batch_ms,
+            samples,
         );
         push(&mut records, "mvm_tiled_t128", size, ns);
     }
 
     // --- Detection: full campaign at the paper-scale Tr = 16 ------------
-    for size in [256usize, 512] {
+    let detect_sizes: &[usize] = if quick { &[64] } else { &[256, 512] };
+    for &size in detect_sizes {
         let mut xbar = programmed(size, 2);
         let detector = OnlineFaultDetector::new(DetectorConfig::new(16).unwrap());
-        let ns = time_ns(|| drop(black_box(detector.run(&mut xbar).unwrap())), 50, 3);
+        let ns = time_ns(
+            || drop(black_box(detector.run(&mut xbar).unwrap())),
+            long_ms,
+            samples,
+        );
         push(&mut records, "detection_campaign_t16", size, ns);
+    }
+
+    // --- Detection: incremental campaign on a warm persistent store -----
+    // The in-training regime: the store is coherent from the previous
+    // campaign and only ~1000 sparse training writes dirtied the array, so
+    // each campaign re-reads a fraction of a percent of the cells and
+    // sweeps only the written candidates.
+    for &size in detect_sizes {
+        let mut xbar = programmed(size, 2);
+        let detector = OnlineFaultDetector::new(DetectorConfig::new(16).unwrap());
+        let mut store = OffChipStore::attach(&mut xbar);
+        let mut baseline = detector
+            .run_incremental(&mut xbar, &mut store, None)
+            .expect("warm-up campaign")
+            .predicted;
+        let mut rng = rram::rng::sim_rng(11);
+        let writes = if quick { 64 } else { 1000 };
+        let ns = time_ns(
+            || {
+                for _ in 0..writes {
+                    let (r, c) = (rng.gen_range(0..size), rng.gen_range(0..size));
+                    let level = rng.gen_range(0..8);
+                    let _ = xbar.write_level(r, c, level).expect("in range");
+                }
+                let out = detector
+                    .run_incremental(&mut xbar, &mut store, Some(&baseline))
+                    .expect("incremental campaign");
+                baseline = black_box(out).predicted;
+            },
+            long_ms,
+            samples,
+        );
+        push(&mut records, "detection_incremental_t16", size, ns);
     }
 
     // --- Detection comparison kernel: batched plane sweep vs per-line ---
@@ -155,8 +272,8 @@ fn main() {
                 }
                 black_box(acc);
             },
-            10,
-            5,
+            batch_ms,
+            samples,
         );
         push(&mut records, "detection_group_sums_batched", size, ns);
         let ns = time_ns(
@@ -169,23 +286,55 @@ fn main() {
                 }
                 black_box(acc);
             },
-            10,
-            5,
+            batch_ms,
+            samples,
         );
         push(&mut records, "detection_group_sums_scalar", size, ns);
+        // Both directions of a full Tr = 16 sweep through the shared lane
+        // kernel — the per-campaign comparison workload as one number.
+        let ns = time_ns(
+            || {
+                let mut acc = 0.0f64;
+                for g in 0..size / t {
+                    acc += xbar
+                        .column_group_sums(g * t..(g + 1) * t)
+                        .unwrap()
+                        .iter()
+                        .sum::<f64>();
+                    acc += xbar
+                        .row_group_sums(g * t..(g + 1) * t)
+                        .unwrap()
+                        .iter()
+                        .sum::<f64>();
+                }
+                black_box(acc);
+            },
+            batch_ms,
+            samples,
+        );
+        push(&mut records, "group_sums_512", size, ns);
     }
 
     // --- Tensor matmul (forward-pass substrate) --------------------------
-    for size in [128usize, 256] {
+    let matmul_sizes: &[usize] = if quick { &[64] } else { &[128, 256] };
+    for &size in matmul_sizes {
         let a = Tensor::from_vec(
             vec![size, size],
-            (0..size * size).map(|i| ((i % 97) as f32 - 48.0) / 48.0).collect(),
+            (0..size * size)
+                .map(|i| ((i % 97) as f32 - 48.0) / 48.0)
+                .collect(),
         );
         let b = Tensor::from_vec(
             vec![size, size],
-            (0..size * size).map(|i| ((i % 89) as f32 - 44.0) / 44.0).collect(),
+            (0..size * size)
+                .map(|i| ((i % 89) as f32 - 44.0) / 44.0)
+                .collect(),
         );
-        let ns = time_ns(|| drop(black_box(a.matmul(black_box(&b)))), 20, 5);
+        let ns = time_ns(
+            || drop(black_box(a.matmul(black_box(&b)))),
+            batch_ms,
+            samples,
+        );
         push(&mut records, "tensor_matmul", size, ns);
     }
 
@@ -200,29 +349,49 @@ fn main() {
         )
         .expect("mapping");
         let mask = magnitude_prune(&mut net, 0.5);
-        let problem = RemapProblem::with_ground_truth(&mapped, &mask, CostModel::PaperDist)
-            .expect("problem");
+        let problem =
+            RemapProblem::with_ground_truth(&mapped, &mask, CostModel::PaperDist).expect("problem");
         let perms = vec![Permutation::identity(100)];
         let ns = time_ns(
             || {
                 let _ = black_box(problem.cost(black_box(&perms)));
             },
-            20,
-            5,
+            batch_ms,
+            samples,
         );
-        push(&mut records, "remap_full_cost_recount", 784 * 100 + 100 * 10, ns);
+        push(
+            &mut records,
+            "remap_full_cost_recount",
+            784 * 100 + 100 * 10,
+            ns,
+        );
+        let iterations = if quick { 200 } else { 1000 };
         for (name, algorithm) in [
             ("remap_hill_climb_1k", RemapAlgorithm::SwapHillClimb),
-            ("remap_greedy_batch_1k", RemapAlgorithm::GreedySwapBatch { batch: 64 }),
+            (
+                "remap_greedy_batch_1k",
+                RemapAlgorithm::GreedySwapBatch { batch: 64 },
+            ),
+            (
+                "remap_genetic_islands",
+                RemapAlgorithm::Genetic {
+                    population: 8,
+                    islands: 4,
+                },
+            ),
         ] {
             let cfg = RemapConfig {
                 algorithm,
                 cost: CostModel::PaperDist,
-                iterations: 1000,
+                iterations,
                 seed: 3,
             };
-            let ns = time_ns(|| drop(black_box(problem.solve(&mapped, &cfg))), 50, 3);
-            push(&mut records, name, 1000, ns);
+            let ns = time_ns(
+                || drop(black_box(problem.solve(&mapped, &cfg))),
+                long_ms,
+                samples,
+            );
+            push(&mut records, name, iterations, ns);
         }
     }
 
@@ -233,13 +402,16 @@ fn main() {
             .find(|r| r.name == name && r.size == size)
             .map(|r| r.ns_per_iter)
     };
-    if let (Some(plane), Some(reference)) =
-        (find("crossbar_mvm_plane", 512), find("crossbar_mvm_reference", 512))
-    {
-        eprintln!("mvm 512²: plane kernel speedup {:.2}x over scalar reference", reference / plane);
+    if let (Some(plane), Some(reference)) = (
+        find("crossbar_mvm_plane", 512),
+        find("crossbar_mvm_reference", 512),
+    ) {
+        eprintln!(
+            "mvm 512²: plane kernel speedup {:.2}x over scalar reference",
+            reference / plane
+        );
     }
-    if let (Some(mono), Some(tiled)) =
-        (find("mvm_monolithic", 1024), find("mvm_tiled_t128", 1024))
+    if let (Some(mono), Some(tiled)) = (find("mvm_monolithic", 1024), find("mvm_tiled_t128", 1024))
     {
         eprintln!(
             "mvm 1024² on 128² tiles: {:.2}x the monolithic kernel (bit-identical output)",
@@ -253,6 +425,16 @@ fn main() {
         eprintln!(
             "detection Tr=16 sweep 512²: batched kernel speedup {:.2}x over per-line walks",
             scalar / batched
+        );
+    }
+    if let (Some(full), Some(inc)) = (
+        find("detection_campaign_t16", 512),
+        find("detection_incremental_t16", 512),
+    ) {
+        eprintln!(
+            "detection Tr=16 512²: incremental campaign (warm store, ~1000 writes) {:.2}x \
+             over the full campaign",
+            full / inc
         );
     }
 
@@ -270,8 +452,10 @@ fn main() {
         );
     }
     json.push_str("]\n");
-    let path = std::env::var("BENCH_REPORT_PATH")
-        .unwrap_or_else(|_| "BENCH_kernels.json".to_string());
-    std::fs::write(&path, json).expect("write BENCH_kernels.json");
+    let path =
+        std::env::var("BENCH_REPORT_PATH").unwrap_or_else(|_| "BENCH_kernels.json".to_string());
+    if let Err(e) = std::fs::write(&path, json) {
+        panic!("write {path}: {e}");
+    }
     eprintln!("wrote {path}");
 }

@@ -54,8 +54,7 @@ fn campaigns(
     let mut flow = FlowConfig::original().with_lr(LrSchedule::constant(0.05));
     flow.threshold = policy;
     flow.eval_interval = per_campaign;
-    let mut trainer =
-        FaultTolerantTrainer::new(small_net(0), mapping, flow).expect("valid config");
+    let mut trainer = FaultTolerantTrainer::new(small_net(0), mapping, flow).expect("valid config");
     let mut succeeded = 0u32;
     let mut faulty_after_first = 0.0;
     for campaign in 0..cap {
@@ -91,21 +90,28 @@ fn main() {
         FlowConfig::original().with_lr(LrSchedule::constant(0.05)),
     )
     .expect("valid config");
-    reference_trainer.train(&data, per_campaign).expect("training");
+    reference_trainer
+        .train(&data, per_campaign)
+        .expect("training");
     let reference = reference_trainer.curve().final_accuracy();
     println!("# fresh-hardware reference accuracy: {reference:.3}");
     println!("# campaign budget cap: {cap}; {per_campaign} iterations per campaign");
     println!();
     println!("endurance_model, method, successful_campaigns, faulty_after_first_campaign");
 
-    let mut csv =
-        String::from("endurance_model,method,successful_campaigns,faulty_after_first\n");
+    let mut csv = String::from("endurance_model,method,successful_campaigns,faulty_after_first\n");
     // "High endurance": mean = 12 campaigns' worth of unconditional writes
     // (the paper's 1e8 vs 5e6-write campaigns gives a similar small ratio).
     // "Medium endurance" (the paper's 1e7 case): mean = 1.2 campaigns.
     let cases = [
-        ("high_endurance", EnduranceModel::new(12.0 * per_campaign as f64, 3.0 * per_campaign as f64)),
-        ("medium_endurance", EnduranceModel::new(1.2 * per_campaign as f64, 0.35 * per_campaign as f64)),
+        (
+            "high_endurance",
+            EnduranceModel::new(12.0 * per_campaign as f64, 3.0 * per_campaign as f64),
+        ),
+        (
+            "medium_endurance",
+            EnduranceModel::new(1.2 * per_campaign as f64, 0.35 * per_campaign as f64),
+        ),
     ];
     for (label, endurance) in cases {
         for (method, policy) in [
@@ -113,7 +119,11 @@ fn main() {
             ("threshold", ThresholdPolicy::paper_default()),
         ] {
             let (n, faulty1) = campaigns(policy, endurance, per_campaign, cap, reference);
-            let shown = if n >= cap { format!(">={n}") } else { n.to_string() };
+            let shown = if n >= cap {
+                format!(">={n}")
+            } else {
+                n.to_string()
+            };
             println!("{label}, {method}, {shown}, {faulty1:.3}");
             csv.push_str(&format!("{label},{method},{n},{faulty1:.4}\n"));
         }

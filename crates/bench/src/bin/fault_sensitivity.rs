@@ -46,8 +46,9 @@ fn main() {
     for percent in [0u32, 5, 10, 15, 20, 30, 40, 50, 60, 70] {
         let fraction = f64::from(percent) / 100.0;
         let mut acc = [0.0f64; 2];
-        for (i, scope) in
-            [MappingScope::EntireNetwork, MappingScope::FcOnly].into_iter().enumerate()
+        for (i, scope) in [MappingScope::EntireNetwork, MappingScope::FcOnly]
+            .into_iter()
+            .enumerate()
         {
             for seed in 0..seeds {
                 let mut deployed = net.clone_weights_into(vgg11_cifar(divisor, 3));
@@ -55,8 +56,8 @@ fn main() {
                     .with_initial_fault_fraction(fraction)
                     .with_initial_sa0_prob(0.8)
                     .with_seed(7 + seed);
-                let mapped = MappedNetwork::from_network(&mut deployed, mapping)
-                    .expect("valid mapping");
+                let mapped =
+                    MappedNetwork::from_network(&mut deployed, mapping).expect("valid mapping");
                 mapped.load_effective_weights(&mut deployed).unwrap();
                 acc[i] += accuracy(&deployed.forward(&tx), &ty);
             }

@@ -31,10 +31,14 @@ fn main() {
     // Paper ratio: mean endurance == iteration budget (5e6 vs 5M iters).
     // Fault kinds are SA0-dominant, following the march-test defect
     // characterization the paper cites ([5], Chen et al.).
-    let endurance = EnduranceModel::new(iterations as f64, 0.3 * iterations as f64)
-        .with_wearout_sa0_prob(0.8);
+    let endurance =
+        EnduranceModel::new(iterations as f64, 0.3 * iterations as f64).with_wearout_sa0_prob(0.8);
 
-    let flow = || FlowConfig::original().with_lr(schedule).with_eval_interval(iterations / 40);
+    let flow = || {
+        FlowConfig::original()
+            .with_lr(schedule)
+            .with_eval_interval(iterations / 40)
+    };
     let runs = vec![
         run_flow(
             "ideal case (no faults)",

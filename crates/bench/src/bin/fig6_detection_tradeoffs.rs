@@ -30,7 +30,9 @@ fn build(size: usize, dist: SpatialDistribution, seed: u64) -> Crossbar {
     let mut rng = rram::rng::sim_rng(seed ^ 0x5eed);
     for r in 0..size {
         for c in 0..size {
-            let _ = xbar.write_level(r, c, rng.gen_range(0..8)).expect("in range");
+            let _ = xbar
+                .write_level(r, c, rng.gen_range(0..8))
+                .expect("in range");
         }
     }
     xbar
@@ -74,8 +76,7 @@ fn main() {
                 .run(&mut xbar)
                 .expect("campaign");
                 let report = DetectionReport::evaluate(&truth, &outcome.predicted);
-                let kind_report =
-                    DetectionReport::evaluate_kind_aware(&truth, &outcome.predicted);
+                let kind_report = DetectionReport::evaluate_kind_aware(&truth, &outcome.predicted);
                 precision += report.precision();
                 recall += report.recall();
                 recall_kind += kind_report.recall();

@@ -25,8 +25,8 @@ fn main() {
     let schedule = LrSchedule::step_decay(0.01, 0.7, iterations / 3);
     // Fault kinds are SA0-dominant, following the march-test defect
     // characterization the paper cites ([5], Chen et al.).
-    let endurance = EnduranceModel::new(iterations as f64, 0.3 * iterations as f64)
-        .with_wearout_sa0_prob(0.8);
+    let endurance =
+        EnduranceModel::new(iterations as f64, 0.3 * iterations as f64).with_wearout_sa0_prob(0.8);
     let mapping = || {
         MappingConfig::new(MappingScope::EntireNetwork)
             .with_initial_fault_fraction(0.10)
@@ -41,7 +41,9 @@ fn main() {
             "ideal case (no faults)",
             vgg11_cifar(divisor, 3),
             MappingConfig::new(MappingScope::EntireNetwork).with_seed(17),
-            FlowConfig::original().with_lr(schedule).with_eval_interval(eval),
+            FlowConfig::original()
+                .with_lr(schedule)
+                .with_eval_interval(eval),
             &data,
             iterations,
         ),
@@ -49,7 +51,9 @@ fn main() {
             "original method",
             vgg11_cifar(divisor, 3),
             mapping(),
-            FlowConfig::original().with_lr(schedule).with_eval_interval(eval),
+            FlowConfig::original()
+                .with_lr(schedule)
+                .with_eval_interval(eval),
             &data,
             iterations,
         ),
@@ -57,7 +61,9 @@ fn main() {
             "fault-tolerant method with threshold training",
             vgg11_cifar(divisor, 3),
             mapping(),
-            FlowConfig::threshold_only().with_lr(schedule).with_eval_interval(eval),
+            FlowConfig::threshold_only()
+                .with_lr(schedule)
+                .with_eval_interval(eval),
             &data,
             iterations,
         ),

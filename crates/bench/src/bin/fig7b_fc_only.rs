@@ -43,7 +43,9 @@ fn main() {
             "ideal case (no faults)",
             vgg11_cifar(divisor, 3),
             MappingConfig::new(MappingScope::FcOnly).with_seed(17),
-            FlowConfig::original().with_lr(schedule).with_eval_interval(eval),
+            FlowConfig::original()
+                .with_lr(schedule)
+                .with_eval_interval(eval),
             &data,
             iterations,
         ),
@@ -51,7 +53,9 @@ fn main() {
             "original method",
             vgg11_cifar(divisor, 3),
             mapping(),
-            FlowConfig::original().with_lr(schedule).with_eval_interval(eval),
+            FlowConfig::original()
+                .with_lr(schedule)
+                .with_eval_interval(eval),
             &data,
             iterations,
         ),
@@ -59,7 +63,9 @@ fn main() {
             "fault-tolerant method with threshold training",
             vgg11_cifar(divisor, 3),
             mapping(),
-            FlowConfig::threshold_only().with_lr(schedule).with_eval_interval(eval),
+            FlowConfig::threshold_only()
+                .with_lr(schedule)
+                .with_eval_interval(eval),
             &data,
             iterations,
         ),

@@ -53,18 +53,31 @@ fn main() {
     }
     let software_acc = accuracy(&reference.forward(&tx), &ty);
     println!("# pruned software reference accuracy: {software_acc:.3}");
-    println!("# {:.0}% clustered faults (SA0-dominant), search budget {budget}", 100.0 * fraction);
+    println!(
+        "# {:.0}% clustered faults (SA0-dominant), search budget {budget}",
+        100.0 * fraction
+    );
     println!("algorithm, fault_map, mean_dist, mean_accuracy");
 
     let algorithms: [(&str, RemapAlgorithm); 4] = [
         ("identity", RemapAlgorithm::Identity),
         ("random_shuffle", RemapAlgorithm::RandomShuffle),
         ("swap_hill_climb", RemapAlgorithm::SwapHillClimb),
-        ("genetic_pop16", RemapAlgorithm::Genetic { population: 16 }),
+        (
+            "genetic_pop16",
+            RemapAlgorithm::Genetic {
+                population: 16,
+                islands: 4,
+            },
+        ),
     ];
     let mut csv = String::from("algorithm,fault_map,mean_dist,mean_accuracy\n");
     for use_oracle in [false, true] {
-        let map_label = if use_oracle { "ground_truth" } else { "detected" };
+        let map_label = if use_oracle {
+            "ground_truth"
+        } else {
+            "detected"
+        };
         for (name, algorithm) in algorithms {
             let mut dist_sum = 0.0;
             let mut acc_sum = 0.0;
@@ -111,7 +124,9 @@ fn main() {
             let mean_dist = dist_sum / seeds as f64;
             let mean_acc = acc_sum / seeds as f64;
             println!("{name}, {map_label}, {mean_dist:.0}, {mean_acc:.3}");
-            csv.push_str(&format!("{name},{map_label},{mean_dist:.0},{mean_acc:.4}\n"));
+            csv.push_str(&format!(
+                "{name},{map_label},{mean_dist:.0},{mean_acc:.4}\n"
+            ));
         }
     }
     write_csv("remap_recovery", &csv);

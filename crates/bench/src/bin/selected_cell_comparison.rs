@@ -45,7 +45,9 @@ fn main() {
     let test_size = arg_or("--test-size", 16usize);
     let seeds = arg_or("--seeds", 5u64);
 
-    println!("# §6.3 selected-cell testing ({size}x{size}, Gaussian faults, 10% faulty, 30% high-R)");
+    println!(
+        "# §6.3 selected-cell testing ({size}x{size}, Gaussian faults, 10% faulty, 30% high-R)"
+    );
     println!("mode, test_cycles, precision, recall, test_write_pulses");
     let mut csv = String::from("mode,test_cycles,precision,recall,test_write_pulses\n");
     for (label, mode) in [
@@ -77,7 +79,9 @@ fn main() {
         cycles /= seeds;
         writes /= seeds;
         println!("{label}, {cycles}, {precision:.3}, {recall:.3}, {writes}");
-        csv.push_str(&format!("{label},{cycles},{precision:.4},{recall:.4},{writes}\n"));
+        csv.push_str(&format!(
+            "{label},{cycles},{precision:.4},{recall:.4},{writes}\n"
+        ));
     }
     write_csv("selected_cells", &csv);
 }

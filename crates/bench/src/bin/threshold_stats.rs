@@ -53,7 +53,9 @@ fn run(bench: &Bench, flow: FlowConfig) -> FaultTolerantTrainer {
     let mapping = MappingConfig::new(MappingScope::EntireNetwork).with_seed(17);
     let mut trainer =
         FaultTolerantTrainer::new((bench.net)(), mapping, flow).expect("valid config");
-    trainer.train(&bench.data, bench.iterations).expect("training run");
+    trainer
+        .train(&bench.data, bench.iterations)
+        .expect("training run");
     trainer
 }
 
@@ -71,7 +73,9 @@ fn dw_distribution(benches: &[Bench], csv: &mut String) {
 fn lifetime(benches: &[Bench], csv: &mut String) {
     println!();
     println!("# write workload: threshold vs original (paper: writes drop to ~6%, lifetime ~15x)");
-    println!("network, original_writes, threshold_writes, write_ratio, lifetime_factor, energy_saved");
+    println!(
+        "network, original_writes, threshold_writes, write_ratio, lifetime_factor, energy_saved"
+    );
     let energy_model = rram::energy::EnergyModel::typical();
     for bench in benches {
         let orig = run(bench, FlowConfig::original().with_lr(bench.lr));
@@ -89,7 +93,12 @@ fn lifetime(benches: &[Bench], csv: &mut String) {
             1.0 / ratio,
             100.0 * saved
         );
-        csv.push_str(&format!("lifetime,{},{:.4},{:.2}\n", bench.name, ratio, 1.0 / ratio));
+        csv.push_str(&format!(
+            "lifetime,{},{:.4},{:.2}\n",
+            bench.name,
+            ratio,
+            1.0 / ratio
+        ));
     }
 }
 
@@ -114,7 +123,10 @@ fn iterations_to_accuracy(benches: &[Bench], csv: &mut String) {
                 println!("{}, {target:.3}, {oi}, {ti}, {ratio:.2}x", bench.name);
                 csv.push_str(&format!("iterations,{},{oi},{ti},{ratio:.3}\n", bench.name));
             }
-            _ => println!("{}, {target:.3}, (target not reached within budget)", bench.name),
+            _ => println!(
+                "{}, {target:.3}, (target not reached within budget)",
+                bench.name
+            ),
         }
     }
 }

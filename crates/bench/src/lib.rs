@@ -40,7 +40,9 @@ pub fn arg_value(key: &str) -> Option<String> {
 
 /// Parses a `--key value` flag with a default.
 pub fn arg_or<T: std::str::FromStr>(key: &str, default: T) -> T {
-    arg_value(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    arg_value(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 use ftt_core::config::{FlowConfig, MappingConfig};
@@ -103,7 +105,11 @@ pub fn print_curves(title: &str, runs: &[CurveRun], csv_name: &str) {
     }
     csv.push('\n');
     // Runs share the eval grid (same eval_interval), so align by index.
-    let rows = runs.iter().map(|r| r.curve.points().len()).max().unwrap_or(0);
+    let rows = runs
+        .iter()
+        .map(|r| r.curve.points().len())
+        .max()
+        .unwrap_or(0);
     for i in 0..rows {
         let iter = runs
             .iter()

@@ -16,7 +16,10 @@ pub struct Series {
 impl Series {
     /// Creates a series.
     pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
-        Self { label: label.into(), points }
+        Self {
+            label: label.into(),
+            points,
+        }
     }
 }
 
@@ -41,7 +44,10 @@ const MARKERS: &[char] = &['o', '+', 'x', '*', '#', '@'];
 pub fn render(series: &[Series], width: usize, height: usize) -> String {
     let width = width.max(8);
     let height = height.max(3);
-    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     let (x_min, x_max) = bounds(all.iter().map(|p| p.0));
     let (mut y_min, mut y_max) = bounds(all.iter().map(|p| p.1));
     if (y_max - y_min).abs() < 1e-12 {
@@ -75,10 +81,7 @@ pub fn render(series: &[Series], width: usize, height: usize) -> String {
     out.push('+');
     out.push_str(&"-".repeat(width));
     out.push('\n');
-    out.push_str(&format!(
-        "{:8} {:.0} .. {:.0}\n",
-        "x:", x_min, x_max
-    ));
+    out.push_str(&format!("{:8} {:.0} .. {:.0}\n", "x:", x_min, x_max));
     let legend: Vec<String> = series
         .iter()
         .enumerate()

@@ -57,7 +57,10 @@ fn fig6_precision_trend_holds() {
         }
         precisions.push(total / 3.0);
     }
-    assert!(precisions[0] < precisions[1] && precisions[1] < precisions[2], "{precisions:?}");
+    assert!(
+        precisions[0] < precisions[1] && precisions[1] < precisions[2],
+        "{precisions:?}"
+    );
 }
 
 /// §6.3 miniature: selected-cell testing beats all-cells precision.
@@ -69,7 +72,9 @@ fn selected_cells_beat_all_cells() {
         .run(&mut a)
         .unwrap();
     let sel = OnlineFaultDetector::new(
-        DetectorConfig::new(16).unwrap().with_mode(TestMode::default_selected()),
+        DetectorConfig::new(16)
+            .unwrap()
+            .with_mode(TestMode::default_selected()),
     )
     .run(&mut b)
     .unwrap();

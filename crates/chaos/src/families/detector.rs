@@ -39,7 +39,10 @@ pub fn detector_group_remainders(_seed: u64) -> FamilyReport {
 
             let detector = all_cells_detector(t)?;
             let outcome = detector.run(&mut xbar).map_err(|e| format!("run: {e}"))?;
-            ensure(outcome.untested_groups == 0, "clean campaign must test every group")?;
+            ensure(
+                outcome.untested_groups == 0,
+                "clean campaign must test every group",
+            )?;
             // Both passes sweep ceil(rows/t) + ceil(cols/t) groups.
             let expected_cycles = (rows.div_ceil(t) + cols.div_ceil(t)) as u64;
             ensure(
@@ -102,7 +105,10 @@ pub fn mod16_aliasing(_seed: u64) -> FamilyReport {
         let outcome = build(32)?;
         ensure(
             outcome.predicted.count_faulty() == 16,
-            format!("mod-32 should catch all 16, got {}", outcome.predicted.count_faulty()),
+            format!(
+                "mod-32 should catch all 16, got {}",
+                outcome.predicted.count_faulty()
+            ),
         )?;
         for r in 0..16 {
             ensure(
@@ -147,7 +153,10 @@ pub fn mod16_aliasing(_seed: u64) -> FamilyReport {
 /// detection and the full closed loop must complete without panicking.
 pub fn all_faulty_extremes(seed: u64) -> FamilyReport {
     let mut fam = FamilyReport::new("all_faulty_extremes");
-    for (name, kind) in [("all_sa0", FaultKind::StuckAt0), ("all_sa1", FaultKind::StuckAt1)] {
+    for (name, kind) in [
+        ("all_sa0", FaultKind::StuckAt0),
+        ("all_sa1", FaultKind::StuckAt1),
+    ] {
         fam.case(name, || {
             let rows = 8usize;
             let cols = 8usize;
@@ -161,11 +170,18 @@ pub fn all_faulty_extremes(seed: u64) -> FamilyReport {
             xbar.apply_fault_map(&injected);
             let detector = all_cells_detector(8)?;
             let outcome = detector.run(&mut xbar).map_err(|e| format!("run: {e}"))?;
-            ensure(outcome.untested_groups == 0, "all-faulty campaign must still sweep")?;
+            ensure(
+                outcome.untested_groups == 0,
+                "all-faulty campaign must still sweep",
+            )?;
             // 8 failed increments per line: 8 mod 16 ≠ 0, so nothing hides.
             ensure(
                 outcome.predicted.count_faulty() == rows * cols,
-                format!("predicted {} of {}", outcome.predicted.count_faulty(), rows * cols),
+                format!(
+                    "predicted {} of {}",
+                    outcome.predicted.count_faulty(),
+                    rows * cols
+                ),
             )?;
             check_plane_coherence(&xbar, "after all-faulty campaign")
         });
@@ -192,9 +208,11 @@ pub fn all_faulty_extremes(seed: u64) -> FamilyReport {
             .with_detection_interval(4)
             .with_detection_warmup(0)
             .with_eval_interval(4);
-        let mut trainer = FaultTolerantTrainer::new(net, mapping, flow)
-            .map_err(|e| format!("new: {e}"))?;
-        let curve = trainer.train(&data, 12).map_err(|e| format!("train: {e}"))?;
+        let mut trainer =
+            FaultTolerantTrainer::new(net, mapping, flow).map_err(|e| format!("new: {e}"))?;
+        let curve = trainer
+            .train(&data, 12)
+            .map_err(|e| format!("train: {e}"))?;
         ensure(
             curve.points().iter().all(|p| p.test_accuracy.is_finite()),
             "accuracy must stay finite even on dead hardware",
@@ -203,7 +221,10 @@ pub fn all_faulty_extremes(seed: u64) -> FamilyReport {
             (trainer.mapped().fraction_faulty() - 1.0).abs() < 1e-12,
             "hardware should be fully faulty",
         )?;
-        ensure(trainer.stats().detection_campaigns > 0, "detection must have run")
+        ensure(
+            trainer.stats().detection_campaigns > 0,
+            "detection must have run",
+        )
     });
     fam
 }

@@ -32,16 +32,19 @@ pub fn extreme_geometry(seed: u64) -> FamilyReport {
             injected.set(0, 0, Some(FaultKind::StuckAt0));
             xbar.apply_fault_map(&injected);
             for t in [1usize, 3] {
-                let detector = OnlineFaultDetector::new(
-                    DetectorConfig::new(t).map_err(|e| e.to_string())?,
-                );
-                let outcome =
-                    detector.run(&mut xbar).map_err(|e| format!("run t={t}: {e}"))?;
+                let detector =
+                    OnlineFaultDetector::new(DetectorConfig::new(t).map_err(|e| e.to_string())?);
+                let outcome = detector
+                    .run(&mut xbar)
+                    .map_err(|e| format!("run t={t}: {e}"))?;
                 ensure(
                     outcome.predicted.get(0, 0) == Some(FaultKind::StuckAt0),
                     format!("t={t}: the fault in a rank-1 array escaped"),
                 )?;
-                ensure(outcome.untested_groups == 0, "rank-1 groups must all be swept")?;
+                ensure(
+                    outcome.untested_groups == 0,
+                    "rank-1 groups must all be swept",
+                )?;
             }
             check_plane_coherence(&xbar, "after rank-1 campaign")
         });
@@ -81,10 +84,13 @@ pub fn extreme_geometry(seed: u64) -> FamilyReport {
             .with_detection_interval(3)
             .with_detection_warmup(0)
             .with_eval_interval(5);
-        let mut trainer = FaultTolerantTrainer::new(net, mapping, flow)
-            .map_err(|e| format!("new: {e}"))?;
+        let mut trainer =
+            FaultTolerantTrainer::new(net, mapping, flow).map_err(|e| format!("new: {e}"))?;
         trainer.train(&data, 9).map_err(|e| format!("train: {e}"))?;
-        ensure(trainer.stats().detection_campaigns > 0, "detection must have run")
+        ensure(
+            trainer.stats().detection_campaigns > 0,
+            "detection must have run",
+        )
     });
     fam
 }
@@ -137,7 +143,10 @@ pub fn plane_coherence(seed: u64) -> FamilyReport {
             let level = ((step / 16) % 8) as u16;
             let _ = xbar.write_level(r, c, level);
         }
-        ensure(xbar.wear_faults() > 0, "8-write budgets must exhaust in 400 writes")?;
+        ensure(
+            xbar.wear_faults() > 0,
+            "8-write budgets must exhaust in 400 writes",
+        )?;
         check_plane_coherence(&xbar, "after wear-out")
     });
 
@@ -171,9 +180,7 @@ pub fn plane_coherence(seed: u64) -> FamilyReport {
             }
         }
         let before = xbar.read_all_levels();
-        let detector = OnlineFaultDetector::new(
-            DetectorConfig::new(5).map_err(|e| e.to_string())?,
-        );
+        let detector = OnlineFaultDetector::new(DetectorConfig::new(5).map_err(|e| e.to_string())?);
         detector.run(&mut xbar).map_err(|e| format!("run: {e}"))?;
         check_plane_coherence(&xbar, "after campaign")?;
         ensure(

@@ -1,0 +1,300 @@
+//! Kernel-speed chaos: the vectorized lane kernels, the incremental
+//! reference store, and the island-parallel genetic search all promise
+//! *bit-identity* with their scalar/full-resync/sequential oracles. This
+//! family attacks those promises with lane-tail remainder shapes,
+//! interleaved detection traffic, and hostile thread budgets.
+
+use faultdet::detector::{DetectorConfig, OnlineFaultDetector};
+use faultdet::reference::OffChipStore;
+use ftt_core::config::{MappingConfig, MappingScope, RemapConfig};
+use ftt_core::mapping::MappedNetwork;
+use ftt_core::remap::{CostModel, RemapAlgorithm, RemapProblem};
+use nn::init::init_rng;
+use nn::network::Network;
+use nn::pruning::magnitude_prune;
+use rand::Rng;
+use rram::crossbar::{Crossbar, CrossbarBuilder};
+use rram::rng::sim_rng;
+use rram::spatial::SpatialDistribution;
+use rram::variation::WriteVariation;
+
+use crate::{ensure, FamilyReport};
+
+/// A programmed crossbar with faults and write variation — every kernel's
+/// least-convenient substrate.
+fn programmed(n: usize, fraction: f64, seed: u64) -> Result<Crossbar, String> {
+    let mut xbar = CrossbarBuilder::new(n, n)
+        .initial_faults(SpatialDistribution::Uniform, fraction)
+        .variation(WriteVariation::new(0.05))
+        .seed(seed)
+        .build()
+        .map_err(|e| format!("build {n}x{n}: {e}"))?;
+    let mut rng = sim_rng(seed ^ 0xC0DE);
+    for r in 0..n {
+        for c in 0..n {
+            let level = rng.gen_range(0..xbar.levels());
+            let _ = xbar
+                .write_level(r, c, level)
+                .map_err(|e| format!("write_level({r},{c}): {e}"))?;
+        }
+    }
+    Ok(xbar)
+}
+
+/// The thread budgets every determinism case sweeps: sequential, a small
+/// fan-out, and the hard cap.
+const BUDGETS: [usize; 3] = [1, 4, par::MAX_THREADS];
+
+/// Lane-tail remainders: every size ±1 around the f32/f64 lane widths (and
+/// one multi-chunk size) must keep `mvm` and the batched group sums
+/// bit-identical to the scalar references, under every thread budget.
+pub fn kernels(seed: u64) -> FamilyReport {
+    let mut fam = FamilyReport::new("kernels");
+
+    fam.case("lane_tail_remainders", || {
+        let f32_l = par::F32_LANES;
+        let f64_l = par::F64_LANES;
+        let mut sizes = vec![
+            f64_l - 1,
+            f64_l,
+            f64_l + 1,
+            f32_l - 1,
+            f32_l,
+            f32_l + 1,
+            2 * f32_l + 1,
+        ];
+        sizes.dedup();
+        for &budget in &BUDGETS {
+            par::set_thread_count(budget);
+            let result = lane_tail_case(&sizes, seed);
+            par::set_thread_count(0);
+            result.map_err(|e| format!("threads {budget}: {e}"))?;
+        }
+        Ok(())
+    });
+
+    fam.case("incremental_vs_full_detection_byte_identity", || {
+        let mut reference: Option<Fingerprint> = None;
+        for &budget in &BUDGETS {
+            par::set_thread_count(budget);
+            let result = incremental_identity_case(seed);
+            par::set_thread_count(0);
+            let fp = result.map_err(|e| format!("threads {budget}: {e}"))?;
+            match &reference {
+                None => reference = Some(fp),
+                Some(want) => ensure(
+                    &fp == want,
+                    format!("incremental trace diverged at {budget} threads"),
+                )?,
+            }
+        }
+        Ok(())
+    });
+
+    fam.case("island_genetic_plan_identity_across_thread_budgets", || {
+        let mut rng = init_rng(seed);
+        let mut net = Network::new();
+        net.push(nn::layers::Dense::new(6, 10, &mut rng));
+        net.push(nn::layers::Relu::new());
+        net.push(nn::layers::Dense::new(10, 4, &mut rng));
+        let mapped = MappedNetwork::from_network(
+            &mut net,
+            MappingConfig::new(MappingScope::EntireNetwork)
+                .with_initial_fault_fraction(0.2)
+                .with_seed(seed),
+        )
+        .map_err(|e| format!("map: {e}"))?;
+        let mask = magnitude_prune(&mut net, 0.5);
+        let problem = RemapProblem::with_ground_truth(&mapped, &mask, CostModel::PaperDist)
+            .map_err(|e| format!("problem: {e}"))?;
+        let config = RemapConfig {
+            algorithm: RemapAlgorithm::Genetic {
+                population: 6,
+                islands: 4,
+            },
+            iterations: 1200,
+            seed,
+            ..RemapConfig::default()
+        };
+        let mut reference: Option<(u64, u64, Vec<_>)> = None;
+        for &budget in &BUDGETS {
+            par::set_thread_count(budget);
+            let plan = problem.solve(&mapped, &config);
+            par::set_thread_count(0);
+            let got = (plan.initial_cost, plan.final_cost, plan.perms().to_vec());
+            match &reference {
+                None => reference = Some(got),
+                Some(want) => {
+                    ensure(
+                        &got == want,
+                        format!(
+                            "island-genetic plan diverged at {budget} threads: \
+                             cost {} vs {}",
+                            got.1, want.1
+                        ),
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    });
+
+    fam
+}
+
+fn lane_tail_case(sizes: &[usize], seed: u64) -> Result<(), String> {
+    for &n in sizes {
+        let xbar = programmed(n, 0.1, seed ^ n as u64)?;
+        let mut rng = sim_rng(seed ^ 0xFACE ^ n as u64);
+        let input: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let fast = xbar.mvm(&input).map_err(|e| format!("mvm {n}: {e}"))?;
+        let reference = xbar
+            .mvm_reference(&input)
+            .map_err(|e| format!("mvm_reference {n}: {e}"))?;
+        for (c, (f, r)) in fast.iter().zip(&reference).enumerate() {
+            ensure(
+                f.to_bits() == r.to_bits(),
+                format!("mvm size {n} col {c}: fast {f} vs reference {r}"),
+            )?;
+        }
+        // Batched column sums vs a plain scalar fold over the f64 plane.
+        let plane = xbar.conductance_plane_f64().to_vec();
+        let sums = xbar
+            .column_group_sums(0..n)
+            .map_err(|e| format!("column_group_sums {n}: {e}"))?;
+        for c in 0..n {
+            let mut scalar = 0.0f64;
+            for r in 0..n {
+                scalar += plane[r * n + c];
+            }
+            ensure(
+                sums[c].to_bits() == scalar.to_bits(),
+                format!(
+                    "column sum size {n} col {c}: {} vs scalar {scalar}",
+                    sums[c]
+                ),
+            )?;
+        }
+        // Batched row sums vs the single-row kernel (shared lane tree).
+        let rows = xbar
+            .row_group_sums(0..n)
+            .map_err(|e| format!("row_group_sums {n}: {e}"))?;
+        for (r, batched) in rows.iter().enumerate() {
+            let single = xbar
+                .row_group_sum(r, 0..n)
+                .map_err(|e| format!("row_group_sum {n},{r}: {e}"))?;
+            ensure(
+                batched.to_bits() == single.to_bits(),
+                format!("row sum size {n} row {r}: {batched} vs single {single}"),
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Everything a detection round observed, for exact cross-thread-budget
+/// comparison: both campaigns' outcomes and the restored array bytes.
+type Fingerprint = (
+    faultdet::detector::DetectionOutcome,
+    faultdet::detector::DetectionOutcome,
+    Vec<u16>,
+);
+
+/// Drives a fresh-store incremental campaign and a classic full campaign
+/// over twin crossbars, then a second sparse-traffic round. The fresh
+/// round must match the full campaign byte-for-byte (sweep costs and
+/// predictions — only the snapshot-read accounting differs); the warm
+/// round must reproduce the restored array while re-reading no more than
+/// the written cells. Returns a trace fingerprint so the caller can assert
+/// the whole thing is thread-budget invariant.
+fn incremental_identity_case(seed: u64) -> Result<Fingerprint, String> {
+    let detector =
+        OnlineFaultDetector::new(DetectorConfig::new(4).map_err(|e| format!("config: {e}"))?);
+    let mut full_xbar = programmed(17, 0.08, seed)?;
+    let mut inc_xbar = programmed(17, 0.08, seed)?;
+
+    let full = detector
+        .run(&mut full_xbar)
+        .map_err(|e| format!("full run: {e}"))?;
+    let mut store = OffChipStore::attach(&mut inc_xbar);
+    let inc = detector
+        .run_incremental(&mut inc_xbar, &mut store, None)
+        .map_err(|e| format!("incremental run: {e}"))?;
+
+    ensure(
+        inc.predicted == full.predicted,
+        "fresh-store predicted maps diverged",
+    )?;
+    ensure(
+        (
+            inc.sa0_cycles,
+            inc.sa1_cycles,
+            inc.write_pulses,
+            inc.untested_groups,
+        ) == (
+            full.sa0_cycles,
+            full.sa1_cycles,
+            full.write_pulses,
+            full.untested_groups,
+        ),
+        format!(
+            "fresh-store sweep costs diverged: inc ({}, {}, {}, {}) vs full ({}, {}, {}, {})",
+            inc.sa0_cycles,
+            inc.sa1_cycles,
+            inc.write_pulses,
+            inc.untested_groups,
+            full.sa0_cycles,
+            full.sa1_cycles,
+            full.write_pulses,
+            full.untested_groups
+        ),
+    )?;
+    ensure(
+        full_xbar.read_all_levels() == inc_xbar.read_all_levels(),
+        "restored arrays diverged after the first campaign",
+    )?;
+
+    // Sparse identical traffic on both twins, then round two: the warm
+    // store must reproduce the full campaign's map on a fraction of the
+    // store reads.
+    let mut rng = sim_rng(seed ^ 0xD1FF);
+    for _ in 0..6 {
+        let (r, c) = (rng.gen_range(0..17), rng.gen_range(0..17));
+        let level = rng.gen_range(0..full_xbar.levels());
+        let _ = full_xbar
+            .write_level(r, c, level)
+            .map_err(|e| format!("traffic write: {e}"))?;
+        let _ = inc_xbar
+            .write_level(r, c, level)
+            .map_err(|e| format!("traffic write: {e}"))?;
+    }
+    let full2 = detector
+        .run(&mut full_xbar)
+        .map_err(|e| format!("full run 2: {e}"))?;
+    let inc2 = detector
+        .run_incremental(&mut inc_xbar, &mut store, Some(&inc.predicted))
+        .map_err(|e| format!("incremental run 2: {e}"))?;
+    // Both campaigns restore every cell they touched to its stored level,
+    // so the twins' level planes stay byte-identical even though the
+    // incremental sweep drove far fewer cells.
+    ensure(
+        full_xbar.read_all_levels() == inc_xbar.read_all_levels(),
+        "restored arrays diverged after the second campaign",
+    )?;
+    ensure(
+        inc2.store_read_cells <= 6,
+        format!(
+            "warm store re-read {} cells for 6 writes",
+            inc2.store_read_cells
+        ),
+    )?;
+    ensure(
+        inc2.cycles() < full2.cycles(),
+        format!(
+            "warm store not cheaper: {} vs {}",
+            inc2.cycles(),
+            full2.cycles()
+        ),
+    )?;
+    Ok((inc, inc2, inc_xbar.read_all_levels()))
+}

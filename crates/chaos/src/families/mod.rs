@@ -6,6 +6,7 @@
 
 mod detector;
 mod geometry;
+mod kernels;
 mod observability;
 mod robustness;
 mod tiling;
@@ -13,6 +14,7 @@ mod training;
 
 pub use detector::{all_faulty_extremes, detector_group_remainders, mod16_aliasing};
 pub use geometry::{extreme_geometry, plane_coherence};
+pub use kernels::kernels;
 pub use observability::obs_stream;
 pub use robustness::{config_rejection, thread_budget};
 pub use tiling::tiling;
@@ -22,11 +24,7 @@ use rram::crossbar::{Crossbar, CrossbarBuilder};
 
 /// Builds a variation-free crossbar with every cell programmed to `level`
 /// — the deterministic substrate most detector cases start from.
-pub(crate) fn uniform_crossbar(
-    rows: usize,
-    cols: usize,
-    level: u16,
-) -> Result<Crossbar, String> {
+pub(crate) fn uniform_crossbar(rows: usize, cols: usize, level: u16) -> Result<Crossbar, String> {
     let mut xbar = CrossbarBuilder::new(rows, cols)
         .build()
         .map_err(|e| format!("build {rows}x{cols}: {e}"))?;

@@ -44,7 +44,9 @@ fn traced_flow(seed: u64, iterations: u64) -> Result<(String, FlowStats), String
     recorder.add_sink(Box::new(sink));
     let mut trainer = FaultTolerantTrainer::with_recorder(net, mapping, flow, recorder)
         .map_err(|e| format!("new: {e}"))?;
-    trainer.train(&data, iterations).map_err(|e| format!("train: {e}"))?;
+    trainer
+        .train(&data, iterations)
+        .map_err(|e| format!("train: {e}"))?;
     Ok((view.contents(), trainer.stats()))
 }
 

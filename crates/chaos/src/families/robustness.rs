@@ -36,8 +36,14 @@ pub fn config_rejection(seed: u64) -> FamilyReport {
     });
 
     fam.case("degenerate_crossbar_builds", || {
-        ensure(CrossbarBuilder::new(0, 8).build().is_err(), "0 rows must be rejected")?;
-        ensure(CrossbarBuilder::new(8, 0).build().is_err(), "0 cols must be rejected")?;
+        ensure(
+            CrossbarBuilder::new(0, 8).build().is_err(),
+            "0 rows must be rejected",
+        )?;
+        ensure(
+            CrossbarBuilder::new(8, 0).build().is_err(),
+            "0 cols must be rejected",
+        )?;
         ensure(
             CrossbarBuilder::new(4, 4).levels(1).build().is_err(),
             "1-level cells must be rejected",
@@ -75,7 +81,10 @@ pub fn config_rejection(seed: u64) -> FamilyReport {
 
     fam.case("invalid_batch_and_prune_configs", || {
         let data = SyntheticDataset::mnist_like(20, 10, seed);
-        ensure(data.try_train_batches(0).is_err(), "batch = 0 must be rejected")?;
+        ensure(
+            data.try_train_batches(0).is_err(),
+            "batch = 0 must be rejected",
+        )?;
         ensure(
             data.try_train_batches(10_000).is_err(),
             "batch > train set must be rejected",
@@ -103,8 +112,8 @@ pub fn config_rejection(seed: u64) -> FamilyReport {
         net.push(nn::layers::Dense::new(4, 2, &mut rng));
         let mapping = MappingConfig::new(MappingScope::EntireNetwork);
         let flow = FlowConfig::original().with_lr(LrSchedule::constant(0.1));
-        let mut trainer = FaultTolerantTrainer::new(net, mapping, flow)
-            .map_err(|e| format!("new: {e}"))?;
+        let mut trainer =
+            FaultTolerantTrainer::new(net, mapping, flow).map_err(|e| format!("new: {e}"))?;
         let mut other = Network::new();
         other.push(nn::layers::Dense::new(5, 2, &mut rng));
         ensure(
@@ -132,10 +141,16 @@ fn run_seeded_flow(seed: u64, iterations: u64) -> Result<(Vec<u64>, FlowStats), 
         .with_eval_interval(5);
     let mut trainer =
         FaultTolerantTrainer::new(net, mapping, flow).map_err(|e| format!("new: {e}"))?;
-    let curve = trainer.train(&data, iterations).map_err(|e| format!("train: {e}"))?;
+    let curve = trainer
+        .train(&data, iterations)
+        .map_err(|e| format!("train: {e}"))?;
     // Accuracies compared as exact bit patterns: any cross-thread
     // nondeterminism (merge order, floating-point reassociation) shows up.
-    let bits = curve.points().iter().map(|p| p.test_accuracy.to_bits()).collect();
+    let bits = curve
+        .points()
+        .iter()
+        .map(|p| p.test_accuracy.to_bits())
+        .collect();
     Ok((bits, trainer.stats()))
 }
 
@@ -147,13 +162,13 @@ pub fn thread_budget(seed: u64) -> FamilyReport {
 
     fam.case("env_parsing_never_yields_zero_workers", || {
         let cases: &[(Option<&str>, Option<usize>)] = &[
-            (None, None),              // auto-detect
-            (Some("0"), Some(1)),      // clamped, not zero
+            (None, None),         // auto-detect
+            (Some("0"), Some(1)), // clamped, not zero
             (Some("1"), Some(1)),
-            (Some(" 8 "), Some(8)),    // whitespace tolerated
+            (Some(" 8 "), Some(8)), // whitespace tolerated
             (Some("64"), Some(64)),
             (Some("4000000"), Some(par::MAX_THREADS)),
-            (Some("-3"), None),        // garbage falls back to auto
+            (Some("-3"), None), // garbage falls back to auto
             (Some("abc"), None),
             (Some(""), None),
             (Some("3.5"), None),
@@ -166,7 +181,10 @@ pub fn thread_budget(seed: u64) -> FamilyReport {
                 format!("{raw:?} resolved to {got}, outside 1..=MAX_THREADS"),
             )?;
             if let Some(want) = expected {
-                ensure(got == want, format!("{raw:?} resolved to {got}, want {want}"))?;
+                ensure(
+                    got == want,
+                    format!("{raw:?} resolved to {got}, want {want}"),
+                )?;
             }
         }
         Ok(())

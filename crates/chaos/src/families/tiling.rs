@@ -36,7 +36,8 @@ fn twin_arrays(
     for r in 0..rows {
         for c in 0..cols {
             let lvl = level_at(seed, (r * cols + c) as u64);
-            mono.write_level(r, c, lvl).map_err(|e| format!("write_level: {e}"))?;
+            mono.write_level(r, c, lvl)
+                .map_err(|e| format!("write_level: {e}"))?;
         }
     }
     // A deterministic fault sprinkle; SA1 cells pin full conductance so
@@ -47,20 +48,25 @@ fn twin_arrays(
             .wrapping_mul(2_654_435_761)
             .wrapping_add(i * 97)
             % (rows * cols);
-        let kind =
-            if i % 3 == 0 { FaultKind::StuckAt0 } else { FaultKind::StuckAt1 };
+        let kind = if i % 3 == 0 {
+            FaultKind::StuckAt0
+        } else {
+            FaultKind::StuckAt1
+        };
         faults.set(cell / cols, cell % cols, Some(kind));
     }
     mono.apply_fault_map(&faults);
 
-    let mut chip = TiledChip::new(ChipConfig::new(ts, 8, seed))
-        .map_err(|e| format!("chip: {e}"))?;
-    let tiled = TiledMapping::allocate(&mut chip, rows, cols)
-        .map_err(|e| format!("allocate: {e}"))?;
+    let mut chip =
+        TiledChip::new(ChipConfig::new(ts, 8, seed)).map_err(|e| format!("chip: {e}"))?;
+    let tiled =
+        TiledMapping::allocate(&mut chip, rows, cols).map_err(|e| format!("allocate: {e}"))?;
     tiled
         .program(&mut chip, mono.conductance_plane_f64())
         .map_err(|e| format!("program: {e}"))?;
-    tiled.apply_fault_map(&mut chip, &faults).map_err(|e| format!("faults: {e}"))?;
+    tiled
+        .apply_fault_map(&mut chip, &faults)
+        .map_err(|e| format!("faults: {e}"))?;
     // Faulty tiled cells pin to 0/1 exactly like the monolithic ones, and
     // programming happened before the fault application on both sides, so
     // both planes are equal bit-for-bit.
@@ -75,8 +81,7 @@ pub fn tiling(seed: u64) -> FamilyReport {
     // 7 column shards with a clipped 16-wide remainder column.
     fam.case("remainder_grid_mvm_bit_identical_across_budgets", || {
         let (mono, chip, tiled) = twin_arrays(1024, 784, 128, seed)?;
-        let dense: Vec<f32> =
-            (0..1024).map(|i| ((i as f32) * 0.37).sin()).collect();
+        let dense: Vec<f32> = (0..1024).map(|i| ((i as f32) * 0.37).sin()).collect();
         let sparse: Vec<f32> = (0..1024)
             .map(|i| if i % 5 == 0 { (i as f32) * 0.01 } else { 0.0 })
             .collect();
@@ -92,9 +97,7 @@ pub fn tiling(seed: u64) -> FamilyReport {
                 for (c, (a, b)) in reference.iter().zip(&got).enumerate() {
                     ensure(
                         a.to_bits() == b.to_bits(),
-                        format!(
-                            "col {c} diverged at {budget} threads: {a} vs {b}"
-                        ),
+                        format!("col {c} diverged at {budget} threads: {a} vs {b}"),
                     )?;
                 }
             }
@@ -107,10 +110,11 @@ pub fn tiling(seed: u64) -> FamilyReport {
     fam.case("single_tile_equals_monolithic", || {
         let (mono, chip, tiled) = twin_arrays(96, 60, 128, seed ^ 0x11)?;
         ensure(tiled.tile_ids().len() == 1, "one shard expected")?;
-        let input: Vec<f32> =
-            (0..96).map(|i| ((i as f32) * 0.73).cos()).collect();
+        let input: Vec<f32> = (0..96).map(|i| ((i as f32) * 0.73).cos()).collect();
         let reference = mono.mvm(&input).map_err(|e| format!("mono: {e}"))?;
-        let got = tiled.mvm(&chip, &input).map_err(|e| format!("tiled: {e}"))?;
+        let got = tiled
+            .mvm(&chip, &input)
+            .map_err(|e| format!("tiled: {e}"))?;
         ensure(
             reference
                 .iter()
@@ -139,11 +143,11 @@ pub fn tiling(seed: u64) -> FamilyReport {
             for r in 0..8 {
                 map.set(r, r % cols, Some(FaultKind::StuckAt0));
             }
-            chip.tile_mut(id).map_err(|e| e.to_string())?.apply_fault_map(&map);
+            chip.tile_mut(id)
+                .map_err(|e| e.to_string())?
+                .apply_fault_map(&map);
         }
-        let detector = OnlineFaultDetector::new(
-            DetectorConfig::new(1).map_err(|e| e.to_string())?,
-        );
+        let detector = OnlineFaultDetector::new(DetectorConfig::new(1).map_err(|e| e.to_string())?);
         let stats = chip.run_campaigns(&detector, &[a, b]);
         ensure(stats.campaigns_run == 2, "both tiles campaign")?;
         ensure(chip.tiles_over_density(0.05) == vec![a, b], "both flagged")?;
@@ -158,7 +162,10 @@ pub fn tiling(seed: u64) -> FamilyReport {
             format!("pool is empty: {second:?}"),
         )?;
         // `b` stays active and testable.
-        ensure(chip.active_ids().contains(&b), "exhausted tile stays in service")?;
+        ensure(
+            chip.active_ids().contains(&b),
+            "exhausted tile stays in service",
+        )?;
         let stats = chip.run_campaigns(&detector, &[b]);
         ensure(stats.campaigns_run == 1, "campaigns still run over it")?;
         ensure(stats.flagged_cells == 8, "its faults stay flagged")?;
@@ -201,10 +208,11 @@ pub fn tiling(seed: u64) -> FamilyReport {
                 let sink = JsonlSink::new();
                 let view = sink.view();
                 recorder.add_sink(Box::new(sink));
-                let mut trainer =
-                    FaultTolerantTrainer::with_recorder(net, mapping, flow, recorder)
-                        .map_err(|e| format!("new: {e}"))?;
-                trainer.train(&data, 12).map_err(|e| format!("train: {e}"))?;
+                let mut trainer = FaultTolerantTrainer::with_recorder(net, mapping, flow, recorder)
+                    .map_err(|e| format!("new: {e}"))?;
+                trainer
+                    .train(&data, 12)
+                    .map_err(|e| format!("train: {e}"))?;
                 Ok((view.contents(), trainer.stats()))
             })();
             par::set_thread_count(0);

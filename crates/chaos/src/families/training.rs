@@ -30,7 +30,10 @@ fn mapped_pair(seed: u64) -> Result<(Network, MappedNetwork), String> {
 
 /// Backward pass with a crafted output gradient.
 fn backward_with(net: &mut Network, inputs: usize, grad: Vec<f32>) {
-    let x = Tensor::from_vec(vec![1, inputs], (0..inputs).map(|i| 0.1 + i as f32 * 0.1).collect());
+    let x = Tensor::from_vec(
+        vec![1, inputs],
+        (0..inputs).map(|i| 0.1 + i as f32 * 0.1).collect(),
+    );
     net.forward_train(&x);
     let g = Tensor::from_vec(vec![1, grad.len()], grad);
     net.backward(&g);
@@ -44,15 +47,22 @@ pub fn degenerate_gradients(seed: u64) -> FamilyReport {
 
     fam.case("nan_and_inf_gradients_never_reach_hardware", || {
         let (mut net, mut mapped) = mapped_pair(seed)?;
-        mapped.load_effective_weights(&mut net).map_err(|e| e.to_string())?;
+        mapped
+            .load_effective_weights(&mut net)
+            .map_err(|e| e.to_string())?;
         backward_with(&mut net, 6, vec![f32::NAN, f32::INFINITY, 0.5, -0.5]);
         let mut trainer = ThresholdTrainer::new(ThresholdPolicy::paper_default(), &mapped);
         let report = trainer
             .apply(&mut mapped, &mut net, 0.1)
             .map_err(|e| format!("apply: {e}"))?;
-        ensure(report.nan_updates_skipped > 0, "poisoned updates must be counted")?;
+        ensure(
+            report.nan_updates_skipped > 0,
+            "poisoned updates must be counted",
+        )?;
         ensure(report.max_abs_dw.is_finite(), "max|δw| must exclude NaN")?;
-        mapped.load_effective_weights(&mut net).map_err(|e| e.to_string())?;
+        mapped
+            .load_effective_weights(&mut net)
+            .map_err(|e| e.to_string())?;
         let params = net.layer_params_mut(0).ok_or("params")?;
         ensure(
             params.weights.iter().all(|w| w.is_finite()),
@@ -62,26 +72,36 @@ pub fn degenerate_gradients(seed: u64) -> FamilyReport {
 
     fam.case("all_nan_gradients_degrade_to_noop", || {
         let (mut net, mut mapped) = mapped_pair(seed)?;
-        mapped.load_effective_weights(&mut net).map_err(|e| e.to_string())?;
+        mapped
+            .load_effective_weights(&mut net)
+            .map_err(|e| e.to_string())?;
         backward_with(&mut net, 6, vec![f32::NAN; 4]);
         let mut trainer = ThresholdTrainer::new(ThresholdPolicy::paper_default(), &mapped);
         let report = trainer
             .apply(&mut mapped, &mut net, 0.1)
             .map_err(|e| format!("apply: {e}"))?;
-        ensure(report.writes_issued == 0, "an all-NaN iteration must not pulse cells")?;
+        ensure(
+            report.writes_issued == 0,
+            "an all-NaN iteration must not pulse cells",
+        )?;
         ensure(report.max_abs_dw == 0.0, "no finite update exists")?;
         Ok(())
     });
 
     fam.case("zero_gradient_iteration_is_deterministic", || {
         let (mut net, mut mapped) = mapped_pair(seed)?;
-        mapped.load_effective_weights(&mut net).map_err(|e| e.to_string())?;
+        mapped
+            .load_effective_weights(&mut net)
+            .map_err(|e| e.to_string())?;
         backward_with(&mut net, 6, vec![0.0; 4]);
         let mut trainer = ThresholdTrainer::new(ThresholdPolicy::paper_default(), &mapped);
         let first = trainer
             .apply(&mut mapped, &mut net, 0.1)
             .map_err(|e| format!("apply: {e}"))?;
-        ensure(first.writes_issued == 0, "a zero iteration must skip every write")?;
+        ensure(
+            first.writes_issued == 0,
+            "a zero iteration must skip every write",
+        )?;
         ensure(first.writes_skipped == 24, "all 6×4 updates suppressed")?;
         let second = trainer
             .apply(&mut mapped, &mut net, 0.1)
@@ -97,7 +117,9 @@ pub fn degenerate_gradients(seed: u64) -> FamilyReport {
         // The original method has no write-verify: even zero updates cost a
         // pulse. The degenerate-iteration skip must NOT change the baseline.
         let (mut net, mut mapped) = mapped_pair(seed)?;
-        mapped.load_effective_weights(&mut net).map_err(|e| e.to_string())?;
+        mapped
+            .load_effective_weights(&mut net)
+            .map_err(|e| e.to_string())?;
         backward_with(&mut net, 6, vec![0.0; 4]);
         let mut trainer = ThresholdTrainer::new(ThresholdPolicy::None, &mapped);
         let report = trainer
@@ -118,8 +140,7 @@ pub fn prune_rate_extremes(seed: u64) -> FamilyReport {
 
     fam.case("prune_0pct_keeps_everything", || {
         let mut net = dense_net(8, 4, seed);
-        let mask =
-            try_magnitude_prune_per_layer(&mut net, &[0.0]).map_err(|e| e.to_string())?;
+        let mask = try_magnitude_prune_per_layer(&mut net, &[0.0]).map_err(|e| e.to_string())?;
         ensure(mask.total_sparsity() == 0.0, "0 % must prune nothing")?;
         try_apply_mask(&mut net, &mask).map_err(|e| e.to_string())?;
         Ok(())
@@ -127,19 +148,23 @@ pub fn prune_rate_extremes(seed: u64) -> FamilyReport {
 
     fam.case("prune_100pct_zeroes_everything", || {
         let mut net = dense_net(8, 4, seed);
-        let mask =
-            try_magnitude_prune_per_layer(&mut net, &[1.0]).map_err(|e| e.to_string())?;
+        let mask = try_magnitude_prune_per_layer(&mut net, &[1.0]).map_err(|e| e.to_string())?;
         ensure(
             nn::metrics::approx_eq(mask.total_sparsity(), 1.0),
             "100 % must prune all 32 weights",
         )?;
         try_apply_mask(&mut net, &mask).map_err(|e| e.to_string())?;
         let params = net.layer_params_mut(0).ok_or("params")?;
-        ensure(params.weights.iter().all(|&w| w == 0.0), "weights must all be zero")
+        ensure(
+            params.weights.iter().all(|&w| w == 0.0),
+            "weights must all be zero",
+        )
     });
 
-    for (name, dense, conv) in [("flow_prune_0pct", 0.0, 0.0), ("flow_prune_100pct", 1.0, 1.0)]
-    {
+    for (name, dense, conv) in [
+        ("flow_prune_0pct", 0.0, 0.0),
+        ("flow_prune_100pct", 1.0, 1.0),
+    ] {
         fam.case(name, || {
             let data = SyntheticDataset::mnist_like(40, 10, seed);
             let mut rng = init_rng(seed);
@@ -157,14 +182,19 @@ pub fn prune_rate_extremes(seed: u64) -> FamilyReport {
                 .with_eval_interval(4);
             flow.prune_fraction_dense = dense;
             flow.prune_fraction_conv = conv;
-            let mut trainer = FaultTolerantTrainer::new(net, mapping, flow)
-                .map_err(|e| format!("new: {e}"))?;
-            let curve = trainer.train(&data, 10).map_err(|e| format!("train: {e}"))?;
+            let mut trainer =
+                FaultTolerantTrainer::new(net, mapping, flow).map_err(|e| format!("new: {e}"))?;
+            let curve = trainer
+                .train(&data, 10)
+                .map_err(|e| format!("train: {e}"))?;
             ensure(
                 curve.points().iter().all(|p| p.test_accuracy.is_finite()),
                 "accuracy must stay finite at pruning extremes",
             )?;
-            ensure(trainer.stats().detection_campaigns > 0, "detection must have run")
+            ensure(
+                trainer.stats().detection_campaigns > 0,
+                "detection must have run",
+            )
         });
     }
     fam

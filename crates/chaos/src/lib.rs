@@ -52,7 +52,10 @@ pub struct FamilyReport {
 impl FamilyReport {
     /// Creates an empty report for `family`.
     pub fn new(family: &'static str) -> Self {
-        Self { family, cases: Vec::new() }
+        Self {
+            family,
+            cases: Vec::new(),
+        }
     }
 
     /// Runs one case under `catch_unwind`, recording a panic as a failure
@@ -68,7 +71,11 @@ impl FamilyReport {
             Ok(Err(msg)) => (false, msg),
             Err(payload) => (false, format!("panicked: {}", panic_message(&payload))),
         };
-        self.cases.push(CaseResult { name: full, passed, detail });
+        self.cases.push(CaseResult {
+            name: full,
+            passed,
+            detail,
+        });
     }
 
     /// Whether every case passed.
@@ -129,7 +136,13 @@ impl fmt::Display for ChaosReport {
         for fam in &self.families {
             let failed = fam.cases.iter().filter(|c| !c.passed).count();
             let status = if failed == 0 { "ok" } else { "FAILED" };
-            writeln!(f, "  {:<28} {:>3} cases .. {}", fam.family, fam.cases.len(), status)?;
+            writeln!(
+                f,
+                "  {:<28} {:>3} cases .. {}",
+                fam.family,
+                fam.cases.len(),
+                status
+            )?;
             for c in fam.cases.iter().filter(|c| !c.passed) {
                 writeln!(f, "    ✗ {}: {}", c.name, c.detail)?;
             }
@@ -166,6 +179,7 @@ pub fn run_all(seed: u64) -> ChaosReport {
         families::thread_budget(seed ^ 0x09),
         families::obs_stream(seed ^ 0x0a),
         families::tiling(seed ^ 0x0b),
+        families::kernels(seed ^ 0x0c),
     ];
     std::panic::set_hook(prev_hook);
     ChaosReport { seed, families }
@@ -200,7 +214,10 @@ mod tests {
     fn report_formats_and_counts() {
         let mut fam = FamilyReport::new("meta");
         fam.case("fails", || Err("boom".into()));
-        let report = ChaosReport { seed: 7, families: vec![fam] };
+        let report = ChaosReport {
+            seed: 7,
+            families: vec![fam],
+        };
         assert_eq!(report.case_count(), 1);
         assert_eq!(report.failures().len(), 1);
         let s = report.to_string();

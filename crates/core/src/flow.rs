@@ -70,11 +70,7 @@ impl FaultTolerantTrainer {
     ///
     /// Returns mapping/configuration errors; see
     /// [`MappedNetwork::from_network`].
-    pub fn new(
-        net: Network,
-        mapping: MappingConfig,
-        flow: FlowConfig,
-    ) -> Result<Self, FttError> {
+    pub fn new(net: Network, mapping: MappingConfig, flow: FlowConfig) -> Result<Self, FttError> {
         Self::with_recorder(net, mapping, flow, Recorder::new())
     }
 
@@ -187,11 +183,7 @@ impl FaultTolerantTrainer {
     /// # Errors
     ///
     /// Propagates hardware and configuration errors.
-    pub fn train(
-        &mut self,
-        data: &Dataset,
-        iterations: u64,
-    ) -> Result<&TrainingCurve, FttError> {
+    pub fn train(&mut self, data: &Dataset, iterations: u64) -> Result<&TrainingCurve, FttError> {
         let mut data = data.clone();
         data.set_shuffle_seed(self.flow.data_seed ^ self.iteration);
         let mut batches = data.try_train_batches(self.flow.batch)?;
@@ -231,7 +223,9 @@ impl FaultTolerantTrainer {
             )?;
             self.metrics.writes_issued.add(report.writes_issued);
             self.metrics.writes_skipped.add(report.writes_skipped);
-            self.metrics.nan_updates_skipped.add(report.nan_updates_skipped);
+            self.metrics
+                .nan_updates_skipped
+                .add(report.nan_updates_skipped);
             let new_wear = self.mapped.wear_faults() - wear_before;
             self.metrics.wear_faults_during_training.add(new_wear);
             // Analog MVM work this iteration: forward plus the two backward
@@ -314,11 +308,14 @@ impl FaultTolerantTrainer {
         let campaign = self.metrics.detection_campaigns.get();
         recorder.emit(Event::DetectionCampaignStart { campaign });
 
-        let detector =
-            OnlineFaultDetector::new(self.flow.detector).with_recorder(&recorder);
+        let detector = OnlineFaultDetector::new(self.flow.detector).with_recorder(&recorder);
         let mut detections = {
             let _detect_span = recorder.span("detect");
-            self.mapped.detect(&detector)?
+            if self.flow.incremental_detection {
+                self.mapped.detect_incremental(&detector)?
+            } else {
+                self.mapped.detect(&detector)?
+            }
         };
         let (mut cycles, mut writes, mut untested, mut flagged) = (0u64, 0u64, 0u64, 0u64);
         for d in &detections {
@@ -372,7 +369,9 @@ impl FaultTolerantTrainer {
             self.metrics.tiles_retired.add(sparing.tiles_retired);
             self.metrics.spares_attached.add(sparing.spares_attached);
             self.metrics.detection_cycles.add(sparing.verify_cycles);
-            self.metrics.detection_writes.add(sparing.verify_write_pulses);
+            self.metrics
+                .detection_writes
+                .add(sparing.verify_write_pulses);
             recorder.set_write_pulses(self.mapped.total_write_pulses());
             if sparing.verify_write_pulses > 0 {
                 recorder.emit(Event::WritePulseBatch {
@@ -415,8 +414,12 @@ impl FaultTolerantTrainer {
             let _search_span = recorder.span("remap_search");
             plan_remap(&self.mapped, &mask, &detections, &cfg)?
         };
-        self.metrics.last_remap_initial_cost.set(plan.initial_cost as f64);
-        self.metrics.last_remap_final_cost.set(plan.final_cost as f64);
+        self.metrics
+            .last_remap_initial_cost
+            .set(plan.initial_cost as f64);
+        self.metrics
+            .last_remap_final_cost
+            .set(plan.final_cost as f64);
         if plan.final_cost < plan.initial_cost && !plan.is_identity() {
             plan.apply(&mut self.net, &mut mask)?;
             self.metrics.remaps_applied.inc();
@@ -429,7 +432,9 @@ impl FaultTolerantTrainer {
         // Park the pruned zeros and reprogram the array with the permuted
         // weights (writes only where the target moved).
         try_apply_mask(&mut self.net, &mask)?;
-        let reprog_writes = self.mapped.reprogram_from(&mut self.net, REPROGRAM_EPSILON)?;
+        let reprog_writes = self
+            .mapped
+            .reprogram_from(&mut self.net, REPROGRAM_EPSILON)?;
         recorder.set_write_pulses(self.mapped.total_write_pulses());
         if reprog_writes > 0 {
             recorder.emit(Event::WritePulseBatch {
@@ -511,8 +516,7 @@ mod tests {
         let flow = FlowConfig::original().with_lr(LrSchedule::constant(0.1));
         let mut clean =
             FaultTolerantTrainer::new(small_net(2), mapping_clean, flow.clone()).unwrap();
-        let mut wearing =
-            FaultTolerantTrainer::new(small_net(2), mapping_wearing, flow).unwrap();
+        let mut wearing = FaultTolerantTrainer::new(small_net(2), mapping_wearing, flow).unwrap();
         let clean_acc = clean.train(&data, 800).unwrap().final_accuracy();
         let worn_acc = wearing.train(&data, 800).unwrap().final_accuracy();
         assert!(
@@ -565,8 +569,38 @@ mod tests {
         trainer.train(&data, 200).unwrap();
         assert!(trainer.stats().detection_campaigns >= 3);
         assert!(trainer.stats().detection_cycles > 0);
+        assert!(trainer.stats().last_remap_final_cost <= trainer.stats().last_remap_initial_cost);
+    }
+
+    #[test]
+    fn incremental_detection_flags_like_full_but_spends_fewer_cycles() {
+        let data = small_data();
+        let mapping = MappingConfig::new(MappingScope::EntireNetwork)
+            .with_initial_fault_fraction(0.2)
+            .with_seed(4);
+        let flow = FlowConfig::fault_tolerant()
+            .with_lr(LrSchedule::constant(0.1))
+            .with_detection_interval(60);
+        let mut full =
+            FaultTolerantTrainer::new(small_net(4), mapping.clone(), flow.clone()).unwrap();
+        full.train(&data, 200).unwrap();
+        let mut inc =
+            FaultTolerantTrainer::new(small_net(4), mapping, flow.with_incremental_detection())
+                .unwrap();
+        inc.train(&data, 200).unwrap();
+        assert_eq!(
+            inc.stats().detection_campaigns,
+            full.stats().detection_campaigns
+        );
+        assert!(inc.stats().detection_campaigns >= 3);
+        // Warm stores + threshold-suppressed writes leave most cells
+        // untouched between campaigns, so the incremental sweeps are
+        // narrower than the full ones.
         assert!(
-            trainer.stats().last_remap_final_cost <= trainer.stats().last_remap_initial_cost
+            inc.stats().detection_cycles < full.stats().detection_cycles,
+            "incremental {} vs full {}",
+            inc.stats().detection_cycles,
+            full.stats().detection_cycles
         );
     }
 
@@ -585,11 +619,18 @@ mod tests {
         let mut trainer = FaultTolerantTrainer::new(small_net(9), mapping, flow).unwrap();
         trainer.train(&data, 100).unwrap();
         let stats = trainer.stats();
-        assert!(stats.tiles_retired > 0, "dense-fault tiles must retire: {stats:?}");
+        assert!(
+            stats.tiles_retired > 0,
+            "dense-fault tiles must retire: {stats:?}"
+        );
         assert_eq!(stats.tiles_retired, stats.spares_attached);
         // The chip events reached the flow's recorder.
-        let retired = trainer.recorder().events_of_kind(obs::EventKind::TileRetired);
-        let attached = trainer.recorder().events_of_kind(obs::EventKind::SpareAttached);
+        let retired = trainer
+            .recorder()
+            .events_of_kind(obs::EventKind::TileRetired);
+        let attached = trainer
+            .recorder()
+            .events_of_kind(obs::EventKind::SpareAttached);
         assert_eq!(retired, stats.tiles_retired);
         assert_eq!(attached, stats.spares_attached);
         // Screened spares replaced the densest tiles, so the in-service

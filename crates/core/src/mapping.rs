@@ -77,7 +77,10 @@ impl MappedLayer {
     /// Dimensions of the shard at `tile_idx` (remainder-aware).
     fn shard_dims(&self, tile_idx: usize, tile_size: usize) -> (usize, usize) {
         let t = &self.tiles[tile_idx];
-        (tile_size.min(self.rows - t.row0), tile_size.min(self.cols - t.col0))
+        (
+            tile_size.min(self.rows - t.row0),
+            tile_size.min(self.cols - t.col0),
+        )
     }
 
     /// Whether this layer uses differential (two-cell) coding.
@@ -123,7 +126,9 @@ impl MappedLayer {
     pub fn fault_map(&self, chip: &TiledChip) -> FaultMap {
         let mut map = FaultMap::healthy(self.rows, self.cols);
         for tile in self.tiles.iter().chain(&self.neg_tiles) {
-            let Ok(xbar) = chip.tile(tile.id) else { continue };
+            let Ok(xbar) = chip.tile(tile.id) else {
+                continue;
+            };
             let sub = xbar.fault_map();
             for (r, c, kind) in sub.iter_faulty() {
                 let (lr, lc) = (tile.row0 + r, tile.col0 + c);
@@ -161,7 +166,11 @@ impl MappedLayer {
     /// row-major, for the given polarity — what a freshly attached spare
     /// must be programmed with.
     fn shard_conductances(&self, tile_idx: usize, neg: bool, tile_size: usize) -> Vec<f64> {
-        let t = if neg { &self.neg_tiles[tile_idx] } else { &self.tiles[tile_idx] };
+        let t = if neg {
+            &self.neg_tiles[tile_idx]
+        } else {
+            &self.tiles[tile_idx]
+        };
         let (t_rows, t_cols) = self.shard_dims(tile_idx, tile_size);
         let differential = self.is_differential();
         let mut g = Vec::with_capacity(t_rows * t_cols);
@@ -287,7 +296,9 @@ impl MappedNetwork {
             }
         };
         if selected.is_empty() {
-            return Err(FttError::InvalidConfig("mapping scope selects no layers".into()));
+            return Err(FttError::InvalidConfig(
+                "mapping scope selects no layers".into(),
+            ));
         }
         if config.tile_size == 0 {
             return Err(FttError::InvalidConfig("tile size must be non-zero".into()));
@@ -298,11 +309,9 @@ impl MappedNetwork {
             .with_variation(config.variation)
             .with_spare_tiles(config.spare_tiles);
         if config.initial_fault_fraction > 0.0 {
-            let injection = FaultInjection::new(
-                config.fault_distribution,
-                config.initial_fault_fraction,
-            )?
-            .with_sa0_prob(config.initial_sa0_prob)?;
+            let injection =
+                FaultInjection::new(config.fault_distribution, config.initial_fault_fraction)?
+                    .with_sa0_prob(config.initial_sa0_prob)?;
             chip_cfg = chip_cfg.with_injection(injection);
         }
         if let Some(density) = config.retire_fault_density {
@@ -320,10 +329,7 @@ impl MappedNetwork {
                 .layer_params_mut(layer_index)
                 .expect("weight layer has parameters");
             let (rows, cols) = params.weight_shape;
-            let absmax = params
-                .weights
-                .iter()
-                .fold(0.0f32, |m, &w| m.max(w.abs()));
+            let absmax = params.weights.iter().fold(0.0f32, |m, &w| m.max(w.abs()));
             let w_max = (f64::from(absmax) * config.w_max_factor).max(1e-3);
             let signs: Vec<i8> = params
                 .weights
@@ -367,7 +373,11 @@ impl MappedNetwork {
                                 let _ = xbar.write_analog(r, c, g)?;
                             }
                         }
-                        tiles.push(TileRef { row0: shard.row0, col0: shard.col0, id });
+                        tiles.push(TileRef {
+                            row0: shard.row0,
+                            col0: shard.col0,
+                            id,
+                        });
                     }
                     Ok(tiles)
                 };
@@ -390,7 +400,11 @@ impl MappedNetwork {
                 neg_tiles,
             });
         }
-        Ok(Self { config, chip, layers })
+        Ok(Self {
+            config,
+            chip,
+            layers,
+        })
     }
 
     /// The mapping configuration.
@@ -415,7 +429,9 @@ impl MappedNetwork {
 
     /// Whether weight layer `k` is mapped, and at which internal position.
     pub fn position_of(&self, weight_layer: usize) -> Option<usize> {
-        self.layers.iter().position(|l| l.weight_layer == weight_layer)
+        self.layers
+            .iter()
+            .position(|l| l.weight_layer == weight_layer)
     }
 
     /// Copies the hardware's *effective* weights (faults, variation,
@@ -453,8 +469,7 @@ impl MappedNetwork {
                     let gp = px.conductance_plane_f64();
                     let gn = nx.conductance_plane_f64();
                     for r in 0..t_rows {
-                        let dst =
-                            &mut out[(pos.row0 + r) * cols + pos.col0..][..t_cols];
+                        let dst = &mut out[(pos.row0 + r) * cols + pos.col0..][..t_cols];
                         let gp_row = &gp[r * t_cols..(r + 1) * t_cols];
                         let gn_row = &gn[r * t_cols..(r + 1) * t_cols];
                         for ((d, &p), &n) in dst.iter_mut().zip(gp_row).zip(gn_row) {
@@ -521,23 +536,21 @@ impl MappedNetwork {
             let gp = (f64::from(value.max(0.0)) / layer.w_max).min(1.0);
             let gn = (f64::from((-value).max(0.0)) / layer.w_max).min(1.0);
             let tile = layer.tiles[tile_idx];
-            let pos = self
-                .chip
-                .tile_mut(tile.id)?
-                .pulse_analog(row - tile.row0, col - tile.col0, gp)?;
+            let pos =
+                self.chip
+                    .tile_mut(tile.id)?
+                    .pulse_analog(row - tile.row0, col - tile.col0, gp)?;
             let tile = layer.neg_tiles[tile_idx];
-            let neg = self
-                .chip
-                .tile_mut(tile.id)?
-                .pulse_analog(row - tile.row0, col - tile.col0, gn)?;
+            let neg =
+                self.chip
+                    .tile_mut(tile.id)?
+                    .pulse_analog(row - tile.row0, col - tile.col0, gn)?;
             // Report the more severe outcome (a new fault on either side).
             Ok(match (pos, neg) {
                 (WriteOutcome::WoreOut(k), _) | (_, WriteOutcome::WoreOut(k)) => {
                     WriteOutcome::WoreOut(k)
                 }
-                (WriteOutcome::Stuck(k), _) | (_, WriteOutcome::Stuck(k)) => {
-                    WriteOutcome::Stuck(k)
-                }
+                (WriteOutcome::Stuck(k), _) | (_, WriteOutcome::Stuck(k)) => WriteOutcome::Stuck(k),
                 (p, _) => p,
             })
         } else {
@@ -575,11 +588,7 @@ impl MappedNetwork {
     /// cells already within `epsilon` of the target conductance — used to
     /// reprogram the array after a re-mapping permutation. Returns the
     /// number of write pulses issued.
-    pub fn reprogram_from(
-        &mut self,
-        net: &mut Network,
-        epsilon: f64,
-    ) -> Result<u64, FttError> {
+    pub fn reprogram_from(&mut self, net: &mut Network, epsilon: f64) -> Result<u64, FttError> {
         let ts = self.config.tile_size;
         let mut writes = 0u64;
         for layer in &mut self.layers {
@@ -655,8 +664,8 @@ impl MappedNetwork {
                 // Graceful degradation: the failed tile's groups are
                 // counted untested and the campaign continues with the
                 // remaining tiles.
-                untested_groups += 2
-                    * (slot.xbar.rows().div_ceil(t) + slot.xbar.cols().div_ceil(t)) as u64;
+                untested_groups +=
+                    2 * (slot.xbar.rows().div_ceil(t) + slot.xbar.cols().div_ceil(t)) as u64;
                 if first_err.is_none() {
                     first_err = Some(FttError::from(e.clone()));
                 }
@@ -710,13 +719,45 @@ impl MappedNetwork {
         &mut self,
         detector: &OnlineFaultDetector,
     ) -> Result<Vec<LayerDetection>, FttError> {
+        self.detect_with(detector, false)
+    }
+
+    /// Incremental variant of [`detect`]: campaigns go through
+    /// [`ftt_tile::TiledChip::run_campaigns_incremental`], so each tile
+    /// keeps a persistent off-chip store and only retests the cells written
+    /// since its previous campaign (training updates, reprogramming,
+    /// wear-outs), carrying prior verdicts forward for untouched cells.
+    /// The first call behaves like a full [`detect`]; later calls between
+    /// sparse weight updates cost a fraction of the cycles.
+    ///
+    /// [`detect`]: Self::detect
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`detect`].
+    pub fn detect_incremental(
+        &mut self,
+        detector: &OnlineFaultDetector,
+    ) -> Result<Vec<LayerDetection>, FttError> {
+        self.detect_with(detector, true)
+    }
+
+    fn detect_with(
+        &mut self,
+        detector: &OnlineFaultDetector,
+        incremental: bool,
+    ) -> Result<Vec<LayerDetection>, FttError> {
         let ids: Vec<usize> = self
             .layers
             .iter()
             .flat_map(|l| l.tiles.iter().chain(&l.neg_tiles))
             .map(|t| t.id)
             .collect();
-        let _ = self.chip.run_campaigns(detector, &ids);
+        let _ = if incremental {
+            self.chip.run_campaigns_incremental(detector, &ids)
+        } else {
+            self.chip.run_campaigns(detector, &ids)
+        };
         let t = detector.config().test_size;
         let mut results = Vec::with_capacity(self.layers.len());
         for li in 0..self.layers.len() {
@@ -759,10 +800,15 @@ impl MappedNetwork {
                     .position(|t| t.id == id)
                     .map(|ti| (li, false, ti))
                     .or_else(|| {
-                        l.neg_tiles.iter().position(|t| t.id == id).map(|ti| (li, true, ti))
+                        l.neg_tiles
+                            .iter()
+                            .position(|t| t.id == id)
+                            .map(|ti| (li, true, ti))
                     })
             });
-            let Some((li, neg, tile_idx)) = located else { continue };
+            let Some((li, neg, tile_idx)) = located else {
+                continue;
+            };
             match self.chip.substitute(id)? {
                 SpareOutcome::Exhausted => {
                     out.spares_exhausted += 1;
@@ -797,7 +843,10 @@ impl MappedNetwork {
         for li in dirty {
             let recomposed = self.compose_layer(li, t)?;
             let weight_layer = self.layers[li].weight_layer;
-            if let Some(d) = detections.iter_mut().find(|d| d.weight_layer == weight_layer) {
+            if let Some(d) = detections
+                .iter_mut()
+                .find(|d| d.weight_layer == weight_layer)
+            {
                 d.predicted = recomposed.predicted;
             }
         }
@@ -807,7 +856,10 @@ impl MappedNetwork {
     /// Ground-truth fault maps per mapped layer (for oracle experiments and
     /// precision/recall scoring).
     pub fn ground_truth(&self) -> Vec<FaultMap> {
-        self.layers.iter().map(|l| l.fault_map(&self.chip)).collect()
+        self.layers
+            .iter()
+            .map(|l| l.fault_map(&self.chip))
+            .collect()
     }
 
     /// Total write pulses across the whole chip (training + detection +
@@ -823,7 +875,9 @@ impl MappedNetwork {
         let mut total = 0usize;
         for layer in &self.layers {
             for tile in layer.tiles.iter().chain(&layer.neg_tiles) {
-                let Ok(xbar) = self.chip.tile(tile.id) else { continue };
+                let Ok(xbar) = self.chip.tile(tile.id) else {
+                    continue;
+                };
                 faulty += xbar.fault_map().count_faulty();
                 total += xbar.rows() * xbar.cols();
             }
@@ -951,8 +1005,11 @@ mod tests {
             let mapped = MappedNetwork::from_network(&mut net, config).unwrap();
             mapped.load_effective_weights(&mut net).unwrap();
             for layer in mapped.layers() {
-                let loaded: Vec<f32> =
-                    net.layer_params_mut(layer.layer_index).unwrap().weights.to_vec();
+                let loaded: Vec<f32> = net
+                    .layer_params_mut(layer.layer_index)
+                    .unwrap()
+                    .weights
+                    .to_vec();
                 for r in 0..layer.rows {
                     for c in 0..layer.cols {
                         let reference = layer.effective(mapped.chip(), r, c, 4) as f32;
@@ -1080,8 +1137,7 @@ mod tests {
         let before: Vec<f32> = net.layer_params_mut(0).unwrap().weights.to_vec();
         let mapped = MappedNetwork::from_network(
             &mut net,
-            MappingConfig::new(MappingScope::EntireNetwork)
-                .with_coding(WeightCoding::Differential),
+            MappingConfig::new(MappingScope::EntireNetwork).with_coding(WeightCoding::Differential),
         )
         .unwrap();
         assert!(mapped.layers()[0].is_differential());
@@ -1102,8 +1158,7 @@ mod tests {
         let mut net2 = mlp();
         let mut diff = MappedNetwork::from_network(
             &mut net2,
-            MappingConfig::new(MappingScope::EntireNetwork)
-                .with_coding(WeightCoding::Differential),
+            MappingConfig::new(MappingScope::EntireNetwork).with_coding(WeightCoding::Differential),
         )
         .unwrap();
         let uni_before = uni.total_write_pulses();
@@ -1195,8 +1250,7 @@ mod tests {
         assert!(faulty_before > 0.1);
         let detector = OnlineFaultDetector::new(DetectorConfig::new(1).unwrap());
         let mut detections = mapped.detect(&detector).unwrap();
-        let flagged_before: usize =
-            detections.iter().map(|d| d.predicted.count_faulty()).sum();
+        let flagged_before: usize = detections.iter().map(|d| d.predicted.count_faulty()).sum();
         assert!(flagged_before > 0);
         let outcome = mapped.apply_sparing(&detector, &mut detections).unwrap();
         assert!(outcome.tiles_retired > 0, "{outcome:?}");
@@ -1207,7 +1261,10 @@ mod tests {
         // Spares come from the screened pool (fault-free at attach), so
         // swapping them in strictly lowers the in-service fault density.
         let faulty_after = mapped.fraction_faulty();
-        assert!(faulty_after < faulty_before, "{faulty_after} vs {faulty_before}");
+        assert!(
+            faulty_after < faulty_before,
+            "{faulty_after} vs {faulty_before}"
+        );
         // The recomposed detections mirror the post-sparing ground truth
         // (test size 1 is exact, and each spare was verified).
         let truth = mapped.ground_truth();

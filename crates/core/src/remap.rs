@@ -62,10 +62,19 @@ pub enum RemapAlgorithm {
     },
     /// A genetic algorithm optimizing each neuron group in turn
     /// ("layer by layer" per the paper), with order crossover and swap
-    /// mutation.
+    /// mutation. The search runs as `islands` independent populations with
+    /// per-island sub-RNGs (derived from the search seed) evolved in
+    /// parallel on the [`par`] worker budget; every
+    /// [`MIGRATION_INTERVAL`] generations the best individual of each
+    /// island replaces the worst of its ring successor. Island evolution
+    /// is pure (each consumes only its own snapshotted state), migration
+    /// and the final seeded tie-break are sequential, so the winning
+    /// permutation is identical at any thread count.
     Genetic {
-        /// Population size per group.
+        /// Population size per island.
         population: usize,
+        /// Independent island populations (clamped to at least 1).
+        islands: usize,
     },
 }
 
@@ -264,8 +273,8 @@ impl RemapProblem {
         // consecutive weight layers with divisible geometry.
         let mut groups = Vec::new();
         for i in 0..layers.len().saturating_sub(1) {
-            let consecutive = mapped.layers()[i + 1].weight_layer
-                == mapped.layers()[i].weight_layer + 1;
+            let consecutive =
+                mapped.layers()[i + 1].weight_layer == mapped.layers()[i].weight_layer + 1;
             let neurons = layers[i].cols;
             if consecutive && neurons > 1 && layers[i + 1].rows % neurons == 0 {
                 groups.push(NeuronGroup {
@@ -275,7 +284,11 @@ impl RemapProblem {
                 });
             }
         }
-        Ok(Self { layers, groups, cost_model })
+        Ok(Self {
+            layers,
+            groups,
+            cost_model,
+        })
     }
 
     /// Builds the problem from ground-truth fault maps instead of detector
@@ -307,8 +320,11 @@ impl RemapProblem {
 
     /// The total cost `Dist(P, F)` under identity permutations.
     pub fn baseline_cost(&self) -> u64 {
-        let perms: Vec<Permutation> =
-            self.groups.iter().map(|g| Permutation::identity(g.neurons)).collect();
+        let perms: Vec<Permutation> = self
+            .groups
+            .iter()
+            .map(|g| Permutation::identity(g.neurons))
+            .collect();
         self.cost(&perms)
     }
 
@@ -323,9 +339,24 @@ impl RemapProblem {
     /// Panics if the permutation count or sizes mismatch the groups.
     pub fn cost(&self, perms: &[Permutation]) -> u64 {
         assert_eq!(perms.len(), self.groups.len(), "one permutation per group");
-        let est = self.layers.iter().map(|l| l.rows * l.cols).max().unwrap_or(0);
+        let est = self
+            .layers
+            .iter()
+            .map(|l| l.rows * l.cols)
+            .max()
+            .unwrap_or(0);
         par::map_indices_hinted(self.layers.len(), est, |li| self.layer_cost(perms, li))
             .into_iter()
+            .sum()
+    }
+
+    /// [`Self::cost`] without the fan-out: the same per-layer counts summed
+    /// in layer order on the calling thread. Used inside parallel island
+    /// evolution, where each worker must stay self-contained.
+    fn cost_sequential(&self, perms: &[Permutation]) -> u64 {
+        assert_eq!(perms.len(), self.groups.len(), "one permutation per group");
+        (0..self.layers.len())
+            .map(|li| self.layer_cost(perms, li))
             .sum()
     }
 
@@ -380,13 +411,7 @@ impl RemapProblem {
     /// swaps can be scored in parallel against frozen permutations.
     ///
     /// [`neuron_cost`]: Self::neuron_cost
-    fn neuron_cost_as(
-        &self,
-        perms: &[Permutation],
-        group_idx: usize,
-        j: usize,
-        src: usize,
-    ) -> u64 {
+    fn neuron_cost_as(&self, perms: &[Permutation], group_idx: usize, j: usize, src: usize) -> u64 {
         let group = self.groups[group_idx];
         let li = group.layer;
         let mut total = 0u64;
@@ -444,8 +469,11 @@ impl RemapProblem {
     /// [`RemapPlan::apply`]).
     pub fn solve(&self, mapped: &MappedNetwork, config: &RemapConfig) -> RemapPlan {
         let mut rng = sim_rng(config.seed);
-        let mut perms: Vec<Permutation> =
-            self.groups.iter().map(|g| Permutation::identity(g.neurons)).collect();
+        let mut perms: Vec<Permutation> = self
+            .groups
+            .iter()
+            .map(|g| Permutation::identity(g.neurons))
+            .collect();
         let initial_cost = self.cost(&perms);
         match config.algorithm {
             RemapAlgorithm::Identity => {}
@@ -464,11 +492,11 @@ impl RemapProblem {
                         if a == b {
                             continue;
                         }
-                        let before = self.neuron_cost(&perms, gi, a)
-                            + self.neuron_cost(&perms, gi, b);
+                        let before =
+                            self.neuron_cost(&perms, gi, a) + self.neuron_cost(&perms, gi, b);
                         perms[gi].swap(a, b);
-                        let after = self.neuron_cost(&perms, gi, a)
-                            + self.neuron_cost(&perms, gi, b);
+                        let after =
+                            self.neuron_cost(&perms, gi, a) + self.neuron_cost(&perms, gi, b);
                         if after > before {
                             perms[gi].swap(a, b); // revert
                         }
@@ -480,12 +508,24 @@ impl RemapProblem {
                     self.greedy_swap_batch(&mut perms, batch.max(1), config.iterations, &mut rng);
                 }
             }
-            RemapAlgorithm::Genetic { population } => {
+            RemapAlgorithm::Genetic {
+                population,
+                islands,
+            } => {
                 let population = population.max(4);
-                let generations = (config.iterations / population).max(1);
+                let islands = islands.max(1);
+                // Same total search budget regardless of the island count.
+                let generations = (config.iterations / population / islands).max(1);
                 // Layer by layer, as in the paper.
                 for gi in 0..self.groups.len() {
-                    perms[gi] = self.genetic_group(&perms, gi, population, generations, &mut rng);
+                    perms[gi] = self.genetic_group(
+                        &perms,
+                        gi,
+                        population,
+                        islands,
+                        generations,
+                        config.seed,
+                    );
                 }
             }
         }
@@ -496,7 +536,11 @@ impl RemapProblem {
             .zip(perms)
             .map(|(g, p)| (mapped.layers()[g.layer].weight_layer, p))
             .collect();
-        RemapPlan { perms: plan_perms, initial_cost, final_cost }
+        RemapPlan {
+            perms: plan_perms,
+            initial_cost,
+            final_cost,
+        }
     }
 
     /// The batched greedy swap search. Per round:
@@ -553,10 +597,10 @@ impl RemapProblem {
             let deltas = par::map_indices_hinted(candidates.len(), probe_ops, |k| {
                 let (gi, a, b) = candidates[k];
                 let (pa, pb) = (frozen[gi].as_slice()[a], frozen[gi].as_slice()[b]);
-                let before = self.neuron_cost_as(frozen, gi, a, pa)
-                    + self.neuron_cost_as(frozen, gi, b, pb);
-                let after = self.neuron_cost_as(frozen, gi, a, pb)
-                    + self.neuron_cost_as(frozen, gi, b, pa);
+                let before =
+                    self.neuron_cost_as(frozen, gi, a, pa) + self.neuron_cost_as(frozen, gi, b, pb);
+                let after =
+                    self.neuron_cost_as(frozen, gi, a, pb) + self.neuron_cost_as(frozen, gi, b, pa);
                 after as i64 - before as i64
             });
             let mut touched: Vec<Vec<bool>> =
@@ -578,84 +622,197 @@ impl RemapProblem {
         }
     }
 
-    /// GA over one neuron group with the other groups fixed.
+    /// Island-parallel GA over one neuron group with the other groups
+    /// fixed.
+    ///
+    /// Each island holds its own population and its own sub-RNG derived
+    /// from the search seed, so a round of evolution is a pure function of
+    /// the island's snapshot — the rounds fan out over
+    /// [`par::map_indices_hinted`] without perturbing the trajectory. After
+    /// each round the best individual of island `i` replaces the worst of
+    /// island `(i + 1) % islands` (computed from the pre-migration
+    /// snapshot, applied in island order). The final winner is the
+    /// minimum-cost individual across islands, ties broken by a seeded
+    /// per-island key so the choice never depends on island evaluation
+    /// order.
     fn genetic_group(
         &self,
         perms: &[Permutation],
         gi: usize,
         population: usize,
+        islands: usize,
         generations: usize,
-        rng: &mut rand::rngs::StdRng,
+        seed: u64,
     ) -> Permutation {
         let n = self.groups[gi].neurons;
-        let mut scratch: Vec<Permutation> = perms.to_vec();
-        let fitness = |p: &Permutation, scratch: &mut Vec<Permutation>| -> u64 {
-            scratch[gi] = p.clone();
-            self.cost(scratch)
-        };
-        let mut pop: Vec<Permutation> = (0..population)
-            .map(|i| {
-                if i == 0 {
-                    perms[gi].clone()
-                } else {
-                    Permutation::random(n, rng)
-                }
+        let mut states: Vec<Island> = (0..islands)
+            .map(|island| {
+                // Golden-ratio seed spreading: distinct sub-streams per
+                // (group, island) that never collide with the solver's own
+                // `sim_rng(seed)` stream (the +1 skips the multiplier-zero
+                // case).
+                let salt =
+                    0x9E37_79B9_7F4A_7C15u64.wrapping_mul((gi * islands + island + 1) as u64);
+                let mut rng = sim_rng(seed.wrapping_add(salt));
+                let pop: Vec<Permutation> = (0..population)
+                    .map(|i| {
+                        if i == 0 {
+                            perms[gi].clone()
+                        } else {
+                            Permutation::random(n, &mut rng)
+                        }
+                    })
+                    .collect();
+                let scores = pop
+                    .iter()
+                    .map(|p| self.group_fitness(perms, gi, p))
+                    .collect();
+                Island { pop, scores, rng }
             })
             .collect();
-        let mut scores: Vec<u64> =
-            pop.iter().map(|p| fitness(p, &mut scratch)).collect();
-        for _ in 0..generations {
+
+        // One fitness evaluation walks every layer once.
+        let cells: usize = self.layers.iter().map(|l| l.rows * l.cols).sum();
+        let mut remaining = generations;
+        while remaining > 0 {
+            let round = remaining.min(MIGRATION_INTERVAL);
+            remaining -= round;
+            let frozen: &[Island] = &states;
+            states = par::map_indices_hinted(islands, round * cells, |i| {
+                let mut island = frozen[i].clone();
+                self.evolve_island(&mut island, perms, gi, n, round);
+                island
+            });
+            if islands > 1 && remaining > 0 {
+                // Ring migration from the post-evolution snapshot.
+                let emigrants: Vec<(Permutation, u64)> = states
+                    .iter()
+                    .map(|isl| {
+                        let b = isl.best_index();
+                        (isl.pop[b].clone(), isl.scores[b])
+                    })
+                    .collect();
+                for (i, (immigrant, score)) in emigrants.iter().enumerate() {
+                    let dst = &mut states[(i + 1) % islands];
+                    let w = dst.worst_index();
+                    if *score < dst.scores[w] {
+                        dst.pop[w] = immigrant.clone();
+                        dst.scores[w] = *score;
+                    }
+                }
+            }
+        }
+
+        // Seeded tie-break: equal-cost winners from different islands are
+        // ranked by a per-island key derived from the seed, not by island
+        // position, so changing the island count reshuffles ties fairly.
+        let mut best: Option<(u64, u64, usize, usize)> = None;
+        for (i, isl) in states.iter().enumerate() {
+            let b = isl.best_index();
+            let tie = (seed ^ (i as u64).wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let key = (isl.scores[b], tie, i, b);
+            let improves = match best {
+                Some(k) => key < k,
+                None => true,
+            };
+            if improves {
+                best = Some(key);
+            }
+        }
+        match best {
+            Some((_, _, i, b)) => states[i].pop.swap_remove(b),
+            // Unreachable (islands >= 1), but degrade to "no change" rather
+            // than panicking mid-search.
+            None => perms[gi].clone(),
+        }
+    }
+
+    /// Fitness of one candidate permutation for group `gi`: `Dist(P, F)`
+    /// with the other groups frozen.
+    fn group_fitness(&self, perms: &[Permutation], gi: usize, p: &Permutation) -> u64 {
+        let mut scratch = perms.to_vec();
+        scratch[gi] = p.clone();
+        self.cost_sequential(&scratch)
+    }
+
+    /// Evolves one island for `rounds` generations (tournament selection,
+    /// order crossover, swap mutation, replace-worst). Pure with respect to
+    /// everything but the island itself, so islands evolve in parallel.
+    fn evolve_island(
+        &self,
+        island: &mut Island,
+        perms: &[Permutation],
+        gi: usize,
+        n: usize,
+        rounds: usize,
+    ) {
+        for _ in 0..rounds {
             // Tournament selection of two parents.
-            let pick = |rng: &mut rand::rngs::StdRng, scores: &[u64]| -> usize {
-                let a = rng.gen_range(0..scores.len());
-                let b = rng.gen_range(0..scores.len());
-                if scores[a] <= scores[b] {
+            let pick = |rng: &mut rand::rngs::StdRng| -> usize {
+                let a = rng.gen_range(0..island.scores.len());
+                let b = rng.gen_range(0..island.scores.len());
+                if island.scores[a] <= island.scores[b] {
                     a
                 } else {
                     b
                 }
             };
-            let pa = pick(rng, &scores);
-            let pb = pick(rng, &scores);
-            let mut child = order_crossover(&pop[pa], &pop[pb], rng);
+            let pa = pick(&mut island.rng);
+            let pb = pick(&mut island.rng);
+            let mut child = order_crossover(&island.pop[pa], &island.pop[pb], &mut island.rng);
             // Swap mutation.
-            if n >= 2 && rng.gen_bool(0.8) {
-                let (x, y) = (rng.gen_range(0..n), rng.gen_range(0..n));
+            if n >= 2 && island.rng.gen_bool(0.8) {
+                let (x, y) = (island.rng.gen_range(0..n), island.rng.gen_range(0..n));
                 child.swap(x, y);
             }
-            let child_score = fitness(&child, &mut scratch);
+            let child_score = self.group_fitness(perms, gi, &child);
             // Replace the worst member if the child improves on it.
-            #[allow(clippy::expect_used)]
-            // PANIC-OK: `pop` (and hence `scores`) is constructed non-empty
-            // a few lines above and never shrinks inside this loop.
-            let (worst_idx, &worst) = scores
-                .iter()
-                .enumerate()
-                .max_by_key(|&(_, s)| *s)
-                .expect("population is non-empty");
-            if child_score < worst {
-                pop[worst_idx] = child;
-                scores[worst_idx] = child_score;
+            let w = island.worst_index();
+            if child_score < island.scores[w] {
+                island.pop[w] = child;
+                island.scores[w] = child_score;
             }
         }
-        #[allow(clippy::expect_used)]
-        // PANIC-OK: the population is non-empty by construction.
-        let best = scores
-            .iter()
-            .enumerate()
-            .min_by_key(|&(_, s)| *s)
-            .map(|(i, _)| i)
-            .expect("population is non-empty");
-        pop.swap_remove(best)
+    }
+}
+
+/// Generations an island evolves between ring migrations.
+const MIGRATION_INTERVAL: usize = 8;
+
+/// One independent GA population with its own deterministic sub-stream.
+#[derive(Debug, Clone)]
+struct Island {
+    pop: Vec<Permutation>,
+    scores: Vec<u64>,
+    rng: rand::rngs::StdRng,
+}
+
+impl Island {
+    /// Index of the best (lowest-score) member; first wins ties.
+    fn best_index(&self) -> usize {
+        let mut best = 0;
+        for (i, &s) in self.scores.iter().enumerate() {
+            if s < self.scores[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Index of the worst (highest-score) member; first wins ties.
+    fn worst_index(&self) -> usize {
+        let mut worst = 0;
+        for (i, &s) in self.scores.iter().enumerate() {
+            if s > self.scores[worst] {
+                worst = i;
+            }
+        }
+        worst
     }
 }
 
 /// Order crossover (OX) for permutations.
-fn order_crossover(
-    a: &Permutation,
-    b: &Permutation,
-    rng: &mut rand::rngs::StdRng,
-) -> Permutation {
+fn order_crossover(a: &Permutation, b: &Permutation, rng: &mut rand::rngs::StdRng) -> Permutation {
     let n = a.len();
     if n < 2 {
         return a.clone();
@@ -747,8 +904,7 @@ mod tests {
         let mask = magnitude_prune(&mut net, 0.0);
         let problem =
             RemapProblem::with_ground_truth(&mapped, &mask, CostModel::PaperDist).unwrap();
-        let total_faults: usize =
-            mapped.ground_truth().iter().map(|m| m.count_faulty()).sum();
+        let total_faults: usize = mapped.ground_truth().iter().map(|m| m.count_faulty()).sum();
         assert_eq!(problem.baseline_cost(), total_faults as u64);
         // With everything pruned, no fault is an error under PaperDist.
         let mask = magnitude_prune(&mut net, 1.0);
@@ -762,8 +918,7 @@ mod tests {
         let mut net = mlp(3);
         let mapped = mapped_with_faults(&mut net, 0.2, 3);
         let mask = magnitude_prune(&mut net, 1.0);
-        let problem =
-            RemapProblem::with_ground_truth(&mapped, &mask, CostModel::Extended).unwrap();
+        let problem = RemapProblem::with_ground_truth(&mapped, &mask, CostModel::Extended).unwrap();
         let sa1: usize = mapped
             .ground_truth()
             .iter()
@@ -839,12 +994,73 @@ mod tests {
         let problem =
             RemapProblem::with_ground_truth(&mapped, &mask, CostModel::PaperDist).unwrap();
         let config = RemapConfig {
-            algorithm: RemapAlgorithm::Genetic { population: 8 },
+            algorithm: RemapAlgorithm::Genetic {
+                population: 8,
+                islands: 2,
+            },
             iterations: 4000,
             ..RemapConfig::default()
         };
         let plan = problem.solve(&mapped, &config);
         assert!(plan.final_cost < plan.initial_cost);
+    }
+
+    #[test]
+    fn genetic_islands_are_thread_count_invariant() {
+        // Island evolution is pure over snapshotted island state and
+        // migration is sequential, so the winning permutations must not
+        // depend on how many workers evolved the islands.
+        let mut net = mlp(11);
+        let mapped = mapped_with_faults(&mut net, 0.2, 11);
+        let mask = magnitude_prune(&mut net, 0.5);
+        let problem =
+            RemapProblem::with_ground_truth(&mapped, &mask, CostModel::PaperDist).unwrap();
+        let config = RemapConfig {
+            algorithm: RemapAlgorithm::Genetic {
+                population: 6,
+                islands: 4,
+            },
+            iterations: 2000,
+            ..RemapConfig::default()
+        };
+        let run_with = |threads: usize| {
+            par::set_thread_count(threads);
+            let plan = problem.solve(&mapped, &config);
+            par::set_thread_count(0);
+            plan
+        };
+        let seq = run_with(1);
+        let par4 = run_with(4);
+        assert_eq!(seq.final_cost, par4.final_cost);
+        assert_eq!(seq.perms(), par4.perms(), "identical trajectory required");
+    }
+
+    #[test]
+    fn more_islands_never_lose_to_one_on_average_seeds() {
+        // Not a statistical claim — just that the island machinery (ring
+        // migration, seeded tie-break) still converges on this instance.
+        let mut net = mlp(12);
+        let mapped = mapped_with_faults(&mut net, 0.15, 12);
+        let mask = magnitude_prune(&mut net, 0.6);
+        let problem =
+            RemapProblem::with_ground_truth(&mapped, &mask, CostModel::PaperDist).unwrap();
+        for islands in [1, 3] {
+            let config = RemapConfig {
+                algorithm: RemapAlgorithm::Genetic {
+                    population: 6,
+                    islands,
+                },
+                iterations: 3600,
+                ..RemapConfig::default()
+            };
+            let plan = problem.solve(&mapped, &config);
+            assert!(
+                plan.final_cost < plan.initial_cost,
+                "islands={islands}: {} !< {}",
+                plan.final_cost,
+                plan.initial_cost
+            );
+        }
     }
 
     #[test]
@@ -869,8 +1085,7 @@ mod tests {
                 problem.neuron_cost(&perms, 0, a) + problem.neuron_cost(&perms, 0, b);
             perms[0].swap(a, b);
             let full_after = problem.cost(&perms);
-            let local_after =
-                problem.neuron_cost(&perms, 0, a) + problem.neuron_cost(&perms, 0, b);
+            let local_after = problem.neuron_cost(&perms, 0, a) + problem.neuron_cost(&perms, 0, b);
             assert_eq!(
                 full_after as i64 - full_before as i64,
                 local_after as i64 - local_before as i64,
@@ -892,12 +1107,18 @@ mod tests {
             ..RemapConfig::default()
         };
         let plan = problem.solve(&mapped, &config);
-        let x = Tensor::from_vec(vec![2, 8], (0..16).map(|i| (i as f32 * 0.2).sin()).collect());
+        let x = Tensor::from_vec(
+            vec![2, 8],
+            (0..16).map(|i| (i as f32 * 0.2).sin()).collect(),
+        );
         let before = net.forward(&x);
         plan.apply(&mut net, &mut mask).unwrap();
         let after = net.forward(&x);
         for (a, b) in before.data().iter().zip(after.data()) {
-            assert!((a - b).abs() < 1e-4, "isomorphism must preserve the function");
+            assert!(
+                (a - b).abs() < 1e-4,
+                "isomorphism must preserve the function"
+            );
         }
         // The mask still marks exactly the zero... well, the *same set* of
         // weights, just re-ordered: sparsity unchanged, and the pruned
@@ -919,7 +1140,10 @@ mod tests {
             .filter(|(_, &p)| !p)
             .map(|(w, _)| w.abs())
             .fold(f32::INFINITY, f32::min);
-        assert!(pruned_max <= kept_min, "mask must track its weights through the permutation");
+        assert!(
+            pruned_max <= kept_min,
+            "mask must track its weights through the permutation"
+        );
     }
 
     #[test]
@@ -931,7 +1155,10 @@ mod tests {
             RemapProblem::with_ground_truth(&mapped, &mask, CostModel::PaperDist).unwrap();
         let id_plan = problem.solve(
             &mapped,
-            &RemapConfig { algorithm: RemapAlgorithm::Identity, ..RemapConfig::default() },
+            &RemapConfig {
+                algorithm: RemapAlgorithm::Identity,
+                ..RemapConfig::default()
+            },
         );
         assert!(id_plan.is_identity());
         assert_eq!(id_plan.initial_cost, id_plan.final_cost);

@@ -37,7 +37,10 @@ impl TrainingCurve {
 
     /// The highest accuracy seen (the "peak accuracy" the paper reports).
     pub fn peak_accuracy(&self) -> f64 {
-        self.points.iter().map(|p| p.test_accuracy).fold(0.0, f64::max)
+        self.points
+            .iter()
+            .map(|p| p.test_accuracy)
+            .fold(0.0, f64::max)
     }
 
     /// The accuracy at the last evaluation.
@@ -95,7 +98,12 @@ impl TrainingCurve {
             ) else {
                 continue;
             };
-            curve.push(CurvePoint { iteration, test_accuracy, faulty_fraction, write_pulses });
+            curve.push(CurvePoint {
+                iteration,
+                test_accuracy,
+                faulty_fraction,
+                write_pulses,
+            });
         }
         curve
     }
@@ -214,7 +222,10 @@ mod tests {
 
         // Detection read cycles are no longer free: each test cycle is a
         // quiescent-voltage cell read at 1 pJ.
-        let with_reads = FlowStats { detection_cycles: 200, ..stats };
+        let with_reads = FlowStats {
+            detection_cycles: 200,
+            ..stats
+        };
         let est2 = with_reads.energy(&rram::energy::EnergyModel::typical());
         assert!((est2.read_pj - 200.0).abs() < 1e-9);
         assert!((est2.total_pj() - 1800.0).abs() < 1e-9);
@@ -223,7 +234,11 @@ mod tests {
     #[test]
     fn jsonl_round_trips_bit_exact() {
         let mut curve = TrainingCurve::new();
-        for (i, acc) in [(1u64, 1.0 / 3.0), (2, 0.123456789012345), (3, f64::MIN_POSITIVE)] {
+        for (i, acc) in [
+            (1u64, 1.0 / 3.0),
+            (2, 0.123456789012345),
+            (3, f64::MIN_POSITIVE),
+        ] {
             curve.push(CurvePoint {
                 iteration: i,
                 test_accuracy: acc,
@@ -258,7 +273,10 @@ mod tests {
         let cols: Vec<&str> = row.split(',').collect();
         assert_eq!(cols[0].parse::<u64>().unwrap(), 9);
         let acc: f64 = cols[1].parse().unwrap();
-        assert!((acc - 0.87654321).abs() <= 5e-5, "4-decimal truncation bound");
+        assert!(
+            (acc - 0.87654321).abs() <= 5e-5,
+            "4-decimal truncation bound"
+        );
         let ff: f64 = cols[2].parse().unwrap();
         assert!((ff - 0.00012).abs() <= 5e-5);
         assert_eq!(cols[3].parse::<u64>().unwrap(), 7);
@@ -266,7 +284,11 @@ mod tests {
 
     #[test]
     fn stats_skipped_fraction() {
-        let stats = FlowStats { writes_issued: 10, writes_skipped: 90, ..Default::default() };
+        let stats = FlowStats {
+            writes_issued: 10,
+            writes_skipped: 90,
+            ..Default::default()
+        };
         assert!((stats.skipped_fraction() - 0.9).abs() < 1e-12);
         assert_eq!(FlowStats::default().skipped_fraction(), 0.0);
     }

@@ -121,7 +121,9 @@ mod tests {
         let m = FlowMetrics::new(Recorder::deterministic());
         m.mvm_cell_ops.add(7);
         assert_eq!(
-            m.recorder().registry().counter_value("flow_mvm_cell_ops_total"),
+            m.recorder()
+                .registry()
+                .counter_value("flow_mvm_cell_ops_total"),
             Some(7)
         );
         let text = m.recorder().render_prometheus();

@@ -106,7 +106,10 @@ impl ThresholdTrainer {
             .iter()
             .map(|l| vec![0u32; l.rows * l.cols])
             .collect();
-        Self { policy, write_amounts }
+        Self {
+            policy,
+            write_amounts,
+        }
     }
 
     /// The configured policy.
@@ -188,19 +191,20 @@ impl ThresholdTrainer {
         // on the corrupted effective value the forward pass used — stuck
         // cells silently refuse the write, they do not drag the software
         // state with them.
-        let mut report = UpdateReport { max_abs_dw, ..Default::default() };
+        let mut report = UpdateReport {
+            max_abs_dw,
+            ..Default::default()
+        };
         // A degenerate iteration — every finite update is exactly zero while
         // a thresholding policy is active — carries no information: skip the
         // whole pass deterministically instead of pulsing every cell with a
         // zero update (the None policy keeps the original method's
         // pulse-everything behaviour).
-        let degenerate =
-            max_abs_dw == 0.0 && !matches!(self.policy, ThresholdPolicy::None);
+        let degenerate = max_abs_dw == 0.0 && !matches!(self.policy, ThresholdPolicy::None);
         let mut pending: Vec<(usize, Vec<(usize, f32)>)> = Vec::new();
         for &(pos, layer_index) in &mapped_positions {
-            let frozen_layer = frozen.and_then(|m| {
-                m.layers().iter().find(|l| l.layer_index == layer_index)
-            });
+            let frozen_layer =
+                frozen.and_then(|m| m.layers().iter().find(|l| l.layer_index == layer_index));
             let targets = mapped.layers()[pos].targets().to_vec();
             let params = net.layer_params_mut(layer_index).ok_or_else(|| {
                 FttError::InvalidConfig(format!(
@@ -229,7 +233,9 @@ impl ThresholdTrainer {
                     report.writes_skipped += 1;
                     continue;
                 }
-                let thr = self.policy.threshold(max_abs_dw, self.write_amounts[pos][idx]);
+                let thr = self
+                    .policy
+                    .threshold(max_abs_dw, self.write_amounts[pos][idx]);
                 if dw.abs() < thr {
                     report.writes_skipped += 1;
                 } else {
@@ -254,8 +260,7 @@ impl ThresholdTrainer {
         }
 
         // Pass 4: software SGD for unmapped weight layers and all biases.
-        let mapped_layer_indices: Vec<usize> =
-            mapped_positions.iter().map(|&(_, li)| li).collect();
+        let mapped_layer_indices: Vec<usize> = mapped_positions.iter().map(|&(_, li)| li).collect();
         for (layer_index, params) in net.param_layers_mut() {
             if !mapped_layer_indices.contains(&layer_index) {
                 for (w, &g) in params.weights.iter_mut().zip(params.weight_grad) {
@@ -309,7 +314,10 @@ mod tests {
     }
 
     fn one_backward(net: &mut Network) {
-        let x = Tensor::from_vec(vec![4, 8], (0..32).map(|i| (i as f32 * 0.4).sin()).collect());
+        let x = Tensor::from_vec(
+            vec![4, 8],
+            (0..32).map(|i| (i as f32 * 0.4).sin()).collect(),
+        );
         let logits = net.forward_train(&x);
         let (_, grad) = softmax_cross_entropy(&logits, &[0, 1, 2, 3]);
         net.backward(&grad);
@@ -332,11 +340,16 @@ mod tests {
         let (mut net, mut mapped) = setup();
         mapped.load_effective_weights(&mut net).unwrap();
         one_backward(&mut net);
-        let mut trainer =
-            ThresholdTrainer::new(ThresholdPolicy::Fixed { fraction: 0.5 }, &mapped);
+        let mut trainer = ThresholdTrainer::new(ThresholdPolicy::Fixed { fraction: 0.5 }, &mapped);
         let report = trainer.apply(&mut mapped, &mut net, 0.1).unwrap();
-        assert!(report.writes_skipped > 0, "an aggressive threshold must skip writes");
-        assert!(report.writes_issued > 0, "the largest update always survives");
+        assert!(
+            report.writes_skipped > 0,
+            "an aggressive threshold must skip writes"
+        );
+        assert!(
+            report.writes_issued > 0,
+            "the largest update always survives"
+        );
         assert!(report.skipped_fraction() > 0.0);
         assert!(report.max_abs_dw > 0.0);
     }
@@ -348,19 +361,19 @@ mod tests {
         // Sparse input (like MNIST strokes): zero features produce
         // exactly-zero first-layer gradients, which the threshold suppresses
         // but the original method still pulses.
-        let x = Tensor::from_vec(
-            vec![1, 8],
-            vec![0.9, 0.0, 0.0, 0.4, 0.0, 0.0, 0.0, 0.1],
-        );
+        let x = Tensor::from_vec(vec![1, 8], vec![0.9, 0.0, 0.0, 0.4, 0.0, 0.0, 0.0, 0.1]);
         let logits = net.forward_train(&x);
         let (_, grad) = softmax_cross_entropy(&logits, &[2]);
         net.backward(&grad);
-        let mut trainer =
-            ThresholdTrainer::new(ThresholdPolicy::paper_default(), &mapped);
+        let mut trainer = ThresholdTrainer::new(ThresholdPolicy::paper_default(), &mapped);
         let report = trainer.apply(&mut mapped, &mut net, 0.1).unwrap();
         // 5 of 8 input features are zero → at least 5×4 of the 32 weights
         // skip their write.
-        assert!(report.writes_skipped >= 20, "skipped {}", report.writes_skipped);
+        assert!(
+            report.writes_skipped >= 20,
+            "skipped {}",
+            report.writes_skipped
+        );
         assert_eq!(report.writes_issued + report.writes_skipped, 32);
     }
 
@@ -384,14 +397,16 @@ mod tests {
         one_backward(&mut net);
         let mut trainer = ThresholdTrainer::new(ThresholdPolicy::None, &mapped);
         let report = trainer.apply(&mut mapped, &mut net, 0.1).unwrap();
-        let ledger_total: u64 =
-            trainer.write_amounts(0).iter().map(|&n| u64::from(n)).sum();
+        let ledger_total: u64 = trainer.write_amounts(0).iter().map(|&n| u64::from(n)).sum();
         assert_eq!(ledger_total, report.writes_issued);
     }
 
     #[test]
     fn wear_aware_raises_thresholds_for_hot_cells() {
-        let policy = ThresholdPolicy::WearAware { fraction: 0.01, growth: 1.0 };
+        let policy = ThresholdPolicy::WearAware {
+            fraction: 0.01,
+            growth: 1.0,
+        };
         let cold = policy.threshold(1.0, 0);
         let hot = policy.threshold(1.0, 100);
         assert!(hot > cold * 50.0);
@@ -427,7 +442,10 @@ mod tests {
         let (mut net, mut mapped) = setup();
         mapped.load_effective_weights(&mut net).unwrap();
         // An all-zero output gradient makes every weight/bias gradient zero.
-        let x = Tensor::from_vec(vec![4, 8], (0..32).map(|i| (i as f32 * 0.4).sin()).collect());
+        let x = Tensor::from_vec(
+            vec![4, 8],
+            (0..32).map(|i| (i as f32 * 0.4).sin()).collect(),
+        );
         net.forward_train(&x);
         let g = Tensor::from_vec(vec![4, 4], vec![0.0; 16]);
         net.backward(&g);
@@ -435,7 +453,10 @@ mod tests {
         let before = trainer.write_amounts(0).to_vec();
         let report = trainer.apply(&mut mapped, &mut net, 0.1).unwrap();
         assert_eq!(report.max_abs_dw, 0.0);
-        assert_eq!(report.writes_issued, 0, "a zero iteration must not pulse cells");
+        assert_eq!(
+            report.writes_issued, 0,
+            "a zero iteration must not pulse cells"
+        );
         assert_eq!(report.writes_skipped, 32);
         assert_eq!(trainer.write_amounts(0), before.as_slice());
         // Running it twice is bit-identical (deterministic skip).
@@ -460,16 +481,17 @@ mod tests {
         let (mut net, mut mapped) = setup();
         mapped.load_effective_weights(&mut net).unwrap();
         one_backward(&mut net);
-        let bias_before: Vec<f32> =
-            net.layer_params_mut(0).unwrap().bias.unwrap().to_vec();
+        let bias_before: Vec<f32> = net.layer_params_mut(0).unwrap().bias.unwrap().to_vec();
         let mut trainer = ThresholdTrainer::new(
             ThresholdPolicy::Fixed { fraction: 10.0 }, // suppress every weight write
             &mapped,
         );
         let report = trainer.apply(&mut mapped, &mut net, 0.1).unwrap();
         assert_eq!(report.writes_issued, 0);
-        let bias_after: Vec<f32> =
-            net.layer_params_mut(0).unwrap().bias.unwrap().to_vec();
-        assert_ne!(bias_before, bias_after, "biases live off-chip and always update");
+        let bias_after: Vec<f32> = net.layer_params_mut(0).unwrap().bias.unwrap().to_vec();
+        assert_ne!(
+            bias_before, bias_after,
+            "biases live off-chip and always update"
+        );
     }
 }

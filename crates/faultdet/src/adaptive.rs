@@ -110,12 +110,14 @@ impl AdaptiveDetector {
         while let Some(range) = stack.pop() {
             cycles += 1;
             let mut any = false;
+            // One batched probe per driven range: every output line's sum in
+            // a single vectorized kernel call instead of `cols` strided
+            // walks (bit-identical entries, same flags).
+            let actual = xbar.column_group_sums(range.clone())?;
+            let expected = store.expected_column_group_sums(range.clone(), &deltas);
             let mut col_flags = vec![false; cols];
-            for (col, flag) in col_flags.iter_mut().enumerate() {
-                let actual = adc.digitize_mod(xbar.column_group_sum(range.clone(), col)?);
-                let expected =
-                    adc.reduce(store.expected_column_group_sum(range.clone(), col, &deltas));
-                if actual != expected {
+            for (flag, (&sum, &exp)) in col_flags.iter_mut().zip(actual.iter().zip(&expected)) {
+                if adc.digitize_mod(sum) != adc.reduce(exp) {
                     *flag = true;
                     any = true;
                 }
@@ -138,12 +140,11 @@ impl AdaptiveDetector {
         while let Some(range) = stack.pop() {
             cycles += 1;
             let mut any = false;
+            let actual = xbar.row_group_sums(range.clone())?;
+            let expected = store.expected_row_group_sums(range.clone(), &deltas);
             let mut row_flags = vec![false; rows];
-            for (row, flag) in row_flags.iter_mut().enumerate() {
-                let actual = adc.digitize_mod(xbar.row_group_sum(row, range.clone())?);
-                let expected =
-                    adc.reduce(store.expected_row_group_sum(row, range.clone(), &deltas));
-                if actual != expected {
+            for (flag, (&sum, &exp)) in row_flags.iter_mut().zip(actual.iter().zip(&expected)) {
+                if adc.digitize_mod(sum) != adc.reduce(exp) {
                     *flag = true;
                     any = true;
                 }

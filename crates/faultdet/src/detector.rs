@@ -45,7 +45,10 @@ impl TestMode {
     /// The default selected-cell thresholds for 8-level cells: the bottom
     /// two levels can hide SA0, the top two can hide SA1.
     pub fn default_selected() -> Self {
-        TestMode::SelectedCells { sa0_max_level: 1, sa1_min_level: 6 }
+        TestMode::SelectedCells {
+            sa0_max_level: 1,
+            sa1_min_level: 6,
+        }
     }
 }
 
@@ -72,7 +75,9 @@ impl DetectorConfig {
     /// Returns [`RramError::InvalidConfig`] if `test_size` is zero.
     pub fn new(test_size: usize) -> Result<Self, RramError> {
         if test_size == 0 {
-            return Err(RramError::InvalidConfig("test size must be non-zero".into()));
+            return Err(RramError::InvalidConfig(
+                "test size must be non-zero".into(),
+            ));
         }
         Ok(Self {
             test_size,
@@ -109,7 +114,7 @@ impl DetectorConfig {
 }
 
 /// Result of one detection campaign.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DetectionOutcome {
     /// Predicted fault map (SA0 and SA1 merged; SA0 wins on overlap).
     pub predicted: FaultMap,
@@ -128,14 +133,22 @@ pub struct DetectionOutcome {
     /// the campaign (graceful degradation: the cells covered only by an
     /// untested group may carry undetected faults). 0 on a clean campaign.
     pub untested_groups: u64,
+    /// Cells read into the off-chip store by this campaign: the full array
+    /// for [`OnlineFaultDetector::run`]'s "Read RRAM Values, Store Off-Chip"
+    /// step, only the cells written since the last campaign for
+    /// [`OnlineFaultDetector::run_incremental`].
+    pub store_read_cells: u64,
+    /// The same reads expressed in row-wide read cycles (`⌈cells / cols⌉`).
+    pub store_read_cycles: u64,
 }
 
 impl DetectionOutcome {
-    /// The campaign's test time in cycles per the paper's §6.1 definition
+    /// The campaign's total test time in cycles: the snapshot-read cost
+    /// plus the comparison sweeps per the paper's §6.1 definition
     /// `T = ⌈Cr/Tr⌉ + ⌈Cc/Tc⌉` (which both kind passes each realize in
-    /// all-cells mode); reported as the larger of the two passes.
+    /// all-cells mode), reported as the larger of the two passes.
     pub fn cycles(&self) -> u64 {
-        self.sa0_cycles.max(self.sa1_cycles)
+        self.sa0_cycles.max(self.sa1_cycles) + self.store_read_cycles
     }
 }
 
@@ -167,7 +180,10 @@ pub struct OnlineFaultDetector {
 impl OnlineFaultDetector {
     /// Creates a detector with the given configuration.
     pub fn new(config: DetectorConfig) -> Self {
-        Self { config, metrics: None }
+        Self {
+            config,
+            metrics: None,
+        }
     }
 
     /// Instruments the detector: per-campaign counters
@@ -210,16 +226,22 @@ impl OnlineFaultDetector {
         if self.config.test_size == 0 {
             // `DetectorConfig` fields are public, so a zero test size is
             // constructible without going through `DetectorConfig::new`.
-            return Err(RramError::InvalidConfig("test size must be non-zero".into()));
+            return Err(RramError::InvalidConfig(
+                "test size must be non-zero".into(),
+            ));
         }
         let adc = Adc::new(xbar.levels(), self.config.modulo_divisor)?;
         let store = OffChipStore::read_from(xbar);
+        let store_read_cells = (xbar.rows() * xbar.cols()) as u64;
         let (sa0_candidates, sa1_candidates) = match self.config.mode {
             TestMode::AllCells => (
                 CandidateMask::all(xbar.rows(), xbar.cols()),
                 CandidateMask::all(xbar.rows(), xbar.cols()),
             ),
-            TestMode::SelectedCells { sa0_max_level, sa1_min_level } => (
+            TestMode::SelectedCells {
+                sa0_max_level,
+                sa1_min_level,
+            } => (
                 CandidateMask::sa0_candidates(&store, sa0_max_level),
                 CandidateMask::sa1_candidates(&store, sa1_min_level),
             ),
@@ -227,30 +249,27 @@ impl OnlineFaultDetector {
         let pulses_before = xbar.write_pulses();
 
         let delta = i32::from(self.config.delta_levels);
-        let (sa0_map, sa0_cycles, sa0_untested) =
-            self.kind_pass(xbar, &store, &adc, &sa0_candidates, FaultKind::StuckAt0, delta)?;
-        let (sa1_map, sa1_cycles, sa1_untested) =
-            self.kind_pass(xbar, &store, &adc, &sa1_candidates, FaultKind::StuckAt1, -delta)?;
+        let (sa0_map, sa0_cycles, sa0_untested) = self.kind_pass(
+            xbar,
+            &store,
+            &adc,
+            &sa0_candidates,
+            FaultKind::StuckAt0,
+            delta,
+            false,
+        )?;
+        let (sa1_map, sa1_cycles, sa1_untested) = self.kind_pass(
+            xbar,
+            &store,
+            &adc,
+            &sa1_candidates,
+            FaultKind::StuckAt1,
+            -delta,
+            false,
+        )?;
 
-        // Merge the two passes. When both flag the same cell the controller
-        // disambiguates from the stored read: a stuck-at-0 cell always reads
-        // low, a stuck-at-1 cell always reads high.
-        let mut predicted = FaultMap::healthy(xbar.rows(), xbar.cols());
-        let mid = (xbar.levels() - 1) / 2;
-        for r in 0..xbar.rows() {
-            for c in 0..xbar.cols() {
-                let kind = match (sa0_map.get(r, c), sa1_map.get(r, c)) {
-                    (None, None) => None,
-                    (Some(k), None) | (None, Some(k)) => Some(k),
-                    (Some(_), Some(_)) => Some(if store.stored_level(r, c) <= mid {
-                        FaultKind::StuckAt0
-                    } else {
-                        FaultKind::StuckAt1
-                    }),
-                };
-                predicted.set(r, c, kind);
-            }
-        }
+        let canvas = FaultMap::healthy(xbar.rows(), xbar.cols());
+        let predicted = merge_kind_maps(&sa0_map, &sa1_map, &store, xbar.levels(), canvas);
         let outcome = DetectionOutcome {
             predicted,
             sa0_cycles,
@@ -259,22 +278,149 @@ impl OnlineFaultDetector {
             sa0_candidates: sa0_candidates.count(),
             sa1_candidates: sa1_candidates.count(),
             untested_groups: sa0_untested + sa1_untested,
+            store_read_cells,
+            store_read_cycles: store_read_cells.div_ceil(xbar.cols() as u64),
         };
+        self.record_campaign(&outcome);
+        Ok(outcome)
+    }
+
+    /// Runs an *incremental* campaign against a persistent store created by
+    /// [`OffChipStore::attach`]: instead of re-reading the whole array, the
+    /// store is brought up to date from the crossbar's dirty-cell journal and
+    /// only the cells written since the last campaign (the store's pending
+    /// set, intersected with the mode's level predicate) are tested.
+    /// Untouched cells keep their verdict from `baseline` — normally the
+    /// previous campaign's [`DetectionOutcome::predicted`]; `None` means no
+    /// prior verdict (every untested cell is presumed healthy).
+    ///
+    /// On a freshly attached store (everything pending, no baseline) the
+    /// result is identical to [`run`] except for
+    /// [`DetectionOutcome::store_read_cells`], which reflects the cheaper
+    /// journal-driven read path.
+    ///
+    /// [`run`]: Self::run
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a zero test size, an invalid modulo divisor, or
+    /// a store/baseline whose dimensions do not match the crossbar.
+    pub fn run_incremental(
+        &self,
+        xbar: &mut Crossbar,
+        store: &mut OffChipStore,
+        baseline: Option<&FaultMap>,
+    ) -> Result<DetectionOutcome, RramError> {
+        if self.config.test_size == 0 {
+            return Err(RramError::InvalidConfig(
+                "test size must be non-zero".into(),
+            ));
+        }
+        let adc = Adc::new(xbar.levels(), self.config.modulo_divisor)?;
+        if let Some(previous) = baseline {
+            if previous.rows() != xbar.rows() || previous.cols() != xbar.cols() {
+                return Err(RramError::DimensionMismatch {
+                    expected: xbar.rows() * xbar.cols(),
+                    actual: previous.rows() * previous.cols(),
+                });
+            }
+        }
+        let store_read_cells = store.sync_from(xbar)?;
+        store.ensure_aggregates(self.config.test_size);
+        let pending =
+            CandidateMask::from_mask(xbar.rows(), xbar.cols(), store.pending_mask().to_vec());
+        let (sa0_candidates, sa1_candidates) = match self.config.mode {
+            TestMode::AllCells => (pending.clone(), pending),
+            TestMode::SelectedCells {
+                sa0_max_level,
+                sa1_min_level,
+            } => (
+                pending
+                    .clone()
+                    .restrict_levels(store, |level| level <= sa0_max_level),
+                pending.restrict_levels(store, |level| level >= sa1_min_level),
+            ),
+        };
+        store.clear_pending();
+        let pulses_before = xbar.write_pulses();
+
+        let delta = i32::from(self.config.delta_levels);
+        let (sa0_map, sa0_cycles, sa0_untested) = self.kind_pass(
+            xbar,
+            store,
+            &adc,
+            &sa0_candidates,
+            FaultKind::StuckAt0,
+            delta,
+            true,
+        )?;
+        let (sa1_map, sa1_cycles, sa1_untested) = self.kind_pass(
+            xbar,
+            store,
+            &adc,
+            &sa1_candidates,
+            FaultKind::StuckAt1,
+            -delta,
+            true,
+        )?;
+
+        // Retested cells get fresh verdicts; everything else carries over.
+        let canvas = match baseline {
+            Some(previous) => {
+                let mut canvas = previous.clone();
+                for (r, c) in sa0_candidates.iter() {
+                    canvas.set(r, c, None);
+                }
+                for (r, c) in sa1_candidates.iter() {
+                    canvas.set(r, c, None);
+                }
+                canvas
+            }
+            None => FaultMap::healthy(xbar.rows(), xbar.cols()),
+        };
+        let predicted = merge_kind_maps(&sa0_map, &sa1_map, store, xbar.levels(), canvas);
+
+        // The campaign's own nudges and restores are in the journal now;
+        // drop the round-tripped ones, keep failed restores pending.
+        store.absorb_campaign_writes(xbar)?;
+
+        let outcome = DetectionOutcome {
+            predicted,
+            sa0_cycles,
+            sa1_cycles,
+            write_pulses: xbar.write_pulses() - pulses_before,
+            sa0_candidates: sa0_candidates.count(),
+            sa1_candidates: sa1_candidates.count(),
+            untested_groups: sa0_untested + sa1_untested,
+            store_read_cells,
+            store_read_cycles: store_read_cells.div_ceil(xbar.cols() as u64),
+        };
+        self.record_campaign(&outcome);
+        Ok(outcome)
+    }
+
+    fn record_campaign(&self, outcome: &DetectionOutcome) {
         if let Some(m) = &self.metrics {
             m.campaigns.inc();
             m.cycles.add(outcome.cycles());
             m.write_pulses.add(outcome.write_pulses);
             m.flagged_cells.add(outcome.predicted.count_faulty() as u64);
             m.untested_groups.add(outcome.untested_groups);
-            m.candidates.add((outcome.sa0_candidates + outcome.sa1_candidates) as u64);
+            m.candidates
+                .add((outcome.sa0_candidates + outcome.sa1_candidates) as u64);
         }
-        Ok(outcome)
     }
 
     /// One fault-kind pass: write `delta` to the candidates, run the
     /// two-direction comparison, restore, and localize. Returns the
     /// predicted map, the cycles spent, and the number of comparison
     /// sweeps that failed and were skipped (graceful degradation).
+    ///
+    /// With `cached_refs` the expected group sums come from the store's
+    /// incremental aggregates (`expected_*_group_sums_cached`, exact integer
+    /// equality with the dense sweep) instead of a dense per-cell delta
+    /// vector; the comparison results are identical either way.
+    #[allow(clippy::too_many_arguments)]
     fn kind_pass(
         &self,
         xbar: &mut Crossbar,
@@ -283,16 +429,20 @@ impl OnlineFaultDetector {
         candidates: &CandidateMask,
         kind: FaultKind,
         delta: i32,
+        cached_refs: bool,
     ) -> Result<(FaultMap, u64, u64), RramError> {
         let (rows, cols) = (xbar.rows(), xbar.cols());
         let t = self.config.test_size;
 
         // Step 1 (Fig. 3): write the increment to every candidate cell, and
-        // record the per-cell delta for reference computation.
-        let mut deltas = vec![0i32; rows * cols];
+        // (on the dense path) record the per-cell delta for reference
+        // computation.
+        let mut deltas = vec![0i32; if cached_refs { 0 } else { rows * cols }];
         for (r, c) in candidates.iter() {
             let _ = xbar.nudge(r, c, delta)?;
-            deltas[r * cols + c] = delta;
+            if !cached_refs {
+                deltas[r * cols + c] = delta;
+            }
         }
 
         // Steps 2-4: drive row groups, compare all candidate columns. The
@@ -329,7 +479,11 @@ impl OnlineFaultDetector {
             let per_group = par::map_indices_hinted(row_groups.len(), t * cols, |gi| {
                 let group = row_groups[gi].1.clone();
                 let actual = xbar.column_group_sums(group.clone())?;
-                let expected = store.expected_column_group_sums(group.clone(), &deltas);
+                let expected = if cached_refs {
+                    store.expected_column_group_sums_cached(group.clone(), candidates, delta)
+                } else {
+                    store.expected_column_group_sums(group.clone(), &deltas)
+                };
                 let mut hits = Vec::new();
                 for (col, (&sum, &exp)) in actual.iter().zip(&expected).enumerate() {
                     if candidates.column_has_candidate(group.clone(), col)
@@ -358,7 +512,11 @@ impl OnlineFaultDetector {
             let per_group = par::map_indices_hinted(col_groups.len(), t * rows, |gi| {
                 let group = col_groups[gi].1.clone();
                 let actual = xbar.row_group_sums(group.clone())?;
-                let expected = store.expected_row_group_sums(group.clone(), &deltas);
+                let expected = if cached_refs {
+                    store.expected_row_group_sums_cached(group.clone(), candidates, delta)
+                } else {
+                    store.expected_row_group_sums(group.clone(), &deltas)
+                };
                 let mut hits = Vec::new();
                 for (row, (&sum, &exp)) in actual.iter().zip(&expected).enumerate() {
                     if candidates.row_has_candidate(row, group.clone())
@@ -391,6 +549,36 @@ impl OnlineFaultDetector {
 
         Ok((flags.predict(candidates, kind, t), cycles, untested))
     }
+}
+
+/// Merges the two kind passes onto `canvas`, touching only flagged cells
+/// (O(flagged), not O(cells)). When both passes flag the same cell the
+/// controller disambiguates from the stored read: a stuck-at-0 cell always
+/// reads low, a stuck-at-1 cell always reads high.
+fn merge_kind_maps(
+    sa0_map: &FaultMap,
+    sa1_map: &FaultMap,
+    store: &OffChipStore,
+    levels: u16,
+    mut canvas: FaultMap,
+) -> FaultMap {
+    let mid = (levels - 1) / 2;
+    for (r, c, kind) in sa0_map.iter_faulty() {
+        canvas.set(r, c, Some(kind));
+    }
+    for (r, c, kind) in sa1_map.iter_faulty() {
+        let resolved = if sa0_map.get(r, c).is_some() {
+            if store.stored_level(r, c) <= mid {
+                FaultKind::StuckAt0
+            } else {
+                FaultKind::StuckAt1
+            }
+        } else {
+            kind
+        };
+        canvas.set(r, c, Some(resolved));
+    }
+    canvas
 }
 
 #[cfg(test)]
@@ -462,7 +650,10 @@ mod tests {
         let outcome = detector.run(&mut xbar).unwrap();
         let report = DetectionReport::evaluate(&truth, &outcome.predicted);
         assert!(report.recall() > 0.85, "recall {}", report.recall());
-        assert!(report.precision() < 1.0, "coarse groups must cost precision");
+        assert!(
+            report.precision() < 1.0,
+            "coarse groups must cost precision"
+        );
     }
 
     #[test]
@@ -472,11 +663,9 @@ mod tests {
         let all = OnlineFaultDetector::new(DetectorConfig::new(16).unwrap())
             .run(&mut a)
             .unwrap();
-        let sel = OnlineFaultDetector::new(
-            DetectorConfig::new(16).unwrap().with_selected_cells(),
-        )
-        .run(&mut b)
-        .unwrap();
+        let sel = OnlineFaultDetector::new(DetectorConfig::new(16).unwrap().with_selected_cells())
+            .run(&mut b)
+            .unwrap();
         let all_report = DetectionReport::evaluate(&truth, &all.predicted);
         let sel_report = DetectionReport::evaluate(&truth, &sel.predicted);
         assert!(
@@ -497,7 +686,10 @@ mod tests {
         // ⌈64/8⌉ + ⌈64/8⌉ = 16 cycles per kind pass.
         assert_eq!(outcome.sa0_cycles, 16);
         assert_eq!(outcome.sa1_cycles, 16);
-        assert_eq!(outcome.cycles(), 16);
+        // Plus the full-array snapshot read: 64² cells over 64-wide rows.
+        assert_eq!(outcome.store_read_cells, 64 * 64);
+        assert_eq!(outcome.store_read_cycles, 64);
+        assert_eq!(outcome.cycles(), 64 + 16);
     }
 
     #[test]
@@ -512,12 +704,93 @@ mod tests {
         }
         xbar.write_level(0, 0, 0).unwrap();
         xbar.write_level(1, 1, 7).unwrap();
-        let sel = OnlineFaultDetector::new(
+        let sel = OnlineFaultDetector::new(DetectorConfig::new(8).unwrap().with_selected_cells())
+            .run(&mut xbar)
+            .unwrap();
+        // The sweeps shrink below the all-cells 16 cycles; the snapshot
+        // charge (64 read cycles) is mode-independent.
+        assert!(
+            sel.sa0_cycles.max(sel.sa1_cycles) < 16,
+            "sweep cycles {}",
+            sel.sa0_cycles
+        );
+        assert!(sel.cycles() < 64 + 16, "cycles {}", sel.cycles());
+    }
+
+    #[test]
+    fn incremental_matches_full_campaign_on_fresh_store() {
+        for config in [
+            DetectorConfig::new(8).unwrap(),
             DetectorConfig::new(8).unwrap().with_selected_cells(),
-        )
-        .run(&mut xbar)
-        .unwrap();
-        assert!(sel.cycles() < 16, "cycles {}", sel.cycles());
+        ] {
+            let mut a = faulty_xbar(32, 0.1, 21);
+            let mut b = faulty_xbar(32, 0.1, 21);
+            let detector = OnlineFaultDetector::new(config);
+            let full = detector.run(&mut a).unwrap();
+            let mut store = OffChipStore::attach(&mut b);
+            let inc = detector.run_incremental(&mut b, &mut store, None).unwrap();
+            // Everything pending and no baseline → the incremental campaign
+            // is the full campaign, minus the snapshot re-read (attach
+            // pre-paid it, and nothing was written since).
+            assert_eq!(inc.predicted, full.predicted);
+            assert_eq!(inc.sa0_cycles, full.sa0_cycles);
+            assert_eq!(inc.sa1_cycles, full.sa1_cycles);
+            assert_eq!(inc.write_pulses, full.write_pulses);
+            assert_eq!(inc.sa0_candidates, full.sa0_candidates);
+            assert_eq!(inc.sa1_candidates, full.sa1_candidates);
+            assert_eq!(inc.untested_groups, full.untested_groups);
+            assert_eq!(full.store_read_cells, 32 * 32);
+            assert_eq!(inc.store_read_cells, 0);
+            assert_eq!(
+                a.read_all_levels(),
+                b.read_all_levels(),
+                "both restore identically"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_retests_only_dirty_cells_and_carries_baseline() {
+        // Test size 1 localizes exactly, so predictions can be compared to
+        // ground truth at every step.
+        let mut xbar = faulty_xbar(24, 0.08, 22);
+        let truth = xbar.fault_map();
+        let detector = OnlineFaultDetector::new(DetectorConfig::new(1).unwrap());
+        let mut store = OffChipStore::attach(&mut xbar);
+        let first = detector
+            .run_incremental(&mut xbar, &mut store, None)
+            .unwrap();
+        assert_eq!(first.predicted, truth);
+
+        // Sparse traffic between campaigns: a few weight writes and one new
+        // hard fault.
+        xbar.write_level(0, 0, 5).unwrap();
+        xbar.write_level(3, 7, 2).unwrap();
+        xbar.nudge(10, 10, 1).unwrap();
+        let mut injected = FaultMap::healthy(24, 24);
+        injected.set(5, 5, Some(FaultKind::StuckAt1));
+        xbar.apply_fault_map(&injected);
+
+        let second = detector
+            .run_incremental(&mut xbar, &mut store, Some(&first.predicted))
+            .unwrap();
+        assert_eq!(
+            second.predicted,
+            xbar.fault_map(),
+            "carried + fresh verdicts = truth"
+        );
+        assert!(
+            second.store_read_cells <= 4,
+            "only the written cells are re-read, got {}",
+            second.store_read_cells
+        );
+        assert!(second.sa0_candidates <= 4);
+        assert!(
+            second.cycles() < first.cycles(),
+            "sparse retest must be cheaper: {} vs {}",
+            second.cycles(),
+            first.cycles()
+        );
     }
 
     #[test]
@@ -630,7 +903,9 @@ mod tests {
                 injected.set(r, 5, Some(FaultKind::StuckAt0));
             }
             xbar.apply_fault_map(&injected);
-            let config = DetectorConfig::new(16).unwrap().with_modulo_divisor(divisor);
+            let config = DetectorConfig::new(16)
+                .unwrap()
+                .with_modulo_divisor(divisor);
             OnlineFaultDetector::new(config).run(&mut xbar).unwrap()
         };
 

@@ -73,12 +73,38 @@ impl FlagSet {
     /// # Panics
     ///
     /// Panics if `test_size` is zero.
-    pub fn predict(&self, candidates: &CandidateMask, kind: FaultKind, test_size: usize) -> FaultMap {
+    pub fn predict(
+        &self,
+        candidates: &CandidateMask,
+        kind: FaultKind,
+        test_size: usize,
+    ) -> FaultMap {
         assert!(test_size > 0, "test size must be non-zero");
         let (rows, cols) = (candidates.rows(), candidates.cols());
         let mut map = FaultMap::healthy(rows, cols);
+        // An intersection needs flags from both directions.
+        if self.row_test.is_empty() || self.col_test.is_empty() {
+            return map;
+        }
+        // Dense lookup tables instead of per-candidate set queries: candidate
+        // coordinates are bounded by the array, so flags outside it (callers
+        // may record them) can never join an intersection and are skipped.
+        let row_groups = rows.div_ceil(test_size);
+        let col_groups = cols.div_ceil(test_size);
+        let mut row_lut = vec![false; row_groups * cols];
+        for &(group, col) in &self.row_test {
+            if group < row_groups && col < cols {
+                row_lut[group * cols + col] = true;
+            }
+        }
+        let mut col_lut = vec![false; col_groups * rows];
+        for &(group, row) in &self.col_test {
+            if group < col_groups && row < rows {
+                col_lut[group * rows + row] = true;
+            }
+        }
         for (r, c) in candidates.iter() {
-            if self.has_row_flag(r / test_size, c) && self.has_col_flag(c / test_size, r) {
+            if row_lut[(r / test_size) * cols + c] && col_lut[(c / test_size) * rows + r] {
                 map.set(r, c, Some(kind));
             }
         }
@@ -130,7 +156,10 @@ mod tests {
         flags.flag_row_test(0, 1);
         flags.flag_col_test(0, 0);
         flags.flag_col_test(0, 1);
-        let mut xbar = rram::crossbar::CrossbarBuilder::new(10, 10).seed(0).build().unwrap();
+        let mut xbar = rram::crossbar::CrossbarBuilder::new(10, 10)
+            .seed(0)
+            .build()
+            .unwrap();
         // Mark every cell except (0,0) as high level → not SA0 candidates.
         for r in 0..10 {
             for c in 0..10 {

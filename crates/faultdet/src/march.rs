@@ -149,7 +149,11 @@ mod tests {
         let outcome = MarchTest::new().run(&mut xbar).unwrap();
         // At least two effective writes per healthy cell (up + down), plus
         // restores for non-zero cells.
-        assert!(outcome.write_pulses >= 2 * 64, "pulses {}", outcome.write_pulses);
+        assert!(
+            outcome.write_pulses >= 2 * 64,
+            "pulses {}",
+            outcome.write_pulses
+        );
         assert_eq!(outcome.cycles, 6 * 64);
     }
 }

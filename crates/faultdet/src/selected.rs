@@ -20,7 +20,11 @@ pub struct CandidateMask {
 impl CandidateMask {
     /// Marks every cell as a candidate (all-cells testing).
     pub fn all(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, mask: vec![true; rows * cols] }
+        Self {
+            rows,
+            cols,
+            mask: vec![true; rows * cols],
+        }
     }
 
     /// SA0 candidates: cells whose stored level is at most `max_level`
@@ -47,6 +51,41 @@ impl CandidateMask {
         Self { rows, cols, mask }
     }
 
+    /// Builds a mask from an explicit row-major bitmap — the incremental
+    /// detector's pending-cell set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask.len() != rows * cols`.
+    pub fn from_mask(rows: usize, cols: usize, mask: Vec<bool>) -> Self {
+        assert_eq!(
+            mask.len(),
+            rows * cols,
+            "mask length must equal rows * cols"
+        );
+        Self { rows, cols, mask }
+    }
+
+    /// Intersects the mask with a stored-level predicate (selected-cell
+    /// testing applied on top of a pending set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store dimensions differ from the mask's.
+    pub fn restrict_levels(mut self, store: &OffChipStore, pred: impl Fn(u16) -> bool) -> Self {
+        assert!(
+            store.rows() == self.rows && store.cols() == self.cols,
+            "store dimensions must match the mask"
+        );
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let i = r * self.cols + c;
+                self.mask[i] = self.mask[i] && pred(store.stored_level(r, c));
+            }
+        }
+        self
+    }
+
     /// Number of rows.
     pub fn rows(&self) -> usize {
         self.rows
@@ -63,7 +102,10 @@ impl CandidateMask {
     ///
     /// Panics if out of bounds.
     pub fn contains(&self, row: usize, col: usize) -> bool {
-        assert!(row < self.rows && col < self.cols, "({row}, {col}) out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "({row}, {col}) out of bounds"
+        );
         self.mask[row * self.cols + col]
     }
 
@@ -75,7 +117,8 @@ impl CandidateMask {
     /// Whether a row slice contains at least one candidate (drives the
     /// decision to spend a test cycle on this group).
     pub fn any_in_rows(&self, rows: std::ops::Range<usize>) -> bool {
-        rows.clone().any(|r| (0..self.cols).any(|c| self.mask[r * self.cols + c]))
+        rows.clone()
+            .any(|r| (0..self.cols).any(|c| self.mask[r * self.cols + c]))
     }
 
     /// Whether a column slice contains at least one candidate.
@@ -94,12 +137,26 @@ impl CandidateMask {
         cols.clone().any(|c| self.mask[row * self.cols + c])
     }
 
-    /// Iterates over candidate coordinates.
+    /// One row of the mask as a slice (`row_slice(r)[c]` ⇔ `contains(r, c)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    pub fn row_slice(&self, row: usize) -> &[bool] {
+        assert!(row < self.rows, "row {row} out of bounds");
+        &self.mask[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Iterates over candidate coordinates in row-major order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
         self.mask
-            .iter()
+            .chunks_exact(self.cols)
             .enumerate()
-            .filter_map(move |(i, &m)| m.then_some((i / self.cols, i % self.cols)))
+            .flat_map(|(r, row)| {
+                row.iter()
+                    .enumerate()
+                    .filter_map(move |(c, &m)| m.then_some((r, c)))
+            })
     }
 }
 
@@ -163,6 +220,26 @@ mod tests {
         assert!(CandidateMask::sa0_candidates(&store, 0).contains(0, 0));
         // SA1 cell reads 7 → SA1 candidate for any threshold.
         assert!(CandidateMask::sa1_candidates(&store, 7).contains(1, 1));
+    }
+
+    #[test]
+    fn explicit_masks_and_level_restriction() {
+        let store = store_from_levels(&[(0, 0, 7), (1, 1, 1)]);
+        // Pending set: (0,0), (1,1), (2,2).
+        let mut pending = vec![false; 16];
+        for i in [0usize, 5, 10] {
+            pending[i] = true;
+        }
+        let m = CandidateMask::from_mask(4, 4, pending);
+        assert_eq!(m.count(), 3);
+        assert_eq!(m.row_slice(1), &[false, true, false, false]);
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![(0, 0), (1, 1), (2, 2)]);
+        // SA0 restriction drops the level-7 cell but keeps low-level ones.
+        let sa0 = m.restrict_levels(&store, |level| level <= 1);
+        assert!(!sa0.contains(0, 0));
+        assert!(sa0.contains(1, 1));
+        assert!(sa0.contains(2, 2), "fresh cells read 0");
+        assert_eq!(sa0.count(), 2);
     }
 
     #[test]

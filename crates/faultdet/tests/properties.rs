@@ -117,19 +117,17 @@ fn coarse_modulo_costs_recall() {
     for seed in 0..8u64 {
         let mut a = faulty_xbar(64, 0.1, seed);
         let truth = a.fault_map();
-        let outcome = OnlineFaultDetector::new(
-            DetectorConfig::new(32).unwrap().with_modulo_divisor(2),
-        )
-        .run(&mut a)
-        .unwrap();
+        let outcome =
+            OnlineFaultDetector::new(DetectorConfig::new(32).unwrap().with_modulo_divisor(2))
+                .run(&mut a)
+                .unwrap();
         r2 += DetectionReport::evaluate(&truth, &outcome.predicted).recall();
 
         let mut b = faulty_xbar(64, 0.1, seed);
-        let outcome = OnlineFaultDetector::new(
-            DetectorConfig::new(32).unwrap().with_modulo_divisor(16),
-        )
-        .run(&mut b)
-        .unwrap();
+        let outcome =
+            OnlineFaultDetector::new(DetectorConfig::new(32).unwrap().with_modulo_divisor(16))
+                .run(&mut b)
+                .unwrap();
         r16 += DetectionReport::evaluate(&truth, &outcome.predicted).recall();
     }
     assert!(

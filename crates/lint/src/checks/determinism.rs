@@ -21,11 +21,26 @@ use super::{path_allowed, Check};
 pub struct Determinism;
 
 const BANNED_IDENTS: [(&str, &str); 5] = [
-    ("Instant", "wall-clock time is banned in deterministic core crates"),
-    ("SystemTime", "wall-clock time is banned in deterministic core crates"),
-    ("UNIX_EPOCH", "wall-clock time is banned in deterministic core crates"),
-    ("HashMap", "iteration-order-unstable collection; use BTreeMap or a sorted Vec"),
-    ("HashSet", "iteration-order-unstable collection; use BTreeSet or a sorted Vec"),
+    (
+        "Instant",
+        "wall-clock time is banned in deterministic core crates",
+    ),
+    (
+        "SystemTime",
+        "wall-clock time is banned in deterministic core crates",
+    ),
+    (
+        "UNIX_EPOCH",
+        "wall-clock time is banned in deterministic core crates",
+    ),
+    (
+        "HashMap",
+        "iteration-order-unstable collection; use BTreeMap or a sorted Vec",
+    ),
+    (
+        "HashSet",
+        "iteration-order-unstable collection; use BTreeSet or a sorted Vec",
+    ),
 ];
 
 impl Check for Determinism {
@@ -132,7 +147,8 @@ mod tests {
 
     #[test]
     fn mentions_in_comments_and_strings_are_ignored() {
-        let out = run("// HashMap would be wrong here\nfn f() -> &'static str {\n    \"Instant\"\n}\n");
+        let out =
+            run("// HashMap would be wrong here\nfn f() -> &'static str {\n    \"Instant\"\n}\n");
         assert!(out.is_empty(), "{out:?}");
     }
 
@@ -142,7 +158,11 @@ mod tests {
             "[checks.D1]\ncrates = [\"demo\"]\nallow = [\"crates/demo/src/clock.rs\"]\n",
         )
         .expect("cfg");
-        let file = lib_file("crates/demo/src/clock.rs", "demo", "use std::time::Instant;\n");
+        let file = lib_file(
+            "crates/demo/src/clock.rs",
+            "demo",
+            "use std::time::Instant;\n",
+        );
         let mut out = Vec::new();
         Determinism.check_file(&file, &cfg, &mut out);
         assert!(out.is_empty());

@@ -81,7 +81,9 @@ impl Check for FloatSoundness {
             if tok.kind != TokenKind::Ident || tok.text != "as" {
                 continue;
             }
-            let Some(target) = toks.get(i + 1) else { continue };
+            let Some(target) = toks.get(i + 1) else {
+                continue;
+            };
             if target.kind != TokenKind::Ident || !cast_ops.contains(&target.text) {
                 continue;
             }
@@ -122,9 +124,12 @@ fn is_zero_literal(text: &str) -> bool {
 /// describe it; `None` means the comparison is fine.
 fn float_operand(toks: &[Token], op: usize, allow_zero: bool) -> Option<String> {
     // Literal on either side.
-    for tok in [op.checked_sub(1).and_then(|i| toks.get(i)), toks.get(op + 1)]
-        .into_iter()
-        .flatten()
+    for tok in [
+        op.checked_sub(1).and_then(|i| toks.get(i)),
+        toks.get(op + 1),
+    ]
+    .into_iter()
+    .flatten()
     {
         if tok.kind == TokenKind::Float {
             // A leading unary minus does not change zeroness (-0.0 == 0.0).
@@ -205,7 +210,11 @@ mod tests {
     #[test]
     fn casts_need_annotation_only_on_cast_paths() {
         let cfg = "[checks.F1]\ncast_paths = [\"crates/demo/src/plane.rs\"]\n";
-        let bad = run_cfg(cfg, "crates/demo/src/plane.rs", "fn f(g: f64) -> f32 { g as f32 }");
+        let bad = run_cfg(
+            cfg,
+            "crates/demo/src/plane.rs",
+            "fn f(g: f64) -> f32 { g as f32 }",
+        );
         assert_eq!(bad.len(), 1, "{bad:?}");
         let ok = run_cfg(
             cfg,
@@ -213,8 +222,11 @@ mod tests {
             "fn f(g: f64) -> f32 {\n    // CAST-OK: plane cache is f32 by design\n    g as f32\n}",
         );
         assert!(ok.is_empty(), "{ok:?}");
-        let off_path =
-            run_cfg(cfg, "crates/demo/src/other.rs", "fn f(g: f64) -> f32 { g as f32 }");
+        let off_path = run_cfg(
+            cfg,
+            "crates/demo/src/other.rs",
+            "fn f(g: f64) -> f32 { g as f32 }",
+        );
         assert!(off_path.is_empty(), "{off_path:?}");
     }
 

@@ -40,7 +40,8 @@ pub fn valid_name(name: &str) -> bool {
     if name.ends_with('_') || name.contains("__") {
         return false;
     }
-    name.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+    name.chars()
+        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
 }
 
 impl Check for ObsPolicy {
@@ -61,7 +62,9 @@ impl Check for ObsPolicy {
             if tok.kind != TokenKind::Ident || !REGISTRY_FNS.contains(&tok.text.as_str()) {
                 continue;
             }
-            let Some(open) = toks.get(i + 1) else { continue };
+            let Some(open) = toks.get(i + 1) else {
+                continue;
+            };
             let Some(arg) = toks.get(i + 2) else { continue };
             if open.text != "(" || arg.kind != TokenKind::Str {
                 continue;
@@ -69,7 +72,10 @@ impl Check for ObsPolicy {
             // Strip the surrounding quotes (plain strings only; raw
             // strings as metric names would themselves be a smell but
             // still validate by their inner text).
-            let name = arg.text.trim_start_matches(['r', 'b', '#']).trim_matches(['"', '#']);
+            let name = arg
+                .text
+                .trim_start_matches(['r', 'b', '#'])
+                .trim_matches(['"', '#']);
             if !valid_name(name) {
                 out.push(Finding {
                     check: self.id(),
@@ -104,14 +110,25 @@ mod tests {
         for ok in ["flow_iterations_total", "detect", "span2_ns", "a_1_b"] {
             assert!(valid_name(ok), "{ok}");
         }
-        for bad in ["", "Flow", "flow-iterations", "_x", "x_", "a__b", "1abc", "a.b"] {
+        for bad in [
+            "",
+            "Flow",
+            "flow-iterations",
+            "_x",
+            "x_",
+            "a__b",
+            "1abc",
+            "a.b",
+        ] {
             assert!(!valid_name(bad), "{bad}");
         }
     }
 
     #[test]
     fn flags_bad_names_at_call_sites() {
-        let out = run("fn f(r: &Recorder) {\n    r.counter(\"Bad-Name\").inc();\n    r.span(\"ok_name\");\n}");
+        let out = run(
+            "fn f(r: &Recorder) {\n    r.counter(\"Bad-Name\").inc();\n    r.span(\"ok_name\");\n}",
+        );
         assert_eq!(out.len(), 1, "{out:?}");
         assert!(out[0].message.contains("Bad-Name"));
     }
@@ -125,6 +142,10 @@ mod tests {
     #[test]
     fn test_code_is_held_to_the_same_grammar() {
         let out = run("#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        reg.gauge(\"BAD\").set(1.0);\n    }\n}");
-        assert_eq!(out.len(), 1, "names leak into shared registries from tests too");
+        assert_eq!(
+            out.len(),
+            1,
+            "names leak into shared registries from tests too"
+        );
     }
 }

@@ -101,9 +101,7 @@ impl Check for PanicPolicy {
                 check: self.id(),
                 file: file.rel_path.clone(),
                 line: tok.line,
-                message: format!(
-                    "{site} in library code without a // PANIC-OK: <reason> comment"
-                ),
+                message: format!("{site} in library code without a // PANIC-OK: <reason> comment"),
             });
         }
     }
@@ -208,15 +206,20 @@ mod tests {
 
     #[test]
     fn unwrap_or_variants_are_not_panic_sites() {
-        let out =
-            run("pub fn f(x: Option<u8>) -> u8 {\n    x.unwrap_or(0).max(x.unwrap_or_default())\n}\n");
+        let out = run(
+            "pub fn f(x: Option<u8>) -> u8 {\n    x.unwrap_or(0).max(x.unwrap_or_default())\n}\n",
+        );
         assert!(out.is_empty(), "{out:?}");
     }
 
     #[test]
     fn out_of_scope_crates_are_ignored() {
         let cfg = Config::parse("[checks.P1]\nlib_crates = [\"other\"]\n").expect("cfg");
-        let file = lib_file("crates/demo/src/lib.rs", "demo", "pub fn f(x: Option<u8>) { x.unwrap(); }");
+        let file = lib_file(
+            "crates/demo/src/lib.rs",
+            "demo",
+            "pub fn f(x: Option<u8>) { x.unwrap(); }",
+        );
         let mut out = Vec::new();
         PanicPolicy.check_file(&file, &cfg, &mut out);
         assert!(out.is_empty());

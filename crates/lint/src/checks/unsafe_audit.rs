@@ -92,7 +92,11 @@ mod tests {
     #[test]
     fn allowlisted_shims_are_exempt() {
         let cfg = Config::parse("[checks.S1]\nallow = [\"crates/shims\"]\n").expect("cfg");
-        let file = lib_file("crates/shims/rand/src/lib.rs", "rand", "fn f(p: *const u8) -> u8 { unsafe { *p } }");
+        let file = lib_file(
+            "crates/shims/rand/src/lib.rs",
+            "rand",
+            "fn f(p: *const u8) -> u8 { unsafe { *p } }",
+        );
         let mut out = Vec::new();
         UnsafeAudit.check_file(&file, &cfg, &mut out);
         assert!(out.is_empty());

@@ -96,8 +96,7 @@ impl Check for WorkspaceConsistency {
             }
 
             let (ver, ver_inherits) = package_field(&member.manifest, "version");
-            let version_ok = ver_inherits
-                || (ver.is_some() && ver == ws_version);
+            let version_ok = ver_inherits || (ver.is_some() && ver == ws_version);
             if !version_ok {
                 out.push(Finding {
                     check: self.id(),
@@ -133,7 +132,8 @@ impl Check for WorkspaceConsistency {
             // Documentation mention: crate name or directory in README
             // or DESIGN.
             let mentioned = ws.docs.values().any(|text| {
-                text.contains(&member.name) || (!member.dir.is_empty() && text.contains(&member.dir))
+                text.contains(&member.name)
+                    || (!member.dir.is_empty() && text.contains(&member.dir))
             });
             if !mentioned {
                 out.push(Finding {
@@ -166,6 +166,9 @@ mod tests {
     fn workspace_field_reads_workspace_package_section() {
         let m = "[workspace]\nmembers = []\n\n[workspace.package]\nversion = \"0.1.0\"\nlicense = \"MIT OR Apache-2.0\"\n";
         assert_eq!(workspace_field(m, "version").as_deref(), Some("0.1.0"));
-        assert_eq!(workspace_field(m, "license").as_deref(), Some("MIT OR Apache-2.0"));
+        assert_eq!(
+            workspace_field(m, "license").as_deref(),
+            Some("MIT OR Apache-2.0")
+        );
     }
 }

@@ -99,9 +99,14 @@ impl Config {
                 rhs.push(' ');
                 rhs.push_str(strip_comment(next).trim());
             }
-            let value = parse_value(&rhs)
-                .map_err(|message| ConfigError { line: lineno, message })?;
-            cfg.sections.entry(section.clone()).or_default().insert(key, value);
+            let value = parse_value(&rhs).map_err(|message| ConfigError {
+                line: lineno,
+                message,
+            })?;
+            cfg.sections
+                .entry(section.clone())
+                .or_default()
+                .insert(key, value);
         }
         Ok(cfg)
     }
@@ -188,11 +193,7 @@ fn parse_value(rhs: &str) -> Result<Value, String> {
             }
             match parse_value(part)? {
                 Value::Str(s) => items.push(s),
-                other => {
-                    return Err(format!(
-                        "arrays may only hold strings, got {other:?}"
-                    ))
-                }
+                other => return Err(format!("arrays may only hold strings, got {other:?}")),
             }
         }
         return Ok(Value::List(items));

@@ -41,11 +41,19 @@ pub struct Report {
 
 impl Report {
     /// Build a report from raw findings (sorts + dedups).
-    pub fn new(mut findings: Vec<Finding>, files_scanned: usize, mut checks: Vec<&'static str>) -> Self {
+    pub fn new(
+        mut findings: Vec<Finding>,
+        files_scanned: usize,
+        mut checks: Vec<&'static str>,
+    ) -> Self {
         findings.sort_by(|a, b| a.key().cmp(&b.key()));
         findings.dedup();
         checks.sort_unstable();
-        Report { findings, files_scanned, checks }
+        Report {
+            findings,
+            files_scanned,
+            checks,
+        }
     }
 
     /// Whether the workspace is clean.
@@ -113,12 +121,14 @@ impl Report {
             } else if f.line == 0 {
                 out.push_str(&format!("{} {}: {}\n", f.check, f.file, f.message));
             } else {
-                out.push_str(&format!("{} {}:{}: {}\n", f.check, f.file, f.line, f.message));
+                out.push_str(&format!(
+                    "{} {}:{}: {}\n",
+                    f.check, f.file, f.line, f.message
+                ));
             }
         }
         let counts = self.counts();
-        let summary: Vec<String> =
-            counts.iter().map(|(c, n)| format!("{c}={n}")).collect();
+        let summary: Vec<String> = counts.iter().map(|(c, n)| format!("{c}={n}")).collect();
         out.push_str(&format!(
             "ftt-lint: {} finding(s) across {} file(s) [{}]\n",
             self.findings.len(),
@@ -153,7 +163,12 @@ mod tests {
     use super::*;
 
     fn f(check: &'static str, file: &str, line: usize, msg: &str) -> Finding {
-        Finding { check, file: file.into(), line, message: msg.into() }
+        Finding {
+            check,
+            file: file.into(),
+            line,
+            message: msg.into(),
+        }
     }
 
     #[test]

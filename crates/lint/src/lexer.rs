@@ -314,7 +314,11 @@ impl Scanner {
             if matches!(self.peek(1), Some('+') | Some('-')) {
                 ahead = 2;
             }
-            if self.peek(ahead).map(|c| c.is_ascii_digit()).unwrap_or(false) {
+            if self
+                .peek(ahead)
+                .map(|c| c.is_ascii_digit())
+                .unwrap_or(false)
+            {
                 is_float = true;
                 for _ in 0..ahead {
                     if let Some(c) = self.bump() {
@@ -347,7 +351,11 @@ impl Scanner {
             }
             text.push_str(&suffix);
         }
-        let kind = if is_float { TokenKind::Float } else { TokenKind::Int };
+        let kind = if is_float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        };
         self.push_token(kind, line, text);
     }
 
@@ -419,7 +427,12 @@ impl Scanner {
 
 /// Scan `source` into tokens + comments.
 pub fn scan(source: &str) -> Scan {
-    let mut s = Scanner { chars: source.chars().collect(), pos: 0, line: 1, out: Scan::default() };
+    let mut s = Scanner {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Scan::default(),
+    };
 
     while let Some(c) = s.peek(0) {
         match c {
@@ -539,7 +552,11 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<(TokenKind, String)> {
-        scan(src).tokens.into_iter().map(|t| (t.kind, t.text)).collect()
+        scan(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
     }
 
     #[test]
@@ -554,8 +571,7 @@ mod tests {
     #[test]
     fn strings_hide_operators_and_markers() {
         let toks = kinds(r#"let s = "a == b // not a comment"; x == y"#);
-        let strs: Vec<_> =
-            toks.iter().filter(|(k, _)| *k == TokenKind::Str).collect();
+        let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Str).collect();
         assert_eq!(strs.len(), 1);
         let eqs = toks.iter().filter(|(_, t)| t == "==").count();
         assert_eq!(eqs, 1, "only the code `==` outside the string counts");
@@ -570,8 +586,10 @@ mod tests {
 
     #[test]
     fn float_vs_int_vs_range() {
-        let toks = kinds("let a = 1.0; let b = 0.; let c = 1e-3; let d = 2f32; \
-                          let e = 42; let f = 0xFF; for i in 0..10 {}");
+        let toks = kinds(
+            "let a = 1.0; let b = 0.; let c = 1e-3; let d = 2f32; \
+                          let e = 42; let f = 0xFF; for i in 0..10 {}",
+        );
         let floats: Vec<_> = toks
             .iter()
             .filter(|(k, _)| *k == TokenKind::Float)
@@ -591,8 +609,12 @@ mod tests {
     #[test]
     fn lifetimes_are_not_char_literals() {
         let toks = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
-        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Lifetime && t == "'a"));
-        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Char && t == "'x'"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Lifetime && t == "'a"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Char && t == "'x'"));
     }
 
     #[test]

@@ -74,7 +74,9 @@ impl SourceFile {
 
     /// Whether `line` is covered by a panic-related `#[allow]` item.
     pub fn in_panic_allow(&self, line: usize) -> bool {
-        self.panic_allow_scopes.iter().any(|(s, _)| s.contains(line))
+        self.panic_allow_scopes
+            .iter()
+            .any(|(s, _)| s.contains(line))
     }
 }
 
@@ -199,11 +201,17 @@ fn collect_rs(
     entries.sort();
     for path in entries {
         let r = rel(root, &path);
-        let name = path.file_name().map(|n| n.to_string_lossy().to_string()).unwrap_or_default();
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().to_string())
+            .unwrap_or_default();
         if name == "target" || name == ".git" {
             continue;
         }
-        if exclude.iter().any(|p| r == *p || r.starts_with(&format!("{p}/"))) {
+        if exclude
+            .iter()
+            .any(|p| r == *p || r.starts_with(&format!("{p}/")))
+        {
             continue;
         }
         if path.is_dir() {
@@ -270,7 +278,10 @@ fn analyze_scopes(scan: &Scan) -> (Vec<Scope>, Vec<(Scope, usize)>) {
             || flat.contains("#[test]")
             || flat.contains("cfg(all(test");
         if is_test {
-            tests.push(Scope { start: tok.line, end: item_end_line(scan, i + 1) });
+            tests.push(Scope {
+                start: tok.line,
+                end: item_end_line(scan, i + 1),
+            });
         }
         if (flat.contains("allow(") || flat.contains("expect("))
             && PANIC_ALLOW_LINTS.iter().any(|l| flat.contains(l))
@@ -282,7 +293,10 @@ fn analyze_scopes(scan: &Scan) -> (Vec<Scope>, Vec<(Scope, usize)>) {
                     end: scan.tokens.last().map(|t| t.line).unwrap_or(tok.line),
                 }
             } else {
-                Scope { start: tok.line, end: item_end_line(scan, i + 1) }
+                Scope {
+                    start: tok.line,
+                    end: item_end_line(scan, i + 1),
+                }
             };
             allows.push((scope, tok.line));
         }
@@ -311,9 +325,7 @@ impl Workspace {
             if let Some(prefix) = entry.strip_suffix("/*") {
                 let dir = root.join(prefix);
                 let mut subdirs: Vec<PathBuf> = std::fs::read_dir(&dir)
-                    .map_err(|e| {
-                        LoadError(format!("cannot expand member glob {entry:?}: {e}"))
-                    })?
+                    .map_err(|e| LoadError(format!("cannot expand member glob {entry:?}: {e}")))?
                     .filter_map(|e| e.ok().map(|e| e.path()))
                     .filter(|p| p.is_dir())
                     .collect();
@@ -335,16 +347,27 @@ impl Workspace {
         members.sort();
         members.dedup();
         for dir in members {
-            let manifest_path =
-                if dir.is_empty() { root.join("Cargo.toml") } else { root.join(&dir).join("Cargo.toml") };
+            let manifest_path = if dir.is_empty() {
+                root.join("Cargo.toml")
+            } else {
+                root.join(&dir).join("Cargo.toml")
+            };
             if !manifest_path.is_file() {
                 // W1 reports this; record a placeholder member.
-                member_list.push(Member { name: dir.clone(), dir, manifest: String::new() });
+                member_list.push(Member {
+                    name: dir.clone(),
+                    dir,
+                    manifest: String::new(),
+                });
                 continue;
             }
             let manifest = read(&manifest_path)?;
             let name = manifest_package_name(&manifest).unwrap_or_else(|| dir.clone());
-            member_list.push(Member { name, dir, manifest });
+            member_list.push(Member {
+                name,
+                dir,
+                manifest,
+            });
         }
 
         // Collect and scan sources.
@@ -387,7 +410,13 @@ impl Workspace {
             }
         }
 
-        Ok(Workspace { root, root_manifest, members: member_list, files, docs })
+        Ok(Workspace {
+            root,
+            root_manifest,
+            members: member_list,
+            files,
+            docs,
+        })
     }
 }
 
@@ -407,7 +436,10 @@ members = [
 [package]
 name = "rootpkg"
 "#;
-        assert_eq!(manifest_members(manifest), vec!["crates/a", "crates/shims/*"]);
+        assert_eq!(
+            manifest_members(manifest),
+            vec!["crates/a", "crates/shims/*"]
+        );
         assert_eq!(manifest_package_name(manifest).as_deref(), Some("rootpkg"));
     }
 
@@ -436,7 +468,10 @@ name = "rootpkg"
         assert_eq!(role_of("crates/nn/src/tensor.rs"), FileRole::Lib);
         assert_eq!(role_of("crates/nn/tests/training.rs"), FileRole::Support);
         assert_eq!(role_of("examples/quickstart.rs"), FileRole::Support);
-        assert_eq!(role_of("crates/bench/benches/substrates.rs"), FileRole::Support);
+        assert_eq!(
+            role_of("crates/bench/benches/substrates.rs"),
+            FileRole::Support
+        );
         assert_eq!(role_of("crates/core/src/bin/tool.rs"), FileRole::Support);
         assert_eq!(role_of("build.rs"), FileRole::Support);
     }

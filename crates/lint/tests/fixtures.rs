@@ -64,7 +64,12 @@ fn binary_exits_nonzero_on_violations_and_zero_on_clean() {
         .arg(fixture_root())
         .output()
         .expect("run ftt-lint on fixtures");
-    assert_eq!(out.status.code(), Some(1), "stdout: {}", String::from_utf8_lossy(&out.stdout));
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
 
     // Real workspace -> exit 0 (also asserted by workspace_clean.rs via
     // the library API; this covers the CLI path).
@@ -91,7 +96,10 @@ fn binary_exits_nonzero_on_violations_and_zero_on_clean() {
     assert_eq!(out.status.code(), Some(2));
 
     // Unknown flag -> exit 2.
-    let out = Command::new(bin).args(["--frobnicate"]).output().expect("run ftt-lint");
+    let out = Command::new(bin)
+        .args(["--frobnicate"])
+        .output()
+        .expect("run ftt-lint");
     assert_eq!(out.status.code(), Some(2));
 }
 

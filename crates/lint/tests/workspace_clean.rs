@@ -21,7 +21,11 @@ fn the_workspace_lints_clean() {
     // All six checks ran.
     assert_eq!(report.checks, vec!["D1", "F1", "O1", "P1", "S1", "W1"]);
     // Sanity: the gate actually scanned the tree (not an empty walk).
-    assert!(report.files_scanned > 100, "scanned {} files", report.files_scanned);
+    assert!(
+        report.files_scanned > 100,
+        "scanned {} files",
+        report.files_scanned
+    );
 }
 
 #[test]
@@ -38,8 +42,17 @@ fn json_report_is_byte_identical_across_thread_budgets() {
         assert_eq!(out.status.code(), Some(0));
         outputs.push(out.stdout);
     }
-    assert_eq!(outputs[0], outputs[1], "trace must not depend on RRAM_FTT_THREADS");
-    assert_eq!(outputs[1], outputs[2], "trace must not depend on RRAM_FTT_THREADS");
+    assert_eq!(
+        outputs[0], outputs[1],
+        "trace must not depend on RRAM_FTT_THREADS"
+    );
+    assert_eq!(
+        outputs[1], outputs[2],
+        "trace must not depend on RRAM_FTT_THREADS"
+    );
     let text = String::from_utf8(outputs[0].clone()).expect("utf-8 report");
-    assert!(text.contains("\"findings\": []"), "clean workspace report:\n{text}");
+    assert!(
+        text.contains("\"findings\": []"),
+        "clean workspace report:\n{text}"
+    );
 }

@@ -34,13 +34,28 @@ impl Dataset {
         test_y: Vec<usize>,
         classes: usize,
     ) -> Self {
-        assert_eq!(train_x.shape()[0], train_y.len(), "train sample/label mismatch");
-        assert_eq!(test_x.shape()[0], test_y.len(), "test sample/label mismatch");
+        assert_eq!(
+            train_x.shape()[0],
+            train_y.len(),
+            "train sample/label mismatch"
+        );
+        assert_eq!(
+            test_x.shape()[0],
+            test_y.len(),
+            "test sample/label mismatch"
+        );
         assert!(
             train_y.iter().chain(&test_y).all(|&y| y < classes),
             "label out of range"
         );
-        Self { train_x, train_y, test_x, test_y, classes, shuffle_seed: 0 }
+        Self {
+            train_x,
+            train_y,
+            test_x,
+            test_y,
+            classes,
+            shuffle_seed: 0,
+        }
     }
 
     /// Number of classes.

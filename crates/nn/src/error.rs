@@ -37,7 +37,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = NnError::ShapeMismatch { expected: "[B, 784]".into(), actual: vec![2, 3] };
+        let e = NnError::ShapeMismatch {
+            expected: "[B, 784]".into(),
+            actual: vec![2, 3],
+        };
         assert!(e.to_string().contains("[2, 3]"));
         let e = NnError::InvalidConfig("kernel larger than input".into());
         assert!(e.to_string().contains("kernel"));

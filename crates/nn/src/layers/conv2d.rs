@@ -40,7 +40,10 @@ impl Conv2d {
         pad: usize,
         rng: &mut R,
     ) -> Self {
-        assert!(in_ch > 0 && out_ch > 0 && k > 0 && stride > 0, "conv dims must be non-zero");
+        assert!(
+            in_ch > 0 && out_ch > 0 && k > 0 && stride > 0,
+            "conv dims must be non-zero"
+        );
         let rows = in_ch * k * k;
         let w = Tensor::from_vec(vec![rows, out_ch], he_uniform(rows, rows * out_ch, rng));
         Self {
@@ -88,7 +91,11 @@ impl Conv2d {
 impl Layer for Conv2d {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         let (batch, c, h, w) = Self::unpack_shape(input);
-        assert_eq!(c, self.in_ch, "conv2d expects {} input channels", self.in_ch);
+        assert_eq!(
+            c, self.in_ch,
+            "conv2d expects {} input channels",
+            self.in_ch
+        );
         let (oh, ow) = conv_output_size(h, w, self.k, self.stride, self.pad);
         let positions = oh * ow;
         let sample_len = c * h * w;
@@ -97,7 +104,8 @@ impl Layer for Conv2d {
             let sample = &input.data()[bidx * sample_len..(bidx + 1) * sample_len];
             let cols = im2col(sample, c, h, w, self.k, self.stride, self.pad);
             let y = cols.matmul(&self.w); // [positions, out_ch]
-            let dst = &mut out[bidx * self.out_ch * positions..(bidx + 1) * self.out_ch * positions];
+            let dst =
+                &mut out[bidx * self.out_ch * positions..(bidx + 1) * self.out_ch * positions];
             for p in 0..positions {
                 for oc in 0..self.out_ch {
                     dst[oc * positions + p] = y.at2(p, oc) + self.b[oc];
@@ -231,9 +239,8 @@ mod tests {
         let dx = conv.backward(&ones);
 
         let eps = 1e-2;
-        let loss = |conv: &mut Conv2d, x: &Tensor| -> f32 {
-            conv.forward(x, false).data().iter().sum()
-        };
+        let loss =
+            |conv: &mut Conv2d, x: &Tensor| -> f32 { conv.forward(x, false).data().iter().sum() };
         let base = loss(&mut conv, &x);
 
         for &w_idx in &[0usize, 17, 53] {
@@ -242,7 +249,10 @@ mod tests {
             conv.w.data_mut()[w_idx] -= eps;
             let fd = (plus - base) / eps;
             let analytic = conv.dw.data()[w_idx];
-            assert!((fd - analytic).abs() < 0.05, "dW[{w_idx}]: fd {fd} vs {analytic}");
+            assert!(
+                (fd - analytic).abs() < 0.05,
+                "dW[{w_idx}]: fd {fd} vs {analytic}"
+            );
         }
         for &x_idx in &[0usize, 9, 31] {
             let mut x2 = x.clone();

@@ -27,7 +27,10 @@ impl Dense {
     ///
     /// Panics if either dimension is zero.
     pub fn new<R: Rng + ?Sized>(in_features: usize, out_features: usize, rng: &mut R) -> Self {
-        assert!(in_features > 0 && out_features > 0, "dense dimensions must be non-zero");
+        assert!(
+            in_features > 0 && out_features > 0,
+            "dense dimensions must be non-zero"
+        );
         let w = Tensor::from_vec(
             vec![in_features, out_features],
             he_uniform(in_features, in_features * out_features, rng),
@@ -143,9 +146,8 @@ mod tests {
 
         // Finite-difference check on one weight and one input element.
         let eps = 1e-3;
-        let sum_y = |layer: &mut Dense, x: &Tensor| -> f32 {
-            layer.forward(x, false).data().iter().sum()
-        };
+        let sum_y =
+            |layer: &mut Dense, x: &Tensor| -> f32 { layer.forward(x, false).data().iter().sum() };
         let base = sum_y(&mut layer, &x);
 
         let w_idx = 5;
@@ -160,7 +162,11 @@ mod tests {
         x2.data_mut()[3] += eps;
         let plus = sum_y(&mut layer, &x2);
         let fd = (plus - base) / eps;
-        assert!((fd - dx.data()[3]).abs() < 1e-2, "dX: fd {fd} vs {}", dx.data()[3]);
+        assert!(
+            (fd - dx.data()[3]).abs() < 1e-2,
+            "dX: fd {fd} vs {}",
+            dx.data()[3]
+        );
     }
 
     #[test]

@@ -16,7 +16,10 @@ pub struct MaxPool2 {
 impl MaxPool2 {
     /// Creates a 2×2/2 max-pooling layer.
     pub fn new() -> Self {
-        Self { argmax: None, in_shape: Vec::new() }
+        Self {
+            argmax: None,
+            in_shape: Vec::new(),
+        }
     }
 }
 
@@ -25,7 +28,10 @@ impl Layer for MaxPool2 {
         let s = input.shape();
         assert_eq!(s.len(), 4, "maxpool expects [B, C, H, W], got {s:?}");
         let (batch, c, h, w) = (s[0], s[1], s[2], s[3]);
-        assert!(h >= 2 && w >= 2, "maxpool needs at least 2x2 input, got {h}x{w}");
+        assert!(
+            h >= 2 && w >= 2,
+            "maxpool needs at least 2x2 input, got {h}x{w}"
+        );
         let (oh, ow) = (h / 2, w / 2);
         let mut out = vec![0.0f32; batch * c * oh * ow];
         let mut argmax = vec![0usize; out.len()];
@@ -66,7 +72,11 @@ impl Layer for MaxPool2 {
             .argmax
             .take()
             .expect("backward called without a training-mode forward");
-        assert_eq!(grad_out.len(), argmax.len(), "gradient shape changed since forward");
+        assert_eq!(
+            grad_out.len(),
+            argmax.len(),
+            "gradient shape changed since forward"
+        );
         let mut dx = Tensor::zeros(self.in_shape.clone());
         let dx_data = dx.data_mut();
         for (&g, &idx) in grad_out.data().iter().zip(&argmax) {

@@ -32,7 +32,11 @@ impl Layer for Relu {
             .mask
             .take()
             .expect("backward called without a training-mode forward");
-        assert_eq!(mask.len(), grad_out.len(), "gradient shape changed since forward");
+        assert_eq!(
+            mask.len(),
+            grad_out.len(),
+            "gradient shape changed since forward"
+        );
         let data = grad_out
             .data()
             .iter()

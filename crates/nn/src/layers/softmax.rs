@@ -16,7 +16,9 @@ pub struct Softmax {
 impl Softmax {
     /// Creates a softmax layer.
     pub fn new() -> Self {
-        Self { cached_output: None }
+        Self {
+            cached_output: None,
+        }
     }
 }
 
@@ -117,7 +119,11 @@ mod tests {
             x2.data_mut()[i] += eps;
             let y2 = softmax_rows(&x2);
             let fd = (y2.data()[2] - y.data()[2]) / eps;
-            assert!((fd - dx.data()[i]).abs() < 1e-3, "i={i}: fd {fd} vs {}", dx.data()[i]);
+            assert!(
+                (fd - dx.data()[i]).abs() < 1e-3,
+                "i={i}: fd {fd} vs {}",
+                dx.data()[i]
+            );
         }
     }
 }

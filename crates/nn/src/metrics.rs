@@ -90,7 +90,10 @@ impl ConfusionMatrix {
     ///
     /// Panics if either index is out of range.
     pub fn count(&self, t: usize, p: usize) -> u64 {
-        assert!(t < self.classes && p < self.classes, "class index out of range");
+        assert!(
+            t < self.classes && p < self.classes,
+            "class index out of range"
+        );
         self.counts[t * self.classes + p]
     }
 
@@ -117,7 +120,10 @@ mod tests {
         assert!(!approx_eq(1.0, 1.0 + 1e-6));
         assert!(approx_eq_tol(1.0, 1.5, 0.5));
         assert!(!approx_eq_tol(1.0, 1.51, 0.5));
-        assert!(approx_eq(f64::INFINITY, f64::INFINITY), "inf == inf via exact branch");
+        assert!(
+            approx_eq(f64::INFINITY, f64::INFINITY),
+            "inf == inf via exact branch"
+        );
         assert!(!approx_eq(f64::NAN, f64::NAN), "NaN never compares equal");
     }
 

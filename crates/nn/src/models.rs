@@ -126,7 +126,16 @@ mod tests {
         // The paper reports 7.66 M weights for its modified VGG-11. Count
         // without building (avoid allocating 7.6M f32 in tests): the formula
         // mirrors vgg11_cifar's construction.
-        let convs = [(3, 64), (64, 128), (128, 256), (256, 256), (256, 512), (512, 512), (512, 512), (512, 512)];
+        let convs = [
+            (3, 64),
+            (64, 128),
+            (128, 256),
+            (256, 256),
+            (256, 512),
+            (512, 512),
+            (512, 512),
+            (512, 512),
+        ];
         let conv_w: usize = convs.iter().map(|(i, o)| i * 9 * o).sum();
         let fc_w = 512 * 512 + 512 * 512 + 512 * 10;
         let total = conv_w + fc_w;

@@ -167,7 +167,10 @@ mod tests {
         assert_eq!(dx.shape(), &[2, 4]);
         let mut count = 0;
         for (_, p) in net.param_layers_mut() {
-            assert!(p.weight_grad.iter().any(|&g| g != 0.0), "grads should be non-zero");
+            assert!(
+                p.weight_grad.iter().any(|&g| g != 0.0),
+                "grads should be non-zero"
+            );
             count += 1;
         }
         assert_eq!(count, 2);

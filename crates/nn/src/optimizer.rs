@@ -36,16 +36,22 @@ impl LrSchedule {
     pub fn step_decay(initial: f32, decay: f32, every: u64) -> Self {
         assert!(every > 0, "decay interval must be non-zero");
         assert!(initial > 0.0 && decay > 0.0, "rates must be positive");
-        LrSchedule::StepDecay { initial, decay, every }
+        LrSchedule::StepDecay {
+            initial,
+            decay,
+            every,
+        }
     }
 
     /// The learning rate at a given iteration.
     pub fn lr(&self, iteration: u64) -> f32 {
         match *self {
             LrSchedule::Constant(lr) => lr,
-            LrSchedule::StepDecay { initial, decay, every } => {
-                initial * decay.powi((iteration / every) as i32)
-            }
+            LrSchedule::StepDecay {
+                initial,
+                decay,
+                every,
+            } => initial * decay.powi((iteration / every) as i32),
         }
     }
 }
@@ -62,7 +68,10 @@ pub struct Sgd {
 impl Sgd {
     /// Creates an SGD optimizer with the given schedule.
     pub fn new(schedule: LrSchedule) -> Self {
-        Self { schedule, iteration: 0 }
+        Self {
+            schedule,
+            iteration: 0,
+        }
     }
 
     /// The current iteration count.

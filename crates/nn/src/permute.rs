@@ -157,8 +157,15 @@ pub fn permute_row_blocks<T: Copy>(
     perm: &Permutation,
 ) {
     assert_eq!(data.len(), rows * cols, "matrix size mismatch");
-    assert!(block > 0 && rows.is_multiple_of(block), "rows must divide into blocks");
-    assert_eq!(perm.len(), rows / block, "permutation must cover the row blocks");
+    assert!(
+        block > 0 && rows.is_multiple_of(block),
+        "rows must divide into blocks"
+    );
+    assert_eq!(
+        perm.len(),
+        rows / block,
+        "permutation must cover the row blocks"
+    );
     let original = data.to_vec();
     let stride = block * cols;
     for (i, &src) in perm.as_slice().iter().enumerate() {
@@ -217,7 +224,9 @@ pub fn permute_hidden_neurons(
         // PANIC-OK: `this_idx` comes from `weight_layer_indices`, which
         // only lists layers with parameters.
         #[allow(clippy::expect_used)]
-        let params = net.layer_params_mut(this_idx).expect("weight layer has params");
+        let params = net
+            .layer_params_mut(this_idx)
+            .expect("weight layer has params");
         let (rows, cols) = params.weight_shape;
         if perm.len() != cols {
             return Err(NnError::InvalidConfig(format!(
@@ -239,7 +248,9 @@ pub fn permute_hidden_neurons(
         // PANIC-OK: `next_idx` comes from `weight_layer_indices`, which
         // only lists layers with parameters.
         #[allow(clippy::expect_used)]
-        let params = net.layer_params_mut(next_idx).expect("weight layer has params");
+        let params = net
+            .layer_params_mut(next_idx)
+            .expect("weight layer has params");
         let (rows, cols) = params.weight_shape;
         if rows % neurons != 0 {
             return Err(NnError::InvalidConfig(format!(

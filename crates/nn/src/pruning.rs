@@ -34,7 +34,10 @@ impl LayerMask {
     ///
     /// Panics if out of range.
     pub fn is_pruned(&self, row: usize, col: usize) -> bool {
-        assert!(row < self.shape.0 && col < self.shape.1, "index out of range");
+        assert!(
+            row < self.shape.0 && col < self.shape.1,
+            "index out of range"
+        );
         self.pruned[row * self.shape.1 + col]
     }
 
@@ -77,8 +80,11 @@ impl PruneMask {
 
     /// Overall sparsity across all covered layers.
     pub fn total_sparsity(&self) -> f64 {
-        let pruned: usize =
-            self.layers.iter().map(|l| l.pruned.iter().filter(|&&p| p).count()).sum();
+        let pruned: usize = self
+            .layers
+            .iter()
+            .map(|l| l.pruned.iter().filter(|&&p| p).count())
+            .sum();
         let total: usize = self.layers.iter().map(|l| l.pruned.len()).sum();
         if total == 0 {
             0.0
@@ -202,7 +208,11 @@ pub fn try_magnitude_prune_per_layer(
                 }
             }
         }
-        layers.push(LayerMask { layer_index, shape: params.weight_shape, pruned });
+        layers.push(LayerMask {
+            layer_index,
+            shape: params.weight_shape,
+            pruned,
+        });
     }
     Ok(PruneMask { layers })
 }
@@ -229,12 +239,14 @@ pub fn apply_mask(net: &mut Network, mask: &PruneMask) {
 /// e.g. a mask computed before a topology change and applied after.
 pub fn try_apply_mask(net: &mut Network, mask: &PruneMask) -> Result<(), crate::error::NnError> {
     for layer_mask in mask.layers() {
-        let params = net.layer_params_mut(layer_mask.layer_index).ok_or_else(|| {
-            crate::error::NnError::InvalidConfig(format!(
-                "mask references parameterless layer {}",
-                layer_mask.layer_index
-            ))
-        })?;
+        let params = net
+            .layer_params_mut(layer_mask.layer_index)
+            .ok_or_else(|| {
+                crate::error::NnError::InvalidConfig(format!(
+                    "mask references parameterless layer {}",
+                    layer_mask.layer_index
+                ))
+            })?;
         if params.weights.len() != layer_mask.pruned.len() {
             return Err(crate::error::NnError::ShapeMismatch {
                 expected: format!("mask of {} weights", params.weights.len()),

@@ -89,7 +89,9 @@ pub fn load_parameters<R: Read>(net: &mut Network, mut reader: R) -> Result<(), 
     let mut magic = [0u8; 8];
     reader.read_exact(&mut magic).map_err(io_err)?;
     if &magic != MAGIC {
-        return Err(NnError::InvalidConfig("not an rram-ftt parameter file".into()));
+        return Err(NnError::InvalidConfig(
+            "not an rram-ftt parameter file".into(),
+        ));
     }
     let layer_count = read_u32(&mut reader).map_err(io_err)? as usize;
     let indices = net.weight_layer_indices();

@@ -85,7 +85,10 @@ impl SyntheticDataset {
         width: usize,
         classes: usize,
     ) -> Dataset {
-        assert!(train_n > 0 && test_n > 0 && classes > 0, "counts must be non-zero");
+        assert!(
+            train_n > 0 && test_n > 0 && classes > 0,
+            "counts must be non-zero"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         // Multi-modal classes: several prototypes each.
         let prototypes: Vec<Vec<Vec<f32>>> = (0..classes)
@@ -104,8 +107,7 @@ impl SyntheticDataset {
                 let proto = &prototypes[class][rng.gen_range(0..PROTOTYPES_PER_CLASS)];
                 // Blend with a distractor from a different class.
                 let other = (class + rng.gen_range(1..classes.max(2))) % classes;
-                let distractor =
-                    &prototypes[other][rng.gen_range(0..PROTOTYPES_PER_CLASS)];
+                let distractor = &prototypes[other][rng.gen_range(0..PROTOTYPES_PER_CLASS)];
                 let alpha = rng.gen_range(DISTRACTOR_MIN..DISTRACTOR_MAX);
                 let scale = 1.0 + rng.gen_range(-SCALE_JITTER..SCALE_JITTER);
                 for (&p, &d) in proto.iter().zip(distractor) {
@@ -215,6 +217,9 @@ mod tests {
         // samples 0 and 10 share class 0; sample 1 is class 1.
         assert_eq!(y[0], y[10]);
         assert_ne!(y[0], y[1]);
-        assert!(dist(0, 10) < dist(0, 1), "intra-class distance should be smaller");
+        assert!(
+            dist(0, 10) < dist(0, 1),
+            "intra-class distance should be smaller"
+        );
     }
 }

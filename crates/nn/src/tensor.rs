@@ -60,7 +60,10 @@ impl Tensor {
     /// Panics if the shape is empty or has a zero dimension.
     pub fn zeros(shape: Vec<usize>) -> Self {
         let len = checked_len(&shape);
-        Self { shape, data: vec![0.0; len] }
+        Self {
+            shape,
+            data: vec![0.0; len],
+        }
     }
 
     /// Creates a tensor from raw data.
@@ -117,7 +120,13 @@ impl Tensor {
     /// Panics if the element counts differ.
     pub fn reshape(mut self, shape: Vec<usize>) -> Self {
         let len = checked_len(&shape);
-        assert_eq!(self.data.len(), len, "cannot reshape {:?} to {:?}", self.shape, shape);
+        assert_eq!(
+            self.data.len(),
+            len,
+            "cannot reshape {:?} to {:?}",
+            self.shape,
+            shape
+        );
         self.shape = shape;
         self
     }
@@ -321,7 +330,10 @@ fn saxpy_row_kernel(a_row: &[f32], b: &[f32], c_row: &mut [f32]) {
 
 fn checked_len(shape: &[usize]) -> usize {
     assert!(!shape.is_empty(), "tensor shape cannot be empty");
-    assert!(shape.iter().all(|&d| d > 0), "tensor dimensions must be non-zero: {shape:?}");
+    assert!(
+        shape.iter().all(|&d| d > 0),
+        "tensor dimensions must be non-zero: {shape:?}"
+    );
     shape.iter().product()
 }
 
@@ -441,7 +453,10 @@ pub fn conv_output_size(
         height + 2 * pad >= k && width + 2 * pad >= k,
         "kernel {k} larger than padded input {height}x{width}+{pad}"
     );
-    ((height + 2 * pad - k) / stride + 1, (width + 2 * pad - k) / stride + 1)
+    (
+        (height + 2 * pad - k) / stride + 1,
+        (width + 2 * pad - k) / stride + 1,
+    )
 }
 
 #[cfg(test)]
@@ -500,9 +515,8 @@ mod tests {
     fn matmul_family_is_thread_count_invariant() {
         // Large enough to clear PAR_MIN_FLOPS so the parallel path runs.
         let (m, k, n) = (37, 65, 41);
-        let fill = |len: usize, f: f32| -> Vec<f32> {
-            (0..len).map(|i| ((i as f32) * f).sin()).collect()
-        };
+        let fill =
+            |len: usize, f: f32| -> Vec<f32> { (0..len).map(|i| ((i as f32) * f).sin()).collect() };
         let a = Tensor::from_vec(vec![m, k], fill(m * k, 0.37));
         let b = Tensor::from_vec(vec![k, n], fill(k * n, 0.53));
         let a_t = Tensor::from_vec(vec![k, m], fill(k * m, 0.37));
@@ -513,8 +527,16 @@ mod tests {
         let parl = (a.matmul(&b), a_t.matmul_tn(&b), a.matmul_nt(&b_t));
         par::set_thread_count(0);
         assert_eq!(seq.0.data(), parl.0.data(), "matmul must be bit-identical");
-        assert_eq!(seq.1.data(), parl.1.data(), "matmul_tn must be bit-identical");
-        assert_eq!(seq.2.data(), parl.2.data(), "matmul_nt must be bit-identical");
+        assert_eq!(
+            seq.1.data(),
+            parl.1.data(),
+            "matmul_tn must be bit-identical"
+        );
+        assert_eq!(
+            seq.2.data(),
+            parl.2.data(),
+            "matmul_nt must be bit-identical"
+        );
     }
 
     #[test]
@@ -594,8 +616,7 @@ mod tests {
         let (c, h, w, k, s, p) = (2, 4, 4, 3, 1, 1);
         let x: Vec<f32> = (0..c * h * w).map(|i| (i as f32 * 0.37).sin()).collect();
         let cols = im2col(&x, c, h, w, k, s, p);
-        let y: Vec<f32> =
-            (0..cols.len()).map(|i| (i as f32 * 0.13).cos()).collect();
+        let y: Vec<f32> = (0..cols.len()).map(|i| (i as f32 * 0.13).cos()).collect();
         let y_t = Tensor::from_vec(cols.shape().to_vec(), y.clone());
         let lhs: f32 = cols.data().iter().zip(&y).map(|(a, b)| a * b).sum();
         let folded = col2im(&y_t, c, h, w, k, s, p);

@@ -24,7 +24,10 @@ fn mlp_learns_synthetic_mnist() {
     }
     let (tx, ty) = data.test_set();
     let acc = accuracy(&net.forward(&tx), &ty);
-    assert!(acc > 0.72, "MLP should approach the task ceiling, got {acc}");
+    assert!(
+        acc > 0.72,
+        "MLP should approach the task ceiling, got {acc}"
+    );
 }
 
 #[test]
@@ -40,7 +43,10 @@ fn scaled_vgg11_learns_synthetic_cifar() {
     }
     let (tx, ty) = data.test_set();
     let acc = accuracy(&net.forward(&tx), &ty);
-    assert!(acc > 0.3, "scaled VGG-11 should beat chance clearly, got {acc}");
+    assert!(
+        acc > 0.3,
+        "scaled VGG-11 should beat chance clearly, got {acc}"
+    );
 }
 
 #[test]

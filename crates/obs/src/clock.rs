@@ -34,7 +34,9 @@ pub struct WallClock {
 impl WallClock {
     /// A wall clock starting at zero now.
     pub fn new() -> Self {
-        Self { origin: Instant::now() }
+        Self {
+            origin: Instant::now(),
+        }
     }
 }
 
@@ -64,7 +66,10 @@ pub struct LogicalClock {
 impl LogicalClock {
     /// A logical clock advancing `step` "nanoseconds" per reading.
     pub fn new(step: u64) -> Self {
-        Self { ticks: AtomicU64::new(0), step }
+        Self {
+            ticks: AtomicU64::new(0),
+            step,
+        }
     }
 
     /// Manually advances the timeline (e.g. to model a long phase).

@@ -279,9 +279,7 @@ impl TimedEvent {
                 .field_u64("start_iteration", *start_iteration)
                 .field_u64("end_iteration", *end_iteration)
                 .field_u64("writes_skipped", *writes_skipped),
-            Event::DetectionCampaignStart { campaign } => {
-                obj.field_u64("campaign", *campaign)
-            }
+            Event::DetectionCampaignStart { campaign } => obj.field_u64("campaign", *campaign),
             Event::DetectionCampaignEnd {
                 campaign,
                 flagged_cells,
@@ -305,20 +303,34 @@ impl TimedEvent {
                     None => obj,
                 }
             }
-            Event::RemapApplied { initial_cost, final_cost } => obj
+            Event::RemapApplied {
+                initial_cost,
+                final_cost,
+            } => obj
                 .field_u64("initial_cost", *initial_cost)
                 .field_u64("final_cost", *final_cost),
-            Event::WearFault { new_faults, total_faults } => obj
+            Event::WearFault {
+                new_faults,
+                total_faults,
+            } => obj
                 .field_u64("new_faults", *new_faults)
                 .field_u64("total_faults", *total_faults),
             Event::WritePulseBatch { pulses, phase } => obj
                 .field_u64("pulses", *pulses)
                 .field_str("phase", phase.as_str()),
-            Event::TileRetired { tile, faulty_cells, fault_density } => obj
+            Event::TileRetired {
+                tile,
+                faulty_cells,
+                fault_density,
+            } => obj
                 .field_u64("tile", *tile)
                 .field_u64("faulty_cells", *faulty_cells)
                 .field_f64("fault_density", *fault_density),
-            Event::SpareAttached { tile, replaced, spares_remaining } => obj
+            Event::SpareAttached {
+                tile,
+                replaced,
+                spares_remaining,
+            } => obj
                 .field_u64("tile", *tile)
                 .field_u64("replaced", *replaced)
                 .field_u64("spares_remaining", *spares_remaining),
@@ -333,7 +345,11 @@ mod tests {
     use crate::json;
 
     fn at(seq: u64) -> LogicalTime {
-        LogicalTime { iteration: 12, write_pulses: 345, seq }
+        LogicalTime {
+            iteration: 12,
+            write_pulses: 345,
+            seq,
+        }
     }
 
     #[test]
@@ -365,16 +381,40 @@ mod tests {
                     true_neg: 100,
                 }),
             },
-            Event::RemapApplied { initial_cost: 40, final_cost: 11 },
-            Event::WearFault { new_faults: 2, total_faults: 9 },
-            Event::WritePulseBatch { pulses: 123, phase: WritePhase::Detection },
-            Event::TileRetired { tile: 4, faulty_cells: 900, fault_density: 0.055 },
-            Event::SpareAttached { tile: 17, replaced: 4, spares_remaining: 1 },
+            Event::RemapApplied {
+                initial_cost: 40,
+                final_cost: 11,
+            },
+            Event::WearFault {
+                new_faults: 2,
+                total_faults: 9,
+            },
+            Event::WritePulseBatch {
+                pulses: 123,
+                phase: WritePhase::Detection,
+            },
+            Event::TileRetired {
+                tile: 4,
+                faulty_cells: 900,
+                fault_density: 0.055,
+            },
+            Event::SpareAttached {
+                tile: 17,
+                replaced: 4,
+                spares_remaining: 1,
+            },
         ];
         for (i, event) in events.into_iter().enumerate() {
             let kind = event.kind();
-            let line = TimedEvent { at: at(i as u64), event }.to_json();
-            assert_eq!(json::extract_str(&line, "kind").as_deref(), Some(kind.as_str()));
+            let line = TimedEvent {
+                at: at(i as u64),
+                event,
+            }
+            .to_json();
+            assert_eq!(
+                json::extract_str(&line, "kind").as_deref(),
+                Some(kind.as_str())
+            );
             assert_eq!(json::extract_u64(&line, "iter"), Some(12));
             assert_eq!(json::extract_u64(&line, "seq"), Some(i as u64));
         }
@@ -412,7 +452,12 @@ mod tests {
 
     #[test]
     fn confusion_scores() {
-        let c = Confusion { true_pos: 8, false_pos: 2, false_neg: 2, true_neg: 88 };
+        let c = Confusion {
+            true_pos: 8,
+            false_pos: 2,
+            false_neg: 2,
+            true_neg: 88,
+        };
         assert!((c.precision() - 0.8).abs() < 1e-12);
         assert!((c.recall() - 0.8).abs() < 1e-12);
         assert_eq!(Confusion::default().precision(), 1.0);

@@ -40,7 +40,9 @@ pub struct JsonObject {
 impl JsonObject {
     /// Starts an empty object.
     pub fn new() -> Self {
-        Self { buf: String::from("{") }
+        Self {
+            buf: String::from("{"),
+        }
     }
 
     fn key(&mut self, key: &str) {
@@ -181,7 +183,14 @@ mod tests {
 
     #[test]
     fn floats_round_trip_at_full_precision() {
-        for v in [0.1, 1.0 / 3.0, f64::MIN_POSITIVE, 1e300, -0.0, 123456.789012345] {
+        for v in [
+            0.1,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            1e300,
+            -0.0,
+            123456.789012345,
+        ] {
             let json = JsonObject::new().field_f64("v", v).finish();
             let back = extract_f64(&json, "v").expect("field present");
             assert_eq!(back.to_bits(), v.to_bits(), "{v} must round-trip exactly");

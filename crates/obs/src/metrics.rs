@@ -261,8 +261,7 @@ impl Registry {
                         cumulative += bucket.load(Ordering::Relaxed);
                         let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
                     }
-                    let _ =
-                        writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count());
+                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count());
                     let _ = writeln!(out, "{name}_sum {}", h.sum());
                     let _ = writeln!(out, "{name}_count {}", h.count());
                 }

@@ -235,12 +235,7 @@ impl Recorder {
             } else if let Some(v) = reg.gauge_value(&name) {
                 let _ = writeln!(out, "{name} = {v}");
             } else if let Some(h) = reg.histogram_handle(&name) {
-                let _ = writeln!(
-                    out,
-                    "{name}: count={} mean={:.1}ns",
-                    h.count(),
-                    h.mean()
-                );
+                let _ = writeln!(out, "{name}: count={} mean={:.1}ns", h.count(), h.mean());
             }
         }
         out
@@ -263,11 +258,21 @@ mod tests {
         rec.set_write_pulses(42);
         rec.emit(Event::DetectionCampaignStart { campaign: 1 });
         rec.set_iteration(4);
-        rec.emit(Event::RemapApplied { initial_cost: 9, final_cost: 2 });
+        rec.emit(Event::RemapApplied {
+            initial_cost: 9,
+            final_cost: 2,
+        });
 
         let events = view.snapshot();
         assert_eq!(events.len(), 2);
-        assert_eq!(events[0].at, LogicalTime { iteration: 3, write_pulses: 42, seq: 0 });
+        assert_eq!(
+            events[0].at,
+            LogicalTime {
+                iteration: 3,
+                write_pulses: 42,
+                seq: 0
+            }
+        );
         assert_eq!(events[1].at.iteration, 4);
         assert_eq!(events[1].at.seq, 1);
         assert_eq!(rec.events_of_kind(EventKind::DetectionCampaignStart), 1);
@@ -280,7 +285,10 @@ mod tests {
     fn no_sink_emission_still_counts() {
         let rec = Recorder::deterministic();
         assert!(!rec.has_sinks());
-        rec.emit(Event::WearFault { new_faults: 1, total_faults: 1 });
+        rec.emit(Event::WearFault {
+            new_faults: 1,
+            total_faults: 1,
+        });
         assert_eq!(rec.events_total(), 1);
         assert_eq!(rec.events_of_kind(EventKind::WearFault), 1);
     }

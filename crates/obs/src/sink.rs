@@ -45,12 +45,17 @@ pub struct RingSink {
 impl RingSink {
     /// A ring holding at most `capacity` events (capacity 0 stores none).
     pub fn new(capacity: usize) -> Self {
-        Self { buf: Arc::new(Mutex::new(VecDeque::new())), capacity }
+        Self {
+            buf: Arc::new(Mutex::new(VecDeque::new())),
+            capacity,
+        }
     }
 
     /// A shared view that stays readable after the sink is attached.
     pub fn view(&self) -> RingView {
-        RingView { buf: Arc::clone(&self.buf) }
+        RingView {
+            buf: Arc::clone(&self.buf),
+        }
     }
 }
 
@@ -105,7 +110,9 @@ impl JsonlSink {
 
     /// A shared view that stays readable after the sink is attached.
     pub fn view(&self) -> JsonlView {
-        JsonlView { text: Arc::clone(&self.text) }
+        JsonlView {
+            text: Arc::clone(&self.text),
+        }
     }
 }
 
@@ -137,8 +144,15 @@ mod tests {
 
     fn ev(seq: u64) -> TimedEvent {
         TimedEvent {
-            at: LogicalTime { iteration: 1, write_pulses: 2, seq },
-            event: Event::WearFault { new_faults: 1, total_faults: 9 },
+            at: LogicalTime {
+                iteration: 1,
+                write_pulses: 2,
+                seq,
+            },
+            event: Event::WearFault {
+                new_faults: 1,
+                total_faults: 9,
+            },
         }
     }
 

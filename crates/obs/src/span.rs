@@ -50,7 +50,11 @@ impl SpanGuard {
             path
         });
         let start_ns = recorder.clock_now_ns();
-        Self { recorder, start_ns, path }
+        Self {
+            recorder,
+            start_ns,
+            path,
+        }
     }
 
     /// The span's full dotted path (e.g. `flow.train.forward`).
@@ -94,7 +98,11 @@ mod tests {
             assert_eq!(sibling.path(), "train.backward");
         }
         let reg = rec.registry();
-        for name in ["span_train_ns", "span_train.forward_ns", "span_train.backward_ns"] {
+        for name in [
+            "span_train_ns",
+            "span_train.forward_ns",
+            "span_train.backward_ns",
+        ] {
             let h = reg.histogram_handle(name);
             assert!(h.is_some(), "missing histogram {name}");
             assert_eq!(h.map(|h| h.count()), Some(1), "{name}");

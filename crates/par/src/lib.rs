@@ -67,6 +67,21 @@ pub const PAR_THRESHOLD: usize = 64;
 /// sparsity above this fraction.
 pub const SPARSITY_SKIP_THRESHOLD: f32 = 0.5;
 
+/// Accumulator-lane count for `f32` kernels (MVM dot products / SAXPY
+/// rows). Part of the workspace-wide lane contract: every vectorized `f32`
+/// reduction runs this many independent accumulators over
+/// `chunks_exact(F32_LANES)` and folds the remainder round-robin into the
+/// same accumulators, then combines them with the fixed tree
+/// `((a0+a1)+(a2+a3))+((a4+a5)+(a6+a7))`. The lane count and the reduction
+/// tree are *semantic*: changing either changes float results, so both are
+/// pinned here and asserted bit-identical against scalar oracles in
+/// `rram`'s proptests and the chaos `kernels` family.
+pub const F32_LANES: usize = 8;
+
+/// Accumulator-lane count for `f64` kernels (group-sum sweeps). Same
+/// contract as [`F32_LANES`] with the reduction tree `(a0+a1)+(a2+a3)`.
+pub const F64_LANES: usize = 4;
+
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
 /// Upper bound on the worker budget. `RRAM_FTT_THREADS=4000000` would

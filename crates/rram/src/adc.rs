@@ -54,7 +54,10 @@ impl Adc {
 
     /// The paper's configuration: 8-level cells, mod-16 comparison.
     pub fn paper_default() -> Self {
-        Self { levels: 8, divisor: 16 }
+        Self {
+            levels: 8,
+            divisor: 16,
+        }
     }
 
     /// The modulo divisor (number of distinct reference voltages).

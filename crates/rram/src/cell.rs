@@ -218,8 +218,8 @@ impl RramCell {
         if delta == 0 {
             return WriteOutcome::NoChange;
         }
-        let target = (i64::from(self.level) + i64::from(delta))
-            .clamp(0, i64::from(self.levels - 1)) as u16;
+        let target =
+            (i64::from(self.level) + i64::from(delta)).clamp(0, i64::from(self.levels - 1)) as u16;
         if target == self.level {
             return WriteOutcome::Saturated;
         }
@@ -304,7 +304,10 @@ mod tests {
         c.force_fault(FaultKind::StuckAt0);
         assert_eq!(c.level(), 0);
         assert_eq!(c.conductance(), 0.0);
-        assert_eq!(c.write_level(6, 0.0), WriteOutcome::Stuck(FaultKind::StuckAt0));
+        assert_eq!(
+            c.write_level(6, 0.0),
+            WriteOutcome::Stuck(FaultKind::StuckAt0)
+        );
         assert_eq!(c.writes(), 1, "stuck writes must not count as wear");
 
         let mut c = cell();
@@ -357,7 +360,10 @@ mod tests {
         assert_eq!(c.writes(), 1);
         // Stuck cells ignore analog writes too.
         c.force_fault(FaultKind::StuckAt1);
-        assert_eq!(c.write_analog(0.1, 0.0), WriteOutcome::Stuck(FaultKind::StuckAt1));
+        assert_eq!(
+            c.write_analog(0.1, 0.0),
+            WriteOutcome::Stuck(FaultKind::StuckAt1)
+        );
         assert_eq!(c.conductance(), 1.0);
     }
 

@@ -60,6 +60,104 @@ fn sparse_enough(input: &[f32]) -> bool {
     zeros as f32 > par::SPARSITY_SKIP_THRESHOLD * input.len() as f32
 }
 
+// ---------------------------------------------------------------------------
+// Lane kernels (the workspace-wide lane contract; see `par::F32_LANES`).
+//
+// Two shapes exist. *Output-axis* kernels (`saxpy_f32`, `accumulate_f64`)
+// unroll across independent output elements: each element keeps its own
+// accumulator, so the per-element accumulation order is unchanged from the
+// scalar loop and results are bit-identical to the pre-lane kernels.
+// *Reduction* kernels (`lane_dot_f32`, `lane_sum_f64`) fold one slice into
+// `F32_LANES`/`F64_LANES` independent accumulators (remainder round-robin
+// into the same accumulators) and combine them with the fixed tree pinned
+// in `par` — that tree *is* the defined summation order for dot products
+// and row-direction group sums.
+// ---------------------------------------------------------------------------
+
+/// `out[i] += row[i] * v`, unrolled [`par::F32_LANES`] outputs per step —
+/// the shared SAXPY of both `mvm` paths.
+#[inline]
+fn saxpy_f32(out: &mut [f32], row: &[f32], v: f32) {
+    debug_assert_eq!(out.len(), row.len());
+    let mut o = out.chunks_exact_mut(par::F32_LANES);
+    let mut g = row.chunks_exact(par::F32_LANES);
+    for (o, g) in (&mut o).zip(&mut g) {
+        o[0] += g[0] * v;
+        o[1] += g[1] * v;
+        o[2] += g[2] * v;
+        o[3] += g[3] * v;
+        o[4] += g[4] * v;
+        o[5] += g[5] * v;
+        o[6] += g[6] * v;
+        o[7] += g[7] * v;
+    }
+    for (o, &g) in o.into_remainder().iter_mut().zip(g.remainder()) {
+        *o += g * v;
+    }
+}
+
+/// `out[i] += row[i]`, unrolled [`par::F64_LANES`] outputs per step — the
+/// one column-group-sum kernel behind both the batched and the
+/// single-column quiescent reads.
+#[inline]
+fn accumulate_f64(out: &mut [f64], row: &[f64]) {
+    debug_assert_eq!(out.len(), row.len());
+    let mut o = out.chunks_exact_mut(par::F64_LANES);
+    let mut g = row.chunks_exact(par::F64_LANES);
+    for (o, g) in (&mut o).zip(&mut g) {
+        o[0] += g[0];
+        o[1] += g[1];
+        o[2] += g[2];
+        o[3] += g[3];
+    }
+    for (o, &g) in o.into_remainder().iter_mut().zip(g.remainder()) {
+        *o += g;
+    }
+}
+
+/// Dot product over [`par::F32_LANES`] independent accumulators; the
+/// remainder folds round-robin into the same accumulators, then the lane
+/// tree `((a0+a1)+(a2+a3))+((a4+a5)+(a6+a7))` combines them.
+#[inline]
+fn lane_dot_f32(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; par::F32_LANES];
+    let mut ac = a.chunks_exact(par::F32_LANES);
+    let mut bc = b.chunks_exact(par::F32_LANES);
+    for (x, y) in (&mut ac).zip(&mut bc) {
+        acc[0] += x[0] * y[0];
+        acc[1] += x[1] * y[1];
+        acc[2] += x[2] * y[2];
+        acc[3] += x[3] * y[3];
+        acc[4] += x[4] * y[4];
+        acc[5] += x[5] * y[5];
+        acc[6] += x[6] * y[6];
+        acc[7] += x[7] * y[7];
+    }
+    for (l, (&x, &y)) in ac.remainder().iter().zip(bc.remainder()).enumerate() {
+        acc[l] += x * y;
+    }
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))
+}
+
+/// Slice sum over [`par::F64_LANES`] independent accumulators with the
+/// lane tree `(a0+a1)+(a2+a3)` — the row-direction group-sum kernel.
+#[inline]
+fn lane_sum_f64(xs: &[f64]) -> f64 {
+    let mut acc = [0.0f64; par::F64_LANES];
+    let mut c = xs.chunks_exact(par::F64_LANES);
+    for x in &mut c {
+        acc[0] += x[0];
+        acc[1] += x[1];
+        acc[2] += x[2];
+        acc[3] += x[3];
+    }
+    for (l, &x) in c.remainder().iter().enumerate() {
+        acc[l] += x;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3])
+}
+
 /// Builder for [`Crossbar`] arrays.
 ///
 /// # Example
@@ -188,6 +286,7 @@ impl CrossbarBuilder {
         // CAST-OK: the f32 plane *is defined as* the rounded view of the f64
         // master state (DESIGN.md §6); coherence tests pin this round-trip.
         let plane32: Vec<f32> = plane64.iter().map(|&g| g as f32).collect();
+        let cell_count = self.rows * self.cols;
         let mut xbar = Crossbar {
             rows: self.rows,
             cols: self.cols,
@@ -200,6 +299,8 @@ impl CrossbarBuilder {
             rng,
             write_pulses: 0,
             wear_faults: 0,
+            dirty_marked: vec![false; cell_count],
+            dirty: Vec::new(),
             metrics: None,
         };
         if let Some(inj) = self.injection {
@@ -229,6 +330,15 @@ pub struct Crossbar {
     rng: StdRng,
     write_pulses: u64,
     wear_faults: u64,
+    /// Dedup flag per cell for the dirty journal (`true` iff the cell's
+    /// index is already in `dirty`).
+    dirty_marked: Vec<bool>,
+    /// Row-major indices of cells mutated since the last
+    /// [`Crossbar::clear_dirty`], in first-touch order. Every cell-state
+    /// mutation funnels through `sync_plane`, so this journal is complete:
+    /// a cell absent from it cannot have changed level, conductance, or
+    /// fault state. Incremental detection reference stores drain it.
+    dirty: Vec<usize>,
     /// Optional telemetry handles; see [`Crossbar::attach_recorder`].
     metrics: Option<CrossbarMetrics>,
 }
@@ -350,7 +460,10 @@ impl Crossbar {
         target: u16,
     ) -> Result<WriteOutcome, RramError> {
         if target >= self.levels {
-            return Err(RramError::LevelOutOfRange { level: target, levels: self.levels });
+            return Err(RramError::LevelOutOfRange {
+                level: target,
+                levels: self.levels,
+            });
         }
         let i = self.idx(row, col)?;
         let noise = self.sample_noise();
@@ -374,7 +487,9 @@ impl Crossbar {
         target: f64,
     ) -> Result<WriteOutcome, RramError> {
         if !target.is_finite() {
-            return Err(RramError::NonFiniteValue { context: "write_analog target" });
+            return Err(RramError::NonFiniteValue {
+                context: "write_analog target",
+            });
         }
         let i = self.idx(row, col)?;
         let noise = self.sample_noise();
@@ -435,7 +550,9 @@ impl Crossbar {
         max_pulses: u32,
     ) -> Result<(WriteOutcome, u32), RramError> {
         if !target.is_finite() {
-            return Err(RramError::NonFiniteValue { context: "write_verified target" });
+            return Err(RramError::NonFiniteValue {
+                context: "write_verified target",
+            });
         }
         if !tolerance.is_finite() || tolerance <= 0.0 {
             return Err(RramError::InvalidConfig(format!(
@@ -476,7 +593,9 @@ impl Crossbar {
         target: f64,
     ) -> Result<WriteOutcome, RramError> {
         if !target.is_finite() {
-            return Err(RramError::NonFiniteValue { context: "pulse_analog target" });
+            return Err(RramError::NonFiniteValue {
+                context: "pulse_analog target",
+            });
         }
         let i = self.idx(row, col)?;
         let noise = self.sample_noise();
@@ -489,12 +608,7 @@ impl Crossbar {
     /// # Errors
     ///
     /// Returns [`RramError::OutOfBounds`] for invalid coordinates.
-    pub fn nudge(
-        &mut self,
-        row: usize,
-        col: usize,
-        delta: i32,
-    ) -> Result<WriteOutcome, RramError> {
+    pub fn nudge(&mut self, row: usize, col: usize, delta: i32) -> Result<WriteOutcome, RramError> {
         let i = self.idx(row, col)?;
         let noise = self.sample_noise();
         let outcome = self.cells[i].nudge(delta, noise);
@@ -522,13 +636,13 @@ impl Crossbar {
         // CAST-OK: same rounding as the builder's plane init — the f32 plane
         // is the defined narrowing of the f64 master (DESIGN.md §6).
         self.plane32[i] = g as f32;
+        if !self.dirty_marked[i] {
+            self.dirty_marked[i] = true;
+            self.dirty.push(i);
+        }
     }
 
-    fn finish_write(
-        &mut self,
-        i: usize,
-        outcome: WriteOutcome,
-    ) -> Result<WriteOutcome, RramError> {
+    fn finish_write(&mut self, i: usize, outcome: WriteOutcome) -> Result<WriteOutcome, RramError> {
         debug_assert!(
             outcome != WriteOutcome::Exhausted,
             "crossbar sticks cells at the write that exhausts them"
@@ -603,9 +717,7 @@ impl Crossbar {
                         continue;
                     }
                     let row = &plane[r * cols + c0..r * cols + c0 + chunk.len()];
-                    for (o, &g) in chunk.iter_mut().zip(row) {
-                        *o += g * v;
-                    }
+                    saxpy_f32(chunk, row, v);
                 }
             });
         } else {
@@ -614,9 +726,7 @@ impl Crossbar {
                     continue;
                 }
                 let row = &self.plane32[r * self.cols..(r + 1) * self.cols];
-                for (o, &g) in out.iter_mut().zip(row) {
-                    *o += g * v;
-                }
+                saxpy_f32(&mut out, row, v);
             }
         }
         Ok(out)
@@ -669,14 +779,7 @@ impl Crossbar {
         let mut out = vec![0.0f32; self.rows];
         let plane = &self.plane32;
         let cols = self.cols;
-        let dot = |r: usize| -> f32 {
-            let row = &plane[r * cols..(r + 1) * cols];
-            let mut acc = 0.0f32;
-            for (&g, &v) in row.iter().zip(input) {
-                acc += g * v;
-            }
-            acc
-        };
+        let dot = |r: usize| -> f32 { lane_dot_f32(&plane[r * cols..(r + 1) * cols], input) };
         if self.rows * self.cols >= PAR_MIN_CELLS && par::thread_count() > 1 {
             par::for_each_chunk_mut(&mut out, 16, |r0, chunk| {
                 for (k, o) in chunk.iter_mut().enumerate() {
@@ -711,7 +814,26 @@ impl Crossbar {
                 cols: self.cols,
             });
         }
-        Ok(rows.map(|r| self.plane64[r * self.cols + col]).sum())
+        // One-column slice through the shared accumulate kernel: identical
+        // per-column accumulation order to the batched sweep, so the single
+        // and batched reads are bit-equal by construction.
+        Ok(self.column_sums_in(rows, col..col + 1)[0])
+    }
+
+    /// The one column-direction sum kernel: `out[k] = Σ_{r ∈ rows} g[r][k]`
+    /// for `k ∈ cols`, accumulating row-by-row in ascending row order via
+    /// [`accumulate_f64`]. Bounds must be pre-validated by the caller.
+    fn column_sums_in(
+        &self,
+        rows: std::ops::Range<usize>,
+        cols: std::ops::Range<usize>,
+    ) -> Vec<f64> {
+        let mut out = vec![0.0f64; cols.len()];
+        for r in rows {
+            let row = &self.plane64[r * self.cols + cols.start..r * self.cols + cols.end];
+            accumulate_f64(&mut out, row);
+        }
+        out
     }
 
     /// Batched [`Crossbar::column_group_sum`] for **all** columns at once:
@@ -731,14 +853,7 @@ impl Crossbar {
                 cols: self.cols,
             });
         }
-        let mut out = vec![0.0f64; self.cols];
-        for r in rows {
-            let row = &self.plane64[r * self.cols..(r + 1) * self.cols];
-            for (o, &g) in out.iter_mut().zip(row) {
-                *o += g;
-            }
-        }
-        Ok(out)
+        Ok(self.column_sums_in(rows, 0..self.cols))
     }
 
     /// Batched [`Crossbar::row_group_sum`] for **all** rows at once:
@@ -759,9 +874,7 @@ impl Crossbar {
         }
         let out = (0..self.rows)
             .map(|r| {
-                self.plane64[r * self.cols + cols.start..r * self.cols + cols.end]
-                    .iter()
-                    .sum()
+                lane_sum_f64(&self.plane64[r * self.cols + cols.start..r * self.cols + cols.end])
             })
             .collect();
         Ok(out)
@@ -786,9 +899,9 @@ impl Crossbar {
                 cols: self.cols,
             });
         }
-        Ok(self.plane64[row * self.cols + cols.start..row * self.cols + cols.end]
-            .iter()
-            .sum())
+        Ok(lane_sum_f64(
+            &self.plane64[row * self.cols + cols.start..row * self.cols + cols.end],
+        ))
     }
 
     /// Pins cells to hard faults per the given map (fabrication injection).
@@ -833,6 +946,22 @@ impl Crossbar {
         WearReport::from_cells(self.rows, self.cols, &self.cells, self.write_pulses)
     }
 
+    /// Row-major indices of cells whose state changed (writes, nudges,
+    /// wear-out, forced faults) since the last [`Crossbar::clear_dirty`],
+    /// in first-touch order, deduplicated. A freshly built array lists its
+    /// injected-fault cells; attaching a reference store clears the journal
+    /// after its full snapshot.
+    pub fn dirty_cells(&self) -> &[usize] {
+        &self.dirty
+    }
+
+    /// Resets the dirty journal (after a reference store has consumed it).
+    pub fn clear_dirty(&mut self) {
+        for &i in &self.dirty {
+            self.dirty_marked[i] = false;
+        }
+        self.dirty.clear();
+    }
 }
 
 #[cfg(test)]
@@ -877,16 +1006,18 @@ mod tests {
             let expect: f32 = (0..4)
                 .map(|r| (((r + c) % 8) as f32 / 7.0) * input[r])
                 .sum();
-            assert!((out[c] - expect).abs() < 1e-5, "col {c}: {} vs {expect}", out[c]);
+            assert!(
+                (out[c] - expect).abs() < 1e-5,
+                "col {c}: {} vs {expect}",
+                out[c]
+            );
         }
         // Transposed direction agrees with the transposed math.
         let tin = [1.0, -1.0, 0.5, 0.0];
         let tout = x.mvm_transpose(&tin).unwrap();
         #[allow(clippy::needless_range_loop)]
         for r in 0..4 {
-            let expect: f32 = (0..4)
-                .map(|c| (((r + c) % 8) as f32 / 7.0) * tin[c])
-                .sum();
+            let expect: f32 = (0..4).map(|c| (((r + c) % 8) as f32 / 7.0) * tin[c]).sum();
             assert!((tout[r] - expect).abs() < 1e-5);
         }
     }
@@ -896,7 +1027,10 @@ mod tests {
         let x = small();
         assert!(matches!(
             x.mvm(&[1.0; 3]),
-            Err(RramError::DimensionMismatch { expected: 4, actual: 3 })
+            Err(RramError::DimensionMismatch {
+                expected: 4,
+                actual: 3
+            })
         ));
         assert!(x.mvm_transpose(&[1.0; 5]).is_err());
     }
@@ -965,6 +1099,62 @@ mod tests {
     }
 
     #[test]
+    fn single_column_sum_equals_batched_entry() {
+        // Both paths must go through the one accumulate kernel: bit-equal.
+        let mut x = CrossbarBuilder::new(7, 5)
+            .variation(WriteVariation::new(0.03))
+            .seed(4)
+            .build()
+            .unwrap();
+        for r in 0..7 {
+            for c in 0..5 {
+                x.write_level(r, c, ((r * 5 + c) % 8) as u16).unwrap();
+            }
+        }
+        for (lo, hi) in [(0, 7), (1, 4), (3, 3), (2, 7)] {
+            let batched = x.column_group_sums(lo..hi).unwrap();
+            for (c, sum) in batched.iter().enumerate() {
+                assert_eq!(x.column_group_sum(lo..hi, c).unwrap(), *sum);
+            }
+            let row_batched = x.row_group_sums(0..5).unwrap();
+            for (r, sum) in row_batched.iter().enumerate() {
+                assert_eq!(x.row_group_sum(r, 0..5).unwrap(), *sum);
+            }
+        }
+    }
+
+    #[test]
+    fn dirty_journal_tracks_every_mutation_funnel() {
+        let mut x = CrossbarBuilder::new(4, 4)
+            .initial_faults(SpatialDistribution::Uniform, 0.25)
+            .seed(7)
+            .build()
+            .unwrap();
+        // Injection runs through sync_plane, so fault cells start dirty.
+        assert_eq!(x.dirty_cells().len(), 4);
+        x.clear_dirty();
+        assert!(x.dirty_cells().is_empty());
+        // A no-op write (same level) issues no pulse and stays clean.
+        let healthy = (0..16)
+            .find(|&i| x.fault_map().get(i / 4, i % 4).is_none())
+            .unwrap();
+        let (r, c) = (healthy / 4, healthy % 4);
+        x.write_level(r, c, x.read_level(r, c).unwrap()).unwrap();
+        assert!(x.dirty_cells().is_empty());
+        // Effective writes journal once per cell (deduplicated).
+        x.write_level(r, c, 3).unwrap();
+        x.nudge(r, c, 1).unwrap();
+        assert_eq!(x.dirty_cells(), &[r * 4 + c]);
+        // Forced faults journal too.
+        let mut map = x.fault_map();
+        map.set(0, 0, Some(FaultKind::StuckAt1));
+        x.apply_fault_map(&map);
+        assert!(x.dirty_cells().contains(&0));
+        x.clear_dirty();
+        assert!(x.dirty_cells().is_empty());
+    }
+
+    #[test]
     fn write_pulse_accounting() {
         let mut x = small();
         assert_eq!(x.write_pulses(), 0);
@@ -1027,7 +1217,10 @@ mod tests {
             let (_, p) = x.write_verified(0, 1, target, 0.01, 50).unwrap();
             total += p;
         }
-        assert!(total > 20, "verify loops should re-pulse sometimes: {total}");
+        assert!(
+            total > 20,
+            "verify loops should re-pulse sometimes: {total}"
+        );
     }
 
     #[test]

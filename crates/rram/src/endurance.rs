@@ -44,10 +44,17 @@ impl EnduranceModel {
     ///
     /// Panics if `mean <= 0`, `std < 0`, or either is non-finite.
     pub fn new(mean: f64, std: f64) -> Self {
-        assert!(mean.is_finite() && std.is_finite(), "parameters must be finite");
+        assert!(
+            mean.is_finite() && std.is_finite(),
+            "parameters must be finite"
+        );
         assert!(mean > 0.0, "mean endurance must be positive");
         assert!(std >= 0.0, "endurance std must be non-negative");
-        Self { mean, std, wearout_sa0_prob: 0.5 }
+        Self {
+            mean,
+            std,
+            wearout_sa0_prob: 0.5,
+        }
     }
 
     /// The paper's low-endurance technology: N(5×10⁶, (1.5×10⁶)²).
@@ -79,7 +86,10 @@ impl EnduranceModel {
     ///
     /// Panics if `factor` is not a positive finite number.
     pub fn scaled(self, factor: f64) -> Self {
-        assert!(factor.is_finite() && factor > 0.0, "scale factor must be positive");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "scale factor must be positive"
+        );
         Self {
             mean: self.mean * factor,
             std: self.std * factor,
@@ -161,8 +171,7 @@ mod tests {
         let model = EnduranceModel::new(1000.0, 100.0);
         let mut rng = sim_rng(77);
         let n = 5000;
-        let mean =
-            (0..n).map(|_| model.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        let mean = (0..n).map(|_| model.sample(&mut rng) as f64).sum::<f64>() / n as f64;
         assert!((mean - 1000.0).abs() < 10.0, "mean was {mean}");
     }
 

@@ -28,7 +28,11 @@ impl EnergyModel {
     /// Literature-typical constants: 0.1 pJ per MAC cell, 1 pJ per read,
     /// 100 pJ per write pulse.
     pub fn typical() -> Self {
-        Self { mvm_pj_per_cell: 0.1, read_pj: 1.0, write_pj: 100.0 }
+        Self {
+            mvm_pj_per_cell: 0.1,
+            read_pj: 1.0,
+            write_pj: 100.0,
+        }
     }
 
     /// Estimates the energy of an operation mix.

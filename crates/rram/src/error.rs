@@ -50,8 +50,16 @@ impl fmt::Display for RramError {
             RramError::DimensionMismatch { expected, actual } => {
                 write!(f, "dimension mismatch: expected {expected}, got {actual}")
             }
-            RramError::OutOfBounds { row, col, rows, cols } => {
-                write!(f, "cell ({row}, {col}) out of bounds for {rows}x{cols} array")
+            RramError::OutOfBounds {
+                row,
+                col,
+                rows,
+                cols,
+            } => {
+                write!(
+                    f,
+                    "cell ({row}, {col}) out of bounds for {rows}x{cols} array"
+                )
             }
             RramError::LevelOutOfRange { level, levels } => {
                 write!(f, "level {level} out of range for {levels}-level cell")
@@ -72,11 +80,22 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_informative() {
-        let e = RramError::DimensionMismatch { expected: 8, actual: 4 };
+        let e = RramError::DimensionMismatch {
+            expected: 8,
+            actual: 4,
+        };
         assert_eq!(e.to_string(), "dimension mismatch: expected 8, got 4");
-        let e = RramError::OutOfBounds { row: 9, col: 1, rows: 4, cols: 4 };
+        let e = RramError::OutOfBounds {
+            row: 9,
+            col: 1,
+            rows: 4,
+            cols: 4,
+        };
         assert!(e.to_string().contains("(9, 1)"));
-        let e = RramError::LevelOutOfRange { level: 9, levels: 8 };
+        let e = RramError::LevelOutOfRange {
+            level: 9,
+            levels: 8,
+        };
         assert!(e.to_string().contains("9"));
         let e = RramError::InvalidConfig("bad".into());
         assert!(e.to_string().contains("bad"));

@@ -82,8 +82,15 @@ impl FaultMap {
     ///
     /// Panics if either dimension is zero.
     pub fn healthy(rows: usize, cols: usize) -> Self {
-        assert!(rows > 0 && cols > 0, "fault map dimensions must be non-zero");
-        Self { rows, cols, cells: vec![None; rows * cols] }
+        assert!(
+            rows > 0 && cols > 0,
+            "fault map dimensions must be non-zero"
+        );
+        Self {
+            rows,
+            cols,
+            cells: vec![None; rows * cols],
+        }
     }
 
     /// Number of rows.
@@ -98,7 +105,10 @@ impl FaultMap {
 
     #[inline]
     fn idx(&self, row: usize, col: usize) -> usize {
-        assert!(row < self.rows && col < self.cols, "({row}, {col}) out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "({row}, {col}) out of bounds"
+        );
         row * self.cols + col
     }
 
@@ -138,9 +148,10 @@ impl FaultMap {
 
     /// Iterates over `(row, col, kind)` for every faulty cell.
     pub fn iter_faulty(&self) -> impl Iterator<Item = (usize, usize, FaultKind)> + '_ {
-        self.cells.iter().enumerate().filter_map(move |(i, c)| {
-            c.map(|kind| (i / self.cols, i % self.cols, kind))
-        })
+        self.cells
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, c)| c.map(|kind| (i / self.cols, i % self.cols, kind)))
     }
 
     /// Merges another map into this one; existing faults are kept when both
@@ -245,7 +256,10 @@ mod tests {
     fn fault_state_helpers() {
         assert!(!FaultState::Healthy.is_faulty());
         assert!(FaultState::Stuck(FaultKind::StuckAt0).is_faulty());
-        assert_eq!(FaultState::Stuck(FaultKind::StuckAt1).kind(), Some(FaultKind::StuckAt1));
+        assert_eq!(
+            FaultState::Stuck(FaultKind::StuckAt1).kind(),
+            Some(FaultKind::StuckAt1)
+        );
         assert_eq!(FaultState::Healthy.kind(), None);
         assert_eq!(FaultState::default(), FaultState::Healthy);
     }

@@ -94,7 +94,10 @@ impl UnipolarCodec {
                 "w_max must be positive, got {w_max}"
             )));
         }
-        Ok(Self { w_max, quantizer: LevelQuantizer::new(levels)? })
+        Ok(Self {
+            w_max,
+            quantizer: LevelQuantizer::new(levels)?,
+        })
     }
 
     /// The full-scale weight.
@@ -143,7 +146,10 @@ impl DifferentialCodec {
                 "w_max must be positive, got {w_max}"
             )));
         }
-        Ok(Self { w_max, quantizer: LevelQuantizer::new(levels)? })
+        Ok(Self {
+            w_max,
+            quantizer: LevelQuantizer::new(levels)?,
+        })
     }
 
     /// The full-scale weight magnitude.

@@ -32,7 +32,10 @@ impl Normal {
     ///
     /// Panics if `std` is negative or either parameter is non-finite.
     pub fn new(mean: f64, std: f64) -> Self {
-        assert!(mean.is_finite() && std.is_finite(), "parameters must be finite");
+        assert!(
+            mean.is_finite() && std.is_finite(),
+            "parameters must be finite"
+        );
         assert!(std >= 0.0, "standard deviation must be non-negative");
         Self { mean, std }
     }

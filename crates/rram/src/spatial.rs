@@ -30,7 +30,10 @@ impl SpatialDistribution {
     /// The paper's default clustered distribution: 4 centers, σ = 10 % of the
     /// array dimension.
     pub fn default_clusters() -> Self {
-        SpatialDistribution::GaussianClusters { centers: 4, sigma_frac: 0.1 }
+        SpatialDistribution::GaussianClusters {
+            centers: 4,
+            sigma_frac: 0.1,
+        }
     }
 }
 
@@ -57,7 +60,11 @@ impl FaultInjection {
                 "fault fraction {fraction} outside [0, 1]"
             )));
         }
-        Ok(Self { distribution, fraction, sa0_prob: 0.5 })
+        Ok(Self {
+            distribution,
+            fraction,
+            sa0_prob: 0.5,
+        })
     }
 
     /// Sets the SA0 share of injected faults.
@@ -67,7 +74,9 @@ impl FaultInjection {
     /// Returns [`RramError::InvalidConfig`] if `prob` is outside `[0, 1]`.
     pub fn with_sa0_prob(mut self, prob: f64) -> Result<Self, RramError> {
         if !(0.0..=1.0).contains(&prob) {
-            return Err(RramError::InvalidConfig(format!("sa0 prob {prob} outside [0, 1]")));
+            return Err(RramError::InvalidConfig(format!(
+                "sa0 prob {prob} outside [0, 1]"
+            )));
         }
         self.sa0_prob = prob;
         Ok(self)
@@ -97,7 +106,10 @@ impl FaultInjection {
                     map.set(idx / cols, idx % cols, Some(kind));
                 }
             }
-            SpatialDistribution::GaussianClusters { centers, sigma_frac } => {
+            SpatialDistribution::GaussianClusters {
+                centers,
+                sigma_frac,
+            } => {
                 let centers = centers.max(1);
                 let center_pts: Vec<(f64, f64)> = (0..centers)
                     .map(|_| {
@@ -171,10 +183,12 @@ mod tests {
     #[test]
     fn clusters_inject_exact_count() {
         let mut rng = sim_rng(2);
-        let inj =
-            FaultInjection::new(SpatialDistribution::default_clusters(), 0.1).unwrap();
+        let inj = FaultInjection::new(SpatialDistribution::default_clusters(), 0.1).unwrap();
         let map = inj.generate(128, 128, &mut rng);
-        assert_eq!(map.count_faulty(), (0.1f64 * 128.0 * 128.0).round() as usize);
+        assert_eq!(
+            map.count_faulty(),
+            (0.1f64 * 128.0 * 128.0).round() as usize
+        );
     }
 
     #[test]
@@ -182,15 +196,15 @@ mod tests {
         // Mean pairwise distance between faults should be clearly smaller for
         // the clustered distribution than for uniform.
         fn mean_pair_dist(map: &FaultMap) -> f64 {
-            let pts: Vec<(f64, f64)> =
-                map.iter_faulty().map(|(r, c, _)| (r as f64, c as f64)).collect();
+            let pts: Vec<(f64, f64)> = map
+                .iter_faulty()
+                .map(|(r, c, _)| (r as f64, c as f64))
+                .collect();
             let mut total = 0.0;
             let mut n = 0usize;
             for i in 0..pts.len() {
                 for j in (i + 1)..pts.len() {
-                    total += ((pts[i].0 - pts[j].0).powi(2)
-                        + (pts[i].1 - pts[j].1).powi(2))
-                    .sqrt();
+                    total += ((pts[i].0 - pts[j].0).powi(2) + (pts[i].1 - pts[j].1).powi(2)).sqrt();
                     n += 1;
                 }
             }
@@ -201,7 +215,10 @@ mod tests {
             .unwrap()
             .generate(64, 64, &mut rng);
         let clu = FaultInjection::new(
-            SpatialDistribution::GaussianClusters { centers: 1, sigma_frac: 0.05 },
+            SpatialDistribution::GaussianClusters {
+                centers: 1,
+                sigma_frac: 0.05,
+            },
             0.05,
         )
         .unwrap()

@@ -37,7 +37,10 @@ impl WriteVariation {
     ///
     /// Panics if `sigma` is negative or non-finite.
     pub fn new(sigma: f64) -> Self {
-        assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be non-negative");
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "sigma must be non-negative"
+        );
         Self { sigma }
     }
 

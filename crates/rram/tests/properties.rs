@@ -250,6 +250,51 @@ proptest! {
         prop_assert_eq!(fast, reference);
     }
 
+    /// Group-sum duality: the single-column/-row quiescent reads are
+    /// bit-identical to the corresponding entries of the batched sweeps,
+    /// for arbitrary sub-ranges (remainder tails included). Both routes
+    /// must run the same lane kernel, so equality is exact, not approximate.
+    #[test]
+    fn single_group_sums_equal_batched_entries(
+        seed in 0u64..300,
+        rows in 1usize..20,
+        cols in 1usize..20,
+        lo_frac in 0.0f64..1.0,
+        hi_frac in 0.0f64..1.0,
+    ) {
+        let mut xbar = CrossbarBuilder::new(rows, cols)
+            .initial_faults(SpatialDistribution::Uniform, 0.1)
+            .variation(WriteVariation::new(0.05))
+            .seed(seed)
+            .build()
+            .unwrap();
+        use rand::Rng;
+        let mut rng = sim_rng(seed ^ 0x5151);
+        for r in 0..rows {
+            for c in 0..cols {
+                let _ = xbar.write_level(r, c, rng.gen_range(0..8)).unwrap();
+            }
+        }
+        let lo_r = ((lo_frac * rows as f64) as usize).min(rows);
+        let hi_r = lo_r + (((hi_frac * (rows - lo_r) as f64) as usize).min(rows - lo_r));
+        let col_sums = xbar.column_group_sums(lo_r..hi_r).unwrap();
+        for (c, sum) in col_sums.iter().enumerate() {
+            prop_assert_eq!(
+                xbar.column_group_sum(lo_r..hi_r, c).unwrap().to_bits(),
+                sum.to_bits(),
+            );
+        }
+        let lo_c = ((lo_frac * cols as f64) as usize).min(cols);
+        let hi_c = lo_c + (((hi_frac * (cols - lo_c) as f64) as usize).min(cols - lo_c));
+        let row_sums = xbar.row_group_sums(lo_c..hi_c).unwrap();
+        for (r, sum) in row_sums.iter().enumerate() {
+            prop_assert_eq!(
+                xbar.row_group_sum(r, lo_c..hi_c).unwrap().to_bits(),
+                sum.to_bits(),
+            );
+        }
+    }
+
     /// Write variation never pushes a conductance outside [0, 1].
     #[test]
     fn variation_stays_in_unit_interval(
@@ -262,6 +307,56 @@ proptest! {
         for _ in 0..10 {
             let g = v.perturb(target, &mut rng);
             prop_assert!((0.0..=1.0).contains(&g));
+        }
+    }
+}
+
+/// Lane-tail sweep: the vectorized kernels must survive every remainder
+/// shape around the lane widths (`par::F32_LANES` = 8, `par::F64_LANES`
+/// = 4), so sizes ±1 around multiples of both are pinned explicitly and
+/// checked bit-for-bit against the scalar references.
+#[test]
+fn lane_tail_sizes_are_bit_identical() {
+    use rand::Rng;
+    for &n in &[
+        1usize, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 23, 24, 25, 31, 32, 33,
+    ] {
+        let mut xbar = CrossbarBuilder::new(n, n)
+            .variation(WriteVariation::new(0.05))
+            .seed(n as u64)
+            .build()
+            .unwrap();
+        let mut rng = sim_rng(n as u64 ^ 0xFEED);
+        for r in 0..n {
+            for c in 0..n {
+                let _ = xbar.write_level(r, c, rng.gen_range(0..8)).unwrap();
+            }
+        }
+        let input: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        assert_eq!(
+            xbar.mvm(&input).unwrap(),
+            xbar.mvm_reference(&input).unwrap(),
+            "mvm size {n}"
+        );
+        // Column sums vs a plain scalar fold over the f64 plane (the
+        // output-axis kernel preserves the scalar accumulation order).
+        let plane = xbar.conductance_plane_f64();
+        let sums = xbar.column_group_sums(0..n).unwrap();
+        for c in 0..n {
+            let mut scalar = 0.0f64;
+            for r in 0..n {
+                scalar += plane[r * n + c];
+            }
+            assert_eq!(sums[c].to_bits(), scalar.to_bits(), "col {c} size {n}");
+        }
+        // Row sums agree with the single-row kernel on every row.
+        let rows = xbar.row_group_sums(0..n).unwrap();
+        for (r, sum) in rows.iter().enumerate() {
+            assert_eq!(
+                sum.to_bits(),
+                xbar.row_group_sum(r, 0..n).unwrap().to_bits(),
+                "row {r} size {n}"
+            );
         }
     }
 }

@@ -45,8 +45,7 @@ pub trait SampleUniform: Sized {
     /// Draws a value in `[low, high)`.
     fn sample_range<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
     /// Draws a value in `[low, high]`.
-    fn sample_range_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R)
-        -> Self;
+    fn sample_range_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
 }
 
 macro_rules! impl_sample_uniform_int {
@@ -327,7 +326,10 @@ mod tests {
             assert!(v < 8);
             seen[v as usize] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all 8 values should appear in 1000 draws");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all 8 values should appear in 1000 draws"
+        );
         for _ in 0..1000 {
             let v: i32 = rng.gen_range(-3..=3);
             assert!((-3..=3).contains(&v));
@@ -338,8 +340,7 @@ mod tests {
     fn float_ranges_are_uniformish() {
         let mut rng = StdRng::seed_from_u64(2);
         let n = 20_000;
-        let mean: f64 =
-            (0..n).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() / f64::from(n);
+        let mean: f64 = (0..n).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() / f64::from(n);
         assert!((mean - 0.5).abs() < 0.01, "mean was {mean}");
         for _ in 0..1000 {
             let v: f32 = rng.gen_range(-2.0f32..2.0);
@@ -364,7 +365,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle should move things");
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<_>>(),
+            "shuffle should move things"
+        );
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! byte-identical at any `RRAM_FTT_THREADS`.
 
 use faultdet::detector::{DetectionOutcome, OnlineFaultDetector};
+use faultdet::reference::OffChipStore;
 use rram::crossbar::{Crossbar, CrossbarBuilder};
 use rram::endurance::EnduranceModel;
 use rram::spatial::FaultInjection;
@@ -137,6 +138,9 @@ pub struct TileSlot {
     pub last_detection: Option<DetectionOutcome>,
     /// Error of the most recent campaign, when it failed.
     pub last_campaign_error: Option<RramError>,
+    /// Persistent off-chip reference store for incremental campaigns
+    /// (`None` until the first incremental campaign attaches one).
+    pub store: Option<OffChipStore>,
 }
 
 impl TileSlot {
@@ -258,8 +262,7 @@ impl TiledChip {
     /// Returns [`TileError::InvalidConfig`] for dimensions exceeding the
     /// nominal tile, and propagates device build errors.
     pub fn allocate(&mut self, rows: usize, cols: usize) -> Result<usize, TileError> {
-        if rows == 0 || cols == 0 || rows > self.config.tile_size || cols > self.config.tile_size
-        {
+        if rows == 0 || cols == 0 || rows > self.config.tile_size || cols > self.config.tile_size {
             return Err(TileError::InvalidConfig(format!(
                 "tile dims {rows}x{cols} outside 1..={}",
                 self.config.tile_size
@@ -270,7 +273,12 @@ impl TiledChip {
             .levels(self.config.levels)
             .endurance(self.config.endurance)
             .variation(self.config.variation)
-            .seed(self.config.seed.wrapping_mul(0x9E37_79B9).wrapping_add(self.tile_counter));
+            .seed(
+                self.config
+                    .seed
+                    .wrapping_mul(0x9E37_79B9)
+                    .wrapping_add(self.tile_counter),
+            );
         if let Some(injection) = self.config.injection {
             builder = builder.initial_fault_injection(injection);
         }
@@ -286,6 +294,7 @@ impl TiledChip {
             spare_origin: None,
             last_detection: None,
             last_campaign_error: None,
+            store: None,
         });
         Ok(id)
     }
@@ -297,7 +306,11 @@ impl TiledChip {
 
     /// Ids of tiles currently in service, ascending.
     pub fn active_ids(&self) -> Vec<usize> {
-        self.slots.iter().filter(|s| !s.retired).map(|s| s.id).collect()
+        self.slots
+            .iter()
+            .filter(|s| !s.retired)
+            .map(|s| s.id)
+            .collect()
     }
 
     /// Spares left in the pool.
@@ -332,7 +345,10 @@ impl TiledChip {
     /// Unknown ids error; retired tiles are still accessible (their state
     /// is frozen but readable — post-mortems read retired tiles).
     pub fn tile_mut(&mut self, id: usize) -> Result<&mut Crossbar, TileError> {
-        let slot = self.slots.get_mut(id).ok_or(TileError::UnknownTile { id })?;
+        let slot = self
+            .slots
+            .get_mut(id)
+            .ok_or(TileError::UnknownTile { id })?;
         Ok(&mut slot.xbar)
     }
 
@@ -353,7 +369,10 @@ impl TiledChip {
 
     /// Takes (and clears) the last campaign error of a tile.
     pub fn take_campaign_error(&mut self, id: usize) -> Result<Option<RramError>, TileError> {
-        let slot = self.slots.get_mut(id).ok_or(TileError::UnknownTile { id })?;
+        let slot = self
+            .slots
+            .get_mut(id)
+            .ok_or(TileError::UnknownTile { id })?;
         Ok(slot.last_campaign_error.take())
     }
 
@@ -370,6 +389,32 @@ impl TiledChip {
         detector: &OnlineFaultDetector,
         ids: &[usize],
     ) -> CampaignStats {
+        self.run_campaigns_with(detector, ids, false)
+    }
+
+    /// Incremental variant of [`run_campaigns`]: each tile keeps a
+    /// persistent [`OffChipStore`] (attached with a full snapshot on its
+    /// first incremental campaign) and subsequent campaigns only re-read and
+    /// retest the cells written since the previous one, carrying the tile's
+    /// last predicted map forward for untouched cells. Fresh tiles behave
+    /// exactly like a full campaign; warm tiles with sparse write traffic
+    /// cost a fraction of the cycles.
+    ///
+    /// [`run_campaigns`]: Self::run_campaigns
+    pub fn run_campaigns_incremental(
+        &mut self,
+        detector: &OnlineFaultDetector,
+        ids: &[usize],
+    ) -> CampaignStats {
+        self.run_campaigns_with(detector, ids, true)
+    }
+
+    fn run_campaigns_with(
+        &mut self,
+        detector: &OnlineFaultDetector,
+        ids: &[usize],
+        incremental: bool,
+    ) -> CampaignStats {
         let selected: BTreeSet<usize> = ids.iter().copied().collect();
         let hint = 8 * self.config.tile_size * self.config.tile_size;
         par::for_each_chunk_mut_hinted(&mut self.slots, hint, |_, slots| {
@@ -377,7 +422,20 @@ impl TiledChip {
                 if slot.retired || !selected.contains(&slot.id) {
                     continue;
                 }
-                match detector.run(&mut slot.xbar) {
+                let result = if incremental {
+                    let TileSlot {
+                        xbar,
+                        store,
+                        last_detection,
+                        ..
+                    } = slot;
+                    let store = store.get_or_insert_with(|| OffChipStore::attach(&mut *xbar));
+                    let baseline = last_detection.as_ref().map(|d| &d.predicted);
+                    detector.run_incremental(xbar, store, baseline)
+                } else {
+                    detector.run(&mut slot.xbar)
+                };
+                match result {
                     Ok(outcome) => {
                         slot.last_detection = Some(outcome);
                         slot.last_campaign_error = None;
@@ -390,7 +448,9 @@ impl TiledChip {
         });
         let mut stats = CampaignStats::default();
         for &id in &selected {
-            let Some(slot) = self.slots.get(id) else { continue };
+            let Some(slot) = self.slots.get(id) else {
+                continue;
+            };
             if slot.retired {
                 continue;
             }
@@ -398,7 +458,9 @@ impl TiledChip {
                 stats.failed_tiles += 1;
                 continue;
             }
-            let Some(outcome) = &slot.last_detection else { continue };
+            let Some(outcome) = &slot.last_detection else {
+                continue;
+            };
             stats.campaigns_run += 1;
             stats.cycles += outcome.cycles();
             stats.write_pulses += outcome.write_pulses;
@@ -455,7 +517,11 @@ impl TiledChip {
             .as_ref()
             .map(|d| d.predicted.count_faulty() as u64)
             .unwrap_or(0);
-        let density = if cells == 0 { 0.0 } else { faulty as f64 / cells as f64 };
+        let density = if cells == 0 {
+            0.0
+        } else {
+            faulty as f64 / cells as f64
+        };
 
         // Screened pool: allocate the spare without manufacture-time
         // injection (restored for any later non-spare allocations).
@@ -571,7 +637,10 @@ mod tests {
             SpareOutcome::Exhausted => panic!("spares available"),
         }
         // Retired tiles refuse a second retirement.
-        assert!(matches!(c.substitute(id), Err(TileError::TileRetired { .. })));
+        assert!(matches!(
+            c.substitute(id),
+            Err(TileError::TileRetired { .. })
+        ));
     }
 
     #[test]
@@ -584,10 +653,11 @@ mod tests {
 
     #[test]
     fn campaigns_store_outcomes_and_skip_retired() {
-        let injection =
-            FaultInjection::new(SpatialDistribution::Uniform, 0.2).unwrap();
+        let injection = FaultInjection::new(SpatialDistribution::Uniform, 0.2).unwrap();
         let mut c = TiledChip::new(
-            ChipConfig::new(8, 8, 7).with_injection(injection).with_spare_tiles(1),
+            ChipConfig::new(8, 8, 7)
+                .with_injection(injection)
+                .with_spare_tiles(1),
         )
         .unwrap();
         let a = c.allocate(8, 8).unwrap();
@@ -612,6 +682,42 @@ mod tests {
     }
 
     #[test]
+    fn incremental_campaigns_match_full_then_get_cheaper() {
+        let injection = FaultInjection::new(SpatialDistribution::Uniform, 0.1).unwrap();
+        let build = || TiledChip::new(ChipConfig::new(8, 8, 13).with_injection(injection)).unwrap();
+        let (mut full_chip, mut inc_chip) = (build(), build());
+        let a = full_chip.allocate(8, 8).unwrap();
+        assert_eq!(inc_chip.allocate(8, 8).unwrap(), a);
+        let det = OnlineFaultDetector::new(DetectorConfig::new(2).unwrap());
+
+        let full = full_chip.run_campaigns(&det, &[a]);
+        let first = inc_chip.run_campaigns_incremental(&det, &[a]);
+        // A fresh tile's incremental campaign is the full campaign minus the
+        // snapshot re-read (attach pre-paid it).
+        assert_eq!(first.flagged_cells, full.flagged_cells);
+        assert_eq!(first.write_pulses, full.write_pulses);
+        assert!(
+            first.cycles < full.cycles,
+            "{} vs {}",
+            first.cycles,
+            full.cycles
+        );
+
+        // With no writes since, nothing is pending: the rerun is free and
+        // the previous verdicts carry over.
+        let second = inc_chip.run_campaigns_incremental(&det, &[a]);
+        assert_eq!(second.cycles, 0);
+        assert_eq!(second.write_pulses, 0);
+        assert_eq!(second.flagged_cells, full.flagged_cells);
+
+        // A sparse write makes only its cells pending.
+        inc_chip.tile_mut(a).unwrap().write_level(0, 0, 5).unwrap();
+        let third = inc_chip.run_campaigns_incremental(&det, &[a]);
+        assert!(third.cycles > 0);
+        assert!(third.cycles < first.cycles);
+    }
+
+    #[test]
     fn aggregates_cover_retired_slots() {
         let mut c = chip(1);
         let id = c.allocate(4, 4).unwrap();
@@ -619,7 +725,10 @@ mod tests {
         let before = c.total_write_pulses();
         assert!(before > 0);
         c.substitute(id).unwrap();
-        assert!(c.total_write_pulses() >= before, "retired pulses stay counted");
+        assert!(
+            c.total_write_pulses() >= before,
+            "retired pulses stay counted"
+        );
     }
 
     #[test]

@@ -55,7 +55,10 @@ mod tests {
     #[test]
     fn display_covers_variants() {
         let cases: Vec<(TileError, &str)> = vec![
-            (TileError::InvalidConfig("bad".into()), "invalid tile configuration"),
+            (
+                TileError::InvalidConfig("bad".into()),
+                "invalid tile configuration",
+            ),
             (TileError::UnknownTile { id: 7 }, "unknown tile id 7"),
             (TileError::TileRetired { id: 3 }, "tile 3 is retired"),
             (

@@ -48,7 +48,12 @@ impl ShardGrid {
         if rows == 0 || cols == 0 || tile_rows == 0 || tile_cols == 0 {
             return None;
         }
-        Some(ShardGrid { rows, cols, tile_rows, tile_cols })
+        Some(ShardGrid {
+            rows,
+            cols,
+            tile_rows,
+            tile_cols,
+        })
     }
 
     /// Shard rows (`⌈rows/tile_rows⌉`).

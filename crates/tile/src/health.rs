@@ -88,8 +88,7 @@ mod tests {
     #[test]
     fn faults_lower_the_score() {
         let injection = FaultInjection::new(SpatialDistribution::Uniform, 0.25).unwrap();
-        let mut c =
-            TiledChip::new(ChipConfig::new(16, 8, 3).with_injection(injection)).unwrap();
+        let mut c = TiledChip::new(ChipConfig::new(16, 8, 3).with_injection(injection)).unwrap();
         let id = c.allocate(16, 16).unwrap();
         let det = OnlineFaultDetector::new(DetectorConfig::new(1).unwrap());
         c.run_campaigns(&det, &[id]);
@@ -97,7 +96,10 @@ mod tests {
         assert!(h.tested);
         assert!(h.faulty_cells > 0);
         assert!(h.score < 1.0);
-        assert!((h.score - (1.0 - h.fault_density)).abs() < 1e-12, "no wear yet");
+        assert!(
+            (h.score - (1.0 - h.fault_density)).abs() < 1e-12,
+            "no wear yet"
+        );
     }
 
     #[test]

@@ -93,7 +93,8 @@ impl TiledMapping {
     /// The shard (geometry) currently backed by tile `id`, if any.
     pub fn shard_of_tile(&self, id: usize) -> Option<Shard> {
         let i = self.tiles.iter().position(|&t| t == id)?;
-        self.grid.shard(i / self.grid.col_shards(), i % self.grid.col_shards())
+        self.grid
+            .shard(i / self.grid.col_shards(), i % self.grid.col_shards())
     }
 
     /// Re-points every shard backed by `old_id` at `new_id` (spare
@@ -168,7 +169,8 @@ impl TiledMapping {
         let (sr, sc) = self.grid.shard_of_cell(row, col).ok_or_else(oob)?;
         let shard = self.grid.shard(sr, sc).ok_or_else(oob)?;
         let id = self.tiles[self.grid.shard_index(sr, sc)];
-        chip.tile_mut(id)?.write_analog(row - shard.row0, col - shard.col0, target)?;
+        chip.tile_mut(id)?
+            .write_analog(row - shard.row0, col - shard.col0, target)?;
         Ok(())
     }
 
@@ -217,7 +219,10 @@ impl TiledMapping {
     /// Gathers the shard tiles' f32 conductance planes in row-major shard
     /// order, validating every id first.
     fn planes<'a>(&self, chip: &'a TiledChip) -> Result<Vec<&'a [f32]>, TileError> {
-        self.tiles.iter().map(|&id| chip.tile(id).map(|x| x.conductance_plane())).collect()
+        self.tiles
+            .iter()
+            .map(|&id| chip.tile(id).map(|x| x.conductance_plane()))
+            .collect()
     }
 
     /// Tiled analog matrix–vector product: `out[k] = Σ_r g[r][k]·input[r]`
@@ -361,7 +366,9 @@ mod tests {
     }
 
     fn dense_input(rows: usize, salt: u64) -> Vec<f32> {
-        (0..rows).map(|i| (lcg01(i as u64 ^ salt) * 2.0 - 1.0) as f32).collect()
+        (0..rows)
+            .map(|i| (lcg01(i as u64 ^ salt) * 2.0 - 1.0) as f32)
+            .collect()
     }
 
     fn sparse_input(rows: usize, salt: u64) -> Vec<f32> {
@@ -410,17 +417,26 @@ mod tests {
         let mut map = FaultMap::healthy(150, 140);
         for i in 0..150usize {
             let (r, c) = (i, (i * 7) % 140);
-            let kind =
-                if i % 2 == 0 { FaultKind::StuckAt0 } else { FaultKind::StuckAt1 };
+            let kind = if i % 2 == 0 {
+                FaultKind::StuckAt0
+            } else {
+                FaultKind::StuckAt1
+            };
             map.set(r, c, Some(kind));
         }
         map.set(63, 63, Some(FaultKind::StuckAt1));
         map.set(64, 64, Some(FaultKind::StuckAt0));
         mapping.apply_fault_map(&mut chip, &map).unwrap();
         mono.apply_fault_map(&map);
-        assert_eq!(mapping.fault_map(&chip).unwrap().count_faulty(), map.count_faulty());
+        assert_eq!(
+            mapping.fault_map(&chip).unwrap().count_faulty(),
+            map.count_faulty()
+        );
         let input = dense_input(150, 9);
-        assert_bit_identical(&mapping.mvm(&chip, &input).unwrap(), &mono.mvm(&input).unwrap());
+        assert_bit_identical(
+            &mapping.mvm(&chip, &input).unwrap(),
+            &mono.mvm(&input).unwrap(),
+        );
     }
 
     #[test]
@@ -428,7 +444,10 @@ mod tests {
         let (chip, mapping, mono) = build_pair(60, 50, 128);
         assert_eq!(mapping.tile_ids().len(), 1);
         let input = dense_input(60, 4);
-        assert_bit_identical(&mapping.mvm(&chip, &input).unwrap(), &mono.mvm(&input).unwrap());
+        assert_bit_identical(
+            &mapping.mvm(&chip, &input).unwrap(),
+            &mono.mvm(&input).unwrap(),
+        );
     }
 
     #[test]

@@ -53,7 +53,9 @@ impl DetectionScheduler {
             | SchedulePolicy::WearRanked { tiles_per_campaign }
                 if tiles_per_campaign == 0 =>
             {
-                Err(TileError::InvalidConfig("tiles_per_campaign must be >= 1".into()))
+                Err(TileError::InvalidConfig(
+                    "tiles_per_campaign must be >= 1".into(),
+                ))
             }
             _ => Ok(DetectionScheduler { policy, cursor: 0 }),
         }
@@ -77,7 +79,9 @@ impl DetectionScheduler {
                 let take = tiles_per_campaign.min(active.len());
                 let start = self.cursor % active.len();
                 self.cursor = (start + take) % active.len().max(1);
-                (0..take).map(|i| active[(start + i) % active.len()]).collect()
+                (0..take)
+                    .map(|i| active[(start + i) % active.len()])
+                    .collect()
             }
             SchedulePolicy::WearRanked { tiles_per_campaign } => {
                 let mut ranked: Vec<(u64, u64, usize)> = active
@@ -89,20 +93,18 @@ impl DetectionScheduler {
                         (x.wear_faults(), x.write_pulses(), id)
                     })
                     .collect();
-                ranked.sort_by(|a, b| {
-                    b.0.cmp(&a.0).then(b.1.cmp(&a.1)).then(a.2.cmp(&b.2))
-                });
-                ranked.into_iter().take(tiles_per_campaign).map(|(_, _, id)| id).collect()
+                ranked.sort_by(|a, b| b.0.cmp(&a.0).then(b.1.cmp(&a.1)).then(a.2.cmp(&b.2)));
+                ranked
+                    .into_iter()
+                    .take(tiles_per_campaign)
+                    .map(|(_, _, id)| id)
+                    .collect()
             }
         }
     }
 
     /// Selects tiles and runs their campaigns on the chip.
-    pub fn run(
-        &mut self,
-        chip: &mut TiledChip,
-        detector: &OnlineFaultDetector,
-    ) -> CampaignStats {
+    pub fn run(&mut self, chip: &mut TiledChip, detector: &OnlineFaultDetector) -> CampaignStats {
         let ids = self.select(chip);
         chip.run_campaigns(detector, &ids)
     }
@@ -147,9 +149,10 @@ mod tests {
     #[test]
     fn round_robin_rotates_and_wraps() {
         let c = chip_with(5);
-        let mut s =
-            DetectionScheduler::new(SchedulePolicy::RoundRobin { tiles_per_campaign: 2 })
-                .unwrap();
+        let mut s = DetectionScheduler::new(SchedulePolicy::RoundRobin {
+            tiles_per_campaign: 2,
+        })
+        .unwrap();
         assert_eq!(s.select(&c), vec![0, 1]);
         assert_eq!(s.select(&c), vec![2, 3]);
         assert_eq!(s.select(&c), vec![4, 0]);
@@ -163,9 +166,10 @@ mod tests {
         for _ in 0..4 {
             c.tile_mut(2).unwrap().write_analog(0, 0, 0.5).unwrap();
         }
-        let mut s =
-            DetectionScheduler::new(SchedulePolicy::WearRanked { tiles_per_campaign: 2 })
-                .unwrap();
+        let mut s = DetectionScheduler::new(SchedulePolicy::WearRanked {
+            tiles_per_campaign: 2,
+        })
+        .unwrap();
         assert_eq!(s.select(&c), vec![2, 0]);
     }
 
@@ -173,9 +177,10 @@ mod tests {
     fn run_feeds_selection_into_campaigns() {
         let mut c = chip_with(4);
         let det = OnlineFaultDetector::new(DetectorConfig::new(2).unwrap());
-        let mut s =
-            DetectionScheduler::new(SchedulePolicy::RoundRobin { tiles_per_campaign: 3 })
-                .unwrap();
+        let mut s = DetectionScheduler::new(SchedulePolicy::RoundRobin {
+            tiles_per_campaign: 3,
+        })
+        .unwrap();
         let stats = s.run(&mut c, &det);
         assert_eq!(stats.campaigns_run, 3);
     }

@@ -51,7 +51,10 @@ fn remainder_groups_sweep_at_shard_boundaries() {
     let detector = OnlineFaultDetector::new(DetectorConfig::new(t).unwrap());
     let stats = chip.run_campaigns(&detector, tiled.tile_ids());
     assert_eq!(stats.campaigns_run as usize, tiled.tile_ids().len());
-    assert_eq!(stats.untested_groups, 0, "every remainder group must be swept");
+    assert_eq!(
+        stats.untested_groups, 0,
+        "every remainder group must be swept"
+    );
     assert_eq!(stats.flagged_cells, 1, "exactly the injected fault");
 
     // Per-shard cycle accounting: groups never span tile edges, so each
@@ -86,9 +89,8 @@ fn mod16_aliasing_is_shard_local() {
             injected.set(r, 5, Some(FaultKind::StuckAt0));
         }
         tiled.apply_fault_map(&mut chip, &injected).unwrap();
-        let detector = OnlineFaultDetector::new(
-            DetectorConfig::new(16).unwrap().with_modulo_divisor(16),
-        );
+        let detector =
+            OnlineFaultDetector::new(DetectorConfig::new(16).unwrap().with_modulo_divisor(16));
         let stats = chip.run_campaigns(&detector, tiled.tile_ids());
         assert_eq!(stats.campaigns_run, 2);
         stats.flagged_cells
@@ -125,9 +127,8 @@ fn shard_local_adc_grid_restarts_at_tile_origin() {
             injected.set(r, 5, Some(FaultKind::StuckAt0));
         }
         tiled.apply_fault_map(&mut chip, &injected).unwrap();
-        let detector = OnlineFaultDetector::new(
-            DetectorConfig::new(16).unwrap().with_modulo_divisor(32),
-        );
+        let detector =
+            OnlineFaultDetector::new(DetectorConfig::new(16).unwrap().with_modulo_divisor(32));
         let stats = chip.run_campaigns(&detector, tiled.tile_ids());
         assert_eq!(stats.flagged_cells, 16, "rows {fault_rows:?}");
         // Compose per-shard predictions into logical coordinates and

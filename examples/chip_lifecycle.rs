@@ -37,7 +37,11 @@ struct TilePlan {
 
 impl TilePlan {
     fn default_plan() -> Self {
-        Self { tile_size: 64, spare_tiles: 12, retire_fault_density: 0.15 }
+        Self {
+            tile_size: 64,
+            spare_tiles: 12,
+            retire_fault_density: 0.15,
+        }
     }
 
     fn mapping(&self, endurance: EnduranceModel, seed: u64) -> MappingConfig {

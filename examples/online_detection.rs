@@ -53,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== all-cells vs selected-cells at test size 16 ==");
     for (label, config) in [
         ("all cells", DetectorConfig::new(16)?),
-        ("selected cells", DetectorConfig::new(16)?.with_selected_cells()),
+        (
+            "selected cells",
+            DetectorConfig::new(16)?.with_selected_cells(),
+        ),
     ] {
         let mut xbar = make_crossbar(3)?;
         let truth = xbar.fault_map();
@@ -74,10 +77,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for divisor in [2u32, 4, 8, 16, 32] {
         let mut xbar = make_crossbar(5)?;
         let truth = xbar.fault_map();
-        let outcome = OnlineFaultDetector::new(
-            DetectorConfig::new(32)?.with_modulo_divisor(divisor),
-        )
-        .run(&mut xbar)?;
+        let outcome =
+            OnlineFaultDetector::new(DetectorConfig::new(32)?.with_modulo_divisor(divisor))
+                .run(&mut xbar)?;
         let report = DetectionReport::evaluate(&truth, &outcome.predicted);
         println!("{divisor}, {:.3}", report.recall());
     }

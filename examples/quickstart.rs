@@ -44,8 +44,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let lr = LrSchedule::constant(0.1);
     let runs = [
-        ("original on-line training", FlowConfig::original().with_lr(lr)),
-        ("threshold training", FlowConfig::threshold_only().with_lr(lr)),
+        (
+            "original on-line training",
+            FlowConfig::original().with_lr(lr),
+        ),
+        (
+            "threshold training",
+            FlowConfig::threshold_only().with_lr(lr),
+        ),
         (
             "entire fault-tolerant flow",
             FlowConfig::fault_tolerant()

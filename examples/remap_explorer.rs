@@ -45,17 +45,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for cost_model in [CostModel::PaperDist, CostModel::Extended] {
         let problem = RemapProblem::with_ground_truth(&mapped, &mask, cost_model)?;
         println!();
-        println!("== cost model {cost_model:?} (baseline Dist = {}) ==", problem.baseline_cost());
+        println!(
+            "== cost model {cost_model:?} (baseline Dist = {}) ==",
+            problem.baseline_cost()
+        );
         println!("algorithm, search budget, Dist after search");
         for (label, algorithm, iterations) in [
             ("identity", RemapAlgorithm::Identity, 0usize),
             ("random shuffle", RemapAlgorithm::RandomShuffle, 0),
-            ("swap hill-climb (paper)", RemapAlgorithm::SwapHillClimb, 20_000),
-            ("genetic (pop 16)", RemapAlgorithm::Genetic { population: 16 }, 20_000),
+            (
+                "swap hill-climb (paper)",
+                RemapAlgorithm::SwapHillClimb,
+                20_000,
+            ),
+            (
+                "genetic (pop 16, 4 islands)",
+                RemapAlgorithm::Genetic {
+                    population: 16,
+                    islands: 4,
+                },
+                20_000,
+            ),
         ] {
             let plan = problem.solve(
                 &mapped,
-                &RemapConfig { algorithm, cost: cost_model, iterations, seed: 9 },
+                &RemapConfig {
+                    algorithm,
+                    cost: cost_model,
+                    iterations,
+                    seed: 9,
+                },
             );
             println!("{label}, {iterations}, {}", plan.final_cost);
         }

@@ -63,7 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let curve = trainer.train(&data, 1000)?;
     println!("iteration, accuracy, faulty_fraction");
     for p in curve.points() {
-        println!("{}, {:.3}, {:.4}", p.iteration, p.test_accuracy, p.faulty_fraction);
+        println!(
+            "{}, {:.3}, {:.4}",
+            p.iteration, p.test_accuracy, p.faulty_fraction
+        );
     }
     println!();
 
@@ -83,8 +86,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "chip events: {} TileRetired, {} SpareAttached",
-        trainer.recorder().events_of_kind(obs::EventKind::TileRetired),
-        trainer.recorder().events_of_kind(obs::EventKind::SpareAttached)
+        trainer
+            .recorder()
+            .events_of_kind(obs::EventKind::TileRetired),
+        trainer
+            .recorder()
+            .events_of_kind(obs::EventKind::SpareAttached)
     );
     println!();
 

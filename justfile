@@ -23,6 +23,12 @@ bench:
 bench-report:
     cargo run --release -p ftt-bench --bin bench_report
 
+# Reduced-size bench_report smoke run (the CI gate): still executes every
+# bit-identity oracle, but with millisecond sample windows and small
+# sizes so it finishes in seconds. Timings in the output are meaningless.
+bench-quick:
+    BENCH_QUICK=1 BENCH_REPORT_PATH=/tmp/bench_quick.json cargo run --release -p ftt-bench --bin bench_report
+
 # Lints at the workspace's warning bar.
 clippy:
     cargo clippy --workspace --all-targets -- -D warnings

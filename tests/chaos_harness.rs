@@ -14,7 +14,10 @@ fn chaos_harness_passes() {
         "adversarial scenarios failed:\n{report}"
     );
     assert!(report.families.len() >= 8, "at least 8 scenario families");
-    assert!(report.case_count() >= 20, "the families should fan out into many cases");
+    assert!(
+        report.case_count() >= 20,
+        "the families should fan out into many cases"
+    );
 }
 
 #[test]

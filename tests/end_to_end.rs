@@ -38,12 +38,9 @@ fn fault_tolerant_flow_beats_original_under_wear() {
     let lr = LrSchedule::constant(0.1);
     let iters = 800;
 
-    let mut orig = FaultTolerantTrainer::new(
-        small_net(1),
-        mapping(),
-        FlowConfig::original().with_lr(lr),
-    )
-    .expect("config");
+    let mut orig =
+        FaultTolerantTrainer::new(small_net(1), mapping(), FlowConfig::original().with_lr(lr))
+            .expect("config");
     orig.train(&data, iters).expect("train");
 
     let mut thr = FaultTolerantTrainer::new(
@@ -110,8 +107,8 @@ fn threshold_training_suppresses_most_writes() {
 /// Detection inside the flow finds a usable share of the real faults.
 #[test]
 fn in_flow_detection_matches_ground_truth() {
-    use faultdet::metrics::DetectionReport;
     use faultdet::detector::{DetectorConfig, OnlineFaultDetector};
+    use faultdet::metrics::DetectionReport;
     use ftt_core::mapping::MappedNetwork;
 
     let mut net = small_net(4);
@@ -149,7 +146,9 @@ fn retraining_campaigns_accumulate_wear() {
     let mut faulty = Vec::new();
     for campaign in 0..3u64 {
         if campaign > 0 {
-            trainer.reprogram_network(small_net(campaign)).expect("same topology");
+            trainer
+                .reprogram_network(small_net(campaign))
+                .expect("same topology");
         }
         let data = SyntheticDataset::mnist_like(240, 60, 50 + campaign);
         trainer.train(&data, 400).expect("train");
@@ -159,7 +158,10 @@ fn retraining_campaigns_accumulate_wear() {
         faulty.windows(2).all(|w| w[0] <= w[1]),
         "fault fraction must be monotone across campaigns: {faulty:?}"
     );
-    assert!(faulty[2] > 0.2, "three campaigns must exhaust budgets: {faulty:?}");
+    assert!(
+        faulty[2] > 0.2,
+        "three campaigns must exhaust budgets: {faulty:?}"
+    );
 }
 
 /// Topology mismatches are rejected when re-programming.
