@@ -8,6 +8,7 @@ mod detector;
 mod geometry;
 mod kernels;
 mod observability;
+mod restore;
 mod robustness;
 mod tiling;
 mod training;
@@ -16,6 +17,7 @@ pub use detector::{all_faulty_extremes, detector_group_remainders, mod16_aliasin
 pub use geometry::{extreme_geometry, plane_coherence};
 pub use kernels::kernels;
 pub use observability::obs_stream;
+pub use restore::restore;
 pub use robustness::{config_rejection, thread_budget};
 pub use tiling::tiling;
 pub use training::{degenerate_gradients, prune_rate_extremes};

@@ -180,6 +180,7 @@ pub fn run_all(seed: u64) -> ChaosReport {
         families::obs_stream(seed ^ 0x0a),
         families::tiling(seed ^ 0x0b),
         families::kernels(seed ^ 0x0c),
+        families::restore(seed ^ 0x0d),
     ];
     std::panic::set_hook(prev_hook);
     ChaosReport { seed, families }

@@ -11,16 +11,16 @@
 
 use faultdet::detector::OnlineFaultDetector;
 use faultdet::metrics::DetectionReport;
-use nn::data::Dataset;
+use nn::data::{BatchStreamState, Dataset};
 use nn::loss::softmax_cross_entropy;
 use nn::metrics::accuracy;
 use nn::network::Network;
-use nn::pruning::{try_apply_mask, try_magnitude_prune_per_layer, PruneMask};
+use nn::pruning::{try_apply_mask, try_magnitude_prune_per_layer, LayerMask, PruneMask};
 use obs::{Confusion, Event, Recorder, WritePhase};
 
 use crate::config::{FlowConfig, MappingConfig};
 use crate::error::FttError;
-use crate::mapping::MappedNetwork;
+use crate::mapping::{MappedNetwork, MappedState};
 use crate::remap::plan_remap;
 use crate::report::{CurvePoint, FlowStats, TrainingCurve};
 use crate::telemetry::FlowMetrics;
@@ -60,6 +60,12 @@ pub struct FaultTolerantTrainer {
     burst_start: Option<u64>,
     /// Updates suppressed across the open burst.
     burst_skipped: u64,
+    /// Mini-batch stream position carried across [`train`] calls, so a
+    /// continued (or checkpoint-restored) run consumes exactly the batches
+    /// an uninterrupted one would.
+    ///
+    /// [`train`]: FaultTolerantTrainer::train
+    batch_stream: Option<BatchStreamState>,
 }
 
 impl FaultTolerantTrainer {
@@ -102,6 +108,7 @@ impl FaultTolerantTrainer {
             active_mask: None,
             burst_start: None,
             burst_skipped: 0,
+            batch_stream: None,
         })
     }
 
@@ -185,8 +192,20 @@ impl FaultTolerantTrainer {
     /// Propagates hardware and configuration errors.
     pub fn train(&mut self, data: &Dataset, iterations: u64) -> Result<&TrainingCurve, FttError> {
         let mut data = data.clone();
-        data.set_shuffle_seed(self.flow.data_seed ^ self.iteration);
-        let mut batches = data.try_train_batches(self.flow.batch)?;
+        // Resume the batch stream where the previous `train` call left it
+        // (the stream position is part of the checkpoint state), falling
+        // back to a fresh iteration-salted shuffle when the geometry
+        // changed — a different dataset or batch size starts over.
+        let resume = self.batch_stream.take().filter(|st| {
+            st.batch == self.flow.batch && st.train_len == data.train_len()
+        });
+        let mut batches = match &resume {
+            Some(st) => data.try_resume_train_batches(st)?,
+            None => {
+                data.set_shuffle_seed(self.flow.data_seed ^ self.iteration);
+                data.try_train_batches(self.flow.batch)?
+            }
+        };
         let eval_interval = self.flow.eval_interval.max(1);
         let recorder = self.metrics.recorder().clone();
         for step in 0..iterations {
@@ -283,7 +302,12 @@ impl FaultTolerantTrainer {
                 });
             }
         }
-        self.flush_skip_burst(self.iteration);
+        // The skip burst stays open across `train` calls (it flushes once
+        // a later iteration issues writes): emitting it here would make
+        // the event stream depend on where the caller happened to split
+        // the iteration sequence, breaking checkpoint/restore trace
+        // equality.
+        self.batch_stream = Some(batches.export_state());
         Ok(&self.curve)
     }
 
@@ -445,6 +469,189 @@ impl FaultTolerantTrainer {
         self.active_mask = Some(mask);
         Ok(())
     }
+
+    /// Captures the complete trainer state for checkpointing: hardware
+    /// (via [`MappedNetwork::export_state`]), software parameters, the
+    /// threshold ledgers, the batch stream, the burst accumulator, the
+    /// training curve, every registry counter and gauge, and the logical
+    /// clock tail. Together with the run's configs (which are code, not
+    /// state) this is everything [`FaultTolerantTrainer::restore_state`]
+    /// needs to continue bit-identically.
+    /// (Takes `&mut self` only because network parameters are exposed
+    /// through mutable views; nothing is modified.)
+    pub fn export_state(&mut self) -> TrainerState {
+        let params = self
+            .net
+            .param_layers_mut()
+            .map(|(layer_index, p)| NetParamState {
+                layer_index,
+                weights: p.weights.to_vec(),
+                bias: p.bias.map(|b| b.to_vec()),
+            })
+            .collect();
+        let registry = self.metrics.recorder().registry();
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        for name in registry.names() {
+            if let Some(v) = registry.counter_value(&name) {
+                counters.push((name, v));
+            } else if let Some(v) = registry.gauge_value(&name) {
+                gauges.push((name, v));
+            }
+        }
+        TrainerState {
+            iteration: self.iteration,
+            mapped: self.mapped.export_state(),
+            params,
+            ledgers: self.trainer.export_ledgers(),
+            curve: self.curve.points().to_vec(),
+            active_mask: self.active_mask.as_ref().map(|m| m.layers().to_vec()),
+            burst_start: self.burst_start,
+            burst_skipped: self.burst_skipped,
+            batch_stream: self.batch_stream.clone(),
+            counters,
+            gauges,
+            clock: self.metrics.recorder().export_clock_state(),
+        }
+    }
+
+    /// Rebuilds a trainer from a [`TrainerState`] capture, a *template*
+    /// network of the same topology the run was built from, the original
+    /// configs, and a **fresh** recorder (its counters must start at zero —
+    /// the captured totals are added back in; attach sinks before or after
+    /// to capture the continuation's event stream, which picks up the
+    /// logical clock exactly where the exporting run left it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FttError::InvalidConfig`] when the capture is incoherent
+    /// or does not fit the template network; propagates restore failures
+    /// from the hardware layers.
+    pub fn restore_state(
+        net: Network,
+        mapping: MappingConfig,
+        flow: FlowConfig,
+        recorder: Recorder,
+        state: &TrainerState,
+    ) -> Result<Self, FttError> {
+        let mut net = net;
+        let mut mapped = MappedNetwork::restore_state(mapping, &state.mapped)?;
+        // Software parameters: the template must have exactly the captured
+        // parameter layers.
+        let captured: Vec<usize> = state.params.iter().map(|p| p.layer_index).collect();
+        let template: Vec<usize> = net.param_layers_mut().map(|(li, _)| li).collect();
+        if captured != template {
+            return Err(FttError::InvalidConfig(format!(
+                "snapshot carries parameter layers {captured:?} but the template \
+                 network has {template:?}"
+            )));
+        }
+        for p in &state.params {
+            let mut params = net
+                .layer_params_mut(p.layer_index)
+                .ok_or_else(|| foreign_snapshot_error(p.layer_index))?;
+            if params.weights.len() != p.weights.len() {
+                return Err(foreign_snapshot_error(p.layer_index));
+            }
+            params.weights.copy_from_slice(&p.weights);
+            match (&mut params.bias, &p.bias) {
+                (Some(dst), Some(src)) if dst.len() == src.len() => dst.copy_from_slice(src),
+                (None, None) => {}
+                _ => return Err(foreign_snapshot_error(p.layer_index)),
+            }
+        }
+        mapped.attach_recorder(&recorder);
+        let mut trainer = ThresholdTrainer::new(flow.threshold, &mapped);
+        trainer.restore_ledgers(state.ledgers.clone(), &mapped)?;
+        let mut curve = TrainingCurve::new();
+        for point in &state.curve {
+            curve.push(*point);
+        }
+        let active_mask = state
+            .active_mask
+            .as_ref()
+            .map(|layers| PruneMask::from_layers(layers.clone()));
+        // Telemetry: re-register the flow metrics on the fresh recorder,
+        // add the captured totals back, then restore the clock tail last
+        // so the metric writes above don't disturb it (counter adds don't
+        // touch the clock, but ordering keeps the invariant obvious).
+        let metrics = FlowMetrics::new(recorder);
+        let recorder = metrics.recorder();
+        for (name, v) in &state.counters {
+            recorder.counter(name).add(*v);
+        }
+        for (name, v) in &state.gauges {
+            recorder.gauge(name).set(*v);
+        }
+        recorder
+            .restore_clock_state(&state.clock)
+            .map_err(FttError::InvalidConfig)?;
+        Ok(Self {
+            net,
+            mapped,
+            flow,
+            trainer,
+            iteration: state.iteration,
+            curve,
+            metrics,
+            active_mask,
+            burst_start: state.burst_start,
+            burst_skipped: state.burst_skipped,
+            batch_stream: state.batch_stream.clone(),
+        })
+    }
+}
+
+/// The error raised when a [`TrainerState`] does not fit the template
+/// network handed to [`FaultTolerantTrainer::restore_state`].
+fn foreign_snapshot_error(layer_index: usize) -> FttError {
+    FttError::InvalidConfig(format!(
+        "snapshot parameter layer {layer_index} does not fit the template network"
+    ))
+}
+
+/// Captured software parameters of one network layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetParamState {
+    /// Raw layer index inside the network.
+    pub layer_index: usize,
+    /// Weight values, row-major.
+    pub weights: Vec<f32>,
+    /// Bias values, if the layer has any.
+    pub bias: Option<Vec<f32>>,
+}
+
+/// Complete plain-data capture of a [`FaultTolerantTrainer`] at an
+/// iteration boundary. Configs ([`MappingConfig`], [`FlowConfig`]) are
+/// *not* captured — restore is handed the same configs the run was built
+/// with. Span-duration histograms and wall-clock times are deliberately
+/// not part of the state (they are diagnostics, not behavior).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainerState {
+    /// The iteration counter.
+    pub iteration: u64,
+    /// The mapped hardware (chip, layers, software weight targets).
+    pub mapped: MappedState,
+    /// Software network parameters, in layer order.
+    pub params: Vec<NetParamState>,
+    /// Threshold trainer write-amount ledgers, per mapped layer.
+    pub ledgers: Vec<Vec<u32>>,
+    /// Recorded training curve points.
+    pub curve: Vec<CurvePoint>,
+    /// The active pruning mask, if a re-mapping phase installed one.
+    pub active_mask: Option<Vec<LayerMask>>,
+    /// First iteration of the open all-skip burst, if any.
+    pub burst_start: Option<u64>,
+    /// Updates suppressed across the open burst.
+    pub burst_skipped: u64,
+    /// Mini-batch stream position.
+    pub batch_stream: Option<BatchStreamState>,
+    /// Registry counters, `(name, value)`.
+    pub counters: Vec<(String, u64)>,
+    /// Registry gauges, `(name, value)`.
+    pub gauges: Vec<(String, f64)>,
+    /// Logical clock tail (iteration, write pulses, seq, per-kind counts).
+    pub clock: obs::ClockState,
 }
 
 #[cfg(test)]
@@ -657,6 +864,104 @@ mod tests {
         let first = curve.points().first().unwrap().faulty_fraction;
         let last = curve.points().last().unwrap().faulty_fraction;
         assert!(last >= first);
+    }
+
+    /// A traced fault-tolerant flow on a deterministic recorder with a
+    /// JSONL sink attached; returns the trainer and the sink view.
+    fn traced_trainer(seed: u64) -> (FaultTolerantTrainer, obs::JsonlView) {
+        let mapping = MappingConfig::new(MappingScope::EntireNetwork)
+            .with_initial_fault_fraction(0.15)
+            .with_endurance(EnduranceModel::new(40.0, 10.0))
+            .with_seed(seed);
+        let flow = FlowConfig::fault_tolerant()
+            .with_lr(LrSchedule::constant(0.1))
+            .with_detection_interval(5)
+            .with_detection_warmup(0)
+            .with_eval_interval(5);
+        let recorder = Recorder::deterministic();
+        let sink = obs::JsonlSink::new();
+        let view = sink.view();
+        recorder.add_sink(Box::new(sink));
+        let trainer =
+            FaultTolerantTrainer::with_recorder(small_net(seed), mapping, flow, recorder).unwrap();
+        (trainer, view)
+    }
+
+    #[test]
+    fn restored_run_continues_byte_identically() {
+        let data = SyntheticDataset::mnist_like(40, 10, 7);
+        // Uninterrupted reference: 24 iterations in one call.
+        let (mut full, full_view) = traced_trainer(7);
+        full.train(&data, 24).unwrap();
+
+        // Interrupted run: 11 iterations, export, restore into a fresh
+        // trainer (template network, same configs, fresh recorder), 13
+        // more. The split is deliberately not aligned with the detection
+        // or eval interval.
+        let (mut head, head_view) = traced_trainer(7);
+        head.train(&data, 11).unwrap();
+        let state = head.export_state();
+
+        let mapping = MappingConfig::new(MappingScope::EntireNetwork)
+            .with_initial_fault_fraction(0.15)
+            .with_endurance(EnduranceModel::new(40.0, 10.0))
+            .with_seed(7);
+        let flow = FlowConfig::fault_tolerant()
+            .with_lr(LrSchedule::constant(0.1))
+            .with_detection_interval(5)
+            .with_detection_warmup(0)
+            .with_eval_interval(5);
+        let recorder = Recorder::deterministic();
+        let sink = obs::JsonlSink::new();
+        let tail_view = sink.view();
+        recorder.add_sink(Box::new(sink));
+        let mut resumed =
+            FaultTolerantTrainer::restore_state(small_net(7), mapping, flow, recorder, &state)
+                .unwrap();
+        // Double roundtrip: the restored trainer exports the same state.
+        assert_eq!(resumed.export_state(), state);
+        resumed.train(&data, 13).unwrap();
+
+        // The resumed suffix trace appended to the head trace equals the
+        // uninterrupted trace byte-for-byte.
+        let stitched = format!("{}{}", head_view.contents(), tail_view.contents());
+        assert_eq!(stitched, full_view.contents());
+
+        // And the aggregate statistics agree field-for-field.
+        assert_eq!(resumed.stats(), full.stats());
+        assert_eq!(resumed.iteration(), full.iteration());
+        // Weights agree exactly too.
+        let state_a = resumed.export_state();
+        let state_b = full.export_state();
+        assert_eq!(state_a.params, state_b.params);
+        assert_eq!(state_a.mapped, state_b.mapped);
+    }
+
+    #[test]
+    fn restore_state_rejects_a_foreign_template() {
+        let data = SyntheticDataset::mnist_like(40, 10, 7);
+        let (mut trainer, _view) = traced_trainer(7);
+        trainer.train(&data, 6).unwrap();
+        let state = trainer.export_state();
+        let mapping = MappingConfig::new(MappingScope::EntireNetwork)
+            .with_initial_fault_fraction(0.15)
+            .with_endurance(EnduranceModel::new(40.0, 10.0))
+            .with_seed(7);
+        let flow = FlowConfig::fault_tolerant().with_lr(LrSchedule::constant(0.1));
+        // Wrong topology: hidden width 16 instead of 32.
+        let mut rng = init_rng(7);
+        let mut wrong = Network::new();
+        wrong.push(nn::layers::Dense::new(784, 16, &mut rng));
+        wrong.push(nn::layers::Relu::new());
+        wrong.push(nn::layers::Dense::new(16, 10, &mut rng));
+        assert!(FaultTolerantTrainer::restore_state(
+            wrong,
+            mapping,
+            flow,
+            Recorder::deterministic(),
+            &state
+        )
+        .is_err());
     }
 
     #[test]

@@ -62,5 +62,5 @@ pub mod telemetry;
 pub mod threshold;
 
 pub use config::{FlowConfig, MappingConfig, MappingScope};
-pub use flow::FaultTolerantTrainer;
-pub use mapping::MappedNetwork;
+pub use flow::{FaultTolerantTrainer, NetParamState, TrainerState};
+pub use mapping::{MappedLayerState, MappedNetwork, MappedState};

@@ -25,7 +25,7 @@
 use std::collections::BTreeSet;
 
 use faultdet::detector::OnlineFaultDetector;
-use ftt_tile::{ChipConfig, ShardGrid, SpareOutcome, TiledChip};
+use ftt_tile::{ChipConfig, ChipState, ShardGrid, SpareOutcome, TiledChip};
 use nn::network::Network;
 use rram::cell::WriteOutcome;
 use rram::crossbar::Crossbar;
@@ -259,6 +259,65 @@ fn verify_write(
     Ok(())
 }
 
+/// Translates the mapping config into the chip's own config — used both
+/// by the initial mapper and by checkpoint restore, which must rebuild
+/// the chip under the exact same policies (endurance, variation, spare
+/// screening, retirement threshold).
+fn chip_config(config: &MappingConfig) -> Result<ChipConfig, FttError> {
+    let mut chip_cfg = ChipConfig::new(config.tile_size, config.levels, config.seed)
+        .with_endurance(config.endurance)
+        .with_variation(config.variation)
+        .with_spare_tiles(config.spare_tiles);
+    if config.initial_fault_fraction > 0.0 {
+        let injection =
+            FaultInjection::new(config.fault_distribution, config.initial_fault_fraction)?
+                .with_sa0_prob(config.initial_sa0_prob)?;
+        chip_cfg = chip_cfg.with_injection(injection);
+    }
+    if let Some(density) = config.retire_fault_density {
+        chip_cfg = chip_cfg.with_retire_fault_density(density);
+    }
+    Ok(chip_cfg)
+}
+
+/// Plain-data capture of one [`MappedLayer`], for checkpointing. Shard
+/// entries are `(row0, col0, chip_tile_id)` in the mapper's row-major
+/// grid order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MappedLayerState {
+    /// Position among the network's weight layers.
+    pub weight_layer: usize,
+    /// Raw layer index inside the network.
+    pub layer_index: usize,
+    /// Logical weight-matrix rows.
+    pub rows: usize,
+    /// Logical weight-matrix columns.
+    pub cols: usize,
+    /// Full-scale weight magnitude.
+    pub w_max: f64,
+    /// Periphery sign bits (unipolar coding).
+    pub signs: Vec<i8>,
+    /// Software (intended) weights, row-major.
+    pub targets: Vec<f32>,
+    /// Positive-polarity shards: `(row0, col0, chip_tile_id)`.
+    pub tiles: Vec<(usize, usize, usize)>,
+    /// Negative-polarity shards (empty for unipolar coding).
+    pub neg_tiles: Vec<(usize, usize, usize)>,
+}
+
+/// Complete capture of a [`MappedNetwork`]: the chip (every tile's cells,
+/// wear, journal, campaign outcomes, stores, spare pool) plus each mapped
+/// layer's logical placement and software weight state. The
+/// [`MappingConfig`] is *not* part of the state — restore is handed the
+/// same config the run was built with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MappedState {
+    /// The tiled chip's full state.
+    pub chip: ChipState,
+    /// Per-layer placement and software weights.
+    pub layers: Vec<MappedLayerState>,
+}
+
 /// A network whose selected weight layers live on a simulated tiled RRAM
 /// chip.
 #[derive(Debug)]
@@ -304,20 +363,7 @@ impl MappedNetwork {
             return Err(FttError::InvalidConfig("tile size must be non-zero".into()));
         }
 
-        let mut chip_cfg = ChipConfig::new(config.tile_size, config.levels, config.seed)
-            .with_endurance(config.endurance)
-            .with_variation(config.variation)
-            .with_spare_tiles(config.spare_tiles);
-        if config.initial_fault_fraction > 0.0 {
-            let injection =
-                FaultInjection::new(config.fault_distribution, config.initial_fault_fraction)?
-                    .with_sa0_prob(config.initial_sa0_prob)?;
-            chip_cfg = chip_cfg.with_injection(injection);
-        }
-        if let Some(density) = config.retire_fault_density {
-            chip_cfg = chip_cfg.with_retire_fault_density(density);
-        }
-        let mut chip = TiledChip::new(chip_cfg)?;
+        let mut chip = TiledChip::new(chip_config(&config)?)?;
 
         let mut layers = Vec::with_capacity(selected.len());
         for &k in &selected {
@@ -834,6 +880,15 @@ impl MappedNetwork {
                     } else {
                         layer.tiles[tile_idx].id = new_id;
                     }
+                    // Hand the incremental store over: the retired tile's
+                    // store describes hardware no shard points at any more
+                    // (its aggregates would sit stale in the slot — and in
+                    // any snapshot of it — forever), and warm-attaching a
+                    // store on the just-verified spare lets the next
+                    // incremental campaign trust the verify outcome as its
+                    // baseline instead of lazily attaching all-pending and
+                    // retesting the whole tile.
+                    self.chip.refresh_spare_store(id, new_id)?;
                     dirty.insert(li);
                 }
             }
@@ -896,6 +951,109 @@ impl MappedNetwork {
     /// chip-wide (retired tiles included).
     pub fn wear_faults(&self) -> u64 {
         self.chip.wear_faults()
+    }
+
+    /// Captures the complete mapping state for checkpointing: the chip
+    /// plus every layer's placement, signs, and software weights.
+    pub fn export_state(&self) -> MappedState {
+        let layer_state = |l: &MappedLayer| MappedLayerState {
+            weight_layer: l.weight_layer,
+            layer_index: l.layer_index,
+            rows: l.rows,
+            cols: l.cols,
+            w_max: l.w_max,
+            signs: l.signs.clone(),
+            targets: l.targets.clone(),
+            tiles: l.tiles.iter().map(|t| (t.row0, t.col0, t.id)).collect(),
+            neg_tiles: l.neg_tiles.iter().map(|t| (t.row0, t.col0, t.id)).collect(),
+        };
+        MappedState {
+            chip: self.chip.export_state(),
+            layers: self.layers.iter().map(layer_state).collect(),
+        }
+    }
+
+    /// Rebuilds a mapping from a [`MappedState`] capture and the same
+    /// `config` the original run was built with. Unlike
+    /// [`MappedNetwork::from_network`] this performs no allocation or
+    /// programming — the chip restores cell-exact and the layers re-point
+    /// at their captured tiles, so behavior after restore is bit-identical
+    /// to the exporting run's. Telemetry is not re-attached; call
+    /// [`MappedNetwork::attach_recorder`] afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FttError::InvalidConfig`] when the capture is internally
+    /// incoherent (mismatched lengths, unknown tile ids, out-of-range
+    /// shard origins) and propagates chip-level restore failures.
+    pub fn restore_state(config: MappingConfig, state: &MappedState) -> Result<Self, FttError> {
+        let chip = TiledChip::restore_state(chip_config(&config)?, &state.chip)?;
+        let mut layers = Vec::with_capacity(state.layers.len());
+        for (li, l) in state.layers.iter().enumerate() {
+            let cells = l.rows * l.cols;
+            if l.rows == 0 || l.cols == 0 {
+                return Err(FttError::InvalidConfig(format!(
+                    "snapshot layer {li} has a zero-sized weight matrix"
+                )));
+            }
+            if l.signs.len() != cells || l.targets.len() != cells {
+                return Err(FttError::InvalidConfig(format!(
+                    "snapshot layer {li} carries {} signs / {} targets for {} cells",
+                    l.signs.len(),
+                    l.targets.len(),
+                    cells
+                )));
+            }
+            if !(l.w_max.is_finite() && l.w_max > 0.0) {
+                return Err(FttError::InvalidConfig(format!(
+                    "snapshot layer {li} has non-positive w_max {}",
+                    l.w_max
+                )));
+            }
+            if l.tiles.is_empty() || (!l.neg_tiles.is_empty() && l.neg_tiles.len() != l.tiles.len())
+            {
+                return Err(FttError::InvalidConfig(format!(
+                    "snapshot layer {li} has {} positive and {} negative shards",
+                    l.tiles.len(),
+                    l.neg_tiles.len()
+                )));
+            }
+            let as_refs = |shards: &[(usize, usize, usize)]| -> Result<Vec<TileRef>, FttError> {
+                let mut refs = Vec::with_capacity(shards.len());
+                for &(row0, col0, id) in shards {
+                    if chip.tile(id).is_err() {
+                        return Err(FttError::InvalidConfig(format!(
+                            "snapshot layer {li} references unknown tile {id}"
+                        )));
+                    }
+                    if row0 >= l.rows || col0 >= l.cols {
+                        return Err(FttError::InvalidConfig(format!(
+                            "snapshot layer {li} shard origin ({row0},{col0}) is outside \
+                             its {}x{} matrix",
+                            l.rows, l.cols
+                        )));
+                    }
+                    refs.push(TileRef { row0, col0, id });
+                }
+                Ok(refs)
+            };
+            layers.push(MappedLayer {
+                weight_layer: l.weight_layer,
+                layer_index: l.layer_index,
+                rows: l.rows,
+                cols: l.cols,
+                w_max: l.w_max,
+                signs: l.signs.clone(),
+                targets: l.targets.clone(),
+                tiles: as_refs(&l.tiles)?,
+                neg_tiles: as_refs(&l.neg_tiles)?,
+            });
+        }
+        Ok(Self {
+            config,
+            chip,
+            layers,
+        })
     }
 }
 
@@ -1294,6 +1452,134 @@ mod tests {
         for (det, truth) in after.iter().zip(&truth) {
             assert_eq!(&det.predicted, truth);
         }
+    }
+
+    #[test]
+    fn sparing_hands_over_incremental_store() {
+        // Regression: apply_sparing must drop the retired tile's store
+        // (stale aggregates for hardware no shard points at) and
+        // warm-attach one on the verified spare, so post-sparing training
+        // writes land in a journal some store is watching and the next
+        // incremental campaign stays byte-equal to a full sweep.
+        let mut net = mlp();
+        let mut config = MappingConfig::new(MappingScope::EntireNetwork)
+            .with_initial_fault_fraction(0.25)
+            .with_seed(17)
+            .with_spare_tiles(64)
+            .with_retire_fault_density(0.05)
+            .with_endurance(EnduranceModel::new(30.0, 0.0));
+        config.tile_size = 4;
+        let mut mapped = MappedNetwork::from_network(&mut net, config).unwrap();
+        let detector = OnlineFaultDetector::new(DetectorConfig::new(1).unwrap());
+        let mut detections = mapped.detect_incremental(&detector).unwrap();
+        let before: Vec<Vec<usize>> = mapped
+            .layers
+            .iter()
+            .map(|l| l.tiles.iter().map(|t| t.id).collect())
+            .collect();
+        let outcome = mapped.apply_sparing(&detector, &mut detections).unwrap();
+        assert!(outcome.spares_attached > 0, "{outcome:?}");
+        // Locate a shard that was re-pointed at a spare, and wear out its
+        // first cell with repeated post-verify training pulses.
+        let (li, ti) = mapped
+            .layers
+            .iter()
+            .enumerate()
+            .find_map(|(li, l)| {
+                l.tiles
+                    .iter()
+                    .enumerate()
+                    .find(|(ti, t)| before[li][*ti] != t.id)
+                    .map(|(ti, _)| (li, ti))
+            })
+            .unwrap();
+        // The handover itself: the retired slot's store is gone, the spare
+        // carries a warm one with nothing pending (verify covered it).
+        let retired_id = before[li][ti];
+        let new_id = mapped.layers[li].tiles[ti].id;
+        assert!(mapped.chip().slot(retired_id).unwrap().store.is_none());
+        let spare_store = mapped.chip().slot(new_id).unwrap().store.as_ref().unwrap();
+        assert_eq!(spare_store.pending_count(), 0, "verified baseline is warm");
+        let t = mapped.layers[li].tiles[ti];
+        let idx = t.row0 * mapped.layers[li].cols + t.col0;
+        let mut worn = false;
+        for i in 0..80 {
+            let v = if i % 2 == 0 { 0.01 } else { 0.02 };
+            if let WriteOutcome::WoreOut(_) = mapped.write_weight(li, idx, v).unwrap() {
+                worn = true;
+                break;
+            }
+        }
+        assert!(worn, "spare cell should wear out after verification");
+        // Test size 1 is exact over pending cells, so the next incremental
+        // campaign's predictions must match the post-wear ground truth —
+        // the worn cell must have been journaled as pending by the store
+        // the sparing pass attached.
+        let after = mapped.detect_incremental(&detector).unwrap();
+        let truth = mapped.ground_truth();
+        for (det, truth) in after.iter().zip(&truth) {
+            assert_eq!(&det.predicted, truth);
+        }
+    }
+
+    #[test]
+    fn mapped_state_roundtrip_is_behavior_identical() {
+        let mut net = mlp();
+        let mut config = MappingConfig::new(MappingScope::EntireNetwork)
+            .with_initial_fault_fraction(0.25)
+            .with_seed(17)
+            .with_spare_tiles(8)
+            .with_retire_fault_density(0.05);
+        config.tile_size = 4;
+        let mut mapped = MappedNetwork::from_network(&mut net, config.clone()).unwrap();
+        let detector = OnlineFaultDetector::new(DetectorConfig::new(2).unwrap());
+        let mut detections = mapped.detect_incremental(&detector).unwrap();
+        mapped.apply_sparing(&detector, &mut detections).unwrap();
+        mapped.write_weight(0, 3, 0.05).unwrap();
+
+        let state = mapped.export_state();
+        let mut back = MappedNetwork::restore_state(config, &state).unwrap();
+        assert_eq!(back.export_state(), state, "double roundtrip is lossless");
+
+        let mut net_a = mlp();
+        let mut net_b = mlp();
+        mapped.load_effective_weights(&mut net_a).unwrap();
+        back.load_effective_weights(&mut net_b).unwrap();
+        assert_eq!(
+            net_a.layer_params_mut(0).unwrap().weights.to_vec(),
+            net_b.layer_params_mut(0).unwrap().weights.to_vec()
+        );
+        assert_eq!(mapped.ground_truth(), back.ground_truth());
+        // Identical future campaigns: per-tile RNG streams, stores, and
+        // carried baselines all restore mid-sequence.
+        let a = mapped.detect_incremental(&detector).unwrap();
+        let b = back.detect_incremental(&detector).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.predicted, y.predicted);
+            assert_eq!(x.cycles, y.cycles);
+            assert_eq!(x.write_pulses, y.write_pulses);
+        }
+    }
+
+    #[test]
+    fn restore_state_rejects_incoherent_captures() {
+        let mut net = mlp();
+        let config = MappingConfig::new(MappingScope::EntireNetwork).with_seed(3);
+        let mapped = MappedNetwork::from_network(&mut net, config.clone()).unwrap();
+        let good = mapped.export_state();
+        assert!(MappedNetwork::restore_state(config.clone(), &good).is_ok());
+
+        let mut bad = good.clone();
+        bad.layers[0].tiles[0].2 = 999;
+        assert!(MappedNetwork::restore_state(config.clone(), &bad).is_err());
+
+        let mut bad = good.clone();
+        bad.layers[0].targets.pop();
+        assert!(MappedNetwork::restore_state(config.clone(), &bad).is_err());
+
+        let mut bad = good.clone();
+        bad.layers[0].w_max = f64::NAN;
+        assert!(MappedNetwork::restore_state(config, &bad).is_err());
     }
 
     #[test]

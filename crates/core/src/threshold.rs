@@ -284,6 +284,46 @@ impl ThresholdTrainer {
         Ok(report)
     }
 
+    /// Captures the per-cell write ledgers (checkpoint). The policy is
+    /// configuration, not state — pass it back to
+    /// [`ThresholdTrainer::restore_ledgers`] via a fresh trainer.
+    pub fn export_ledgers(&self) -> Vec<Vec<u32>> {
+        self.write_amounts.clone()
+    }
+
+    /// Replaces the ledgers with previously captured ones.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FttError::InvalidConfig`] when the ledger shapes do not
+    /// match the current mapping.
+    pub fn restore_ledgers(
+        &mut self,
+        ledgers: Vec<Vec<u32>>,
+        mapped: &MappedNetwork,
+    ) -> Result<(), FttError> {
+        let layers = mapped.layers();
+        if ledgers.len() != layers.len() {
+            return Err(FttError::InvalidConfig(format!(
+                "{} ledgers for {} mapped layers",
+                ledgers.len(),
+                layers.len()
+            )));
+        }
+        for (pos, (ledger, layer)) in ledgers.iter().zip(layers).enumerate() {
+            if ledger.len() != layer.rows * layer.cols {
+                return Err(FttError::InvalidConfig(format!(
+                    "ledger {pos} holds {} counts for a {}x{} layer",
+                    ledger.len(),
+                    layer.rows,
+                    layer.cols
+                )));
+            }
+        }
+        self.write_amounts = ledgers;
+        Ok(())
+    }
+
     /// Resets the ledgers to match a (re-built) mapping.
     pub fn reset(&mut self, mapped: &MappedNetwork) {
         self.write_amounts = mapped

@@ -505,6 +505,81 @@ impl OffChipStore {
         base
     }
 
+    /// Captures the serializable state of the store (checkpoint).
+    ///
+    /// The cached group aggregates are *not* part of the state: they are a
+    /// derived view rebuilt exactly (integer sums over `stored`) by the
+    /// next [`ensure_aggregates`] call after restore.
+    ///
+    /// [`ensure_aggregates`]: Self::ensure_aggregates
+    pub fn export_state(&self) -> StoreState {
+        StoreState {
+            rows: self.rows,
+            cols: self.cols,
+            levels: self.levels,
+            stored: self.stored.clone(),
+            pending: self.pending.clone(),
+            pending_count: self.pending_count,
+        }
+    }
+
+    /// Rebuilds a store from a previously captured [`StoreState`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RramError::InvalidConfig`] when the state is incoherent:
+    /// zero dimensions, fewer than two levels, array lengths that do not
+    /// match `rows * cols`, a stored level outside the level range, or a
+    /// `pending_count` that disagrees with the popcount of the pending
+    /// mask (the count is maintained in lockstep with the mask, so
+    /// disagreement means the snapshot is corrupt).
+    pub fn restore_state(state: &StoreState) -> Result<Self, RramError> {
+        if state.rows == 0 || state.cols == 0 {
+            return Err(RramError::InvalidConfig(format!(
+                "snapshot store dimensions must be non-zero (got {}x{})",
+                state.rows, state.cols
+            )));
+        }
+        if state.levels < 2 {
+            return Err(RramError::InvalidConfig(format!(
+                "snapshot store needs at least 2 levels (got {})",
+                state.levels
+            )));
+        }
+        let cells = state.rows * state.cols;
+        if state.stored.len() != cells || state.pending.len() != cells {
+            return Err(RramError::InvalidConfig(format!(
+                "snapshot store arrays ({} stored, {} pending) do not match {}x{}",
+                state.stored.len(),
+                state.pending.len(),
+                state.rows,
+                state.cols
+            )));
+        }
+        if let Some(&bad) = state.stored.iter().find(|&&l| l >= state.levels) {
+            return Err(RramError::InvalidConfig(format!(
+                "snapshot store level {bad} outside 0..{}",
+                state.levels
+            )));
+        }
+        let popcount = state.pending.iter().filter(|p| **p).count();
+        if state.pending_count != popcount {
+            return Err(RramError::InvalidConfig(format!(
+                "snapshot pending_count {} disagrees with mask popcount {popcount}",
+                state.pending_count
+            )));
+        }
+        Ok(Self {
+            rows: state.rows,
+            cols: state.cols,
+            levels: state.levels,
+            stored: state.stored.clone(),
+            pending: state.pending.clone(),
+            pending_count: state.pending_count,
+            agg: None,
+        })
+    }
+
     /// Restores every cell whose level differs from the snapshot back to the
     /// stored value (the "recover the training weights" step). Returns the
     /// number of restore writes issued.
@@ -528,6 +603,28 @@ impl OffChipStore {
         }
         Ok(writes)
     }
+}
+
+/// Serializable state of an [`OffChipStore`]; see
+/// [`OffChipStore::export_state`] / [`OffChipStore::restore_state`].
+///
+/// Invariant (checked on restore): `pending_count` equals the popcount of
+/// `pending`. The cached group aggregates are intentionally absent — they
+/// are rebuilt exactly on demand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreState {
+    /// Snapshot rows.
+    pub rows: usize,
+    /// Snapshot columns.
+    pub cols: usize,
+    /// Programmable levels per cell.
+    pub levels: u16,
+    /// Row-major stored (pre-test) levels.
+    pub stored: Vec<u16>,
+    /// Row-major mask of cells awaiting testing.
+    pub pending: Vec<bool>,
+    /// Number of `true` entries in `pending`.
+    pub pending_count: usize,
 }
 
 /// Adds `clamp(stored + delta) - stored` to a group sum without signed
@@ -764,6 +861,70 @@ mod tests {
                 fresh.expected_row_group_sums_cached(range, &candidates, 1),
             );
         }
+    }
+
+    #[test]
+    fn store_state_roundtrip_preserves_everything_observable() {
+        let mut x = programmed_xbar();
+        let mut store = OffChipStore::attach(&mut x);
+        store.clear_pending();
+        x.write_level(0, 0, 6).unwrap();
+        x.nudge(1, 2, -1).unwrap();
+        store.sync_from(&mut x).unwrap();
+        store.ensure_aggregates(2);
+
+        let st = store.export_state();
+        let mut back = OffChipStore::restore_state(&st).unwrap();
+        assert_eq!(store, back);
+        assert_eq!(store.pending_mask(), back.pending_mask());
+        assert_eq!(store.pending_count(), back.pending_count());
+        // Aggregates rebuild exactly (integer sums are order-independent).
+        back.ensure_aggregates(2);
+        let candidates = CandidateMask::all(4, 4);
+        for g in 0..2 {
+            let range = g * 2..(g + 1) * 2;
+            assert_eq!(
+                store.expected_column_group_sums_cached(range.clone(), &candidates, 1),
+                back.expected_column_group_sums_cached(range.clone(), &candidates, 1),
+            );
+            assert_eq!(
+                store.expected_row_group_sums_cached(range.clone(), &candidates, 1),
+                back.expected_row_group_sums_cached(range, &candidates, 1),
+            );
+        }
+        // Double roundtrip is lossless.
+        assert_eq!(back.export_state(), st);
+    }
+
+    #[test]
+    fn restore_state_rejects_incoherent_snapshots() {
+        let mut x = programmed_xbar();
+        let store = OffChipStore::attach(&mut x);
+        let good = store.export_state();
+        assert!(OffChipStore::restore_state(&good).is_ok());
+
+        // Tampered pending_count: the mask/count invariant must hold.
+        let mut bad = good.clone();
+        bad.pending_count += 1;
+        assert!(OffChipStore::restore_state(&bad).is_err());
+
+        // Truncated arrays.
+        let mut bad = good.clone();
+        bad.stored.pop();
+        assert!(OffChipStore::restore_state(&bad).is_err());
+        let mut bad = good.clone();
+        bad.pending.pop();
+        assert!(OffChipStore::restore_state(&bad).is_err());
+
+        // A level outside the range.
+        let mut bad = good.clone();
+        bad.stored[0] = bad.levels;
+        assert!(OffChipStore::restore_state(&bad).is_err());
+
+        // Zero dimensions.
+        let mut bad = good;
+        bad.rows = 0;
+        assert!(OffChipStore::restore_state(&bad).is_err());
     }
 
     #[test]

@@ -140,6 +140,67 @@ impl Dataset {
         })
     }
 
+    /// Resumes a mini-batch stream from a previously captured
+    /// [`BatchStreamState`]: the returned iterator continues the epoch
+    /// exactly where the exported one stopped, drawing the same remaining
+    /// batches and reshuffling with the same RNG stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::error::NnError::InvalidConfig`] when the state does
+    /// not fit this dataset: a different training-split size, a zero or
+    /// oversized batch, an `order` that is not a permutation of the sample
+    /// indices, or a cursor past the end of an epoch.
+    pub fn try_resume_train_batches(
+        &self,
+        state: &BatchStreamState,
+    ) -> Result<TrainBatches<'_>, crate::error::NnError> {
+        if state.train_len != self.train_len() {
+            return Err(crate::error::NnError::InvalidConfig(format!(
+                "batch stream was captured over {} samples, dataset has {}",
+                state.train_len,
+                self.train_len()
+            )));
+        }
+        if state.batch == 0 || state.batch > self.train_len() {
+            return Err(crate::error::NnError::InvalidConfig(format!(
+                "batch {} invalid for {} training samples",
+                state.batch,
+                self.train_len()
+            )));
+        }
+        if state.order.len() != self.train_len() {
+            return Err(crate::error::NnError::InvalidConfig(format!(
+                "order holds {} indices for {} samples",
+                state.order.len(),
+                self.train_len()
+            )));
+        }
+        let mut seen = vec![false; self.train_len()];
+        for &i in &state.order {
+            if i >= self.train_len() || seen[i] {
+                return Err(crate::error::NnError::InvalidConfig(
+                    "order is not a permutation of the sample indices".into(),
+                ));
+            }
+            seen[i] = true;
+        }
+        if state.cursor != usize::MAX && state.cursor > state.order.len() {
+            return Err(crate::error::NnError::InvalidConfig(format!(
+                "cursor {} past the epoch end {}",
+                state.cursor,
+                state.order.len()
+            )));
+        }
+        Ok(TrainBatches {
+            dataset: self,
+            batch: state.batch,
+            order: state.order.clone(),
+            cursor: state.cursor,
+            rng: StdRng::from_state(state.rng),
+        })
+    }
+
     fn gather(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
         let sample_len: usize = self.sample_shape().iter().product();
         let mut data = Vec::with_capacity(indices.len() * sample_len);
@@ -162,6 +223,38 @@ pub struct TrainBatches<'a> {
     order: Vec<usize>,
     cursor: usize,
     rng: StdRng,
+}
+
+impl TrainBatches<'_> {
+    /// Captures the stream's position (checkpoint): the current epoch
+    /// permutation, the cursor into it, and the shuffle RNG state. Feed the
+    /// result to [`Dataset::try_resume_train_batches`] to continue the
+    /// stream exactly where it stopped.
+    pub fn export_state(&self) -> BatchStreamState {
+        BatchStreamState {
+            batch: self.batch,
+            train_len: self.dataset.train_len(),
+            order: self.order.clone(),
+            cursor: self.cursor,
+            rng: self.rng.state(),
+        }
+    }
+}
+
+/// Serializable position of a [`TrainBatches`] stream; see
+/// [`TrainBatches::export_state`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchStreamState {
+    /// Mini-batch size.
+    pub batch: usize,
+    /// Training-split size the stream was captured over.
+    pub train_len: usize,
+    /// The current epoch's sample permutation.
+    pub order: Vec<usize>,
+    /// Cursor into `order` (`usize::MAX` = shuffle before the next batch).
+    pub cursor: usize,
+    /// The shuffle RNG stream (xoshiro256++ state).
+    pub rng: [u64; 4],
 }
 
 impl Iterator for TrainBatches<'_> {
@@ -252,6 +345,53 @@ mod tests {
     fn oversized_batch_panics() {
         let d = tiny();
         let _ = d.train_batches(7);
+    }
+
+    #[test]
+    fn resumed_stream_continues_exactly() {
+        let mut d = tiny();
+        d.set_shuffle_seed(11);
+        // Draw 2 of 7 batches, snapshot, then compare the remaining 5
+        // against an uninterrupted stream (crossing an epoch boundary).
+        let mut full = d.train_batches(2);
+        let mut split = d.train_batches(2);
+        for _ in 0..2 {
+            full.next();
+            split.next();
+        }
+        let state = split.export_state();
+        drop(split);
+        let mut resumed = d.try_resume_train_batches(&state).unwrap();
+        for _ in 0..5 {
+            let (fx, fy) = full.next().unwrap();
+            let (rx, ry) = resumed.next().unwrap();
+            assert_eq!(fx.data(), rx.data());
+            assert_eq!(fy, ry);
+        }
+        // A second export at the same point is identical.
+        assert_eq!(
+            d.try_resume_train_batches(&state).unwrap().export_state(),
+            state
+        );
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_state() {
+        let d = tiny();
+        let good = d.train_batches(2).export_state();
+        assert!(d.try_resume_train_batches(&good).is_ok());
+        let mut bad = good.clone();
+        bad.train_len = 99;
+        assert!(d.try_resume_train_batches(&bad).is_err());
+        let mut bad = good.clone();
+        bad.batch = 0;
+        assert!(d.try_resume_train_batches(&bad).is_err());
+        let mut bad = good.clone();
+        bad.order = vec![0; 6]; // not a permutation
+        assert!(d.try_resume_train_batches(&bad).is_err());
+        let mut bad = good;
+        bad.cursor = 7;
+        assert!(d.try_resume_train_batches(&bad).is_err());
     }
 
     #[test]

@@ -62,7 +62,7 @@ pub use clock::{Clock, LogicalClock, WallClock};
 pub use event::{Confusion, Event, EventKind, LogicalTime, TimedEvent, WritePhase};
 pub use json::JsonObject;
 pub use metrics::{Counter, Gauge, Histogram, Registry, DURATION_BOUNDS_NS};
-pub use recorder::Recorder;
+pub use recorder::{ClockState, Recorder};
 pub use sink::{EventSink, JsonlSink, JsonlView, RingSink, RingView};
 pub use span::SpanGuard;
 

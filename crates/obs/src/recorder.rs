@@ -66,6 +66,22 @@ pub struct Recorder {
     inner: Arc<Inner>,
 }
 
+/// A captured logical clock tail: everything a resumed run needs for its
+/// next emitted event to carry the same stamp the uninterrupted run's
+/// would have. `kind_counts` is indexed by `EventKind as usize` in
+/// [`EventKind::ALL`] order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClockState {
+    /// Current training iteration.
+    pub iteration: u64,
+    /// Cumulative write-pulse count.
+    pub write_pulses: u64,
+    /// Next event's sequence number.
+    pub seq: u64,
+    /// Per-kind emission counts, one per [`EventKind::ALL`] entry.
+    pub kind_counts: Vec<u64>,
+}
+
 impl Default for Recorder {
     fn default() -> Self {
         Self::new()
@@ -182,6 +198,55 @@ impl Recorder {
         self.inner.seq.load(Ordering::Relaxed)
     }
 
+    // ---- checkpoint support --------------------------------------------
+
+    /// Captures the logical clock tail (iteration, cumulative write
+    /// pulses, sequence number, per-kind emission counts) so a resumed
+    /// run can stamp its next event exactly where this one would have.
+    pub fn export_clock_state(&self) -> ClockState {
+        let mut kind_counts = Vec::with_capacity(EventKind::ALL.len());
+        for slot in &self.inner.kind_counts {
+            kind_counts.push(slot.load(Ordering::Relaxed));
+        }
+        ClockState {
+            iteration: self.inner.iteration.load(Ordering::Relaxed),
+            write_pulses: self.inner.write_pulses.load(Ordering::Relaxed),
+            seq: self.inner.seq.load(Ordering::Relaxed),
+            kind_counts,
+        }
+    }
+
+    /// Restores a clock tail captured by [`Recorder::export_clock_state`].
+    ///
+    /// Rejects states whose per-kind count vector does not cover exactly
+    /// the event kinds this build knows about, and states whose per-kind
+    /// counts sum to more than `seq` (every emission bumps both).
+    pub fn restore_clock_state(&self, state: &ClockState) -> Result<(), String> {
+        if state.kind_counts.len() != EventKind::ALL.len() {
+            return Err(format!(
+                "clock state has {} kind counts, this build expects {}",
+                state.kind_counts.len(),
+                EventKind::ALL.len()
+            ));
+        }
+        let total: u64 = state.kind_counts.iter().sum();
+        if total > state.seq {
+            return Err(format!(
+                "clock state kind counts sum to {total} but seq is {}",
+                state.seq
+            ));
+        }
+        self.inner.iteration.store(state.iteration, Ordering::Relaxed);
+        self.inner
+            .write_pulses
+            .store(state.write_pulses, Ordering::Relaxed);
+        self.inner.seq.store(state.seq, Ordering::Relaxed);
+        for (slot, &count) in self.inner.kind_counts.iter().zip(&state.kind_counts) {
+            slot.store(count, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
     // ---- metrics & spans ----------------------------------------------
 
     /// The recorder's metrics registry.
@@ -243,6 +308,7 @@ impl Recorder {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::sink::{JsonlSink, RingSink};
@@ -307,6 +373,53 @@ mod tests {
         assert_eq!(seqs.len(), 3);
         assert!(seqs[0].contains("\"seq\":0"));
         assert!(seqs[2].contains("\"seq\":2"));
+    }
+
+    #[test]
+    fn clock_state_roundtrip_resumes_stamps_exactly() {
+        let rec = Recorder::deterministic();
+        rec.set_iteration(7);
+        rec.set_write_pulses(190);
+        rec.emit(Event::DetectionCampaignStart { campaign: 1 });
+        rec.emit(Event::WearFault {
+            new_faults: 2,
+            total_faults: 2,
+        });
+        let state = rec.export_clock_state();
+
+        let fresh = Recorder::deterministic();
+        fresh.restore_clock_state(&state).unwrap();
+        assert_eq!(fresh.export_clock_state(), state);
+
+        // The next event on both recorders carries the same stamp.
+        let (a, b) = (RingSink::new(4), RingSink::new(4));
+        let (va, vb) = (a.view(), b.view());
+        rec.add_sink(Box::new(a));
+        fresh.add_sink(Box::new(b));
+        rec.emit(Event::DetectionCampaignStart { campaign: 2 });
+        fresh.emit(Event::DetectionCampaignStart { campaign: 2 });
+        assert_eq!(va.snapshot()[0].at, vb.snapshot()[0].at);
+        assert_eq!(
+            fresh.events_of_kind(EventKind::DetectionCampaignStart),
+            rec.events_of_kind(EventKind::DetectionCampaignStart)
+        );
+    }
+
+    #[test]
+    fn clock_state_restore_rejects_incoherent_states() {
+        let rec = Recorder::deterministic();
+        rec.emit(Event::DetectionCampaignStart { campaign: 1 });
+        let good = rec.export_clock_state();
+
+        let mut short = good.clone();
+        short.kind_counts.pop();
+        assert!(Recorder::deterministic().restore_clock_state(&short).is_err());
+
+        let mut inflated = good.clone();
+        inflated.kind_counts[0] += 10;
+        assert!(Recorder::deterministic()
+            .restore_clock_state(&inflated)
+            .is_err());
     }
 
     #[test]

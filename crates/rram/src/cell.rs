@@ -226,6 +226,45 @@ impl RramCell {
         self.write_level(target, variation_noise)
     }
 
+    /// The raw stored level, ignoring any fault pin (checkpointing only —
+    /// use [`RramCell::level`] for the externally observable value).
+    pub fn raw_level(&self) -> u16 {
+        self.level
+    }
+
+    /// The raw analog conductance, ignoring any fault pin (checkpointing
+    /// only — use [`RramCell::conductance`] for the observable value).
+    pub fn raw_analog(&self) -> f64 {
+        self.analog
+    }
+
+    /// Reconstructs a cell from previously captured raw state
+    /// (checkpoint restore). The raw level/analog persist underneath a
+    /// stuck-at pin, so restoring them exactly keeps the device
+    /// bit-identical to the snapshotted one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels < 2` (same contract as [`RramCell::new`]).
+    pub fn from_raw_parts(
+        levels: u16,
+        level: u16,
+        analog: f64,
+        state: FaultState,
+        endurance_left: u64,
+        writes: u64,
+    ) -> Self {
+        assert!(levels >= 2, "a cell needs at least 2 levels");
+        Self {
+            levels,
+            level: level.min(levels - 1),
+            analog: analog.clamp(0.0, 1.0),
+            state,
+            endurance_left,
+            writes,
+        }
+    }
+
     /// Whether the endurance budget has been exhausted.
     pub fn is_worn_out(&self) -> bool {
         self.endurance_left == 0

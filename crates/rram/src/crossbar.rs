@@ -962,6 +962,167 @@ impl Crossbar {
         }
         self.dirty.clear();
     }
+
+    /// Captures the complete serializable state of the array (checkpoint).
+    ///
+    /// The conductance planes and the `dirty_marked` flags are *not* part
+    /// of the state: both are derived views ( `plane64[i] ==
+    /// cells[i].conductance()` exactly, `plane32` its defined narrowing,
+    /// `dirty_marked[i] ⇔ i ∈ dirty` ) and are rebuilt on restore.
+    /// Telemetry handles are not captured either; re-attach with
+    /// [`Crossbar::attach_recorder`] after restoring.
+    pub fn export_state(&self) -> CrossbarState {
+        CrossbarState {
+            rows: self.rows,
+            cols: self.cols,
+            levels: self.levels,
+            cells: self
+                .cells
+                .iter()
+                .map(|c| CellState {
+                    level: c.raw_level(),
+                    analog: c.raw_analog(),
+                    state: c.state(),
+                    endurance_left: c.endurance_left(),
+                    writes: c.writes(),
+                })
+                .collect(),
+            rng: self.rng.state(),
+            write_pulses: self.write_pulses,
+            wear_faults: self.wear_faults,
+            dirty: self.dirty.clone(),
+        }
+    }
+
+    /// Rebuilds an array from a previously captured [`CrossbarState`].
+    ///
+    /// `endurance` and `variation` are configuration (not state) and come
+    /// from the caller, exactly as at build time. The conductance planes
+    /// and `dirty_marked` are reconstructed from the cells and the journal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RramError::InvalidConfig`] when the state is incoherent:
+    /// zero dimensions, fewer than two levels, a cell count that does not
+    /// match `rows * cols`, or a dirty journal with out-of-bounds or
+    /// duplicate entries (the journal is deduplicated by construction, so
+    /// disagreement means the snapshot is corrupt).
+    pub fn restore_state(
+        state: &CrossbarState,
+        endurance: EnduranceModel,
+        variation: WriteVariation,
+    ) -> Result<Self, RramError> {
+        if state.rows == 0 || state.cols == 0 {
+            return Err(RramError::InvalidConfig(format!(
+                "snapshot crossbar dimensions must be non-zero (got {}x{})",
+                state.rows, state.cols
+            )));
+        }
+        if state.levels < 2 {
+            return Err(RramError::InvalidConfig(format!(
+                "snapshot needs at least 2 levels (got {})",
+                state.levels
+            )));
+        }
+        let cell_count = state.rows * state.cols;
+        if state.cells.len() != cell_count {
+            return Err(RramError::InvalidConfig(format!(
+                "snapshot has {} cells for a {}x{} array",
+                state.cells.len(),
+                state.rows,
+                state.cols
+            )));
+        }
+        let cells: Vec<RramCell> = state
+            .cells
+            .iter()
+            .map(|c| {
+                RramCell::from_raw_parts(
+                    state.levels,
+                    c.level,
+                    c.analog,
+                    c.state,
+                    c.endurance_left,
+                    c.writes,
+                )
+            })
+            .collect();
+        let plane64: Vec<f64> = cells.iter().map(|c| c.conductance()).collect();
+        // CAST-OK: same defined narrowing as the builder's plane init.
+        let plane32: Vec<f32> = plane64.iter().map(|&g| g as f32).collect();
+        let mut dirty_marked = vec![false; cell_count];
+        for &i in &state.dirty {
+            if i >= cell_count {
+                return Err(RramError::InvalidConfig(format!(
+                    "dirty journal entry {i} out of bounds for {cell_count} cells"
+                )));
+            }
+            if dirty_marked[i] {
+                return Err(RramError::InvalidConfig(format!(
+                    "dirty journal entry {i} duplicated — journal and marks disagree"
+                )));
+            }
+            dirty_marked[i] = true;
+        }
+        Ok(Self {
+            rows: state.rows,
+            cols: state.cols,
+            levels: state.levels,
+            cells,
+            plane32,
+            plane64,
+            endurance,
+            variation,
+            rng: StdRng::from_state(state.rng),
+            write_pulses: state.write_pulses,
+            wear_faults: state.wear_faults,
+            dirty_marked,
+            dirty: state.dirty.clone(),
+            metrics: None,
+        })
+    }
+}
+
+/// Raw serializable state of one cell; see [`Crossbar::export_state`].
+///
+/// `level`/`analog` are the *raw* stored values (a stuck cell keeps its
+/// pre-fault value underneath the pin), so a restored cell is bit-identical
+/// to the snapshotted one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellState {
+    /// Raw programmed level (unpinned).
+    pub level: u16,
+    /// Raw analog conductance (unpinned).
+    pub analog: f64,
+    /// Health state.
+    pub state: FaultState,
+    /// Remaining write budget.
+    pub endurance_left: u64,
+    /// Effective writes performed.
+    pub writes: u64,
+}
+
+/// Complete serializable state of a [`Crossbar`]; see
+/// [`Crossbar::export_state`] / [`Crossbar::restore_state`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossbarState {
+    /// Rows (word lines).
+    pub rows: usize,
+    /// Columns (bit lines).
+    pub cols: usize,
+    /// Programmable levels per cell.
+    pub levels: u16,
+    /// Row-major raw cell states.
+    pub cells: Vec<CellState>,
+    /// The write-noise / wear-out RNG stream (xoshiro256++ state).
+    pub rng: [u64; 4],
+    /// Total write pulses issued.
+    pub write_pulses: u64,
+    /// Wear-out faults accumulated.
+    pub wear_faults: u64,
+    /// Dirty-cell journal in first-touch order (`dirty_marked` is rebuilt
+    /// from this on restore).
+    pub dirty: Vec<usize>,
 }
 
 #[cfg(test)]
@@ -1240,6 +1401,66 @@ mod tests {
         assert!(x.write_verified(0, 0, 0.5, 0.0, 10).is_err());
         assert!(x.write_verified(0, 0, 0.5, 0.01, 0).is_err());
         assert!(x.write_verified(5, 0, 0.5, 0.01, 10).is_err());
+    }
+
+    #[test]
+    fn state_roundtrip_is_bit_identical() {
+        let mut x = CrossbarBuilder::new(6, 5)
+            .variation(WriteVariation::new(0.03))
+            .endurance(EnduranceModel::new(20.0, 5.0))
+            .initial_faults(SpatialDistribution::Uniform, 0.2)
+            .seed(11)
+            .build()
+            .unwrap();
+        for r in 0..6 {
+            for c in 0..5 {
+                x.write_level(r, c, ((r * 5 + c) % 8) as u16).unwrap();
+            }
+        }
+        x.clear_dirty();
+        x.nudge(1, 2, 1).unwrap();
+        let st = x.export_state();
+        let mut y =
+            Crossbar::restore_state(&st, EnduranceModel::new(20.0, 5.0), WriteVariation::new(0.03))
+                .unwrap();
+        assert_eq!(x.conductance_plane_f64(), y.conductance_plane_f64());
+        assert_eq!(x.conductance_plane(), y.conductance_plane());
+        assert_eq!(x.dirty_cells(), y.dirty_cells());
+        assert_eq!(x.write_pulses(), y.write_pulses());
+        assert_eq!(x.wear_faults(), y.wear_faults());
+        assert_eq!(x.fault_map(), y.fault_map());
+        // Same forward RNG stream: identical writes produce identical state.
+        for i in 0..10 {
+            let a = x.write_level(i % 6, (i * 3) % 5, (i % 8) as u16).unwrap();
+            let b = y.write_level(i % 6, (i * 3) % 5, (i % 8) as u16).unwrap();
+            assert_eq!(a, b);
+        }
+        assert_eq!(x.conductance_plane_f64(), y.conductance_plane_f64());
+        assert_eq!(x.export_state(), y.export_state());
+    }
+
+    #[test]
+    fn restore_rejects_incoherent_state() {
+        let x = small();
+        let good = x.export_state();
+        let mut bad = good.clone();
+        bad.cells.pop();
+        assert!(
+            Crossbar::restore_state(&bad, EnduranceModel::unlimited(), WriteVariation::none())
+                .is_err()
+        );
+        let mut bad = good.clone();
+        bad.dirty = vec![999];
+        assert!(
+            Crossbar::restore_state(&bad, EnduranceModel::unlimited(), WriteVariation::none())
+                .is_err()
+        );
+        let mut bad = good;
+        bad.dirty = vec![1, 1];
+        assert!(
+            Crossbar::restore_state(&bad, EnduranceModel::unlimited(), WriteVariation::none())
+                .is_err()
+        );
     }
 
     #[test]

@@ -217,6 +217,22 @@ pub mod rngs {
     }
 
     impl StdRng {
+        /// The raw xoshiro256++ state, for checkpoint serialization.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a previously captured [`StdRng::state`].
+        ///
+        /// An all-zero state (the generator's fixed point) is replaced with
+        /// the SplitMix64 increment, matching `seed_from_u64`'s guard.
+        pub fn from_state(mut s: [u64; 4]) -> Self {
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            Self { s }
+        }
+
         #[inline]
         fn splitmix64(state: &mut u64) -> u64 {
             *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);

@@ -20,9 +20,10 @@
 //! byte-identical at any `RRAM_FTT_THREADS`.
 
 use faultdet::detector::{DetectionOutcome, OnlineFaultDetector};
-use faultdet::reference::OffChipStore;
-use rram::crossbar::{Crossbar, CrossbarBuilder};
+use faultdet::reference::{OffChipStore, StoreState};
+use rram::crossbar::{Crossbar, CrossbarBuilder, CrossbarState};
 use rram::endurance::EnduranceModel;
+use rram::fault::{FaultKind, FaultMap};
 use rram::spatial::FaultInjection;
 use rram::variation::WriteVariation;
 use rram::RramError;
@@ -555,6 +556,46 @@ impl TiledChip {
         Ok(SpareOutcome::Attached { new_id })
     }
 
+    /// Hands the incremental-detection reference state over from a retired
+    /// tile to its spare: drops the retired slot's [`OffChipStore`] (it
+    /// describes an array no campaign will ever read again — a warm
+    /// `run_incremental` must never serve its cached aggregates) and, when
+    /// the retired tile *was* running incrementally and the spare already
+    /// passed a verification campaign, attaches a fresh store to the spare
+    /// with nothing pending, so the next incremental campaign starts warm
+    /// from the verified baseline instead of paying a full re-test.
+    ///
+    /// Full-mode tiles (no store) are untouched. Call after reprogramming
+    /// and verifying the spare (see `apply_sparing` in `ftt-core`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TileError::UnknownTile`] for invalid ids.
+    pub fn refresh_spare_store(
+        &mut self,
+        retired_id: usize,
+        new_id: usize,
+    ) -> Result<(), TileError> {
+        if new_id >= self.slots.len() {
+            return Err(TileError::UnknownTile { id: new_id });
+        }
+        let retired_slot = self
+            .slots
+            .get_mut(retired_id)
+            .ok_or(TileError::UnknownTile { id: retired_id })?;
+        let was_incremental = retired_slot.store.take().is_some();
+        // PANIC-OK: `new_id` was bounds-checked above.
+        #[allow(clippy::indexing_slicing)]
+        let spare = &mut self.slots[new_id];
+        if was_incremental && spare.last_detection.is_some() && spare.last_campaign_error.is_none()
+        {
+            let mut store = OffChipStore::attach(&mut spare.xbar);
+            store.clear_pending();
+            spare.store = Some(store);
+        }
+        Ok(())
+    }
+
     /// Total write pulses over *all* slots, retired included (the chip's
     /// logical write-pulse clock must be monotonic across retirement).
     pub fn total_write_pulses(&self) -> u64 {
@@ -571,6 +612,205 @@ impl TiledChip {
     pub fn health_report(&self) -> Vec<TileHealth> {
         self.slots.iter().map(TileHealth::from_slot).collect()
     }
+
+    /// Captures the complete serializable state of the chip (checkpoint).
+    ///
+    /// [`TileHealth`] is a derived view and is not captured; telemetry
+    /// handles are not captured either (re-attach with
+    /// [`TiledChip::attach_recorder`] after restoring). A pending
+    /// `last_campaign_error` is dropped: at a healthy iteration boundary it
+    /// is `None` (successful campaigns clear it), and errors are not
+    /// actionable across a process restart.
+    pub fn export_state(&self) -> ChipState {
+        ChipState {
+            slots: self
+                .slots
+                .iter()
+                .map(|s| TileSlotState {
+                    id: s.id,
+                    xbar: s.xbar.export_state(),
+                    retired: s.retired,
+                    spare_origin: s.spare_origin,
+                    last_detection: s.last_detection.as_ref().map(DetectionState::from_outcome),
+                    store: s.store.as_ref().map(OffChipStore::export_state),
+                })
+                .collect(),
+            tile_counter: self.tile_counter,
+            spares_remaining: self.spares_remaining,
+            spares_attached: self.spares_attached,
+        }
+    }
+
+    /// Rebuilds a chip from a previously captured [`ChipState`].
+    ///
+    /// `config` is configuration (not state) and comes from the caller,
+    /// exactly as at build time — including the device models handed to
+    /// each restored tile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TileError::InvalidConfig`] when the state is incoherent
+    /// (slot ids out of order, a spare origin pointing at no slot, stores
+    /// or detection maps whose dimensions disagree with their tile), and
+    /// propagates device-layer restore errors.
+    pub fn restore_state(config: ChipConfig, state: &ChipState) -> Result<Self, TileError> {
+        config.validate()?;
+        let mut slots = Vec::with_capacity(state.slots.len());
+        for (i, s) in state.slots.iter().enumerate() {
+            if s.id != i {
+                return Err(TileError::InvalidConfig(format!(
+                    "snapshot slot {i} carries id {} — slots must be id-ordered",
+                    s.id
+                )));
+            }
+            if let Some(origin) = s.spare_origin {
+                if origin >= state.slots.len() {
+                    return Err(TileError::InvalidConfig(format!(
+                        "snapshot slot {i} spare origin {origin} out of range"
+                    )));
+                }
+            }
+            let xbar = Crossbar::restore_state(&s.xbar, config.endurance, config.variation)
+                .map_err(TileError::Rram)?;
+            let last_detection = match &s.last_detection {
+                Some(d) => Some(d.to_outcome(xbar.rows(), xbar.cols())?),
+                None => None,
+            };
+            let store = match &s.store {
+                Some(st) => {
+                    if st.rows != xbar.rows() || st.cols != xbar.cols() {
+                        return Err(TileError::InvalidConfig(format!(
+                            "snapshot slot {i} store is {}x{} for a {}x{} tile",
+                            st.rows,
+                            st.cols,
+                            xbar.rows(),
+                            xbar.cols()
+                        )));
+                    }
+                    Some(OffChipStore::restore_state(st).map_err(TileError::Rram)?)
+                }
+                None => None,
+            };
+            slots.push(TileSlot {
+                id: s.id,
+                xbar,
+                retired: s.retired,
+                spare_origin: s.spare_origin,
+                last_detection,
+                last_campaign_error: None,
+                store,
+            });
+        }
+        Ok(TiledChip {
+            config,
+            slots,
+            tile_counter: state.tile_counter,
+            spares_remaining: state.spares_remaining,
+            spares_attached: state.spares_attached,
+            metrics: None,
+        })
+    }
+}
+
+/// Serializable form of a [`DetectionOutcome`]; the predicted map is
+/// stored as its faulty-cell list and rebuilt against the tile geometry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectionState {
+    /// Faulty cells of the predicted map: `(row, col, kind)`.
+    pub faults: Vec<(usize, usize, FaultKind)>,
+    /// See [`DetectionOutcome::sa0_cycles`].
+    pub sa0_cycles: u64,
+    /// See [`DetectionOutcome::sa1_cycles`].
+    pub sa1_cycles: u64,
+    /// See [`DetectionOutcome::write_pulses`].
+    pub write_pulses: u64,
+    /// See [`DetectionOutcome::sa0_candidates`].
+    pub sa0_candidates: usize,
+    /// See [`DetectionOutcome::sa1_candidates`].
+    pub sa1_candidates: usize,
+    /// See [`DetectionOutcome::untested_groups`].
+    pub untested_groups: u64,
+    /// See [`DetectionOutcome::store_read_cells`].
+    pub store_read_cells: u64,
+    /// See [`DetectionOutcome::store_read_cycles`].
+    pub store_read_cycles: u64,
+}
+
+impl DetectionState {
+    /// Captures an outcome.
+    pub fn from_outcome(o: &DetectionOutcome) -> Self {
+        DetectionState {
+            faults: o.predicted.iter_faulty().collect(),
+            sa0_cycles: o.sa0_cycles,
+            sa1_cycles: o.sa1_cycles,
+            write_pulses: o.write_pulses,
+            sa0_candidates: o.sa0_candidates,
+            sa1_candidates: o.sa1_candidates,
+            untested_groups: o.untested_groups,
+            store_read_cells: o.store_read_cells,
+            store_read_cycles: o.store_read_cycles,
+        }
+    }
+
+    /// Rebuilds the outcome against the tile's geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TileError::InvalidConfig`] for out-of-bounds fault
+    /// coordinates.
+    pub fn to_outcome(&self, rows: usize, cols: usize) -> Result<DetectionOutcome, TileError> {
+        let mut predicted = FaultMap::healthy(rows, cols);
+        for &(r, c, kind) in &self.faults {
+            if r >= rows || c >= cols {
+                return Err(TileError::InvalidConfig(format!(
+                    "snapshot detection fault ({r}, {c}) outside {rows}x{cols}"
+                )));
+            }
+            predicted.set(r, c, Some(kind));
+        }
+        Ok(DetectionOutcome {
+            predicted,
+            sa0_cycles: self.sa0_cycles,
+            sa1_cycles: self.sa1_cycles,
+            write_pulses: self.write_pulses,
+            sa0_candidates: self.sa0_candidates,
+            sa1_candidates: self.sa1_candidates,
+            untested_groups: self.untested_groups,
+            store_read_cells: self.store_read_cells,
+            store_read_cycles: self.store_read_cycles,
+        })
+    }
+}
+
+/// Serializable state of one [`TileSlot`]; see [`TiledChip::export_state`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TileSlotState {
+    /// Chip-global tile id (must equal the slot's position).
+    pub id: usize,
+    /// The physical array's state.
+    pub xbar: CrossbarState,
+    /// Whether the tile is retired.
+    pub retired: bool,
+    /// When a spare, the id of the replaced tile.
+    pub spare_origin: Option<usize>,
+    /// Last campaign outcome, if any.
+    pub last_detection: Option<DetectionState>,
+    /// Persistent incremental-detection store, if attached.
+    pub store: Option<StoreState>,
+}
+
+/// Complete serializable state of a [`TiledChip`]; see
+/// [`TiledChip::export_state`] / [`TiledChip::restore_state`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipState {
+    /// Every slot ever allocated, in id order (retired included).
+    pub slots: Vec<TileSlotState>,
+    /// The chip-global allocation counter (drives per-tile seeds).
+    pub tile_counter: u64,
+    /// Spares left in the pool.
+    pub spares_remaining: usize,
+    /// Spares attached so far.
+    pub spares_attached: u64,
 }
 
 #[cfg(test)]
@@ -729,6 +969,120 @@ mod tests {
             c.total_write_pulses() >= before,
             "retired pulses stay counted"
         );
+    }
+
+    #[test]
+    fn chip_state_roundtrip_is_lossless() {
+        let injection = FaultInjection::new(SpatialDistribution::Uniform, 0.15).unwrap();
+        let cfg = ChipConfig::new(8, 8, 21)
+            .with_injection(injection)
+            .with_spare_tiles(2)
+            .with_retire_fault_density(0.5);
+        let mut c = TiledChip::new(cfg).unwrap();
+        let a = c.allocate(8, 8).unwrap();
+        let b = c.allocate(6, 8).unwrap();
+        let det = OnlineFaultDetector::new(DetectorConfig::new(2).unwrap());
+        c.run_campaigns_incremental(&det, &[a, b]);
+        c.tile_mut(a).unwrap().write_level(0, 0, 5).unwrap();
+        c.substitute(b).unwrap();
+
+        let st = c.export_state();
+        let mut back = TiledChip::restore_state(cfg, &st).unwrap();
+        assert_eq!(back.slot_count(), c.slot_count());
+        assert_eq!(back.active_ids(), c.active_ids());
+        assert_eq!(back.spares_remaining(), c.spares_remaining());
+        assert_eq!(back.spares_attached(), c.spares_attached());
+        assert_eq!(back.total_write_pulses(), c.total_write_pulses());
+        assert_eq!(back.export_state(), st, "double roundtrip is lossless");
+
+        // Identical future behavior: the same incremental campaign on both
+        // chips produces identical stats and predictions.
+        c.tile_mut(a).unwrap().write_level(1, 1, 3).unwrap();
+        back.tile_mut(a).unwrap().write_level(1, 1, 3).unwrap();
+        let s1 = c.run_campaigns_incremental(&det, &[a]);
+        let s2 = back.run_campaigns_incremental(&det, &[a]);
+        assert_eq!(s1, s2);
+        assert_eq!(
+            c.slot(a).unwrap().last_detection.as_ref().map(|d| &d.predicted),
+            back.slot(a)
+                .unwrap()
+                .last_detection
+                .as_ref()
+                .map(|d| &d.predicted)
+        );
+    }
+
+    #[test]
+    fn restore_state_rejects_incoherent_chips() {
+        let cfg = ChipConfig::new(8, 8, 3);
+        let mut c = TiledChip::new(cfg).unwrap();
+        c.allocate(4, 4).unwrap();
+        let good = c.export_state();
+        assert!(TiledChip::restore_state(cfg, &good).is_ok());
+
+        let mut bad = good.clone();
+        bad.slots[0].id = 7;
+        assert!(TiledChip::restore_state(cfg, &bad).is_err());
+
+        let mut bad = good.clone();
+        bad.slots[0].spare_origin = Some(9);
+        assert!(TiledChip::restore_state(cfg, &bad).is_err());
+
+        let mut bad = good;
+        bad.slots[0].last_detection = Some(DetectionState {
+            faults: vec![(99, 0, rram::fault::FaultKind::StuckAt0)],
+            sa0_cycles: 0,
+            sa1_cycles: 0,
+            write_pulses: 0,
+            sa0_candidates: 0,
+            sa1_candidates: 0,
+            untested_groups: 0,
+            store_read_cells: 0,
+            store_read_cycles: 0,
+        });
+        assert!(TiledChip::restore_state(cfg, &bad).is_err());
+    }
+
+    #[test]
+    fn refresh_spare_store_hands_over_incremental_state() {
+        let injection = FaultInjection::new(SpatialDistribution::Uniform, 0.3).unwrap();
+        let mut c = TiledChip::new(
+            ChipConfig::new(8, 8, 5)
+                .with_injection(injection)
+                .with_spare_tiles(1),
+        )
+        .unwrap();
+        let id = c.allocate(8, 8).unwrap();
+        let det = OnlineFaultDetector::new(DetectorConfig::new(2).unwrap());
+        c.run_campaigns_incremental(&det, &[id]);
+        assert!(c.slot(id).unwrap().store.is_some());
+
+        let SpareOutcome::Attached { new_id } = c.substitute(id).unwrap() else {
+            panic!("spare available");
+        };
+        // The retired slot still holds its store until the handover.
+        assert!(c.slot(id).unwrap().store.is_some());
+        // Verify the spare (as apply_sparing does), then hand over.
+        c.run_campaigns(&det, &[new_id]);
+        c.refresh_spare_store(id, new_id).unwrap();
+        assert!(c.slot(id).unwrap().store.is_none(), "stale store dropped");
+        let spare_store = c.slot(new_id).unwrap().store.as_ref().unwrap();
+        assert_eq!(spare_store.pending_count(), 0, "verified baseline is warm");
+        assert!(c.refresh_spare_store(id, 99).is_err());
+        assert!(c.refresh_spare_store(99, new_id).is_err());
+    }
+
+    #[test]
+    fn refresh_spare_store_skips_full_mode_tiles() {
+        let mut c = chip(1);
+        let id = c.allocate(4, 4).unwrap();
+        let SpareOutcome::Attached { new_id } = c.substitute(id).unwrap() else {
+            panic!("spare available");
+        };
+        let det = OnlineFaultDetector::new(DetectorConfig::new(1).unwrap());
+        c.run_campaigns(&det, &[new_id]);
+        c.refresh_spare_store(id, new_id).unwrap();
+        assert!(c.slot(new_id).unwrap().store.is_none(), "full mode: no store");
     }
 
     #[test]

@@ -35,7 +35,10 @@ pub mod health;
 pub mod mapping;
 pub mod schedule;
 
-pub use chip::{CampaignStats, ChipConfig, SpareOutcome, TileSlot, TiledChip};
+pub use chip::{
+    CampaignStats, ChipConfig, ChipState, DetectionState, SpareOutcome, TileSlot, TileSlotState,
+    TiledChip,
+};
 pub use error::TileError;
 pub use geometry::{Shard, ShardGrid};
 pub use health::TileHealth;

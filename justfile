@@ -45,8 +45,15 @@ chaos:
 # (--lib builds without cfg(test)). Includes ftt-lint so the linter
 # obeys its own panic policy.
 clippy-unwrap:
-    cargo clippy -p obs -p par -p rram -p nn -p faultdet -p ftt-tile -p ftt-core -p chaos -p ftt-lint --lib -- \
+    cargo clippy -p obs -p par -p rram -p nn -p faultdet -p ftt-tile -p ftt-core -p ftt-snapshot -p chaos -p ftt-lint --lib -- \
         -D warnings -D clippy::unwrap_used -D clippy::expect_used
+
+# Snapshot/restore gate (DESIGN.md §12): kill a seeded run at an iteration
+# boundary, serialize, resume in a fresh recorder, and require the stitched
+# JSONL trace and final stats to match the uninterrupted run exactly —
+# in both detection modes (full-sweep and incremental).
+snapshot-check:
+    cargo run --release -p ftt-snapshot --bin snapshot_check
 
 # Static-analysis gate (DESIGN.md §10): the ftt-lint check catalog (P1
 # panic policy, D1 determinism, F1 float soundness, S1 unsafe audit,
