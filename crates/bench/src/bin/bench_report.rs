@@ -315,6 +315,95 @@ fn main() {
         push(&mut records, "group_sums_512", size, ns);
     }
 
+    // --- Serve scheduler: batched vs unbatched MVM passes ----------------
+    // The service's whole reason to batch: `B` queued requests through one
+    // `mvm_batch` pass against the same `B` requests as single `mvm` calls
+    // on the same programmed mapping. Identical math, shared plane reads.
+    let serve_sizes: &[usize] = if quick { &[128] } else { &[256, 512] };
+    let serve_batch = 8usize;
+    for &size in serve_sizes {
+        let chip_cfg = ftt_tile::ChipConfig::new(64, 8, 17);
+        let mut chip = ftt_tile::TiledChip::new(chip_cfg).expect("valid chip");
+        let mapping =
+            ftt_tile::TiledMapping::allocate(&mut chip, size, size).expect("serve mapping");
+        let mut rng = rram::rng::sim_rng(17);
+        let targets: Vec<f64> = (0..size * size).map(|_| rng.gen_range(0.0..1.0)).collect();
+        mapping.program(&mut chip, &targets).expect("program");
+        let inputs: Vec<f32> = (0..serve_batch * size)
+            .map(|i| (i as f32 * 0.43).sin())
+            .collect();
+        let ns = time_ns(
+            || {
+                drop(black_box(
+                    mapping
+                        .mvm_batch(&chip, black_box(&inputs), serve_batch)
+                        .unwrap(),
+                ))
+            },
+            batch_ms,
+            samples,
+        );
+        push(&mut records, "serve_batched_mvm_b8", size, ns);
+        let ns = time_ns(
+            || {
+                for sample in inputs.chunks(size) {
+                    drop(black_box(mapping.mvm(&chip, black_box(sample)).unwrap()));
+                }
+            },
+            batch_ms,
+            samples,
+        );
+        push(&mut records, "serve_unbatched_mvm_b8", size, ns);
+    }
+
+    // --- Serve admission latency (logical ticks, not nanoseconds) --------
+    // Drives the seeded reference deployment and reports the mean
+    // admitted-to-completed wait from the service's own histogram. The
+    // record reuses the `ns_per_iter` field to carry *ticks* (size = the
+    // request count) — the JSON schema stays uniform and the name makes
+    // the unit explicit.
+    {
+        let mut svc = ftt_serve::Service::new(ftt_serve::scenario::reference_config(17))
+            .expect("service");
+        use ftt_serve::tenant::TenantSpec;
+        svc.register(TenantSpec::Inference(ftt_serve::InferenceSpec {
+            name: "bench".into(),
+            rows: 48,
+            cols: 12,
+            weight_seed: 17,
+            tile_quota: 12,
+        }))
+        .expect("register");
+        let mut wl = ftt_serve::WorkloadGen::new(
+            17,
+            ftt_serve::WorkloadSpec {
+                base_rate: 3,
+                lull_start: 10,
+                lull_end: 14,
+                burst_tick: Some(5),
+                burst_size: 12,
+            },
+        );
+        for tick in 0..28u64 {
+            for input in wl.requests_for_tick(tick, 48) {
+                let _ = svc.submit("bench", input);
+            }
+            svc.tick().expect("tick");
+        }
+        svc.drain(50).expect("drain");
+        let wait = svc
+            .recorder()
+            .registry()
+            .histogram_handle("serve_admission_wait_ticks")
+            .expect("wait histogram");
+        push(
+            &mut records,
+            "serve_admission_wait_ticks_mean",
+            wait.count() as usize,
+            wait.mean(),
+        );
+    }
+
     // --- Tensor matmul (forward-pass substrate) --------------------------
     let matmul_sizes: &[usize] = if quick { &[64] } else { &[128, 256] };
     for &size in matmul_sizes {
@@ -425,6 +514,16 @@ fn main() {
         eprintln!(
             "detection Tr=16 sweep 512²: batched kernel speedup {:.2}x over per-line walks",
             scalar / batched
+        );
+    }
+    if let (Some(batched), Some(unbatched)) = (
+        find("serve_batched_mvm_b8", serve_sizes[serve_sizes.len() - 1]),
+        find("serve_unbatched_mvm_b8", serve_sizes[serve_sizes.len() - 1]),
+    ) {
+        eprintln!(
+            "serve {}² batch 8: shared MVM pass {:.2}x over per-request calls",
+            serve_sizes[serve_sizes.len() - 1],
+            unbatched / batched
         );
     }
     if let (Some(full), Some(inc)) = (

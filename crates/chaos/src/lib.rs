@@ -181,6 +181,7 @@ pub fn run_all(seed: u64) -> ChaosReport {
         families::tiling(seed ^ 0x0b),
         families::kernels(seed ^ 0x0c),
         families::restore(seed ^ 0x0d),
+        families::serve(seed ^ 0x0e),
     ];
     std::panic::set_hook(prev_hook);
     ChaosReport { seed, families }

@@ -21,13 +21,17 @@ use super::{path_allowed, Check};
 /// Obs naming-policy check (see module docs).
 pub struct ObsPolicy;
 
-const REGISTRY_FNS: [&str; 8] = [
+const REGISTRY_FNS: [&str; 12] = [
     "counter",
+    "counter_labeled",
     "gauge",
+    "gauge_labeled",
     "histogram",
     "histogram_with_bounds",
     "counter_value",
+    "counter_value_labeled",
     "gauge_value",
+    "gauge_value_labeled",
     "histogram_handle",
     "span",
 ];

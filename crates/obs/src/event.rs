@@ -100,11 +100,21 @@ pub enum EventKind {
     TileRetired = 7,
     /// A spare tile was attached in place of a retired one.
     SpareAttached = 8,
+    /// The service refused a tenant request (backpressure or shed).
+    ServeShed = 9,
+    /// The service ran one batched inference pass for a tenant.
+    ServeBatchExecuted = 10,
+    /// The service scheduled a detection campaign into a traffic lull.
+    ServeLullCampaign = 11,
+    /// A tenant checkpoint left its home chip (migration, phase one).
+    ServeMigrationStart = 12,
+    /// A tenant checkpoint was restored on its destination chip.
+    ServeMigrationEnd = 13,
 }
 
 impl EventKind {
     /// All kinds, in discriminant order (indexing for per-kind counters).
-    pub const ALL: [EventKind; 9] = [
+    pub const ALL: [EventKind; 14] = [
         EventKind::TrainingIteration,
         EventKind::ThresholdSkipBurst,
         EventKind::DetectionCampaignStart,
@@ -114,6 +124,11 @@ impl EventKind {
         EventKind::WritePulseBatch,
         EventKind::TileRetired,
         EventKind::SpareAttached,
+        EventKind::ServeShed,
+        EventKind::ServeBatchExecuted,
+        EventKind::ServeLullCampaign,
+        EventKind::ServeMigrationStart,
+        EventKind::ServeMigrationEnd,
     ];
 
     /// Stable snake_case name used in serialized traces.
@@ -128,6 +143,11 @@ impl EventKind {
             EventKind::WritePulseBatch => "write_pulse_batch",
             EventKind::TileRetired => "tile_retired",
             EventKind::SpareAttached => "spare_attached",
+            EventKind::ServeShed => "serve_shed",
+            EventKind::ServeBatchExecuted => "serve_batch_executed",
+            EventKind::ServeLullCampaign => "serve_lull_campaign",
+            EventKind::ServeMigrationStart => "serve_migration_start",
+            EventKind::ServeMigrationEnd => "serve_migration_end",
         }
     }
 }
@@ -219,6 +239,58 @@ pub enum Event {
         /// Spares left in the pool after this attachment.
         spares_remaining: u64,
     },
+    /// The service refused a tenant request: either soft backpressure
+    /// (queue above its high-water mark, retry later) or a hard shed.
+    ServeShed {
+        /// Tenant the request addressed.
+        tenant: String,
+        /// Stable lowercase reason slug (`busy`, `queue_full`,
+        /// `unknown_tenant`, `not_inference`, `quota_exceeded`).
+        reason: String,
+        /// Tenant queue depth at refusal time.
+        queue_depth: u64,
+    },
+    /// One batched inference pass (a shared MVM over compatible queued
+    /// requests) completed on a fleet chip.
+    ServeBatchExecuted {
+        /// Fleet chip node the pass ran on.
+        chip: u64,
+        /// Tenant whose requests were batched.
+        tenant: String,
+        /// Requests served by the pass.
+        requests: u64,
+        /// `requests / max_batch` fill fraction of the pass.
+        occupancy: f64,
+    },
+    /// A detection campaign was scheduled into a per-tile traffic lull.
+    ServeLullCampaign {
+        /// Fleet chip node the campaign ran on.
+        chip: u64,
+        /// Tiles tested this campaign.
+        tiles: u64,
+        /// Test cycles the campaign spent.
+        cycles: u64,
+    },
+    /// A training tenant's checkpoint was encoded off its home chip
+    /// because the chip's spare pool exhausted (migration, phase one).
+    ServeMigrationStart {
+        /// Migrating tenant.
+        tenant: String,
+        /// Home chip node being evacuated.
+        from_chip: u64,
+        /// Destination chip node.
+        to_chip: u64,
+        /// Encoded snapshot size in bytes.
+        snapshot_bytes: u64,
+    },
+    /// A migrating tenant's checkpoint was decoded and its session
+    /// rebuilt on the destination chip (migration, phase two).
+    ServeMigrationEnd {
+        /// Migrated tenant.
+        tenant: String,
+        /// Chip node the tenant now runs on.
+        to_chip: u64,
+    },
 }
 
 impl Event {
@@ -234,6 +306,11 @@ impl Event {
             Event::WritePulseBatch { .. } => EventKind::WritePulseBatch,
             Event::TileRetired { .. } => EventKind::TileRetired,
             Event::SpareAttached { .. } => EventKind::SpareAttached,
+            Event::ServeShed { .. } => EventKind::ServeShed,
+            Event::ServeBatchExecuted { .. } => EventKind::ServeBatchExecuted,
+            Event::ServeLullCampaign { .. } => EventKind::ServeLullCampaign,
+            Event::ServeMigrationStart { .. } => EventKind::ServeMigrationStart,
+            Event::ServeMigrationEnd { .. } => EventKind::ServeMigrationEnd,
         }
     }
 }
@@ -334,6 +411,45 @@ impl TimedEvent {
                 .field_u64("tile", *tile)
                 .field_u64("replaced", *replaced)
                 .field_u64("spares_remaining", *spares_remaining),
+            Event::ServeShed {
+                tenant,
+                reason,
+                queue_depth,
+            } => obj
+                .field_str("tenant", tenant)
+                .field_str("reason", reason)
+                .field_u64("queue_depth", *queue_depth),
+            Event::ServeBatchExecuted {
+                chip,
+                tenant,
+                requests,
+                occupancy,
+            } => obj
+                .field_u64("chip", *chip)
+                .field_str("tenant", tenant)
+                .field_u64("requests", *requests)
+                .field_f64("occupancy", *occupancy),
+            Event::ServeLullCampaign {
+                chip,
+                tiles,
+                cycles,
+            } => obj
+                .field_u64("chip", *chip)
+                .field_u64("tiles", *tiles)
+                .field_u64("cycles", *cycles),
+            Event::ServeMigrationStart {
+                tenant,
+                from_chip,
+                to_chip,
+                snapshot_bytes,
+            } => obj
+                .field_str("tenant", tenant)
+                .field_u64("from_chip", *from_chip)
+                .field_u64("to_chip", *to_chip)
+                .field_u64("snapshot_bytes", *snapshot_bytes),
+            Event::ServeMigrationEnd { tenant, to_chip } => obj
+                .field_str("tenant", tenant)
+                .field_u64("to_chip", *to_chip),
         }
         .finish()
     }
@@ -402,6 +518,32 @@ mod tests {
                 tile: 17,
                 replaced: 4,
                 spares_remaining: 1,
+            },
+            Event::ServeShed {
+                tenant: "infer-c".into(),
+                reason: "queue_full".into(),
+                queue_depth: 8,
+            },
+            Event::ServeBatchExecuted {
+                chip: 1,
+                tenant: "infer-c".into(),
+                requests: 6,
+                occupancy: 0.75,
+            },
+            Event::ServeLullCampaign {
+                chip: 0,
+                tiles: 3,
+                cycles: 96,
+            },
+            Event::ServeMigrationStart {
+                tenant: "train-a".into(),
+                from_chip: 0,
+                to_chip: 1,
+                snapshot_bytes: 4096,
+            },
+            Event::ServeMigrationEnd {
+                tenant: "train-a".into(),
+                to_chip: 1,
             },
         ];
         for (i, event) in events.into_iter().enumerate() {

@@ -259,9 +259,19 @@ impl Recorder {
         self.inner.registry.counter(name)
     }
 
+    /// Shorthand: get-or-create a labeled counter series on the registry.
+    pub fn counter_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        self.inner.registry.counter_labeled(name, labels)
+    }
+
     /// Shorthand: get-or-create a gauge on the registry.
     pub fn gauge(&self, name: &str) -> Gauge {
         self.inner.registry.gauge(name)
+    }
+
+    /// Shorthand: get-or-create a labeled gauge series on the registry.
+    pub fn gauge_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        self.inner.registry.gauge_labeled(name, labels)
     }
 
     /// Starts a timed span; its duration lands in the histogram

@@ -1,0 +1,110 @@
+//! Seeded multi-tenant serve demo + determinism gate.
+//!
+//! Runs the reference scenario (two chip nodes; two training tenants,
+//! one of which exhausts its spare pool and migrates; one inference
+//! tenant with a burst and a lull) at thread budgets {1, 4, MAX} and
+//! requires the JSONL trace, the Prometheus rendering, and every
+//! fingerprint to be byte-identical across budgets. Exits non-zero on
+//! any divergence or on a missing acceptance event (shed, lull
+//! campaign, migration).
+//!
+//! Usage: `serve_demo [seed]` (default seed 42). Writes the trace to
+//! `results/serve_trace.jsonl` and the scrape body to
+//! `results/serve_metrics.prom`, then prints a short summary.
+
+use std::fs;
+use std::process::ExitCode;
+
+use ftt_serve::scenario::{run_reference_scenario, ScenarioReport};
+
+const BUDGETS: [usize; 3] = [1, 4, par::MAX_THREADS];
+
+fn run_at(budget: usize, seed: u64) -> Result<ScenarioReport, String> {
+    par::set_thread_count(budget);
+    let report = run_reference_scenario(seed);
+    par::set_thread_count(0);
+    report.map_err(|e| format!("scenario failed at {budget} threads: {e}"))
+}
+
+fn check(report: &ScenarioReport) -> Result<(), String> {
+    if report.sheds == 0 {
+        return Err("expected >= 1 shed/backpressure event".into());
+    }
+    if report.lull_campaigns == 0 {
+        return Err("expected >= 1 lull-scheduled detection campaign".into());
+    }
+    if report.migrations == 0 {
+        return Err("expected >= 1 snapshot-backed tenant migration".into());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(42);
+
+    let reference = match run_at(BUDGETS[0], seed) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("serve_demo: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = check(&reference) {
+        eprintln!("serve_demo: {e}");
+        return ExitCode::FAILURE;
+    }
+    for &budget in &BUDGETS[1..] {
+        let other = match run_at(budget, seed) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("serve_demo: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if other != reference {
+            eprintln!(
+                "serve_demo: thread budget {budget} diverged from budget 1 \
+                 (trace {} vs {} bytes, output fp {:#018x} vs {:#018x})",
+                other.trace.len(),
+                reference.trace.len(),
+                other.output_fingerprint,
+                reference.output_fingerprint
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if let Err(e) = fs::create_dir_all("results")
+        .and_then(|()| fs::write("results/serve_trace.jsonl", &reference.trace))
+        .and_then(|()| fs::write("results/serve_metrics.prom", &reference.prometheus))
+    {
+        eprintln!("serve_demo: writing results/: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    println!("serve_demo seed={seed}: byte-identical at thread budgets {BUDGETS:?}");
+    println!(
+        "  ticks={} sheds={} lull_campaigns={} migrations={}",
+        reference.ticks, reference.sheds, reference.lull_campaigns, reference.migrations
+    );
+    println!("  inference output fp {:#018x}", reference.output_fingerprint);
+    for (tenant, fp) in &reference.param_fingerprints {
+        println!("  {tenant} params fp {fp:#018x}");
+    }
+    println!(
+        "  trace: results/serve_trace.jsonl ({} lines)",
+        reference.trace.lines().count()
+    );
+    println!(
+        "  scrape: results/serve_metrics.prom ({} series lines)",
+        reference
+            .prometheus
+            .lines()
+            .filter(|l| !l.starts_with('#'))
+            .count()
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,93 @@
+//! Error type for the serve layer.
+//!
+//! Admission outcomes ([`crate::queue::Admission`]) are deliberately *not*
+//! errors: shedding a request is the service working as designed, so
+//! `submit` never returns `Result`. `ServeError` covers the cases where
+//! the service itself cannot make progress — invalid configuration,
+//! placement that cannot fit, or a failure in one of the layers below.
+
+use std::fmt;
+
+use ftt_core::error::FttError;
+use ftt_snapshot::SnapshotError;
+use ftt_tile::TileError;
+
+/// Errors surfaced by [`crate::service::Service`].
+#[derive(Debug)]
+pub enum ServeError {
+    /// A `ServiceConfig`/spec field is out of range or inconsistent.
+    InvalidConfig(String),
+    /// No chip node has enough free tile budget for a tenant's quota.
+    NoCapacity {
+        /// Tenant that could not be placed.
+        tenant: String,
+        /// Tiles the tenant's quota requires.
+        tiles_needed: usize,
+    },
+    /// A tenant name was registered twice.
+    DuplicateTenant(String),
+    /// The tile layer failed (allocation, programming, campaigns).
+    Tile(TileError),
+    /// The training flow failed.
+    Flow(FttError),
+    /// A migration snapshot failed to decode.
+    Snapshot(SnapshotError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::InvalidConfig(msg) => write!(f, "invalid service config: {msg}"),
+            ServeError::NoCapacity {
+                tenant,
+                tiles_needed,
+            } => write!(
+                f,
+                "no chip node has {tiles_needed} free tiles for tenant {tenant:?}"
+            ),
+            ServeError::DuplicateTenant(name) => {
+                write!(f, "tenant {name:?} is already registered")
+            }
+            ServeError::Tile(e) => write!(f, "tile layer: {e}"),
+            ServeError::Flow(e) => write!(f, "training flow: {e}"),
+            ServeError::Snapshot(e) => write!(f, "migration snapshot: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<TileError> for ServeError {
+    fn from(e: TileError) -> Self {
+        ServeError::Tile(e)
+    }
+}
+
+impl From<FttError> for ServeError {
+    fn from(e: FttError) -> Self {
+        ServeError::Flow(e)
+    }
+}
+
+impl From<SnapshotError> for ServeError {
+    fn from(e: SnapshotError) -> Self {
+        ServeError::Snapshot(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failing_layer() {
+        let e = ServeError::InvalidConfig("queue_capacity must be >= 1".into());
+        assert!(e.to_string().contains("queue_capacity"));
+        let e = ServeError::NoCapacity {
+            tenant: "t0".into(),
+            tiles_needed: 12,
+        };
+        assert!(e.to_string().contains("12 free tiles"));
+        assert!(e.to_string().contains("t0"));
+    }
+}

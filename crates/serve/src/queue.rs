@@ -1,0 +1,116 @@
+//! Admission control: bounded tenant queues and typed shed responses.
+//!
+//! Every inference arrival gets exactly one of three answers, decided
+//! synchronously at submit time:
+//!
+//! - [`Admission::Admitted`] — enqueued, with a ticket the caller can
+//!   correlate with completion.
+//! - [`Admission::Busy`] — soft backpressure: the queue is at or above
+//!   its high-water mark, the request was *not* enqueued, retry later.
+//! - [`Admission::Shed`] — hard rejection with a typed [`ShedReason`]
+//!   (queue full, unknown tenant, wrong tenant kind, malformed input).
+//!
+//! Both `Busy` and `Shed` count as shed traffic in the obs stream
+//! (`serve_shed` events, `serve_requests_shed_total{tenant}`): the
+//! distinction is *what the client should do next*, not whether the
+//! request was dropped.
+
+/// Why a request was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The tenant queue is at its hard capacity bound.
+    QueueFull,
+    /// The tenant queue is at or above the high-water mark (soft
+    /// backpressure; the client may retry).
+    Busy,
+    /// No tenant with that name is registered.
+    UnknownTenant,
+    /// The named tenant is a training tenant; it takes no requests.
+    NotInference,
+    /// The input vector length does not match the tenant's input width.
+    BadRequest,
+}
+
+impl ShedReason {
+    /// Stable slug used in obs events and metric reason labels.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "queue_full",
+            ShedReason::Busy => "busy",
+            ShedReason::UnknownTenant => "unknown_tenant",
+            ShedReason::NotInference => "not_inference",
+            ShedReason::BadRequest => "bad_request",
+        }
+    }
+}
+
+/// Synchronous answer to one submitted inference request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Enqueued; `ticket` is unique per tenant and increases with
+    /// arrival order.
+    Admitted {
+        /// Per-tenant arrival sequence number.
+        ticket: u64,
+    },
+    /// Not enqueued — soft backpressure at the high-water mark.
+    Busy {
+        /// Queue depth observed at submit time.
+        queue_depth: usize,
+    },
+    /// Not enqueued — hard rejection.
+    Shed {
+        /// Why the request was dropped.
+        reason: ShedReason,
+        /// Queue depth observed at submit time.
+        queue_depth: usize,
+    },
+}
+
+impl Admission {
+    /// Whether the request was enqueued.
+    pub fn is_admitted(&self) -> bool {
+        matches!(self, Admission::Admitted { .. })
+    }
+}
+
+/// One admitted request waiting in a tenant queue.
+#[derive(Debug, Clone)]
+pub(crate) struct PendingRequest {
+    /// Per-tenant arrival sequence number (the admission ticket).
+    pub ticket: u64,
+    /// Logical tick the request was admitted on.
+    pub arrival_tick: u64,
+    /// Input activation vector, length = the tenant's input width.
+    pub input: Vec<f32>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reasons_have_stable_slugs() {
+        let all = [
+            (ShedReason::QueueFull, "queue_full"),
+            (ShedReason::Busy, "busy"),
+            (ShedReason::UnknownTenant, "unknown_tenant"),
+            (ShedReason::NotInference, "not_inference"),
+            (ShedReason::BadRequest, "bad_request"),
+        ];
+        for (reason, slug) in all {
+            assert_eq!(reason.as_str(), slug);
+        }
+    }
+
+    #[test]
+    fn only_admitted_is_admitted() {
+        assert!(Admission::Admitted { ticket: 0 }.is_admitted());
+        assert!(!Admission::Busy { queue_depth: 3 }.is_admitted());
+        assert!(!Admission::Shed {
+            reason: ShedReason::QueueFull,
+            queue_depth: 4
+        }
+        .is_admitted());
+    }
+}

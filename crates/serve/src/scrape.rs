@@ -1,0 +1,58 @@
+//! Render-to-string scrape endpoint.
+//!
+//! The repo has no network stack (and wants none — wall-clock I/O would
+//! poison determinism), so the "endpoint" is a function: everything an
+//! HTTP `GET /metrics` handler would write, as a `String`. A real
+//! deployment wires [`scrape`] behind whatever listener it already has.
+
+use crate::service::Service;
+
+/// The Content-Type a handler should serve [`scrape`] output under
+/// (Prometheus text exposition format, version 0.0.4).
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// The full scrape body for a service: the Prometheus text rendering of
+/// its registry — per-tenant labeled series included.
+pub fn scrape(service: &Service) -> String {
+    service.recorder().render_prometheus()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ChipNodeConfig, ServiceConfig};
+    use crate::tenant::{InferenceSpec, TenantSpec};
+    use ftt_tile::LullConfig;
+
+    #[test]
+    fn scrape_carries_tenant_labels_after_traffic() {
+        let mut svc = Service::new(ServiceConfig {
+            seed: 3,
+            nodes: vec![ChipNodeConfig::new(8, 8, 16)],
+            queue_capacity: 4,
+            queue_high_water: 3,
+            max_batch: 2,
+            campaign_interval: 2,
+            detector_test_size: 4,
+            lull: LullConfig {
+                idle_threshold: 1,
+                max_defer: 1,
+            },
+        })
+        .expect("service");
+        svc.register(TenantSpec::Inference(InferenceSpec {
+            name: "t0".into(),
+            rows: 10,
+            cols: 4,
+            weight_seed: 9,
+            tile_quota: 4,
+        }))
+        .expect("register");
+        svc.submit("t0", vec![0.5; 10]);
+        svc.tick().expect("tick");
+        let body = scrape(&svc);
+        assert!(body.contains("# TYPE serve_requests_admitted_total counter"));
+        assert!(body.contains("serve_requests_admitted_total{tenant=\"t0\"} 1"));
+        assert!(body.contains("serve_queue_depth{tenant=\"t0\"} 0"));
+    }
+}

@@ -1,0 +1,210 @@
+//! Tenant specifications.
+//!
+//! Two tenant kinds share the service:
+//!
+//! - **Inference tenants** ([`InferenceSpec`]) own a seeded weight plane
+//!   sharded onto one fleet chip via [`ftt_tile::TiledMapping`]; their
+//!   traffic arrives through the admission queue and is served in
+//!   batched MVM passes.
+//! - **Training tenants** ([`TrainingSpec`]) own a complete
+//!   [`ftt_core::FaultTolerantTrainer`] (which carries its *own* mapped
+//!   chip — hardware faults are chip-local). They are *homed* on a fleet
+//!   node purely for quota accounting and migration placement; one
+//!   training iteration runs per service tick.
+//!
+//! Both kinds carry a `tile_quota`: the placement bound debited against
+//! a node's `tile_budget` when the tenant is registered.
+
+use ftt_core::config::{FlowConfig, MappingConfig, MappingScope};
+use nn::data::Dataset;
+use nn::init::init_rng;
+use nn::network::Network;
+
+/// An inference tenant: a fixed weight plane served from the fleet.
+#[derive(Debug, Clone)]
+pub struct InferenceSpec {
+    /// Unique tenant name (also the metric label value).
+    pub name: String,
+    /// Input width (crossbar rows) of the weight plane.
+    pub rows: usize,
+    /// Output width (crossbar columns) of the weight plane.
+    pub cols: usize,
+    /// Seed for the programmed weight targets.
+    pub weight_seed: u64,
+    /// Tiles the tenant may occupy on its home node.
+    pub tile_quota: usize,
+}
+
+/// A training tenant: a fault-tolerant training job stepped one
+/// iteration per service tick.
+#[derive(Debug, Clone)]
+pub struct TrainingSpec {
+    /// Unique tenant name (also the metric label value).
+    pub name: String,
+    /// Flattened input width of the synthetic image task.
+    pub inputs: usize,
+    /// Hidden layer width of the MLP.
+    pub hidden: usize,
+    /// Class count of the synthetic task.
+    pub classes: usize,
+    /// Training / test split sizes.
+    pub train_n: usize,
+    /// Test split size.
+    pub test_n: usize,
+    /// Seed for weights, data, and the tenant's private chip.
+    pub seed: u64,
+    /// Tiles debited from the home node's placement budget.
+    pub tile_quota: usize,
+    /// Fabrication-fault fraction injected into the tenant's chip.
+    pub fault_fraction: f64,
+    /// Cold spares on the tenant's chip; when the pool exhausts the
+    /// service migrates the tenant to a fresh chip.
+    pub spare_tiles: usize,
+    /// Predicted-fault-density threshold above which a tile is retired.
+    pub retire_fault_density: f64,
+    /// Trainer iterations between §4 detection campaigns.
+    pub detection_interval: u64,
+    /// Trainer iterations before the first campaign.
+    pub detection_warmup: u64,
+}
+
+impl TrainingSpec {
+    /// `inputs` as a square-ish single-channel image shape `(h, w)`;
+    /// callers pick `inputs` so this divides evenly.
+    fn image_shape(&self) -> (usize, usize) {
+        let mut h = (self.inputs as f64).sqrt() as usize;
+        while h > 1 && !self.inputs.is_multiple_of(h) {
+            h -= 1;
+        }
+        (h, self.inputs / h)
+    }
+
+    /// The tenant's template network, freshly initialized from its seed.
+    pub fn network(&self) -> Network {
+        let mut rng = init_rng(self.seed);
+        nn::models::mlp(self.inputs, self.hidden, self.classes, &mut rng)
+    }
+
+    /// The tenant's synthetic dataset, flattened for the MLP.
+    pub fn dataset(&self) -> Dataset {
+        let (h, w) = self.image_shape();
+        let raw = nn::synth::SyntheticDataset::images(
+            self.train_n,
+            self.test_n,
+            self.seed ^ 0xD474,
+            1,
+            h,
+            w,
+            self.classes,
+        );
+        let (train_x, train_y) = raw.train_set();
+        let (test_x, test_y) = raw.test_set();
+        Dataset::new(
+            train_x.reshape(vec![self.train_n, self.inputs]),
+            train_y,
+            test_x.reshape(vec![self.test_n, self.inputs]),
+            test_y,
+            self.classes,
+        )
+    }
+
+    /// Hardware mapping for the tenant's private chip. `salt` varies per
+    /// placement, so a migrated tenant lands on a *different* chip (new
+    /// tile seeds, new fault map) than the one it left.
+    pub fn mapping_config(&self, tile_size: usize, salt: u64) -> MappingConfig {
+        MappingConfig::new(MappingScope::EntireNetwork)
+            .with_tile_size(tile_size)
+            .with_seed(self.seed ^ salt)
+            .with_spare_tiles(self.spare_tiles)
+            .with_retire_fault_density(self.retire_fault_density)
+            .with_initial_fault_fraction(self.fault_fraction)
+    }
+
+    /// Training-flow configuration: threshold training with periodic
+    /// detection (no re-mapping — sparing alone handles retirement, and
+    /// the remap search would dominate a serving tick).
+    pub fn flow_config(&self) -> FlowConfig {
+        FlowConfig::threshold_only()
+            .with_detection_interval(self.detection_interval)
+            .with_detection_warmup(self.detection_warmup)
+            // Curve evaluations run the full test split; keep them out of
+            // the per-tick budget (the service is not an accuracy bench).
+            .with_eval_interval(1_000_000)
+    }
+}
+
+/// Either tenant kind, as handed to [`crate::service::Service::register`].
+#[derive(Debug, Clone)]
+pub enum TenantSpec {
+    /// A batched-inference tenant on the shared fleet.
+    Inference(InferenceSpec),
+    /// A training job with a private chip, homed for quota accounting.
+    Training(TrainingSpec),
+}
+
+impl TenantSpec {
+    /// The tenant's unique name.
+    pub fn name(&self) -> &str {
+        match self {
+            TenantSpec::Inference(s) => &s.name,
+            TenantSpec::Training(s) => &s.name,
+        }
+    }
+
+    /// Tiles the tenant's quota debits from its home node.
+    pub fn tile_quota(&self) -> usize {
+        match self {
+            TenantSpec::Inference(s) => s.tile_quota,
+            TenantSpec::Training(s) => s.tile_quota,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(inputs: usize) -> TrainingSpec {
+        TrainingSpec {
+            name: "t".into(),
+            inputs,
+            hidden: 6,
+            classes: 3,
+            train_n: 12,
+            test_n: 6,
+            seed: 5,
+            tile_quota: 16,
+            fault_fraction: 0.1,
+            spare_tiles: 1,
+            retire_fault_density: 0.1,
+            detection_interval: 4,
+            detection_warmup: 2,
+        }
+    }
+
+    #[test]
+    fn image_shape_covers_inputs_exactly() {
+        for inputs in [36, 48, 30, 7] {
+            let (h, w) = spec(inputs).image_shape();
+            assert_eq!(h * w, inputs, "inputs={inputs}");
+        }
+    }
+
+    #[test]
+    fn dataset_is_flat_and_sized_for_the_network() {
+        let s = spec(36);
+        let d = s.dataset();
+        let (x, _) = d.train_set();
+        assert_eq!(x.shape(), &[12, 36]);
+        assert_eq!(d.classes(), 3);
+    }
+
+    #[test]
+    fn mapping_salt_changes_the_chip_seed() {
+        let s = spec(36);
+        let a = s.mapping_config(8, 1);
+        let b = s.mapping_config(8, 2);
+        assert_ne!(a.seed, b.seed);
+        assert_eq!(a.tile_size, 8);
+    }
+}

@@ -43,4 +43,4 @@ pub use error::TileError;
 pub use geometry::{Shard, ShardGrid};
 pub use health::TileHealth;
 pub use mapping::TiledMapping;
-pub use schedule::{DetectionScheduler, SchedulePolicy};
+pub use schedule::{DetectionScheduler, LullConfig, SchedulePolicy};

@@ -7,6 +7,23 @@
 //! them tile-locally (comparison groups never span tile edges). All
 //! policies are deterministic functions of the chip state and the
 //! scheduler's own cursor — no randomness, no wall time.
+//!
+//! # Traffic lulls
+//!
+//! A chip that also serves live traffic cannot test a tile while requests
+//! are flowing through it: a campaign overwrites cells with test patterns
+//! and restores them, so it must run in a *lull*. The scheduler accepts an
+//! idle-pressure input ([`DetectionScheduler::note_traffic`]): callers
+//! report, per logical tick, whether each tile carried traffic. With a
+//! [`LullConfig`] installed, [`DetectionScheduler::select`] keeps a tile
+//! only once it has been idle for `idle_threshold` consecutive ticks —
+//! **or** once the lull filter has deferred it `max_defer` times, the
+//! anti-starvation escape hatch that guarantees a saturated tile still
+//! gets tested at a bounded (if reduced) cadence. Tiles never reported on
+//! are treated as idle, so a scheduler without traffic input behaves
+//! exactly as before.
+
+use std::collections::BTreeMap;
 
 use faultdet::detector::OnlineFaultDetector;
 
@@ -33,11 +50,34 @@ pub enum SchedulePolicy {
     },
 }
 
+/// Lull-scheduling thresholds (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LullConfig {
+    /// Consecutive idle ticks before a tile counts as in a lull.
+    pub idle_threshold: u32,
+    /// Deferred selections after which a busy tile is tested anyway
+    /// (anti-starvation bound; `0` disables the lull filter entirely).
+    pub max_defer: u32,
+}
+
+/// Per-tile idle-pressure state the lull filter accumulates.
+#[derive(Debug, Clone, Copy, Default)]
+struct TilePressure {
+    /// Consecutive ticks without reported traffic.
+    idle_ticks: u32,
+    /// Policy selections the lull filter has vetoed since the tile's
+    /// last campaign.
+    deferred: u32,
+}
+
 /// Stateful per-tile campaign scheduler.
 #[derive(Debug, Clone)]
 pub struct DetectionScheduler {
     policy: SchedulePolicy,
     cursor: usize,
+    lull: Option<LullConfig>,
+    /// Idle pressure per tile id (`BTreeMap`: deterministic iteration).
+    pressure: BTreeMap<usize, TilePressure>,
 }
 
 impl DetectionScheduler {
@@ -57,8 +97,21 @@ impl DetectionScheduler {
                     "tiles_per_campaign must be >= 1".into(),
                 ))
             }
-            _ => Ok(DetectionScheduler { policy, cursor: 0 }),
+            _ => Ok(DetectionScheduler {
+                policy,
+                cursor: 0,
+                lull: None,
+                pressure: BTreeMap::new(),
+            }),
         }
+    }
+
+    /// Installs the lull filter: policy selections are additionally gated
+    /// on per-tile idle pressure reported through
+    /// [`DetectionScheduler::note_traffic`].
+    pub fn with_lull(mut self, lull: LullConfig) -> Self {
+        self.lull = Some(lull);
+        self
     }
 
     /// The configured policy.
@@ -66,9 +119,63 @@ impl DetectionScheduler {
         self.policy
     }
 
-    /// Picks this interval's tiles from the chip's active set. Pure with
-    /// respect to the chip; advances only the scheduler's own cursor.
+    /// The installed lull filter, if any.
+    pub fn lull(&self) -> Option<LullConfig> {
+        self.lull
+    }
+
+    /// Reports one logical tick of traffic state for `tile`: `busy`
+    /// resets its idle streak, idle extends it. Call once per tile per
+    /// tick; tiles never reported on are treated as always idle.
+    pub fn note_traffic(&mut self, tile: usize, busy: bool) {
+        let p = self.pressure.entry(tile).or_default();
+        if busy {
+            p.idle_ticks = 0;
+        } else {
+            p.idle_ticks = p.idle_ticks.saturating_add(1);
+        }
+    }
+
+    /// Whether the lull filter keeps `tile` this selection. Mutates the
+    /// tile's deferred counter: a veto increments it, a pass resets both
+    /// counters (the campaign occupies the tile, ending its lull).
+    fn lull_keeps(&mut self, tile: usize) -> bool {
+        let Some(lull) = self.lull else {
+            return true;
+        };
+        if lull.max_defer == 0 {
+            return true;
+        }
+        // A tile with no traffic reports has no known load: eligible (the
+        // pre-lull behaviour, so schedulers without traffic input are
+        // unchanged).
+        let Some(p) = self.pressure.get_mut(&tile) else {
+            return true;
+        };
+        if p.idle_ticks >= lull.idle_threshold || p.deferred >= lull.max_defer {
+            p.idle_ticks = 0;
+            p.deferred = 0;
+            true
+        } else {
+            p.deferred = p.deferred.saturating_add(1);
+            false
+        }
+    }
+
+    /// Picks this interval's tiles from the chip's active set, applying
+    /// the lull filter when one is installed. Pure with respect to the
+    /// chip; advances only the scheduler's own cursor and idle-pressure
+    /// state.
     pub fn select(&mut self, chip: &TiledChip) -> Vec<usize> {
+        let picked = self.select_by_policy(chip);
+        if self.lull.is_none() {
+            return picked;
+        }
+        picked.into_iter().filter(|&id| self.lull_keeps(id)).collect()
+    }
+
+    /// The raw policy selection, before the lull filter.
+    fn select_by_policy(&mut self, chip: &TiledChip) -> Vec<usize> {
         let active = chip.active_ids();
         if active.is_empty() {
             return Vec::new();
@@ -171,6 +278,87 @@ mod tests {
         })
         .unwrap();
         assert_eq!(s.select(&c), vec![2, 0]);
+    }
+
+    #[test]
+    fn lull_gates_on_idle_streaks() {
+        let c = chip_with(2);
+        let mut s = DetectionScheduler::new(SchedulePolicy::Exhaustive)
+            .unwrap()
+            .with_lull(LullConfig {
+                idle_threshold: 2,
+                max_defer: 10,
+            });
+        // One idle tick is not a lull yet; two are.
+        s.note_traffic(0, false);
+        s.note_traffic(1, false);
+        assert_eq!(s.select(&c), Vec::<usize>::new());
+        s.note_traffic(0, false);
+        s.note_traffic(1, true); // tile 1's streak resets
+        assert_eq!(s.select(&c), vec![0]);
+        // A selection consumes the lull: tile 0 must idle again.
+        s.note_traffic(0, false);
+        assert_eq!(s.select(&c), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn unreported_tiles_stay_eligible() {
+        let c = chip_with(2);
+        let mut s = DetectionScheduler::new(SchedulePolicy::Exhaustive)
+            .unwrap()
+            .with_lull(LullConfig {
+                idle_threshold: 5,
+                max_defer: 3,
+            });
+        // No note_traffic calls at all: lull filter is a no-op, matching
+        // the pre-lull scheduler exactly.
+        assert_eq!(s.select(&c), vec![0, 1]);
+        assert_eq!(s.select(&c), vec![0, 1]);
+    }
+
+    #[test]
+    fn saturated_tile_defers_but_never_starves() {
+        // The regression this feature exists for: a tile under constant
+        // traffic must be deferred (campaigns need a lull) but still be
+        // tested after a bounded number of vetoes.
+        let c = chip_with(2);
+        let max_defer = 3u32;
+        let mut s = DetectionScheduler::new(SchedulePolicy::Exhaustive)
+            .unwrap()
+            .with_lull(LullConfig {
+                idle_threshold: 2,
+                max_defer,
+            });
+        let mut tile0_selected = Vec::new();
+        for round in 0..8 {
+            // Tile 0 is saturated every tick; tile 1 is always idle.
+            s.note_traffic(0, true);
+            s.note_traffic(1, false);
+            s.note_traffic(0, true);
+            s.note_traffic(1, false);
+            let picked = s.select(&c);
+            assert!(picked.contains(&1), "idle tile tested every round");
+            if picked.contains(&0) {
+                tile0_selected.push(round);
+            }
+        }
+        // Deferred exactly `max_defer` times, then forced in — and the
+        // cycle repeats, so the saturated tile runs at 1-in-(max_defer+1)
+        // cadence instead of never.
+        assert_eq!(tile0_selected, vec![3, 7]);
+    }
+
+    #[test]
+    fn zero_max_defer_disables_the_filter() {
+        let c = chip_with(1);
+        let mut s = DetectionScheduler::new(SchedulePolicy::Exhaustive)
+            .unwrap()
+            .with_lull(LullConfig {
+                idle_threshold: 9,
+                max_defer: 0,
+            });
+        s.note_traffic(0, true);
+        assert_eq!(s.select(&c), vec![0]);
     }
 
     #[test]

@@ -45,7 +45,7 @@ chaos:
 # (--lib builds without cfg(test)). Includes ftt-lint so the linter
 # obeys its own panic policy.
 clippy-unwrap:
-    cargo clippy -p obs -p par -p rram -p nn -p faultdet -p ftt-tile -p ftt-core -p ftt-snapshot -p chaos -p ftt-lint --lib -- \
+    cargo clippy -p obs -p par -p rram -p nn -p faultdet -p ftt-tile -p ftt-core -p ftt-snapshot -p ftt-serve -p chaos -p ftt-lint --lib -- \
         -D warnings -D clippy::unwrap_used -D clippy::expect_used
 
 # Snapshot/restore gate (DESIGN.md §12): kill a seeded run at an iteration
@@ -79,3 +79,13 @@ tile-demo:
 # results/telemetry_trace.jsonl and prints the summary + Prometheus rendering.
 obs-demo:
     cargo run --release --example telemetry_trace
+
+# Multi-tenant service walkthrough (DESIGN.md §13): runs the seeded
+# reference scenario (2 training tenants + 1 inference tenant over a
+# 2-chip fleet, with a burst, a lull, and a spare-pool exhaustion) at
+# thread budgets {1, 4, MAX}, requires the JSONL trace / Prometheus
+# rendering / fingerprints byte-identical and the scripted shed, lull
+# campaign and migration all present, then writes
+# results/serve_trace.jsonl and results/serve_metrics.prom.
+serve-demo:
+    cargo run --release -p ftt-serve --bin serve_demo
