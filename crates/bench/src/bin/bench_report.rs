@@ -484,6 +484,32 @@ fn main() {
         }
     }
 
+    // --- Lint: full-workspace semantic analysis --------------------------
+    // Tracks the two-phase analyzer's end-to-end cost (walk + lex + model
+    // build + all checks + stale-suppression shadow runs). The record
+    // carries *milliseconds* in the `ns_per_iter` field — same convention
+    // as `serve_admission_wait_ticks_mean`, where the unit lives in the
+    // name. `size` is the number of files scanned.
+    {
+        let ws_root = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let runs = if quick { 1 } else { 3 };
+        let mut ms: Vec<f64> = Vec::new();
+        let mut files = 0usize;
+        for _ in 0..runs {
+            let start = Instant::now();
+            let report = ftt_lint::run(black_box(&ws_root), None).expect("workspace lints");
+            ms.push(start.elapsed().as_secs_f64() * 1e3);
+            files = report.files_scanned;
+        }
+        ms.sort_by(|a, b| a.total_cmp(b));
+        push(
+            &mut records,
+            "lint_full_workspace_ms",
+            files,
+            ms[ms.len() / 2],
+        );
+    }
+
     // --- Speedup summary --------------------------------------------------
     let find = |name: &str, size: usize| {
         records

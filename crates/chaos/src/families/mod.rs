@@ -10,6 +10,7 @@ mod kernels;
 mod observability;
 mod restore;
 mod robustness;
+mod sanitize;
 mod serve;
 mod tiling;
 mod training;
@@ -20,6 +21,7 @@ pub use kernels::kernels;
 pub use observability::obs_stream;
 pub use restore::restore;
 pub use robustness::{config_rejection, thread_budget};
+pub use sanitize::sanitize;
 pub use serve::serve;
 pub use tiling::tiling;
 pub use training::{degenerate_gradients, prune_rate_extremes};

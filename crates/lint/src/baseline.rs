@@ -1,0 +1,256 @@
+//! Baseline diff mode (`--baseline lint-baseline.json`).
+//!
+//! Large refactors sometimes need to land before every pre-existing
+//! finding is fixed. Baseline mode makes the gate *ratchet-shaped*: the
+//! run exits non-zero only on findings **not** present in the recorded
+//! baseline (a previous `--json` report), so existing debt is tolerated
+//! while new debt is rejected.
+//!
+//! Matching is by `(check, file, message)` *multiset* — line numbers
+//! are deliberately excluded so unrelated edits that shift a suppressed
+//! finding by a few lines do not resurrect it. A baseline entry
+//! suppresses at most as many findings as its multiplicity.
+//!
+//! The parser reads only the report grammar [`crate::diag::Report`]
+//! emits (objects with `"check"` / `"file"` / `"line"` / `"message"`
+//! string/number fields inside a `"findings"` array) — it is not a
+//! general JSON parser, and rejects anything it does not recognize so a
+//! corrupted baseline fails loudly instead of masking findings.
+
+use std::collections::BTreeMap;
+
+use crate::diag::{Finding, Report};
+
+/// One baseline entry key: check id, file, message.
+type Key = (String, String, String);
+
+/// A parsed baseline: finding keys with multiplicities.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    entries: BTreeMap<Key, usize>,
+}
+
+impl Baseline {
+    /// Parse a baseline from a previously written `--json` report.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let findings = parse_findings_array(text)?;
+        let mut entries: BTreeMap<Key, usize> = BTreeMap::new();
+        for f in findings {
+            *entries.entry(f).or_insert(0) += 1;
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Total recorded findings (sum of multiplicities).
+    pub fn len(&self) -> usize {
+        self.entries.values().sum()
+    }
+
+    /// Whether the baseline records nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Split a report's findings into (new, suppressed-count): findings
+    /// covered by the baseline multiset are suppressed, the rest are
+    /// new. Deterministic: findings arrive sorted from [`Report`].
+    pub fn diff<'a>(&self, report: &'a Report) -> (Vec<&'a Finding>, usize) {
+        let mut budget = self.entries.clone();
+        let mut fresh = Vec::new();
+        let mut suppressed = 0usize;
+        for f in &report.findings {
+            let key = (f.check.to_string(), f.file.clone(), f.message.clone());
+            match budget.get_mut(&key) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    suppressed += 1;
+                }
+                _ => fresh.push(f),
+            }
+        }
+        (fresh, suppressed)
+    }
+}
+
+/// Extract `(check, file, message)` triples from the report's
+/// `"findings": [...]` array.
+fn parse_findings_array(text: &str) -> Result<Vec<Key>, String> {
+    let start = text
+        .find("\"findings\":")
+        .ok_or_else(|| "baseline has no \"findings\" array".to_string())?;
+    let rest = &text[start..];
+    let open = rest
+        .find('[')
+        .ok_or_else(|| "malformed \"findings\" array".to_string())?;
+    let mut out = Vec::new();
+    let mut i = open + 1;
+    let bytes = rest.as_bytes();
+    while i < rest.len() {
+        match bytes[i] {
+            b']' => return Ok(out),
+            b'{' => {
+                let (obj_end, key) = parse_object(rest, i)?;
+                out.push(key);
+                i = obj_end;
+            }
+            _ => i += 1,
+        }
+    }
+    Err("unterminated \"findings\" array".to_string())
+}
+
+/// Parse one finding object starting at the `{` at `at`; returns the
+/// index just past its `}` and the extracted key.
+fn parse_object(text: &str, at: usize) -> Result<(usize, Key), String> {
+    let mut fields: BTreeMap<String, String> = BTreeMap::new();
+    let bytes = text.as_bytes();
+    let mut i = at + 1;
+    loop {
+        if i >= text.len() {
+            return Err("unterminated finding object".to_string());
+        }
+        match bytes[i] {
+            b'}' => break,
+            b'"' => {
+                let (ni, name) = parse_string(text, i)?;
+                let colon = text[ni..]
+                    .find(':')
+                    .ok_or_else(|| format!("missing value for field {name:?}"))?;
+                let mut vi = ni + colon + 1;
+                while vi < text.len() && bytes[vi].is_ascii_whitespace() {
+                    vi += 1;
+                }
+                if vi < text.len() && bytes[vi] == b'"' {
+                    let (end, value) = parse_string(text, vi)?;
+                    fields.insert(name, value);
+                    i = end;
+                } else {
+                    // Numeric field (`"line"`): skip the digits.
+                    while vi < text.len() && bytes[vi].is_ascii_digit() {
+                        vi += 1;
+                    }
+                    i = vi;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    let take = |k: &str| {
+        fields
+            .get(k)
+            .cloned()
+            .ok_or_else(|| format!("finding object lacks {k:?}"))
+    };
+    Ok((i + 1, (take("check")?, take("file")?, take("message")?)))
+}
+
+/// Parse the JSON string starting at the `"` at `at`; returns the index
+/// just past the closing quote and the unescaped value.
+fn parse_string(text: &str, at: usize) -> Result<(usize, String), String> {
+    let mut out = String::new();
+    let chars: Vec<char> = text[at + 1..].chars().collect();
+    let mut consumed = at + 1;
+    let mut k = 0;
+    while k < chars.len() {
+        let c = chars[k];
+        consumed += c.len_utf8();
+        match c {
+            '"' => return Ok((consumed, out)),
+            '\\' => {
+                let Some(&esc) = chars.get(k + 1) else {
+                    return Err("dangling escape in string".to_string());
+                };
+                consumed += esc.len_utf8();
+                k += 2;
+                match esc {
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'u' => {
+                        // `\uXXXX` — the report only emits these for
+                        // control chars; decode the 4 hex digits.
+                        let hex: String = chars.iter().skip(k).take(4).collect();
+                        let code = u32::from_str_radix(&hex, 16)
+                            .map_err(|_| format!("bad unicode escape \\u{hex}"))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        consumed += hex.len();
+                        k += 4;
+                    }
+                    other => out.push(other),
+                }
+                continue;
+            }
+            other => out.push(other),
+        }
+        k += 1;
+    }
+    Err("unterminated string in baseline".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(check: &'static str, file: &str, line: usize, msg: &str) -> Finding {
+        Finding {
+            check,
+            file: file.into(),
+            line,
+            message: msg.into(),
+        }
+    }
+
+    #[test]
+    fn round_trips_the_reports_own_json() {
+        let report = Report::new(
+            vec![
+                f("P1", "a.rs", 3, "bare .unwrap()"),
+                f("D1", "b.rs", 7, "reads \"the\nclock\""),
+            ],
+            2,
+            vec!["P1", "D1"],
+        );
+        let base = Baseline::parse(&report.to_json()).expect("parses");
+        assert_eq!(base.len(), 2);
+        let (fresh, suppressed) = base.diff(&report);
+        assert!(fresh.is_empty(), "{fresh:?}");
+        assert_eq!(suppressed, 2);
+    }
+
+    #[test]
+    fn line_drift_does_not_resurrect_findings() {
+        let old = Report::new(vec![f("P1", "a.rs", 3, "bare .unwrap()")], 1, vec!["P1"]);
+        let base = Baseline::parse(&old.to_json()).expect("parses");
+        let new = Report::new(vec![f("P1", "a.rs", 30, "bare .unwrap()")], 1, vec!["P1"]);
+        let (fresh, suppressed) = base.diff(&new);
+        assert!(fresh.is_empty());
+        assert_eq!(suppressed, 1);
+    }
+
+    #[test]
+    fn new_findings_and_multiplicity_are_respected() {
+        let old = Report::new(vec![f("P1", "a.rs", 3, "bare .unwrap()")], 1, vec!["P1"]);
+        let base = Baseline::parse(&old.to_json()).expect("parses");
+        // Two identical findings now, baseline covers one.
+        let new = Report::new(
+            vec![
+                f("P1", "a.rs", 3, "bare .unwrap()"),
+                f("P1", "a.rs", 90, "bare .unwrap()"),
+                f("F1", "c.rs", 1, "float eq"),
+            ],
+            2,
+            vec!["P1", "F1"],
+        );
+        let (fresh, suppressed) = base.diff(&new);
+        assert_eq!(suppressed, 1);
+        assert_eq!(fresh.len(), 2, "{fresh:?}");
+    }
+
+    #[test]
+    fn garbage_baselines_fail_loudly() {
+        assert!(Baseline::parse("not json").is_err());
+        assert!(Baseline::parse("{\"findings\": [{\"check\": \"P1\"}]}").is_err());
+        let empty = Baseline::parse("{\"findings\": []}\n").expect("parses");
+        assert!(empty.is_empty());
+    }
+}

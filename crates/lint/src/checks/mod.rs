@@ -18,18 +18,27 @@
 use crate::config::Config;
 use crate::diag::Finding;
 use crate::model::{SourceFile, Workspace};
+use crate::model2::SemanticModel;
 
+mod cycle_audit;
 mod determinism;
 mod float_soundness;
 mod obs_policy;
+mod obs_schema;
 mod panic_policy;
+mod par_capture;
+mod resume_panic;
 mod unsafe_audit;
 mod workspace;
 
+pub use cycle_audit::CycleAudit;
 pub use determinism::Determinism;
 pub use float_soundness::FloatSoundness;
 pub use obs_policy::ObsPolicy;
+pub use obs_schema::ObsSchema;
 pub use panic_policy::PanicPolicy;
+pub use par_capture::ParCapture;
+pub use resume_panic::ResumePanic;
 pub use unsafe_audit::UnsafeAudit;
 pub use workspace::WorkspaceConsistency;
 
@@ -46,15 +55,29 @@ pub trait Check {
 
     /// Workspace-level pass, run once (default: nothing).
     fn check_workspace(&self, _ws: &Workspace, _cfg: &Config, _out: &mut Vec<Finding>) {}
+
+    /// Phase-2 pass over the semantic model, run once (default: nothing).
+    fn check_semantic(
+        &self,
+        _ws: &Workspace,
+        _model: &SemanticModel,
+        _cfg: &Config,
+        _out: &mut Vec<Finding>,
+    ) {
+    }
 }
 
 /// The full check catalog, in id order.
 pub fn catalog() -> Vec<Box<dyn Check>> {
     vec![
+        Box::new(ParCapture),
         Box::new(Determinism),
+        Box::new(CycleAudit),
         Box::new(FloatSoundness),
         Box::new(ObsPolicy),
+        Box::new(ObsSchema),
         Box::new(PanicPolicy),
+        Box::new(ResumePanic),
         Box::new(UnsafeAudit),
         Box::new(WorkspaceConsistency),
     ]

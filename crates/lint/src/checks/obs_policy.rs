@@ -10,6 +10,11 @@
 //! `gauge_value(` / `histogram_handle(` / `span(`), anywhere in the
 //! workspace, so a malformed name cannot reach the Prometheus renderer
 //! or split a trace's metric namespace.
+//!
+//! For the labeled variants (`counter_labeled(` etc.) the *label keys*
+//! are held to the same grammar: every first string literal of a
+//! `("key", value)` pair inside the call's `&[...]` label slice is
+//! validated. Label *values* are free-form and skipped.
 
 use crate::config::Config;
 use crate::diag::Finding;
@@ -92,6 +97,67 @@ impl Check for ObsPolicy {
                     ),
                 });
             }
+            if tok.text.ends_with("_labeled") {
+                check_label_keys(self.id(), file, toks, i + 1, out);
+            }
+        }
+    }
+}
+
+/// Validate label keys of a labeled-constructor call: inside the call's
+/// parens, within any `[...]` span, the first string literal of each
+/// `(` group is a key and must satisfy the registry grammar. Restricting
+/// to bracket spans keeps `format!`-style parenthesised strings in other
+/// argument positions out of scope.
+fn check_label_keys(
+    id: &'static str,
+    file: &SourceFile,
+    toks: &[crate::lexer::Token],
+    open: usize,
+    out: &mut Vec<Finding>,
+) {
+    let mut paren = 0i64;
+    let mut bracket = 0i64;
+    for k in open..toks.len() {
+        let t = &toks[k];
+        if t.kind != TokenKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "(" => {
+                paren += 1;
+                if bracket > 0 {
+                    // `("key", ...)` pair: key = immediate Str operand.
+                    if let (Some(key), Some(comma)) = (toks.get(k + 1), toks.get(k + 2)) {
+                        if key.kind == TokenKind::Str && comma.text == "," {
+                            let name = key
+                                .text
+                                .trim_start_matches(['r', 'b', '#'])
+                                .trim_matches(['"', '#']);
+                            if !valid_name(name) {
+                                out.push(Finding {
+                                    check: id,
+                                    file: file.rel_path.clone(),
+                                    line: key.line,
+                                    message: format!(
+                                        "label key {name:?} violates the snake_case registry \
+                                         grammar `^[a-z][a-z0-9]*(_[a-z0-9]+)*$`"
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            ")" => {
+                paren -= 1;
+                if paren == 0 {
+                    return;
+                }
+            }
+            "[" => bracket += 1,
+            "]" => bracket -= 1,
+            _ => {}
         }
     }
 }
@@ -140,6 +206,24 @@ mod tests {
     #[test]
     fn non_registry_calls_and_dynamic_names_pass() {
         let out = run("fn f(r: &Recorder, n: &str) {\n    r.counter(n).inc();\n    other(\"Whatever Name\");\n}");
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn bad_label_keys_are_flagged_values_are_not() {
+        let out = run(
+            "fn f(r: &Recorder) {\n    r.counter_labeled(\"hits_total\", &[(\"Bad-Key\", v), (\"ok_key\", \"Any Value\")]).inc();\n}",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("Bad-Key"));
+        assert!(out[0].message.contains("label key"));
+    }
+
+    #[test]
+    fn dynamic_label_args_outside_brackets_are_ignored() {
+        let out = run(
+            "fn f(r: &Recorder, labels: &Labels) {\n    r.gauge_labeled(\"depth\", labels.pairs(\"Not A Key\")).set(1.0);\n}",
+        );
         assert!(out.is_empty(), "{out:?}");
     }
 

@@ -143,6 +143,17 @@ impl Config {
             _ => None,
         }
     }
+
+    /// A copy of this config with `[section] key` removed — used for
+    /// shadow runs that re-check suppressed files to detect stale
+    /// `allow` entries.
+    pub fn without_key(&self, section: &str, key: &str) -> Config {
+        let mut cfg = self.clone();
+        if let Some(s) = cfg.sections.get_mut(section) {
+            s.remove(key);
+        }
+        cfg
+    }
 }
 
 /// True when every `[` in `rhs` has its matching `]` (string-aware).

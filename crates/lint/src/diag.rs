@@ -33,6 +33,9 @@ impl Finding {
 pub struct Report {
     /// Sorted, deduplicated findings.
     pub findings: Vec<Finding>,
+    /// Sorted, deduplicated warnings (stale suppressions — never affect
+    /// the exit code).
+    pub warnings: Vec<Finding>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
     /// Ids of the checks that ran (sorted).
@@ -40,17 +43,31 @@ pub struct Report {
 }
 
 impl Report {
-    /// Build a report from raw findings (sorts + dedups).
+    /// Build a report from raw findings (sorts + dedups), no warnings.
     pub fn new(
+        findings: Vec<Finding>,
+        files_scanned: usize,
+        checks: Vec<&'static str>,
+    ) -> Self {
+        Report::with_warnings(findings, Vec::new(), files_scanned, checks)
+    }
+
+    /// Build a report from raw findings and warnings (sorts + dedups
+    /// both).
+    pub fn with_warnings(
         mut findings: Vec<Finding>,
+        mut warnings: Vec<Finding>,
         files_scanned: usize,
         mut checks: Vec<&'static str>,
     ) -> Self {
         findings.sort_by(|a, b| a.key().cmp(&b.key()));
         findings.dedup();
+        warnings.sort_by(|a, b| a.key().cmp(&b.key()));
+        warnings.dedup();
         checks.sort_unstable();
         Report {
             findings,
+            warnings,
             files_scanned,
             checks,
         }
@@ -75,7 +92,7 @@ impl Report {
     /// counts, trailing newline).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
-        out.push_str("  \"version\": 1,\n");
+        out.push_str("  \"version\": 2,\n");
         out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
         out.push_str("  \"checks\": [");
         for (i, c) in self.checks.iter().enumerate() {
@@ -107,6 +124,21 @@ impl Report {
         if !self.findings.is_empty() {
             out.push_str("\n  ");
         }
+        out.push_str("],\n");
+        out.push_str("  \"warnings\": [");
+        for (i, w) in self.warnings.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{\"check\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+                json_str(w.check),
+                json_str(&w.file),
+                w.line,
+                json_str(&w.message)
+            ));
+        }
+        if !self.warnings.is_empty() {
+            out.push_str("\n  ");
+        }
         out.push_str("]\n}\n");
         out
     }
@@ -127,11 +159,24 @@ impl Report {
                 ));
             }
         }
+        for w in &self.warnings {
+            if w.file.is_empty() {
+                out.push_str(&format!("warning[{}] workspace: {}\n", w.check, w.message));
+            } else if w.line == 0 {
+                out.push_str(&format!("warning[{}] {}: {}\n", w.check, w.file, w.message));
+            } else {
+                out.push_str(&format!(
+                    "warning[{}] {}:{}: {}\n",
+                    w.check, w.file, w.line, w.message
+                ));
+            }
+        }
         let counts = self.counts();
         let summary: Vec<String> = counts.iter().map(|(c, n)| format!("{c}={n}")).collect();
         out.push_str(&format!(
-            "ftt-lint: {} finding(s) across {} file(s) [{}]\n",
+            "ftt-lint: {} finding(s), {} warning(s) across {} file(s) [{}]\n",
             self.findings.len(),
+            self.warnings.len(),
             self.files_scanned,
             summary.join(" ")
         ));

@@ -33,11 +33,14 @@
 // applies only to the shipped library, matching the `--lib` clippy gate.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod baseline;
 pub mod checks;
 pub mod config;
 pub mod diag;
 pub mod lexer;
 pub mod model;
+pub mod model2;
+mod stale;
 
 use std::path::Path;
 
@@ -77,15 +80,28 @@ pub fn run_with_config(root: &Path, cfg: &Config) -> Result<Report, Error> {
     let ws = Workspace::load(root, &exclude).map_err(|e| Error(e.to_string()))?;
     let catalog = checks::catalog();
 
+    // Phase 1: the workspace semantic model (items, fn boundaries, use
+    // graph, approximate call graph). Phase 2: every check, in catalog
+    // order — per-file passes, then the workspace pass, then the
+    // semantic pass.
+    let model = model2::SemanticModel::build(&ws);
+
     let mut findings: Vec<Finding> = Vec::new();
     for check in &catalog {
         for file in &ws.files {
             check.check_file(file, cfg, &mut findings);
         }
         check.check_workspace(&ws, cfg, &mut findings);
+        check.check_semantic(&ws, &model, cfg, &mut findings);
     }
+    let warnings = stale::stale_suppressions(root, &ws, &model, cfg, &catalog, &findings);
     let ids: Vec<&'static str> = catalog.iter().map(|c| c.id()).collect();
-    Ok(Report::new(findings, ws.files.len(), ids))
+    Ok(Report::with_warnings(
+        findings,
+        warnings,
+        ws.files.len(),
+        ids,
+    ))
 }
 
 /// Locate the workspace root by walking up from `start` until a

@@ -17,7 +17,7 @@ fn report() -> ftt_lint::diag::Report {
 #[test]
 fn every_check_has_a_failing_fixture() {
     let counts = report().counts();
-    for id in ["P1", "D1", "F1", "S1", "O1", "W1"] {
+    for id in ["P1", "D1", "F1", "S1", "O1", "W1", "C1", "O2", "R1", "E2"] {
         assert!(
             counts.get(id).copied().unwrap_or(0) > 0,
             "check {id} produced no findings on the violation fixture: {counts:?}"
@@ -100,6 +100,66 @@ fn binary_exits_nonzero_on_violations_and_zero_on_clean() {
         .args(["--frobnicate"])
         .output()
         .expect("run ftt-lint");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn stale_suppressions_surface_as_warnings() {
+    let rep = report();
+    let kinds: Vec<&str> = rep.warnings.iter().map(|w| w.check).collect();
+    for kind in ["stale-allow", "stale-annotation", "stale-exclude"] {
+        assert!(
+            kinds.contains(&kind),
+            "expected a {kind} warning, got {kinds:?}"
+        );
+    }
+    // Warnings never affect the exit decision.
+    assert!(!rep.is_clean(), "fixture still has findings");
+}
+
+#[test]
+fn baseline_diff_suppresses_known_findings() {
+    let bin = env!("CARGO_BIN_EXE_ftt-lint");
+    let snapshot =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/expected.json");
+
+    // Diffing the fixture tree against its own snapshot: nothing new.
+    let out = Command::new(bin)
+        .args(["--root"])
+        .arg(fixture_root())
+        .args(["--baseline"])
+        .arg(&snapshot)
+        .output()
+        .expect("run ftt-lint --baseline");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("0 new finding(s)"), "stdout: {text}");
+
+    // An empty baseline suppresses nothing: every finding is new.
+    let empty = fixture_root().join("../empty-baseline.json");
+    std::fs::write(&empty, "{\n  \"findings\": []\n}\n").expect("write empty baseline");
+    let out = Command::new(bin)
+        .args(["--root"])
+        .arg(fixture_root())
+        .args(["--baseline"])
+        .arg(&empty)
+        .output()
+        .expect("run ftt-lint --baseline (empty)");
+    std::fs::remove_file(&empty).ok();
+    assert_eq!(out.status.code(), Some(1));
+
+    // A malformed baseline is a usage error, not a silent pass.
+    let out = Command::new(bin)
+        .args(["--root"])
+        .arg(fixture_root())
+        .args(["--baseline", "/nonexistent/baseline.json"])
+        .output()
+        .expect("run ftt-lint --baseline (missing)");
     assert_eq!(out.status.code(), Some(2));
 }
 

@@ -1,0 +1,9 @@
+//! D1-allowed file: the HashMap here is suppressed by the `allow`
+//! entry in lint.toml, which keeps that entry *live* (not stale).
+
+use std::collections::HashMap;
+
+/// Needs insertion-order independence anyway; allowed by config.
+pub fn lookup(map: &HashMap<u8, u8>, k: u8) -> Option<u8> {
+    map.get(&k).copied()
+}

@@ -45,4 +45,65 @@ pub fn o1_name(r: &dyn Registrar) {
 pub trait Registrar {
     /// Register a counter.
     fn counter(&self, name: &str);
+    /// Register a labeled counter.
+    fn counter_labeled(&self, name: &str, labels: &[(&str, &str)]);
+}
+
+/// C1: the closure crossing the `par` boundary mutates a captured
+/// binding and builds an RNG with no per-index salt.
+pub fn c1_racy(n: usize, seed: u64) -> usize {
+    let mut total = 0usize;
+    par::map_indices(n, |i| {
+        total += i;
+        let _rng = sim_rng(seed);
+        i
+    });
+    total
+}
+
+/// O2: `NeverEmitted` has no emitter anywhere outside this crate.
+pub enum Event {
+    /// Emitted by the good crate.
+    Used(u64),
+    /// Dead schema entry.
+    NeverEmitted,
+}
+
+/// R1 root: reaches an unjustified panic site two hops down.
+pub fn resume() {
+    r1_helper();
+}
+
+fn r1_helper() {
+    r1_deep();
+}
+
+fn r1_deep() {
+    let v: Option<u8> = None;
+    let _ = v.unwrap();
+}
+
+/// E2: the outcome's cost never reaches a FlowStats sink.
+pub struct DetectionOutcome;
+
+/// E2 producer.
+pub fn e2_detect() -> DetectionOutcome {
+    DetectionOutcome
+}
+
+/// E2: a caller exists (so the producer is not a library leaf) but it
+/// never feeds the accounting.
+pub fn e2_driver() {
+    let _ = e2_detect();
+}
+
+/// O1: labeled-constructor label key violating the grammar.
+pub fn o1_label(r: &dyn Registrar) {
+    r.counter_labeled("o1_labeled_total", &[("Bad Key", "any value")]);
+}
+
+/// stale-annotation: the unwrap this once justified was refactored away.
+// PANIC-OK: leftover justification with nothing to justify
+pub fn stale_marker() -> u8 {
+    0
 }

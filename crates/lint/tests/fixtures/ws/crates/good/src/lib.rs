@@ -52,6 +52,8 @@ pub fn register(r: &dyn Registrar) {
 pub trait Registrar {
     /// Register a counter.
     fn counter(&self, name: &str);
+    /// Register a labeled counter.
+    fn counter_labeled(&self, name: &str, labels: &[(&str, &str)]);
     /// Open a span.
     fn span(&self, name: &str);
 }
@@ -64,4 +66,47 @@ mod tests {
         let v: Option<u8> = Some(1);
         assert_eq!(v.unwrap(), 1);
     }
+}
+
+/// C1 negative: the closure touches only its parameter and locals, and
+/// the RNG seed mixes in the per-index salt.
+pub fn deterministic_map(n: usize, seed: u64) -> Vec<u64> {
+    par::map_indices(n, |i| {
+        let mut acc = 0u64;
+        acc += i as u64;
+        let _rng = sim_rng(seed.wrapping_add(i as u64));
+        acc
+    })
+}
+
+/// O2 negative: emits the `Used` event kind defined in `bad`.
+pub fn emit_used(sink: &mut Vec<Event>) {
+    sink.push(Event::Used(1));
+}
+
+/// R1 negative root: the one panic site on the path carries its
+/// justification (shared with P1's grammar).
+pub fn resume() {
+    restore_step();
+}
+
+fn restore_step() {
+    let v: Option<u8> = Some(0);
+    // PANIC-OK: seeded Some() two lines above.
+    let _ = v.unwrap();
+}
+
+/// E2 negative: the producer's caller feeds the FlowStats ledger.
+pub fn detect_ok() -> DetectionOutcome {
+    DetectionOutcome
+}
+
+/// E2 sink-side caller.
+pub fn absorb(stats: &mut FlowStats) {
+    stats.record(detect_ok());
+}
+
+/// O1 negative: labeled constructor with grammatical label keys.
+pub fn register_labeled(r: &dyn Registrar) {
+    r.counter_labeled("good_requests_total", &[("tenant_id", "t0")]);
 }

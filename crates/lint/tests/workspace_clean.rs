@@ -18,8 +18,18 @@ fn the_workspace_lints_clean() {
         "the workspace must satisfy its own lint gate:\n{}",
         report.to_human()
     );
-    // All six checks ran.
-    assert_eq!(report.checks, vec!["D1", "F1", "O1", "P1", "S1", "W1"]);
+    // The full catalog ran: six per-file checks plus the four semantic
+    // (cross-crate) checks introduced with the workspace model.
+    assert_eq!(
+        report.checks,
+        vec!["C1", "D1", "E2", "F1", "O1", "O2", "P1", "R1", "S1", "W1"]
+    );
+    // No stale suppressions linger in lint.toml or the source tree.
+    assert!(
+        report.warnings.is_empty(),
+        "stale suppressions:\n{}",
+        report.to_human()
+    );
     // Sanity: the gate actually scanned the tree (not an empty walk).
     assert!(
         report.files_scanned > 100,

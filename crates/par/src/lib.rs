@@ -26,6 +26,8 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
+pub mod sanitizer;
+
 /// Observes one parallel fan-out on the global [`obs`] recorder, returning
 /// a span guard timing the whole fork-join scope. Gated on
 /// [`obs::enabled`] (one relaxed atomic load, default off) so
@@ -185,8 +187,13 @@ where
     }
     let chunk = n.div_ceil(workers);
     let _obs = record_fanout("par_chunk", workers);
+    let san = sanitizer::enabled();
+    let mut spans: Vec<(usize, usize)> = Vec::new();
     std::thread::scope(|scope| {
         for (ci, slice) in data.chunks_mut(chunk).enumerate() {
+            if san {
+                spans.push((ci * chunk, slice.len()));
+            }
             let f = &f;
             scope.spawn(move || {
                 let _w = worker_span();
@@ -194,6 +201,10 @@ where
             });
         }
     });
+    if san {
+        let order: Vec<usize> = (0..spans.len()).collect();
+        sanitizer::record_schedule("par_chunk", n, &spans, &order);
+    }
 }
 
 /// Like [`for_each_chunk_mut`], but sized for *few, heavy* items (e.g. a
@@ -220,8 +231,13 @@ where
     }
     let chunk = n.div_ceil(workers);
     let _obs = record_fanout("par_chunk_hinted", workers);
+    let san = sanitizer::enabled();
+    let mut spans: Vec<(usize, usize)> = Vec::new();
     std::thread::scope(|scope| {
         for (ci, slice) in data.chunks_mut(chunk).enumerate() {
+            if san {
+                spans.push((ci * chunk, slice.len()));
+            }
             let f = &f;
             scope.spawn(move || {
                 let _w = worker_span();
@@ -229,6 +245,10 @@ where
             });
         }
     });
+    if san {
+        let order: Vec<usize> = (0..spans.len()).collect();
+        sanitizer::record_schedule("par_chunk_hinted", n, &spans, &order);
+    }
 }
 
 /// Splits a row-major matrix buffer (`data.len() == rows * row_len`) into
@@ -264,8 +284,14 @@ where
     let rows_per_block = rows.div_ceil(workers);
     let block = rows_per_block * row_len;
     let _obs = record_fanout("par_row_block", workers);
+    let san = sanitizer::enabled();
+    let n = data.len();
+    let mut spans: Vec<(usize, usize)> = Vec::new();
     std::thread::scope(|scope| {
         for (ci, slice) in data.chunks_mut(block).enumerate() {
+            if san {
+                spans.push((ci * block, slice.len()));
+            }
             let f = &f;
             scope.spawn(move || {
                 let _w = worker_span();
@@ -273,6 +299,10 @@ where
             });
         }
     });
+    if san {
+        let order: Vec<usize> = (0..spans.len()).collect();
+        sanitizer::record_schedule("par_row_block", n, &spans, &order);
+    }
 }
 
 /// Evaluates `f(i)` for every `i in 0..n` on the worker budget and returns
@@ -319,8 +349,13 @@ where
     out.resize_with(n, || None);
     let chunk = n.div_ceil(workers);
     let _obs = record_fanout("par_map", workers);
+    let san = sanitizer::enabled();
+    let mut spans: Vec<(usize, usize)> = Vec::new();
     std::thread::scope(|scope| {
         for (ci, slice) in out.chunks_mut(chunk).enumerate() {
+            if san {
+                spans.push((ci * chunk, slice.len()));
+            }
             let f = &f;
             scope.spawn(move || {
                 let _w = worker_span();
@@ -330,6 +365,10 @@ where
             });
         }
     });
+    if san {
+        let order: Vec<usize> = (0..spans.len()).collect();
+        sanitizer::record_schedule("par_map", n, &spans, &order);
+    }
     out.into_iter()
         // PANIC-OK: the workers above cover `0..n` exactly (disjoint
         // chunks of the same Vec); an empty slot is a bug in this module,
@@ -363,29 +402,45 @@ where
     let mut partials: Vec<Option<A>> = Vec::new();
     partials.resize_with(n.div_ceil(chunk), || None);
     let _obs = record_fanout("par_reduce", workers);
+    let san = sanitizer::enabled();
+    let mut spans: Vec<(usize, usize)> = Vec::new();
     std::thread::scope(|scope| {
         for (ci, slot) in partials.iter_mut().enumerate() {
+            let lo = ci * chunk;
+            let hi = (lo + chunk).min(n);
+            if san {
+                spans.push((lo, hi - lo));
+            }
             let init = &init;
             let fold = &fold;
             scope.spawn(move || {
                 let _w = worker_span();
-                let lo = ci * chunk;
-                let hi = (lo + chunk).min(n);
                 *slot = Some((lo..hi).fold(init(), fold));
             });
         }
     });
-    partials
-        .into_iter()
+    // Combine partials left-to-right in range order, recording the order
+    // actually used so the sanitizer can fingerprint it.
+    let mut order: Vec<usize> = Vec::new();
+    let mut acc: Option<A> = None;
+    for (ci, p) in partials.into_iter().enumerate() {
         // PANIC-OK: one worker is spawned per partial slot and each writes
         // `Some` before the scope joins; a `None` here is a bug in this
         // module, not a caller-reachable state.
-        .map(|p| {
-            #[allow(clippy::expect_used)]
-            p.expect("worker produced a partial")
-        })
-        .reduce(combine)
-        .unwrap_or_else(init)
+        #[allow(clippy::expect_used)]
+        let p = p.expect("worker produced a partial");
+        if san {
+            order.push(ci);
+        }
+        acc = Some(match acc {
+            None => p,
+            Some(a) => combine(a, p),
+        });
+    }
+    if san {
+        sanitizer::record_schedule("par_reduce", n, &spans, &order);
+    }
+    acc.unwrap_or_else(init)
 }
 
 /// How many workers a problem of `n` independent items warrants.

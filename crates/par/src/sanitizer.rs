@@ -1,0 +1,248 @@
+//! Runtime determinism sanitizer for the `par` fork-join helpers.
+//!
+//! The crate's determinism contract (DESIGN.md §6/§9) is structural:
+//! every helper assigns work by index and composes results in ascending
+//! chunk order, so outputs are bit-identical to the sequential schedule
+//! at any thread budget. The sanitizer turns that structural argument
+//! into a *checked* one: when enabled, every parallel fan-out records
+//! its chunk boundaries and the order in which per-chunk results were
+//! composed, and cross-checks both against the single-thread reference
+//! schedule (ascending, disjoint, exact cover of `0..n`). A mismatch is
+//! recorded as a [`Violation`] — it never panics, so the sanitizer can
+//! run under the chaos harness and report through it.
+//!
+//! Enablement, in precedence order:
+//!
+//! 1. [`set_enabled`]`(Some(true|false))` — programmatic override used
+//!    by tests and the chaos `sanitize` family;
+//! 2. the `RRAM_FTT_SANITIZE=1` environment variable (read once);
+//! 3. off (the default — the cost on hot paths is then a single relaxed
+//!    atomic load per fan-out).
+//!
+//! Sequential fallback paths record nothing: they *are* the reference
+//! schedule. Reports accumulate process-globally and are drained with
+//! [`take_report`] at the end of a run.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// One detected divergence from the single-thread schedule.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The helper that recorded the schedule (`"par_map"`, …).
+    pub helper: &'static str,
+    /// Problem size the schedule was recorded for.
+    pub n: usize,
+    /// What diverged (coverage hole, overlap, or composition-order
+    /// fingerprint mismatch, with both fingerprints).
+    pub detail: String,
+}
+
+/// Drained sanitizer state: what was checked and what diverged.
+#[derive(Debug, Clone)]
+pub struct SanitizerReport {
+    /// Parallel fan-outs whose schedules were cross-checked.
+    pub calls_checked: u64,
+    /// Divergences found (empty on a healthy run).
+    pub violations: Vec<Violation>,
+}
+
+impl SanitizerReport {
+    /// Whether every checked schedule matched the sequential reference.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Programmatic override: 0 = unset (fall back to env), 1 = on, 2 = off.
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+static CALLS_CHECKED: AtomicU64 = AtomicU64::new(0);
+static VIOLATIONS: Mutex<Vec<Violation>> = Mutex::new(Vec::new());
+
+/// Whether the sanitizer is recording schedules.
+#[inline]
+pub fn enabled() -> bool {
+    match OVERRIDE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => {
+            static FROM_ENV: OnceLock<bool> = OnceLock::new();
+            *FROM_ENV.get_or_init(|| {
+                std::env::var("RRAM_FTT_SANITIZE").map(|v| v.trim() == "1") == Ok(true)
+            })
+        }
+    }
+}
+
+/// Forces the sanitizer on or off for this process; `None` restores the
+/// `RRAM_FTT_SANITIZE` env behaviour. Used by tests and the chaos
+/// `sanitize` family so coverage does not depend on the environment.
+pub fn set_enabled(on: Option<bool>) {
+    let v = match on {
+        Some(true) => 1,
+        Some(false) => 2,
+        None => 0,
+    };
+    OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+/// FNV-1a 64-bit over a `usize` sequence — the schedule fingerprint.
+fn fingerprint(seq: impl Iterator<Item = usize>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in seq {
+        for b in (v as u64).to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn push_violation(helper: &'static str, n: usize, detail: String) {
+    let mut g = VIOLATIONS.lock().unwrap_or_else(|e| e.into_inner());
+    // Bound the log: a systematically broken schedule would otherwise
+    // grow without limit inside a long chaos run.
+    if g.len() < 1024 {
+        g.push(Violation { helper, n, detail });
+    }
+}
+
+/// Records one parallel call's schedule and cross-checks it against the
+/// single-thread reference: `boundaries` are the `(start, len)` chunk
+/// spans in ascending index order, `combine_order` is the chunk order
+/// in which results were actually composed (written back / reduced).
+///
+/// The reference schedule visits `0..n` ascending exactly once, so the
+/// invariants are: boundaries tile `0..n` with no holes or overlaps,
+/// and the composition-order fingerprint equals the ascending-order
+/// fingerprint. Divergences are recorded, never panicked on.
+///
+/// Public so tests and the chaos harness can plant deliberate
+/// out-of-order schedules and assert they are caught.
+pub fn record_schedule(
+    helper: &'static str,
+    n: usize,
+    boundaries: &[(usize, usize)],
+    combine_order: &[usize],
+) {
+    CALLS_CHECKED.fetch_add(1, Ordering::Relaxed);
+
+    // Coverage: ascending, contiguous, exact tile of 0..n.
+    let mut next = 0usize;
+    for &(start, len) in boundaries {
+        if start != next || len == 0 {
+            push_violation(
+                helper,
+                n,
+                format!(
+                    "chunk boundaries do not tile 0..{n}: got (start={start}, len={len}) \
+                     where start {next} was expected"
+                ),
+            );
+            return;
+        }
+        next += len;
+    }
+    if next != n {
+        push_violation(
+            helper,
+            n,
+            format!("chunk boundaries cover 0..{next} but the problem size is {n}"),
+        );
+        return;
+    }
+
+    // Composition order: must equal the sequential (ascending) schedule.
+    if combine_order.len() != boundaries.len() {
+        push_violation(
+            helper,
+            n,
+            format!(
+                "composed {} partials but recorded {} chunks",
+                combine_order.len(),
+                boundaries.len()
+            ),
+        );
+        return;
+    }
+    let actual = fingerprint(combine_order.iter().copied());
+    let expected = fingerprint(0..boundaries.len());
+    if actual != expected {
+        push_violation(
+            helper,
+            n,
+            format!(
+                "composition order diverges from the single-thread schedule: \
+                 fingerprint {actual:#018x}, expected {expected:#018x} \
+                 (order {combine_order:?})"
+            ),
+        );
+    }
+}
+
+/// Drains the accumulated report (violations and the checked-call
+/// counter reset to empty/zero).
+pub fn take_report() -> SanitizerReport {
+    let violations = {
+        let mut g = VIOLATIONS.lock().unwrap_or_else(|e| e.into_inner());
+        std::mem::take(&mut *g)
+    };
+    SanitizerReport {
+        calls_checked: CALLS_CHECKED.swap(0, Ordering::Relaxed),
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The sanitizer state is process-global; tests share it through the
+    // same lock discipline the chaos harness uses.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn conforming_schedule_is_clean() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = take_report();
+        record_schedule("t", 10, &[(0, 4), (4, 4), (8, 2)], &[0, 1, 2]);
+        let rep = take_report();
+        assert_eq!(rep.calls_checked, 1);
+        assert!(rep.is_clean(), "{:?}", rep.violations);
+    }
+
+    #[test]
+    fn planted_out_of_order_reduction_is_detected() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = take_report();
+        // Chunks tile 0..8 correctly, but the partials were combined in
+        // reversed order — exactly the class of bug a racy reduction
+        // would introduce.
+        record_schedule("t", 8, &[(0, 4), (4, 4)], &[1, 0]);
+        let rep = take_report();
+        assert_eq!(rep.violations.len(), 1, "{:?}", rep.violations);
+        assert!(rep.violations[0].detail.contains("composition order"));
+        assert!(rep.violations[0].detail.contains("fingerprint"));
+    }
+
+    #[test]
+    fn coverage_holes_and_overlaps_are_detected() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = take_report();
+        record_schedule("t", 8, &[(0, 4), (5, 3)], &[0, 1]); // hole at 4
+        record_schedule("t", 8, &[(0, 4), (3, 5)], &[0, 1]); // overlap at 3
+        record_schedule("t", 8, &[(0, 4)], &[0]); // short cover
+        let rep = take_report();
+        assert_eq!(rep.violations.len(), 3, "{:?}", rep.violations);
+    }
+
+    #[test]
+    fn override_controls_enablement() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_enabled(Some(true));
+        assert!(enabled());
+        set_enabled(Some(false));
+        assert!(!enabled());
+        set_enabled(None);
+    }
+}

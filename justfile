@@ -55,10 +55,12 @@ clippy-unwrap:
 snapshot-check:
     cargo run --release -p ftt-snapshot --bin snapshot_check
 
-# Static-analysis gate (DESIGN.md §10): the ftt-lint check catalog (P1
-# panic policy, D1 determinism, F1 float soundness, S1 unsafe audit,
-# O1 obs naming, W1 workspace consistency) over the whole workspace.
-# Exits non-zero on any unallowlisted finding.
+# Static-analysis gate (DESIGN.md §10): the full ftt-lint catalog —
+# per-file checks (P1 panic policy, D1 determinism, F1 float soundness,
+# S1 unsafe audit, O1 obs naming, W1 workspace consistency) plus the
+# cross-crate semantic checks (C1 par-capture determinism, O2 obs
+# schema, R1 resume panic freedom, E2 cycle accounting) — over the
+# whole workspace. Exits non-zero on any unallowlisted finding.
 lint:
     cargo run --release -p ftt-lint
 
@@ -66,6 +68,19 @@ lint:
 # (byte-identical across runs and RRAM_FTT_THREADS settings).
 lint-json:
     cargo run --release -p ftt-lint -- --json
+
+# Regenerates the checked-in baseline snapshot consumed by
+# `ftt-lint --baseline` (CI's ratchet: only *new* findings fail the
+# diff). Re-run after any intentional change to findings or checks.
+lint-baseline:
+    cargo run --release -p ftt-lint -- --json > lint-baseline.json
+
+# Determinism-sanitizer sweep (DESIGN.md §10.6): the full chaos harness
+# with the par schedule sanitizer armed, at thread budgets {1, 4, MAX}.
+sanitize-chaos:
+    RRAM_FTT_SANITIZE=1 RRAM_FTT_THREADS=1 cargo test -q --test chaos_harness
+    RRAM_FTT_SANITIZE=1 RRAM_FTT_THREADS=4 cargo test -q --test chaos_harness
+    RRAM_FTT_SANITIZE=1 RRAM_FTT_THREADS=1024 cargo test -q --test chaos_harness
 
 # Tiled-chip walkthrough (DESIGN.md §11): maps an MNIST-sized MLP whose
 # layers span many tiles, trains through the tiled chip with sparing
