@@ -484,6 +484,30 @@ fn main() {
         }
     }
 
+    // --- Strategy arena: reduced comparison sweep ------------------------
+    // Tracks the cost of one arena heat sweep (4 strategies restored from
+    // snapshot-cloned chips, trained, ranked). Milliseconds in the
+    // `ns_per_iter` field, unit in the name; `size` is the league-row
+    // count (strategies × densities).
+    {
+        let mut config = ftt_arena::ArenaConfig::quick();
+        if quick {
+            config.iterations = 4;
+            config.densities.truncate(1);
+        }
+        let runs = if quick { 1 } else { 3 };
+        let mut ms: Vec<f64> = Vec::new();
+        let mut rows = 0usize;
+        for _ in 0..runs {
+            let start = Instant::now();
+            let report = ftt_arena::run(black_box(&config)).expect("arena sweep");
+            ms.push(start.elapsed().as_secs_f64() * 1e3);
+            rows = report.rows.len();
+        }
+        ms.sort_by(|a, b| a.total_cmp(b));
+        push(&mut records, "arena_sweep_ms", rows, ms[ms.len() / 2]);
+    }
+
     // --- Lint: full-workspace semantic analysis --------------------------
     // Tracks the two-phase analyzer's end-to-end cost (walk + lex + model
     // build + all checks + stale-suppression shadow runs). The record

@@ -4,6 +4,7 @@
 //! are independent and derive any randomness from their own seed, so the
 //! harness is reproducible case-by-case.
 
+mod arena;
 mod detector;
 mod geometry;
 mod kernels;
@@ -15,6 +16,7 @@ mod serve;
 mod tiling;
 mod training;
 
+pub use arena::arena;
 pub use detector::{all_faulty_extremes, detector_group_remainders, mod16_aliasing};
 pub use geometry::{extreme_geometry, plane_coherence};
 pub use kernels::kernels;

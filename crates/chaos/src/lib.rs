@@ -182,6 +182,7 @@ pub fn run_all(seed: u64) -> ChaosReport {
         families::kernels(seed ^ 0x0c),
         families::restore(seed ^ 0x0d),
         families::serve(seed ^ 0x0e),
+        families::arena(seed ^ 0x10),
     ];
     // With `RRAM_FTT_SANITIZE=1` the families above double as sanitizer
     // workload: every `par` fan-out they drove had its schedule

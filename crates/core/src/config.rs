@@ -7,6 +7,7 @@ use rram::spatial::SpatialDistribution;
 use rram::variation::WriteVariation;
 
 use crate::remap::{CostModel, RemapAlgorithm};
+use crate::strategy::StrategySelect;
 use crate::threshold::ThresholdPolicy;
 
 /// Which weight layers are mapped onto RRAM crossbars.
@@ -214,6 +215,12 @@ pub struct FlowConfig {
     /// campaign (see
     /// [`OnlineFaultDetector::run_incremental`](faultdet::detector::OnlineFaultDetector::run_incremental)).
     pub incremental_detection: bool,
+    /// Which fault-tolerance strategy drives the run (see
+    /// [`crate::strategy`]). The built-in `DetectRemap`/`NoOp` selections
+    /// are constructed by the trainer directly; `DropConnect` and
+    /// `RedundantColumn` live in the `ftt-strategy` crate and require
+    /// [`FaultTolerantTrainer::with_strategy`](crate::flow::FaultTolerantTrainer::with_strategy).
+    pub strategy: StrategySelect,
 }
 
 impl FlowConfig {
@@ -246,6 +253,7 @@ impl FlowConfig {
             eval_interval: 50,
             data_seed: 0,
             incremental_detection: false,
+            strategy: StrategySelect::DetectRemap,
         }
     }
 
@@ -308,6 +316,12 @@ impl FlowConfig {
     /// stores so each campaign only retests cells written since the last.
     pub fn with_incremental_detection(mut self) -> Self {
         self.incremental_detection = true;
+        self
+    }
+
+    /// Selects the fault-tolerance strategy.
+    pub fn with_strategy_select(mut self, strategy: StrategySelect) -> Self {
+        self.strategy = strategy;
         self
     }
 }

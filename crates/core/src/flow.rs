@@ -9,25 +9,40 @@
 //! `Dist(P, F)`, applies it (an isomorphism), parks the pruned zeros on the
 //! faulty cells, and reprograms the array.
 
-use faultdet::detector::OnlineFaultDetector;
-use faultdet::metrics::DetectionReport;
 use nn::data::{BatchStreamState, Dataset};
 use nn::loss::softmax_cross_entropy;
 use nn::metrics::accuracy;
 use nn::network::Network;
-use nn::pruning::{try_apply_mask, try_magnitude_prune_per_layer, LayerMask, PruneMask};
-use obs::{Confusion, Event, Recorder, WritePhase};
+use nn::pruning::{try_apply_mask, LayerMask, PruneMask};
+use obs::{Event, Recorder, WritePhase};
 
 use crate::config::{FlowConfig, MappingConfig};
 use crate::error::FttError;
 use crate::mapping::{MappedNetwork, MappedState};
-use crate::remap::plan_remap;
 use crate::report::{CurvePoint, FlowStats, TrainingCurve};
+use crate::strategy::{
+    is_known_strategy_id, union_masks, DetectRemap, FaultStrategy, NoOp, StrategyCtx,
+    StrategySelect,
+};
 use crate::telemetry::FlowMetrics;
 use crate::threshold::ThresholdTrainer;
 
-/// Conductance tolerance below which a reprogramming write is skipped.
-const REPROGRAM_EPSILON: f64 = 1e-4;
+/// Builds the strategy hook context over the trainer's fields. A macro
+/// rather than a method so the disjoint field borrows (`strategy` mutably
+/// alongside everything else) stay visible to the borrow checker.
+macro_rules! strategy_ctx {
+    ($self:ident) => {
+        StrategyCtx {
+            mapped: &mut $self.mapped,
+            net: &mut $self.net,
+            flow: &$self.flow,
+            metrics: &$self.metrics,
+            iteration: $self.iteration,
+            active_mask: &mut $self.active_mask,
+            iteration_mask: &mut $self.iteration_mask,
+        }
+    };
+}
 
 /// Orchestrates fault-tolerant on-line training of one network on one
 /// simulated RCS.
@@ -55,7 +70,11 @@ pub struct FaultTolerantTrainer {
     iteration: u64,
     curve: TrainingCurve,
     metrics: FlowMetrics,
+    strategy: Box<dyn FaultStrategy>,
     active_mask: Option<PruneMask>,
+    /// Mask installed by the strategy for the current iteration only
+    /// (drop-connect); cleared at the top of every iteration.
+    iteration_mask: Option<PruneMask>,
     /// First iteration of the currently open all-skip burst, if any.
     burst_start: Option<u64>,
     /// Updates suppressed across the open burst.
@@ -89,15 +108,44 @@ impl FaultTolerantTrainer {
     /// Returns mapping/configuration errors; see
     /// [`MappedNetwork::from_network`].
     pub fn with_recorder(
-        mut net: Network,
+        net: Network,
         mapping: MappingConfig,
         flow: FlowConfig,
         recorder: Recorder,
     ) -> Result<Self, FttError> {
+        let strategy = builtin_strategy(&flow.strategy)?;
+        Self::with_strategy(net, mapping, flow, recorder, strategy)
+    }
+
+    /// Like [`FaultTolerantTrainer::with_recorder`], but drives the run
+    /// with an explicit [`FaultStrategy`] implementation — the entry point
+    /// for strategies living outside this crate (the `ftt-strategy`
+    /// contenders). The strategy's [`FaultStrategy::id`] must match the
+    /// flow config's [`StrategySelect::id`], so snapshots restore against
+    /// the right implementation.
+    ///
+    /// # Errors
+    ///
+    /// Returns mapping/configuration errors (including a strategy/config id
+    /// mismatch); see [`MappedNetwork::from_network`].
+    pub fn with_strategy(
+        mut net: Network,
+        mapping: MappingConfig,
+        flow: FlowConfig,
+        recorder: Recorder,
+        strategy: Box<dyn FaultStrategy>,
+    ) -> Result<Self, FttError> {
+        if strategy.id() != flow.strategy.id() {
+            return Err(FttError::InvalidConfig(format!(
+                "strategy `{}` does not match the flow config selection `{}`",
+                strategy.id(),
+                flow.strategy.id()
+            )));
+        }
         let mut mapped = MappedNetwork::from_network(&mut net, mapping)?;
         mapped.attach_recorder(&recorder);
         let trainer = ThresholdTrainer::new(flow.threshold, &mapped);
-        Ok(Self {
+        let mut this = Self {
             net,
             mapped,
             flow,
@@ -105,11 +153,20 @@ impl FaultTolerantTrainer {
             iteration: 0,
             curve: TrainingCurve::new(),
             metrics: FlowMetrics::new(recorder),
+            strategy,
             active_mask: None,
+            iteration_mask: None,
             burst_start: None,
             burst_skipped: 0,
             batch_stream: None,
-        })
+        };
+        this.strategy.on_map(&mut strategy_ctx!(this))?;
+        Ok(this)
+    }
+
+    /// The strategy driving the run.
+    pub fn strategy(&self) -> &dyn FaultStrategy {
+        self.strategy.as_ref()
     }
 
     /// The training curve recorded so far.
@@ -213,33 +270,44 @@ impl FaultTolerantTrainer {
             recorder.set_iteration(self.iteration);
             let _iter_span = recorder.span("flow_iteration");
 
-            // Periodic detection + re-mapping phase (after warm-up).
-            if let Some(interval) = self.flow.detection_interval {
-                if interval > 0
-                    && self.iteration >= self.flow.detection_warmup
-                    && self.iteration.is_multiple_of(interval)
-                {
-                    self.detection_phase()?;
-                }
-            }
+            // Strategy campaign-trigger slot (DetectRemap runs the
+            // periodic detection + re-mapping phase here, after warm-up;
+            // DropConnect installs its per-iteration mask).
+            self.iteration_mask = None;
+            self.strategy.on_pre_iteration(&mut strategy_ctx!(self))?;
 
             // Forward propagation on the RCS: sync the software view with
-            // the hardware's effective weights first.
+            // the hardware's effective weights first, then punch out any
+            // per-iteration strategy mask (drop-connect) so the dropped
+            // connections are absent from this forward/backward pass.
             self.mapped.load_effective_weights(&mut self.net)?;
+            if let Some(mask) = &self.iteration_mask {
+                try_apply_mask(&mut self.net, mask)?;
+            }
             let (x, y) = batches.next().ok_or(FttError::DataExhausted)?;
             let logits = self.net.forward_train(&x);
             let (_, grad) = softmax_cross_entropy(&logits, &y);
             self.net.backward(&grad);
+            self.strategy.on_gradient(&mut strategy_ctx!(self))?;
 
-            // Threshold-trained weight update through the hardware.
+            // Threshold-trained weight update through the hardware. Entries
+            // frozen by the persistent re-mapping mask and/or the strategy's
+            // per-iteration mask receive no update.
             let lr = self.flow.lr.lr(self.iteration);
             let wear_before = self.mapped.wear_faults();
-            let report = self.trainer.apply_with_mask(
-                &mut self.mapped,
-                &mut self.net,
-                lr,
-                self.active_mask.as_ref(),
-            )?;
+            let merged_mask;
+            let frozen: Option<&PruneMask> = match (&self.active_mask, &self.iteration_mask) {
+                (Some(a), None) => Some(a),
+                (None, Some(m)) => Some(m),
+                (Some(a), Some(m)) => {
+                    merged_mask = union_masks(a, m)?;
+                    Some(&merged_mask)
+                }
+                (None, None) => None,
+            };
+            let report =
+                self.trainer
+                    .apply_with_mask(&mut self.mapped, &mut self.net, lr, frozen)?;
             self.metrics.writes_issued.add(report.writes_issued);
             self.metrics.writes_skipped.add(report.writes_skipped);
             self.metrics
@@ -247,6 +315,10 @@ impl FaultTolerantTrainer {
                 .add(report.nan_updates_skipped);
             let new_wear = self.mapped.wear_faults() - wear_before;
             self.metrics.wear_faults_during_training.add(new_wear);
+            if new_wear > 0 {
+                self.strategy
+                    .on_fault_event(&mut strategy_ctx!(self), new_wear)?;
+            }
             // Analog MVM work this iteration: forward plus the two backward
             // products (dX and dW) touch every mapped cell once each, per
             // sample in the batch.
@@ -290,6 +362,7 @@ impl FaultTolerantTrainer {
                 new_wear_faults: new_wear,
                 max_abs_dw: report.max_abs_dw,
             });
+            self.strategy.on_post_iteration(&mut strategy_ctx!(self))?;
 
             // Evaluation checkpoint.
             if self.iteration.is_multiple_of(eval_interval) || step + 1 == iterations {
@@ -324,152 +397,6 @@ impl FaultTolerantTrainer {
         }
     }
 
-    /// The Fig. 2 periodic phase: on-line detection, pruning, re-mapping.
-    fn detection_phase(&mut self) -> Result<(), FttError> {
-        let recorder = self.metrics.recorder().clone();
-        let _phase_span = recorder.span("detection_phase");
-        self.metrics.detection_campaigns.inc();
-        let campaign = self.metrics.detection_campaigns.get();
-        recorder.emit(Event::DetectionCampaignStart { campaign });
-
-        let detector = OnlineFaultDetector::new(self.flow.detector).with_recorder(&recorder);
-        let mut detections = {
-            let _detect_span = recorder.span("detect");
-            if self.flow.incremental_detection {
-                self.mapped.detect_incremental(&detector)?
-            } else {
-                self.mapped.detect(&detector)?
-            }
-        };
-        let (mut cycles, mut writes, mut untested, mut flagged) = (0u64, 0u64, 0u64, 0u64);
-        for d in &detections {
-            cycles += d.cycles;
-            writes += d.write_pulses;
-            untested += d.untested_groups;
-            flagged += d.predicted.count_faulty() as u64;
-        }
-        self.metrics.detection_cycles.add(cycles);
-        self.metrics.detection_writes.add(writes);
-        self.metrics.detection_untested_groups.add(untested);
-        recorder.set_write_pulses(self.mapped.total_write_pulses());
-
-        // The simulator knows the ground-truth fault maps, so every
-        // campaign is scored with a full confusion matrix (summed over all
-        // mapped layers) — the paper's detection-accuracy experiments fall
-        // out of the event stream for free.
-        let truth = self.mapped.ground_truth();
-        let mut confusion = Confusion::default();
-        for (t, d) in truth.iter().zip(&detections) {
-            let r = DetectionReport::evaluate(t, &d.predicted);
-            confusion.true_pos += r.tp;
-            confusion.false_pos += r.fp;
-            confusion.false_neg += r.fn_;
-            confusion.true_neg += r.tn;
-        }
-        recorder.emit(Event::DetectionCampaignEnd {
-            campaign,
-            flagged_cells: flagged,
-            cycles,
-            write_pulses: writes,
-            untested_groups: untested,
-            confusion: Some(confusion),
-        });
-        if writes > 0 {
-            recorder.emit(Event::WritePulseBatch {
-                pulses: writes,
-                phase: WritePhase::Detection,
-            });
-        }
-
-        // Tile sparing: retire tiles whose predicted fault density crossed
-        // the configured threshold and swap in screened spares, before the
-        // re-mapping search reasons about the (now partially healed) fault
-        // state. No-op unless `retire_fault_density` is configured.
-        if self.mapped.config().retire_fault_density.is_some() {
-            let sparing = {
-                let _sparing_span = recorder.span("tile_sparing");
-                self.mapped.apply_sparing(&detector, &mut detections)?
-            };
-            self.metrics.tiles_retired.add(sparing.tiles_retired);
-            self.metrics.spares_attached.add(sparing.spares_attached);
-            self.metrics.detection_cycles.add(sparing.verify_cycles);
-            self.metrics
-                .detection_writes
-                .add(sparing.verify_write_pulses);
-            recorder.set_write_pulses(self.mapped.total_write_pulses());
-            if sparing.verify_write_pulses > 0 {
-                recorder.emit(Event::WritePulseBatch {
-                    pulses: sparing.verify_write_pulses,
-                    phase: WritePhase::Detection,
-                });
-            }
-            if sparing.reprogram_pulses > 0 {
-                recorder.emit(Event::WritePulseBatch {
-                    pulses: sparing.reprogram_pulses,
-                    phase: WritePhase::Reprogram,
-                });
-            }
-        }
-
-        let Some(remap_cfg) = self.flow.remap else {
-            return Ok(());
-        };
-
-        // Generate the pruning distribution from the current *software*
-        // weights (the paper's "Generate Pruning" box works on the trained
-        // network, not on the fault-corrupted hardware view — otherwise
-        // magnitude pruning would trivially select the stuck-at-zero cells
-        // and the re-ordering search would have nothing left to align).
-        self.mapped.load_target_weights(&mut self.net)?;
-        let weight_layers = self.net.weight_layer_indices();
-        let fractions: Vec<f64> = weight_layers
-            .iter()
-            .map(|&li| match self.net.try_layer_kind(li) {
-                Some("dense") => self.flow.prune_fraction_dense,
-                _ => self.flow.prune_fraction_conv,
-            })
-            .collect();
-        let mut mask = try_magnitude_prune_per_layer(&mut self.net, &fractions)?;
-
-        // Search for a neuron re-ordering minimizing Dist(P, F).
-        let mut cfg = remap_cfg;
-        cfg.seed ^= self.iteration; // fresh search each phase
-        let plan = {
-            let _search_span = recorder.span("remap_search");
-            plan_remap(&self.mapped, &mask, &detections, &cfg)?
-        };
-        self.metrics
-            .last_remap_initial_cost
-            .set(plan.initial_cost as f64);
-        self.metrics
-            .last_remap_final_cost
-            .set(plan.final_cost as f64);
-        if plan.final_cost < plan.initial_cost && !plan.is_identity() {
-            plan.apply(&mut self.net, &mut mask)?;
-            self.metrics.remaps_applied.inc();
-            recorder.emit(Event::RemapApplied {
-                initial_cost: plan.initial_cost,
-                final_cost: plan.final_cost,
-            });
-        }
-
-        // Park the pruned zeros and reprogram the array with the permuted
-        // weights (writes only where the target moved).
-        try_apply_mask(&mut self.net, &mask)?;
-        let reprog_writes = self
-            .mapped
-            .reprogram_from(&mut self.net, REPROGRAM_EPSILON)?;
-        recorder.set_write_pulses(self.mapped.total_write_pulses());
-        if reprog_writes > 0 {
-            recorder.emit(Event::WritePulseBatch {
-                pulses: reprog_writes,
-                phase: WritePhase::Reprogram,
-            });
-        }
-        self.active_mask = Some(mask);
-        Ok(())
-    }
-
     /// Captures the complete trainer state for checkpointing: hardware
     /// (via [`MappedNetwork::export_state`]), software parameters, the
     /// threshold ledgers, the batch stream, the burst accumulator, the
@@ -501,6 +428,7 @@ impl FaultTolerantTrainer {
         }
         TrainerState {
             iteration: self.iteration,
+            strategy_id: self.strategy.id().to_string(),
             mapped: self.mapped.export_state(),
             params,
             ledgers: self.trainer.export_ledgers(),
@@ -534,6 +462,47 @@ impl FaultTolerantTrainer {
         recorder: Recorder,
         state: &TrainerState,
     ) -> Result<Self, FttError> {
+        let strategy = builtin_strategy(&flow.strategy)?;
+        Self::restore_state_with(net, mapping, flow, recorder, state, strategy)
+    }
+
+    /// Like [`FaultTolerantTrainer::restore_state`], but restores against
+    /// an explicit [`FaultStrategy`] implementation (required for the
+    /// `ftt-strategy` contenders, which this crate cannot construct).
+    ///
+    /// The capture's recorded strategy id must be known to this build and
+    /// must match both the flow config's selection and the given
+    /// implementation — a capture taken under one strategy cannot silently
+    /// continue under another.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FttError::InvalidConfig`] when the capture is incoherent,
+    /// does not fit the template network, or carries an unknown/mismatched
+    /// strategy id; propagates restore failures from the hardware layers.
+    pub fn restore_state_with(
+        net: Network,
+        mapping: MappingConfig,
+        flow: FlowConfig,
+        recorder: Recorder,
+        state: &TrainerState,
+        strategy: Box<dyn FaultStrategy>,
+    ) -> Result<Self, FttError> {
+        if !is_known_strategy_id(&state.strategy_id) {
+            return Err(FttError::InvalidConfig(format!(
+                "snapshot records unknown strategy `{}`",
+                state.strategy_id
+            )));
+        }
+        if state.strategy_id != strategy.id() || strategy.id() != flow.strategy.id() {
+            return Err(FttError::InvalidConfig(format!(
+                "snapshot was taken under strategy `{}` but restore was \
+                 handed `{}` (config selects `{}`)",
+                state.strategy_id,
+                strategy.id(),
+                flow.strategy.id()
+            )));
+        }
         let mut net = net;
         let mut mapped = MappedNetwork::restore_state(mapping, &state.mapped)?;
         // Software parameters: the template must have exactly the captured
@@ -594,11 +563,27 @@ impl FaultTolerantTrainer {
             iteration: state.iteration,
             curve,
             metrics,
+            strategy,
             active_mask,
+            iteration_mask: None,
             burst_start: state.burst_start,
             burst_skipped: state.burst_skipped,
             batch_stream: state.batch_stream.clone(),
         })
+    }
+}
+
+/// Constructs the built-in strategy a [`StrategySelect`] names, erroring on
+/// the selections implemented outside this crate.
+fn builtin_strategy(select: &StrategySelect) -> Result<Box<dyn FaultStrategy>, FttError> {
+    match select {
+        StrategySelect::DetectRemap => Ok(Box::new(DetectRemap::new())),
+        StrategySelect::NoOp => Ok(Box::new(NoOp)),
+        other => Err(FttError::InvalidConfig(format!(
+            "strategy `{}` lives in the ftt-strategy crate; construct the \
+             trainer through FaultTolerantTrainer::with_strategy",
+            other.id()
+        ))),
     }
 }
 
@@ -630,6 +615,10 @@ pub struct NetParamState {
 pub struct TrainerState {
     /// The iteration counter.
     pub iteration: u64,
+    /// Stable id of the strategy that drove the captured run (see
+    /// [`crate::strategy::KNOWN_STRATEGY_IDS`]). Restore refuses captures
+    /// whose id is unknown or differs from the restoring configuration.
+    pub strategy_id: String,
     /// The mapped hardware (chip, layers, software weight targets).
     pub mapped: MappedState,
     /// Software network parameters, in layer order.

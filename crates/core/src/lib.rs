@@ -58,9 +58,11 @@ pub mod flow;
 pub mod mapping;
 pub mod remap;
 pub mod report;
+pub mod strategy;
 pub mod telemetry;
 pub mod threshold;
 
 pub use config::{FlowConfig, MappingConfig, MappingScope};
 pub use flow::{FaultTolerantTrainer, NetParamState, TrainerState};
 pub use mapping::{MappedLayerState, MappedNetwork, MappedState};
+pub use strategy::{FaultStrategy, StrategyCost, StrategyCtx, StrategySelect};

@@ -831,10 +831,27 @@ impl MappedNetwork {
         detector: &OnlineFaultDetector,
         detections: &mut [LayerDetection],
     ) -> Result<SparingOutcome, FttError> {
-        let mut out = SparingOutcome::default();
         let Some(threshold) = self.config.retire_fault_density else {
-            return Ok(out);
+            return Ok(SparingOutcome::default());
         };
+        self.apply_sparing_at(threshold, detector, detections)
+    }
+
+    /// Like [`MappedNetwork::apply_sparing`], but retires every tile whose
+    /// predicted fault density crossed the explicit `threshold` instead of
+    /// consulting `retire_fault_density` — the entry point for strategies
+    /// (e.g. redundant-column correction) that own their retirement policy.
+    ///
+    /// # Errors
+    ///
+    /// Device failures while programming or verifying a spare propagate.
+    pub fn apply_sparing_at(
+        &mut self,
+        threshold: f64,
+        detector: &OnlineFaultDetector,
+        detections: &mut [LayerDetection],
+    ) -> Result<SparingOutcome, FttError> {
+        let mut out = SparingOutcome::default();
         let ts = self.config.tile_size;
         let mut dirty: BTreeSet<usize> = BTreeSet::new();
         for id in self.chip.tiles_over_density(threshold) {

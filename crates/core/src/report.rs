@@ -143,6 +143,10 @@ pub struct FlowStats {
     pub tiles_retired: u64,
     /// Spare tiles attached in place of retired ones.
     pub spares_attached: u64,
+    /// Cycles spent by the fault-tolerance strategy outside detection
+    /// campaigns (per-iteration mask generation, strategy-owned verify
+    /// reads), priced as cell reads by [`FlowStats::energy`].
+    pub strategy_cycles: u64,
 }
 
 impl FlowStats {
@@ -157,13 +161,13 @@ impl FlowStats {
     }
 
     /// Estimates the run's RCS energy under the given model: analog MVM
-    /// work, the quiescent-voltage read cycles spent by detection (one
-    /// cell read per detection test cycle), and all programming pulses
-    /// (training and detection).
+    /// work, the quiescent-voltage read cycles spent by detection and by
+    /// the fault-tolerance strategy (one cell read per cycle), and all
+    /// programming pulses (training and detection).
     pub fn energy(&self, model: &rram::energy::EnergyModel) -> rram::energy::EnergyEstimate {
         model.estimate(rram::energy::OperationCounts {
             mvm_cell_ops: self.mvm_cell_ops,
-            cell_reads: self.detection_cycles,
+            cell_reads: self.detection_cycles + self.strategy_cycles,
             write_pulses: self.writes_issued + self.detection_writes,
         })
     }

@@ -18,20 +18,38 @@ use crate::report::FlowStats;
 #[derive(Debug, Clone)]
 pub struct FlowMetrics {
     recorder: Recorder,
-    pub(crate) writes_issued: Counter,
-    pub(crate) writes_skipped: Counter,
-    pub(crate) wear_faults_during_training: Counter,
-    pub(crate) detection_campaigns: Counter,
-    pub(crate) detection_cycles: Counter,
-    pub(crate) detection_writes: Counter,
-    pub(crate) remaps_applied: Counter,
-    pub(crate) mvm_cell_ops: Counter,
-    pub(crate) nan_updates_skipped: Counter,
-    pub(crate) detection_untested_groups: Counter,
-    pub(crate) tiles_retired: Counter,
-    pub(crate) spares_attached: Counter,
-    pub(crate) last_remap_initial_cost: Gauge,
-    pub(crate) last_remap_final_cost: Gauge,
+    /// Hardware writes issued by threshold training.
+    pub writes_issued: Counter,
+    /// Updates suppressed by the threshold.
+    pub writes_skipped: Counter,
+    /// Cells that wore out during training writes.
+    pub wear_faults_during_training: Counter,
+    /// Detection campaigns run.
+    pub detection_campaigns: Counter,
+    /// Total detection test cycles.
+    pub detection_cycles: Counter,
+    /// Write pulses spent by detection itself.
+    pub detection_writes: Counter,
+    /// Re-mapping plans applied.
+    pub remaps_applied: Counter,
+    /// Cell-level analog multiply-accumulates on the mapped crossbars.
+    pub mvm_cell_ops: Counter,
+    /// Non-finite gradient updates skipped by the threshold trainer.
+    pub nan_updates_skipped: Counter,
+    /// Detection test groups that could not be swept.
+    pub detection_untested_groups: Counter,
+    /// Tiles retired after crossing the fault-density threshold.
+    pub tiles_retired: Counter,
+    /// Spare tiles attached in place of retired ones.
+    pub spares_attached: Counter,
+    /// Strategy-private overhead cycles (mask generation, verify reads
+    /// outside detection campaigns), priced as cell reads by the energy
+    /// model — the fault-tolerance strategy layer's accounting slot.
+    pub strategy_cycles: Counter,
+    /// `Dist(P, F)` before the most recent re-mapping search.
+    pub last_remap_initial_cost: Gauge,
+    /// `Dist(P, F)` after the most recent re-mapping search.
+    pub last_remap_final_cost: Gauge,
 }
 
 impl FlowMetrics {
@@ -43,7 +61,8 @@ impl FlowMetrics {
     ///   `flow_remaps_applied_total`, `flow_mvm_cell_ops_total`,
     ///   `flow_nan_updates_skipped_total`,
     ///   `flow_detection_untested_groups_total`,
-    ///   `flow_tiles_retired_total`, `flow_spares_attached_total`;
+    ///   `flow_tiles_retired_total`, `flow_spares_attached_total`,
+    ///   `flow_strategy_cycles_total`;
     /// * gauges `flow_last_remap_initial_cost`,
     ///   `flow_last_remap_final_cost`.
     pub fn new(recorder: Recorder) -> Self {
@@ -61,6 +80,7 @@ impl FlowMetrics {
             detection_untested_groups: r.counter("flow_detection_untested_groups_total"),
             tiles_retired: r.counter("flow_tiles_retired_total"),
             spares_attached: r.counter("flow_spares_attached_total"),
+            strategy_cycles: r.counter("flow_strategy_cycles_total"),
             last_remap_initial_cost: r.gauge("flow_last_remap_initial_cost"),
             last_remap_final_cost: r.gauge("flow_last_remap_final_cost"),
             recorder,
@@ -92,6 +112,7 @@ impl FlowMetrics {
             detection_untested_groups: self.detection_untested_groups.get(),
             tiles_retired: self.tiles_retired.get(),
             spares_attached: self.spares_attached.get(),
+            strategy_cycles: self.strategy_cycles.get(),
         }
     }
 }

@@ -110,11 +110,16 @@ pub enum EventKind {
     ServeMigrationStart = 12,
     /// A tenant checkpoint was restored on its destination chip.
     ServeMigrationEnd = 13,
+    /// A fault-tolerance strategy was bound to a run (arena contender
+    /// registration).
+    StrategySelected = 14,
+    /// One arena contender finished its seeded run.
+    ArenaRun = 15,
 }
 
 impl EventKind {
     /// All kinds, in discriminant order (indexing for per-kind counters).
-    pub const ALL: [EventKind; 14] = [
+    pub const ALL: [EventKind; 16] = [
         EventKind::TrainingIteration,
         EventKind::ThresholdSkipBurst,
         EventKind::DetectionCampaignStart,
@@ -129,6 +134,8 @@ impl EventKind {
         EventKind::ServeLullCampaign,
         EventKind::ServeMigrationStart,
         EventKind::ServeMigrationEnd,
+        EventKind::StrategySelected,
+        EventKind::ArenaRun,
     ];
 
     /// Stable snake_case name used in serialized traces.
@@ -148,6 +155,8 @@ impl EventKind {
             EventKind::ServeLullCampaign => "serve_lull_campaign",
             EventKind::ServeMigrationStart => "serve_migration_start",
             EventKind::ServeMigrationEnd => "serve_migration_end",
+            EventKind::StrategySelected => "strategy_selected",
+            EventKind::ArenaRun => "arena_run",
         }
     }
 }
@@ -291,6 +300,27 @@ pub enum Event {
         /// Chip node the tenant now runs on.
         to_chip: u64,
     },
+    /// A fault-tolerance strategy was bound to a run (emitted by the
+    /// arena when a contender is registered, never by the trainer itself —
+    /// the closed-loop trace stays strategy-agnostic).
+    StrategySelected {
+        /// Stable strategy id (`detect_remap`, `noop`, ...).
+        strategy: String,
+        /// Fault density the contender runs under.
+        fault_density: f64,
+    },
+    /// One arena contender finished its seeded run.
+    ArenaRun {
+        /// Stable strategy id of the contender.
+        strategy: String,
+        /// Fault density the contender ran under.
+        fault_density: f64,
+        /// Final test accuracy, in parts per million (integer so the event
+        /// carries no derived float rounding).
+        accuracy_ppm: u64,
+        /// Total hardware write pulses the run spent.
+        write_pulses: u64,
+    },
 }
 
 impl Event {
@@ -311,6 +341,8 @@ impl Event {
             Event::ServeLullCampaign { .. } => EventKind::ServeLullCampaign,
             Event::ServeMigrationStart { .. } => EventKind::ServeMigrationStart,
             Event::ServeMigrationEnd { .. } => EventKind::ServeMigrationEnd,
+            Event::StrategySelected { .. } => EventKind::StrategySelected,
+            Event::ArenaRun { .. } => EventKind::ArenaRun,
         }
     }
 }
@@ -450,6 +482,22 @@ impl TimedEvent {
             Event::ServeMigrationEnd { tenant, to_chip } => obj
                 .field_str("tenant", tenant)
                 .field_u64("to_chip", *to_chip),
+            Event::StrategySelected {
+                strategy,
+                fault_density,
+            } => obj
+                .field_str("strategy", strategy)
+                .field_f64("fault_density", *fault_density),
+            Event::ArenaRun {
+                strategy,
+                fault_density,
+                accuracy_ppm,
+                write_pulses,
+            } => obj
+                .field_str("strategy", strategy)
+                .field_f64("fault_density", *fault_density)
+                .field_u64("accuracy_ppm", *accuracy_ppm)
+                .field_u64("write_pulses", *write_pulses),
         }
         .finish()
     }
@@ -544,6 +592,16 @@ mod tests {
             Event::ServeMigrationEnd {
                 tenant: "train-a".into(),
                 to_chip: 1,
+            },
+            Event::StrategySelected {
+                strategy: "drop_connect".into(),
+                fault_density: 0.1,
+            },
+            Event::ArenaRun {
+                strategy: "drop_connect".into(),
+                fault_density: 0.1,
+                accuracy_ppm: 912_000,
+                write_pulses: 40_000,
             },
         ];
         for (i, event) in events.into_iter().enumerate() {

@@ -59,7 +59,12 @@ use rram::fault::{FaultKind, FaultState};
 pub const MAGIC: [u8; 8] = *b"FTTSNAP\0";
 
 /// Current wire-format version. Bumped on any layout change.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// * v1 — PR 8's original layout.
+/// * v2 — the strategy layer: a strategy-id string follows the iteration
+///   counter (the one "config-like" datum captured as state, so restore
+///   can refuse to continue a run under a different strategy).
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Errors raised while decoding or resuming a snapshot.
 #[derive(Debug)]
@@ -306,6 +311,7 @@ fn put_batch_stream(w: &mut Writer, b: &BatchStreamState) {
 pub fn encode(state: &TrainerState) -> Vec<u8> {
     let mut w = Writer::default();
     w.u64(state.iteration);
+    w.str(&state.strategy_id);
     put_mapped(&mut w, &state.mapped);
     w.size(state.params.len());
     for p in &state.params {
@@ -679,6 +685,12 @@ pub fn decode(bytes: &[u8]) -> Result<TrainerState, SnapshotError> {
     }
 
     let iteration = r.u64()?;
+    let strategy_id = r.str()?;
+    if !ftt_core::strategy::is_known_strategy_id(&strategy_id) {
+        return Err(SnapshotError::Malformed(format!(
+            "snapshot records unknown strategy `{strategy_id}`"
+        )));
+    }
     let mapped = get_mapped(&mut r)?;
     let np = r.len(1)?;
     let mut params = Vec::with_capacity(np);
@@ -773,6 +785,7 @@ pub fn decode(bytes: &[u8]) -> Result<TrainerState, SnapshotError> {
     }
     Ok(TrainerState {
         iteration,
+        strategy_id,
         mapped,
         params,
         ledgers,
@@ -820,6 +833,31 @@ pub fn resume(
     let state = decode(bytes)?;
     Ok(FaultTolerantTrainer::restore_state(
         net, mapping, flow, recorder, &state,
+    )?)
+}
+
+/// Like [`resume`], but rebuilds the trainer around an explicit
+/// [`FaultStrategy`](ftt_core::strategy::FaultStrategy) implementation —
+/// required for the `ftt-strategy` contenders, which `ftt-core` cannot
+/// construct from the config alone. The snapshot's recorded strategy id
+/// must match both the config selection and the given implementation.
+///
+/// # Errors
+///
+/// Structural errors from [`decode`], or [`SnapshotError::Invalid`] when
+/// the decoded state fails the domain layers' coherence checks (including
+/// a strategy-id mismatch).
+pub fn resume_with(
+    bytes: &[u8],
+    net: Network,
+    mapping: MappingConfig,
+    flow: FlowConfig,
+    recorder: Recorder,
+    strategy: Box<dyn ftt_core::strategy::FaultStrategy>,
+) -> Result<FaultTolerantTrainer, SnapshotError> {
+    let state = decode(bytes)?;
+    Ok(FaultTolerantTrainer::restore_state_with(
+        net, mapping, flow, recorder, &state, strategy,
     )?)
 }
 
@@ -961,5 +999,46 @@ mod tests {
             resume(&bytes, net(3), mapping(3), flow(), Recorder::deterministic()),
             Err(SnapshotError::Invalid(_))
         ));
+    }
+
+    #[test]
+    fn strategy_selection_round_trips_and_unknown_ids_are_rejected() {
+        let data = SyntheticDataset::mnist_like(40, 10, 3);
+        let (mut trainer, _view) = traced(3);
+        trainer.train(&data, 6).unwrap();
+        let state = trainer.export_state();
+        assert_eq!(state.strategy_id, "detect_remap");
+        let good = encode(&state);
+
+        // v2 layout: the strategy id survives the wire round trip.
+        assert_eq!(decode(&good).unwrap().strategy_id, "detect_remap");
+
+        // A capture recording a strategy this build does not know is
+        // structurally rejected at decode time.
+        let mut alien = state.clone();
+        alien.strategy_id = "time_travel".into();
+        assert!(matches!(
+            decode(&encode(&alien)),
+            Err(SnapshotError::Malformed(_))
+        ));
+
+        // A known id that differs from the restoring configuration is
+        // rejected by domain validation: a detect_remap capture cannot
+        // silently continue as an unprotected run.
+        let mut crossed = state.clone();
+        crossed.strategy_id = "noop".into();
+        assert!(matches!(
+            resume(
+                &encode(&crossed),
+                net(3),
+                mapping(3),
+                flow(),
+                Recorder::deterministic()
+            ),
+            Err(SnapshotError::Invalid(_))
+        ));
+
+        // And the matching id restores fine.
+        assert!(resume(&good, net(3), mapping(3), flow(), Recorder::deterministic()).is_ok());
     }
 }

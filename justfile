@@ -45,7 +45,7 @@ chaos:
 # (--lib builds without cfg(test)). Includes ftt-lint so the linter
 # obeys its own panic policy.
 clippy-unwrap:
-    cargo clippy -p obs -p par -p rram -p nn -p faultdet -p ftt-tile -p ftt-core -p ftt-snapshot -p ftt-serve -p chaos -p ftt-lint --lib -- \
+    cargo clippy -p obs -p par -p rram -p nn -p faultdet -p ftt-tile -p ftt-core -p ftt-snapshot -p ftt-strategy -p ftt-arena -p ftt-serve -p chaos -p ftt-lint --lib -- \
         -D warnings -D clippy::unwrap_used -D clippy::expect_used
 
 # Snapshot/restore gate (DESIGN.md §12): kill a seeded run at an iteration
@@ -94,6 +94,16 @@ tile-demo:
 # results/telemetry_trace.jsonl and prints the summary + Prometheus rendering.
 obs-demo:
     cargo run --release --example telemetry_trace
+
+# Strategy-arena walkthrough (DESIGN.md §14): races every registered
+# fault-tolerance strategy (detect_remap, noop, drop_connect,
+# redundant_column) from bit-identical snapshot-cloned chips over the
+# reduced density sweep, byte-compares the league table and event trace
+# at thread budgets {1, 4, MAX}, then writes results/arena_league.json
+# and prints the league table. Drop ARENA_QUICK for the full reference
+# sweep.
+arena-demo:
+    ARENA_QUICK=1 cargo run --release -p ftt-arena --bin arena
 
 # Multi-tenant service walkthrough (DESIGN.md §13): runs the seeded
 # reference scenario (2 training tenants + 1 inference tenant over a
